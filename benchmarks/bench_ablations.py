@@ -1,0 +1,288 @@
+"""Ablations on the design choices DESIGN.md calls out.
+
+Not figures from the paper, but quantified justifications of its
+design decisions:
+
+* **ordering** - the paper argues for mapping large domains low in the
+  tree for *size*; this ablation shows the ordering also changes the
+  *query cost*, and that the analytic worst-case bound of Sec. 3.3
+  really bounds the measured cells.
+* **metric ties** - the paper prefers Jaccard because the hierarchy
+  distance "produces rankings with many ties"; this ablation counts
+  how often each metric leaves more than one best candidate.
+* **query-tree capacity** - the result cache trades memory for hit
+  rate under a zipf-popular query stream.
+"""
+
+import numpy as np
+
+from repro import AccessCounter, ContextResolver, ProfileTree, worst_case_cells
+from repro.eval import format_table
+from repro.resolution import search_cs
+from repro.tree import ContextQueryTree, StorageCostModel, optimal_ordering
+from repro.workloads import (
+    ZipfSampler,
+    generate_real_profile,
+    random_states,
+)
+
+
+def test_ablation_ordering_affects_query_cost(benchmark, once):
+    def run():
+        environment, profile = generate_real_profile()
+        queries = random_states(environment, 100, seed=3)
+        rows = []
+        best = optimal_ordering(environment)
+        for label, ordering in (("optimal", best), ("reversed", tuple(reversed(best)))):
+            tree = ProfileTree.from_profile(profile, ordering)
+            counter = AccessCounter()
+            for state in queries:
+                search_cs(tree, state, counter)
+            cells = StorageCostModel().tree_size(tree).cells
+            bound = worst_case_cells(
+                [len(environment[name].edom) for name in ordering]
+            )
+            rows.append(
+                [label, cells, bound, round(counter.cells / len(queries), 1)]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["ordering", "cells", "worst-case bound", "mean cells/query"],
+            rows,
+            title="Ablation - ordering: size bound and query cost",
+        )
+    )
+    optimal, reverse = rows
+    assert optimal[1] <= optimal[2]  # measured <= analytic bound
+    assert reverse[1] <= reverse[2]
+    assert optimal[3] < reverse[3]  # optimal ordering also queries cheaper
+    assert optimal[1] < reverse[1]
+
+
+def test_ablation_metric_tie_rates(benchmark, once):
+    def run():
+        # The study's default profiles mix context levels (company-only,
+        # weather-only, city-level ...), so detailed query states often
+        # have several incomparable covers - exactly where the metrics
+        # differ. Resolve every detailed state of the environment.
+        import itertools
+
+        from repro import ContextState
+        from repro.workloads import Persona, default_profile, study_environment
+
+        environment = study_environment()
+        profile = default_profile(Persona("below30", "male", "mainstream"), environment)
+        tree = ProfileTree.from_profile(profile, optimal_ordering(environment))
+        queries = [
+            ContextState(environment, values)
+            for values in itertools.product(
+                *[parameter.dom for parameter in environment]
+            )
+        ]
+        counts = {}
+        for metric in ("hierarchy", "jaccard"):
+            resolver = ContextResolver(tree, metric)
+            matched = ties = 0
+            for state in queries:
+                resolution = resolver.resolve_state(state)
+                if resolution.matched:
+                    matched += 1
+                    if len(resolution.best) > 1:
+                        ties += 1
+            counts[metric] = (matched, ties)
+        return counts
+
+    counts = once(benchmark, run)
+    print()
+    rows = [
+        [metric, matched, ties, f"{100 * ties / max(matched, 1):.1f}%"]
+        for metric, (matched, ties) in counts.items()
+    ]
+    print(
+        format_table(
+            ["metric", "matched queries", "tied best", "tie rate"],
+            rows,
+            title="Ablation - how often each metric fails to pick a single cover",
+        )
+    )
+    hierarchy_ties = counts["hierarchy"][1]
+    jaccard_ties = counts["jaccard"][1]
+    # The paper's rationale for Jaccard: far fewer ties.
+    assert jaccard_ties <= hierarchy_ties
+
+
+def test_ablation_index_design_space(benchmark, once):
+    """Profile tree vs. hash index vs. sequential scan.
+
+    The paper only compares tree and scan; the hash index completes the
+    design space: O(1) exact probes, but covering resolution must probe
+    every generalisation of the query regardless of what is stored.
+    """
+
+    def run():
+        from repro.resolution import SequentialStore, StateHashIndex, search_cs
+        from repro.tree import ProfileTree
+        from repro.workloads import exact_match_states
+
+        environment, profile = generate_real_profile()
+        tree = ProfileTree.from_profile(profile, optimal_ordering(environment))
+        index = StateHashIndex.from_profile(profile)
+        store = SequentialStore.from_profile(profile)
+        exact = exact_match_states(profile, 50, seed=1)
+        cover = random_states(environment, 50, seed=2)
+
+        def measure(operation, states):
+            counter = AccessCounter()
+            for state in states:
+                operation(state, counter)
+            return round(counter.cells / len(states), 1)
+
+        return [
+            ["tree", measure(tree.exact_lookup, exact),
+             measure(lambda s, c: search_cs(tree, s, c), cover)],
+            ["hash", measure(index.exact_lookup, exact),
+             measure(index.cover_lookup, cover)],
+            ["scan", measure(store.exact_scan, exact),
+             measure(store.cover_scan, cover)],
+        ]
+
+    rows = once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["index", "exact cells/query", "covering cells/query"],
+            rows,
+            title="Ablation - index design space (real profile, 50 queries)",
+        )
+    )
+    tree_row, hash_row, scan_row = rows
+    assert hash_row[1] <= tree_row[1] <= scan_row[1]  # exact: hash wins
+    assert tree_row[2] < scan_row[2]                   # covering: tree << scan
+    assert hash_row[2] < scan_row[2]
+
+
+def test_ablation_complexity_bounds(benchmark, once):
+    """Sec. 4.4's analytic access bounds really bound the measurements.
+
+    Exact match: at most ``sum |edom(Ci)|`` cells. Covering search: at
+    most ``|edom(C1)| + |edom(C2)|*h1 + |edom(C3)|*h2*h1`` cells, where
+    ``hi`` is the number of hierarchy levels of the parameter at tree
+    level ``i``.
+    """
+
+    def run():
+        from repro.tree import ProfileTree
+        from repro.workloads import (
+            ProfileSpec,
+            exact_match_states,
+            generate_profile,
+            synthetic_environment,
+        )
+        from repro.resolution import search_cs
+
+        environment = synthetic_environment()
+        spec = ProfileSpec(
+            num_preferences=3000, level_weights=(0.7, 0.2, 0.1), seed=5
+        )
+        profile = generate_profile(environment, spec)
+        ordering = optimal_ordering(environment)
+        tree = ProfileTree.from_profile(profile, ordering)
+
+        edoms = [len(environment[name].edom) for name in ordering]
+        levels = [environment[name].hierarchy.num_levels for name in ordering]
+        exact_bound = sum(edoms)
+        cover_bound = edoms[0]
+        factor = 1
+        for index in range(1, len(edoms)):
+            factor *= levels[index - 1]
+            cover_bound += edoms[index] * factor
+
+        worst_exact = 0
+        for state in exact_match_states(profile, 100, seed=6):
+            counter = AccessCounter()
+            tree.exact_lookup(state, counter)
+            worst_exact = max(worst_exact, counter.cells)
+        worst_cover = 0
+        for state in random_states(environment, 100, seed=7, level_weights=(1.0,)):
+            counter = AccessCounter()
+            search_cs(tree, state, counter)
+            worst_cover = max(worst_cover, counter.cells)
+        return worst_exact, exact_bound, worst_cover, cover_bound
+
+    worst_exact, exact_bound, worst_cover, cover_bound = once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["search", "worst measured cells", "Sec. 4.4 bound"],
+            [
+                ["exact match", worst_exact, exact_bound],
+                ["covering", worst_cover, cover_bound],
+            ],
+            title="Ablation - measured accesses vs analytic bounds "
+            "(3000 prefs, 100 queries)",
+        )
+    )
+    assert worst_exact <= exact_bound
+    assert worst_cover <= cover_bound
+
+
+def test_ablation_traceability_feedback(benchmark, once):
+    """Sec. 5.1's remark, quantified: fixing the preferences that
+    produced disputed results makes agreement climb round over round."""
+
+    def run():
+        from repro.eval.feedback import run_feedback_loop
+
+        return run_feedback_loop(rounds=6)
+
+    history = once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["round", "agreement", "fixes applied"],
+            [
+                [entry.round_index, f"{entry.agreement_pct:.1f}%", entry.fixes_applied]
+                for entry in history
+            ],
+            title="Ablation - traceability feedback loop",
+        )
+    )
+    assert history[-1].agreement_pct >= history[0].agreement_pct
+    assert history[-1].agreement_pct >= 95.0
+
+
+def test_ablation_query_tree_capacity(benchmark, once):
+    def run():
+        environment, _profile = generate_real_profile(num_preferences=100)
+        states = random_states(environment, 80, seed=9)
+        results = []
+        for capacity in (None, 40, 10):
+            cache = ContextQueryTree(environment, capacity=capacity)
+            sampler = ZipfSampler(len(states), 1.2, np.random.default_rng(2))
+            for _ in range(600):
+                state = states[sampler.sample()]
+                if cache.get(state) is None:
+                    cache.put(state, object())
+            results.append(
+                [capacity or "unbounded", f"{cache.hit_rate():.0%}", cache.evictions]
+            )
+        return results
+
+    rows = once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["capacity", "hit rate", "evictions"],
+            rows,
+            title="Ablation - context query tree capacity vs hit rate",
+        )
+    )
+    unbounded, mid, small = rows
+    def rate(row):
+        return float(row[1].rstrip("%"))
+    assert rate(unbounded) >= rate(mid) >= rate(small)
+    assert small[2] > 0  # the bounded cache actually evicted

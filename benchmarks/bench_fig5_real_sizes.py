@@ -1,0 +1,35 @@
+"""Fig. 5 - profile-tree size for the real profile, per ordering.
+
+Regenerates both panels of Fig. 5: the number of cells (left) and
+bytes (right) of the profile tree built over the 522-preference real
+profile, for the six assignments of (accompanying_people, time,
+location) to tree levels, against sequential storage.
+
+Paper shapes to check in the printed table: orderings placing the
+large ``location`` domain lower are smaller; order 1 = (A, T, L) is
+smallest; every tree needs fewer cells and bytes than serial storage.
+"""
+
+from repro.eval import fig5_real_profile, format_table
+
+
+def test_fig5_profile_tree_sizes(benchmark, once):
+    experiment = once(benchmark, fig5_real_profile)
+    cells = experiment.cells_by_label()
+    num_bytes = experiment.bytes_by_label()
+    labels = ["serial", *[f"order{i}" for i in range(1, 7)]]
+    print()
+    print(
+        format_table(
+            ["ordering", "cells", "bytes"],
+            [[label, cells[label], num_bytes[label]] for label in labels],
+            title="Fig. 5 - size of the profile tree, real profile (522 prefs)",
+        )
+    )
+
+    tree_labels = labels[1:]
+    assert all(cells[label] < cells["serial"] for label in tree_labels)
+    assert all(num_bytes[label] < num_bytes["serial"] for label in tree_labels)
+    assert cells["order1"] == min(cells[label] for label in tree_labels)
+    # Large domains lower => smaller: (A,T,L) beats (L,T,A).
+    assert cells["order1"] < cells["order6"]

@@ -1,0 +1,79 @@
+"""Fig. 6 - profile-tree size over synthetic profiles.
+
+Three panels:
+
+* **left** - cells vs. profile size (500..10000), uniform values;
+* **center** - same with zipf(a=1.5) values;
+* **right** - cells vs. the skew of a 200-value parameter (a in
+  0..3.5) at 5000 preferences, showing the ordering crossover.
+
+Paper shapes to check in the printed series: trees grow with profile
+size but stay below serial; orderings mapping large domains lower are
+smaller; zipf trees are smaller than uniform ("hot values appear more
+frequently"); in the right panel the orderings that place the skewed
+200-value parameter higher (orders 2-3) drop below order 1 as the skew
+grows.
+"""
+
+from repro.eval import fig6_size_sweep, fig6_skew_sweep, format_series
+
+PROFILE_SIZES = (500, 1000, 5000, 10000)
+SKEWS = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
+
+
+def test_fig6_left_uniform(benchmark, once):
+    series = once(benchmark, fig6_size_sweep, "uniform", PROFILE_SIZES)
+    print()
+    print(
+        format_series(
+            "Fig. 6 (left) - cells, uniform distribution",
+            "#prefs",
+            PROFILE_SIZES,
+            series,
+        )
+    )
+    for label, values in series.items():
+        if label != "serial":
+            assert all(v <= s for v, s in zip(values, series["serial"]))
+            assert values == sorted(values)
+    assert series["order1"][-1] <= series["order6"][-1]
+
+
+def test_fig6_center_zipf(benchmark, once):
+    series = once(benchmark, fig6_size_sweep, "zipf", PROFILE_SIZES)
+    print()
+    print(
+        format_series(
+            "Fig. 6 (center) - cells, zipf(a=1.5) distribution",
+            "#prefs",
+            PROFILE_SIZES,
+            series,
+        )
+    )
+    uniform = fig6_size_sweep("uniform", (PROFILE_SIZES[-1],))
+    # Zipf shares hot values -> smaller trees than uniform.
+    assert series["order1"][-1] < uniform["order1"][0]
+    for label, values in series.items():
+        if label != "serial":
+            assert all(v <= s for v, s in zip(values, series["serial"]))
+
+
+def test_fig6_right_skew_crossover(benchmark, once):
+    series = once(benchmark, fig6_skew_sweep, SKEWS)
+    print()
+    print(
+        format_series(
+            "Fig. 6 (right) - cells vs skew of the 200-value domain "
+            "(5000 prefs; order1=(50,100,200), order2=(50,200,100), "
+            "order3=(200,50,100))",
+            "a",
+            SKEWS,
+            series,
+        )
+    )
+    # Unskewed: placing the big domain low (order 1) is best.
+    assert series["order1"][0] <= series["order3"][0]
+    # Highly skewed: placing it at the root wins (the paper's point).
+    assert series["order3"][-1] < series["order1"][-1]
+    # The skewed orderings shrink monotonically-ish with a.
+    assert series["order3"][-1] < series["order3"][0]

@@ -1,0 +1,92 @@
+"""Fig. 7 - cell accesses during context resolution.
+
+Three panels:
+
+* **left** - the real profile: profile tree vs. sequential scan, for
+  exact and non-exact (covering) matches, 50 queries;
+* **center** - synthetic profiles (500..10000 prefs): mean accesses of
+  exact-match resolution, uniform/zipf values, vs. serial;
+* **right** - same for non-exact (covering) resolution.
+
+Paper shapes to check in the printed series: the tree needs orders of
+magnitude fewer accesses than the scan; exact matches are a single
+root-to-leaf traversal and barely grow with profile size; covering
+search costs more than exact but remains far below serial; zipf
+profiles are cheaper than uniform.
+"""
+
+from repro.eval import fig7_real_profile, fig7_synthetic, format_series, format_table
+
+PROFILE_SIZES = (500, 1000, 5000, 10000)
+
+
+def test_fig7_left_real_profile(benchmark, once):
+    measurements = once(benchmark, fig7_real_profile)
+    print()
+    print(
+        format_table(
+            ["method", "mean cells/query"],
+            [
+                [label, f"{measurements[label].mean_cells:.1f}"]
+                for label in (
+                    "tree_exact",
+                    "serial_exact",
+                    "tree_cover",
+                    "serial_cover",
+                )
+            ],
+            title="Fig. 7 (left) - accesses, real profile, 50 queries",
+        )
+    )
+    assert measurements["tree_exact"].mean_cells < measurements["serial_exact"].mean_cells
+    assert measurements["tree_cover"].mean_cells < measurements["serial_cover"].mean_cells
+
+
+def _print_panel(title, series):
+    print()
+    print(
+        format_series(
+            title,
+            "#prefs",
+            PROFILE_SIZES,
+            {label: [f"{v:.1f}" for v in values] for label, values in series.items()},
+        )
+    )
+
+
+def test_fig7_center_exact_match(benchmark, once):
+    uniform = once(benchmark, fig7_synthetic, "uniform", PROFILE_SIZES)
+    zipf = fig7_synthetic("zipf", PROFILE_SIZES)
+    _print_panel(
+        "Fig. 7 (center) - exact match (uniform)",
+        {
+            "tree_uniform": uniform["tree_exact"],
+            "tree_zipf": zipf["tree_exact"],
+            "serial": uniform["serial_exact"],
+        },
+    )
+    # Tree nearly flat, serial linear in profile size.
+    assert uniform["serial_exact"][-1] > 10 * uniform["serial_exact"][0]
+    assert uniform["tree_exact"][-1] < 5 * uniform["tree_exact"][0]
+    assert all(t < s for t, s in zip(uniform["tree_exact"], uniform["serial_exact"]))
+    assert zipf["tree_exact"][-1] <= uniform["tree_exact"][-1]
+
+
+def test_fig7_right_non_exact_match(benchmark, once):
+    uniform = once(benchmark, fig7_synthetic, "uniform", PROFILE_SIZES)
+    zipf = fig7_synthetic("zipf", PROFILE_SIZES)
+    _print_panel(
+        "Fig. 7 (right) - non-exact (covering) match",
+        {
+            "tree_uniform": uniform["tree_cover"],
+            "tree_zipf": zipf["tree_cover"],
+            "serial": uniform["serial_cover"],
+        },
+    )
+    assert all(t < s for t, s in zip(uniform["tree_cover"], uniform["serial_cover"]))
+    assert all(t < s for t, s in zip(zipf["tree_cover"], uniform["serial_cover"]))
+    # Covering search costs at least as much as exact on the tree.
+    assert all(
+        cover >= exact
+        for cover, exact in zip(uniform["tree_cover"], uniform["tree_exact"])
+    )

@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the core operations (wall-clock).
+
+Unlike the figure benches (which report the paper's machine-independent
+cell counts), these time the Python implementations themselves with
+pytest-benchmark's normal multi-round protocol: profile-tree
+construction, exact lookup, covering search, sequential scan, query-
+tree hits and end-to-end query execution.
+"""
+
+import pytest
+
+from repro import (
+    ContextQueryTree,
+    ContextualQuery,
+    ContextualQueryExecutor,
+    ProfileTree,
+    SequentialStore,
+    generate_poi_relation,
+    search_cs,
+)
+from repro.tree import optimal_ordering
+from repro.workloads import (
+    ProfileSpec,
+    exact_match_states,
+    generate_profile,
+    random_states,
+    synthetic_environment,
+)
+
+PROFILE_SIZE = 2000
+
+
+@pytest.fixture(scope="module")
+def setup():
+    environment = synthetic_environment()
+    profile = generate_profile(
+        environment,
+        ProfileSpec(num_preferences=PROFILE_SIZE, level_weights=(0.7, 0.2, 0.1),
+                    seed=3),
+    )
+    tree = ProfileTree.from_profile(profile, optimal_ordering(environment))
+    store = SequentialStore.from_profile(profile)
+    exact = exact_match_states(profile, 100, seed=4)
+    cover = random_states(environment, 100, seed=5, level_weights=(1.0,))
+    return environment, profile, tree, store, exact, cover
+
+
+def test_tree_construction(benchmark, setup):
+    _environment, profile, _tree, _store, _exact, _cover = setup
+    tree = benchmark(ProfileTree.from_profile, profile)
+    assert tree.num_states > 0
+
+
+def test_exact_lookup(benchmark, setup):
+    _environment, _profile, tree, _store, exact, _cover = setup
+
+    def run():
+        for state in exact:
+            tree.exact_lookup(state)
+
+    benchmark(run)
+
+
+def test_covering_search(benchmark, setup):
+    _environment, _profile, tree, _store, _exact, cover = setup
+
+    def run():
+        for state in cover:
+            search_cs(tree, state)
+
+    benchmark(run)
+
+
+def test_sequential_scan_cover(benchmark, setup):
+    _environment, _profile, _tree, store, _exact, cover = setup
+
+    def run():
+        for state in cover[:10]:  # the scan is slow; keep rounds sane
+            store.cover_scan(state)
+
+    benchmark(run)
+
+
+def test_query_tree_hits(benchmark, setup):
+    environment, _profile, _tree, _store, _exact, cover = setup
+    cache = ContextQueryTree(environment)
+    for state in cover:
+        cache.put(state, "result")
+
+    def run():
+        for state in cover:
+            cache.get(state)
+
+    benchmark(run)
+
+
+def test_end_to_end_query(benchmark, setup):
+    environment, _profile, tree, _store, _exact, cover = setup
+    relation = generate_poi_relation(100, seed=9)
+    executor = ContextualQueryExecutor(tree, relation)
+
+    def run():
+        for state in cover[:20]:
+            executor.execute(ContextualQuery.at_state(state, top_k=10))
+
+    benchmark(run)

@@ -1,0 +1,49 @@
+"""Table 1 - the usability study, with simulated users.
+
+Regenerates the paper's Table 1: per user, the number of profile
+modifications, the editing time, and the system-vs-user ranking
+agreement for exact-match queries, single-cover queries, and
+multi-cover queries under the Hierarchy and Jaccard distances.
+
+Paper shapes to check in the printed table: modifications 12-38 and
+times 15-45 min; agreements high (70-100%); Jaccard column >= Hierarchy
+column (the paper credits Jaccard's tie-free rankings).
+"""
+
+from repro.eval import format_table, run_usability_study
+
+
+def print_table1(study) -> None:
+    headers = ["", *[f"User {row.user_id}" for row in study.rows]]
+    rows = [
+        ["Num of updates", *[row.num_updates for row in study.rows]],
+        ["Update time (mins)", *[row.update_time_minutes for row in study.rows]],
+        ["Exact match", *[f"{row.exact_match_pct:.0f}%" for row in study.rows]],
+        ["1 cover state", *[f"{row.one_cover_pct:.0f}%" for row in study.rows]],
+        [
+            "Hierarchy",
+            *[f"{row.multi_cover_hierarchy_pct:.0f}%" for row in study.rows],
+        ],
+        [
+            "Jaccard",
+            *[f"{row.multi_cover_jaccard_pct:.0f}%" for row in study.rows],
+        ],
+    ]
+    print()
+    print(format_table(headers, rows, title="Table 1. User Study Results"))
+    print(
+        f"means: exact={study.mean('exact_match_pct'):.1f}% "
+        f"one-cover={study.mean('one_cover_pct'):.1f}% "
+        f"hierarchy={study.mean('multi_cover_hierarchy_pct'):.1f}% "
+        f"jaccard={study.mean('multi_cover_jaccard_pct'):.1f}%"
+    )
+
+
+def test_table1_user_study(benchmark, once):
+    study = once(benchmark, run_usability_study)
+    print_table1(study)
+    assert len(study.rows) == 10
+    assert study.mean("multi_cover_jaccard_pct") >= study.mean(
+        "multi_cover_hierarchy_pct"
+    )
+    assert study.mean("exact_match_pct") >= 70.0

@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Each benchmark reproduces one table or figure of the paper and prints
+the corresponding rows/series (run with ``-s`` to see them). The
+timed quantity is the full experiment driver; the paper's own metrics
+(cells, bytes, cell accesses, agreement percentages) are printed, since
+those - not wall-clock time - are what the figures report.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

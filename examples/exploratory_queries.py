@@ -1,0 +1,131 @@
+"""Exploratory queries: asking about hypothetical contexts.
+
+Sec. 4.1's example: "When I travel to Athens with my family this summer
+(implying good weather), what places should I visit?" - a query
+explicitly enhanced with an extended context descriptor rather than the
+current context. This example also shows:
+
+* disjunctive (DNF) descriptors - "with family OR with friends";
+* range descriptors - "temperature in [mild, hot]";
+* how the Hierarchy and Jaccard metrics can pick different covers for
+  the same query (Sec. 4.3).
+
+Run: python examples/exploratory_queries.py
+"""
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextState,
+    ContextualPreference,
+    ContextualQuery,
+    ContextualQueryExecutor,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+    Profile,
+    ProfileTree,
+    generate_poi_relation,
+)
+from repro.workloads import study_environment
+
+
+def show(result, limit=3) -> None:
+    for item in result.results[:limit]:
+        print(f"    {item.score:.2f}  {item.row['name']} ({item.row['type']})")
+
+
+def main() -> None:
+    env = study_environment()
+    profile = Profile(
+        env,
+        [
+            ContextualPreference(
+                ContextDescriptor.from_mapping(
+                    {"accompanying_people": "family", "temperature": "good"}
+                ),
+                AttributeClause("type", "zoo"),
+                0.9,
+            ),
+            ContextualPreference(
+                ContextDescriptor.from_mapping(
+                    {"accompanying_people": "friends", "temperature": "good"}
+                ),
+                AttributeClause("type", "brewery"),
+                0.85,
+            ),
+            ContextualPreference(
+                # Range descriptor: mild..hot = {mild, warm, hot}.
+                ContextDescriptor(
+                    [
+                        ParameterDescriptor.between("temperature", "mild", "hot"),
+                        ParameterDescriptor.equals("location", "Greece"),
+                    ]
+                ),
+                AttributeClause("type", "park"),
+                0.7,
+            ),
+            ContextualPreference(
+                ContextDescriptor.from_mapping(
+                    {"temperature": "good", "location": "Athens"}
+                ),
+                AttributeClause("type", "museum"),
+                0.75,
+            ),
+        ],
+    )
+    tree = ProfileTree.from_profile(profile)
+    relation = generate_poi_relation(num_pois=100, seed=23)
+
+    # --- The paper's exploratory query -------------------------------
+    executor = ContextualQueryExecutor(tree, relation)
+    summer_trip = ContextualQuery(
+        env,
+        descriptor=ContextDescriptor.from_mapping(
+            {
+                "location": "Athens",
+                "accompanying_people": "family",
+                "temperature": "good",
+            }
+        ),
+        top_k=3,
+    )
+    print("When I travel to Athens with my family this summer:")
+    show(executor.execute(summer_trip))
+
+    # --- Disjunction: family OR friends ------------------------------
+    either = ContextualQuery(
+        env,
+        descriptor=ExtendedContextDescriptor(
+            [
+                ContextDescriptor.from_mapping(
+                    {"accompanying_people": "family", "temperature": "good"}
+                ),
+                ContextDescriptor.from_mapping(
+                    {"accompanying_people": "friends", "temperature": "good"}
+                ),
+            ]
+        ),
+        top_k=6,
+    )
+    print("\n...and whichever company I end up with:")
+    show(executor.execute(either), limit=6)
+
+    # --- Metric comparison on a tied query ----------------------------
+    # Query (all, warm, Athens): covered by both (all, warm, Greece)
+    # [the range/park preference] and (all, good, Athens) [the museum
+    # preference]. Their hierarchy distances tie at 1; Jaccard prefers
+    # the smaller state (warm, Greece) - Sec. 4.3's "smallest state in
+    # terms of cardinality".
+    query_state = ContextState.from_mapping(
+        env, {"temperature": "warm", "location": "Athens"}
+    )
+    for metric in ("hierarchy", "jaccard"):
+        executor = ContextualQueryExecutor(tree, relation, metric=metric)
+        result = executor.execute(ContextualQuery.at_state(query_state, top_k=3))
+        chosen = [tuple(candidate.state) for candidate in result.resolutions[0].best]
+        print(f"\nmetric={metric}: best cover(s) {chosen}")
+        show(result)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Contextual *qualitative* preferences (the Sec. 3.2 extension).
+
+The paper uses a quantitative (scoring) model but observes that its
+context machinery "can be used for extending both quantitative and
+qualitative approaches". Here the qualitative route is shown: the user
+states *better-than* relations ("with family, museums over breweries")
+scoped by context descriptors; resolution picks the relations whose
+context best covers the current state, and the winnow operator
+stratifies the tuples without any numeric scores.
+
+Run: python examples/qualitative_preferences.py
+"""
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextState,
+    PreferenceRelation,
+    QualitativePreference,
+    QualitativeProfile,
+    generate_poi_relation,
+    rank_by_strata,
+)
+from repro.workloads import study_environment
+
+
+def clause(poi_type: str) -> AttributeClause:
+    return AttributeClause("type", poi_type)
+
+
+def main() -> None:
+    env = study_environment()
+    profile = QualitativeProfile(
+        env,
+        [
+            # With family: museums > breweries, zoos > breweries.
+            QualitativePreference(
+                ContextDescriptor.from_mapping({"accompanying_people": "family"}),
+                PreferenceRelation(clause("museum"), clause("brewery")),
+            ),
+            QualitativePreference(
+                ContextDescriptor.from_mapping({"accompanying_people": "family"}),
+                PreferenceRelation(clause("zoo"), clause("brewery")),
+            ),
+            # With friends, the opposite taste: breweries > museums.
+            QualitativePreference(
+                ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+                PreferenceRelation(clause("brewery"), clause("museum")),
+            ),
+            # In bad weather anywhere: museums > parks.
+            QualitativePreference(
+                ContextDescriptor.from_mapping({"temperature": "bad"}),
+                PreferenceRelation(clause("museum"), clause("park")),
+            ),
+        ],
+    )
+
+    relation = generate_poi_relation(num_pois=40, seed=13)
+    rows = [
+        row
+        for row in relation
+        if row["type"] in ("museum", "brewery", "zoo", "park")
+    ]
+
+    contexts = [
+        ("family, warm, Plaka", ("family", "warm", "Plaka")),
+        ("friends, warm, Plaka", ("friends", "warm", "Plaka")),
+        ("alone, freezing, Kifisia", ("alone", "freezing", "Kifisia")),
+    ]
+    for caption, values in contexts:
+        state = ContextState(env, values)
+        relations = profile.applicable(state, metric="jaccard")
+        print(f"\ncontext ({caption}):")
+        print(f"  applicable relations: {relations}")
+        strata = rank_by_strata(rows, relations)
+        for level, stratum in enumerate(strata[:3]):
+            types = sorted({str(row['type']) for row in stratum})
+            print(f"  stratum {level}: {len(stratum)} POIs of types {types}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Quickstart: the paper's running example in ~60 lines.
+
+Builds the context model of Figs. 1-2 (location, temperature,
+accompanying people), the three contextual preferences of Sec. 3.2,
+indexes them in a profile tree, and runs a contextual query over a
+points-of-interest database.
+
+Run: python examples/quickstart.py
+"""
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextEnvironment,
+    ContextParameter,
+    ContextState,
+    ContextualPreference,
+    ContextualQuery,
+    ContextualQueryExecutor,
+    Profile,
+    ProfileTree,
+    generate_poi_relation,
+)
+from repro.hierarchy import (
+    accompanying_people_hierarchy,
+    location_hierarchy,
+    temperature_hierarchy,
+)
+
+
+def main() -> None:
+    # 1. Context model: three hierarchical context parameters.
+    env = ContextEnvironment(
+        [
+            ContextParameter(accompanying_people_hierarchy()),
+            ContextParameter(temperature_hierarchy()),
+            ContextParameter(location_hierarchy()),
+        ]
+    )
+
+    # 2. The user's contextual preferences (Sec. 3.2).
+    profile = Profile(
+        env,
+        [
+            # "At Plaka when it is warm, I like to visit the Acropolis."
+            ContextualPreference(
+                ContextDescriptor.from_mapping(
+                    {"location": "Plaka", "temperature": "warm"}
+                ),
+                AttributeClause("name", "Acropolis"),
+                0.8,
+            ),
+            # "With friends, I like breweries."
+            ContextualPreference(
+                ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+                AttributeClause("type", "brewery"),
+                0.9,
+            ),
+            # "With family in good weather, zoos are great."
+            ContextualPreference(
+                ContextDescriptor.from_mapping(
+                    {"accompanying_people": "family", "temperature": "good"}
+                ),
+                AttributeClause("type", "zoo"),
+                0.85,
+            ),
+        ],
+    )
+
+    # 3. Index the profile: one tree level per context parameter.
+    tree = ProfileTree.from_profile(profile)
+    print(f"profile tree: {tree}")
+
+    # 4. A points-of-interest database (Sec. 2 schema).
+    relation = generate_poi_relation(num_pois=60, seed=7)
+    executor = ContextualQueryExecutor(tree, relation)
+
+    # 5. Query under the current context: warm day at Plaka, with friends.
+    current = ContextState.from_mapping(
+        env,
+        {"location": "Plaka", "temperature": "warm", "accompanying_people": "friends"},
+    )
+    result = executor.execute(ContextualQuery.at_state(current, top_k=5))
+
+    print(f"\ncurrent context: {tuple(current)}")
+    print("top results:")
+    for item in result.results:
+        row = item.row
+        print(f"  {item.score:.2f}  {row['name']}  ({row['type']}, {row['location']})")
+        for contribution in item.contributions:
+            print(
+                f"        via preference {contribution.clause} @ "
+                f"{tuple(contribution.state)}"
+            )
+
+    # 6. Same query, different context: cold evening in Perama with
+    # friends - now the brewery preference is the best cover.
+    elsewhere = ContextState.from_mapping(
+        env,
+        {"location": "Perama", "temperature": "cold", "accompanying_people": "friends"},
+    )
+    result = executor.execute(ContextualQuery.at_state(elsewhere, top_k=5))
+    print(f"\ncurrent context: {tuple(elsewhere)}")
+    print("top results:")
+    for item in result.results:
+        row = item.row
+        print(f"  {item.score:.2f}  {row['name']}  ({row['type']}, {row['location']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Sensor-fed current context with limited accuracy.
+
+Sec. 4.1: the implicit context of a query is the current context, but
+"it may be possible to specify the current context using only rough
+values, for example, when the values of some context parameters are
+provided by sensor devices with limited accuracy. In this case, a
+context parameter may take a single value from a higher level of the
+hierarchy or even more than one value."
+
+This example wires :class:`CurrentContext` sources to a query executor:
+a precise GPS fix, then a degraded cell-tower fix (city level), then an
+ambiguous weather feed (two candidate values), then staleness - and
+shows how each acquisition regime changes the recommendations. The
+``explain_result`` trace shows exactly which preferences fired.
+
+Run: python examples/sensor_context.py
+"""
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextualPreference,
+    ContextualQuery,
+    ContextualQueryExecutor,
+    CurrentContext,
+    Profile,
+    ProfileTree,
+    generate_poi_relation,
+)
+from repro.query import explain_result
+from repro.workloads import study_environment
+
+
+def main() -> None:
+    env = study_environment()
+    profile = Profile(
+        env,
+        [
+            ContextualPreference(
+                ContextDescriptor.from_mapping(
+                    {"location": "Plaka", "temperature": "warm"}
+                ),
+                AttributeClause("name", "Acropolis"),
+                0.9,
+            ),
+            ContextualPreference(
+                ContextDescriptor.from_mapping({"location": "Athens"}),
+                AttributeClause("type", "museum"),
+                0.7,
+            ),
+            ContextualPreference(
+                ContextDescriptor.from_mapping({"temperature": "hot"}),
+                AttributeClause("type", "park"),
+                0.6,
+            ),
+        ],
+    )
+    executor = ContextualQueryExecutor(
+        ProfileTree.from_profile(profile), generate_poi_relation(60, seed=3)
+    )
+
+    # Location readings expire after 30 time units; the others persist.
+    current = CurrentContext(env, max_age={"location": 30.0})
+
+    def ask(now, caption):
+        descriptor = current.descriptor(now=now)
+        result = executor.execute(ContextualQuery(env, descriptor=descriptor, top_k=3))
+        print(f"\n=== {caption}")
+        print(f"    acquired context: {descriptor!r}")
+        for item in result.results[:3]:
+            print(f"    {item.score:.2f}  {item.row['name']} ({item.row['type']})")
+        if not result.contextual:
+            print("    (no preference matched; plain query)")
+
+    # t=0: precise GPS fix + exact weather.
+    current.report("location", "Plaka", timestamp=0.0)
+    current.report("temperature", "warm", timestamp=0.0)
+    ask(5.0, "t=5   precise GPS fix at Plaka, warm")
+
+    # t=40: GPS lost, cell tower gives city-level location only.
+    current.report("location", "Athens", timestamp=40.0)
+    ask(45.0, "t=45  cell-tower fix: city level (Athens)")
+
+    # t=60: weather feed turns ambiguous: warm-or-hot.
+    current.report("temperature", ["warm", "hot"], timestamp=60.0)
+    ask(65.0, "t=65  weather ambiguous: {warm, hot}")
+
+    # t=100: the location reading is now stale (older than 30 units).
+    ask(100.0, "t=100 location stale -> unknown")
+
+    # Full trace for the ambiguous case.
+    print("\n=== trace of the ambiguous query (t=65) ===")
+    result = executor.execute(
+        ContextualQuery(env, descriptor=current.descriptor(now=65.0), top_k=3)
+    )
+    print(explain_result(result, limit=3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""repro - a reproduction of "Adding Context to Preferences" (ICDE 2007).
+
+A context-aware preference database system: context parameters with
+hierarchical domains, contextual preferences indexed by a profile tree,
+context resolution via the ``covers`` partial order with hierarchy /
+Jaccard distances, and contextual query execution over an in-memory
+relational substrate.
+
+Quickstart::
+
+    from repro import (
+        ContextEnvironment, ContextParameter, ContextDescriptor,
+        ContextState, ContextualPreference, AttributeClause, Profile,
+        ProfileTree, ContextualQuery, ContextualQueryExecutor,
+    )
+    from repro.hierarchy import (
+        location_hierarchy, temperature_hierarchy,
+        accompanying_people_hierarchy,
+    )
+
+    env = ContextEnvironment([
+        ContextParameter(accompanying_people_hierarchy()),
+        ContextParameter(temperature_hierarchy()),
+        ContextParameter(location_hierarchy()),
+    ])
+    profile = Profile(env, [ContextualPreference(
+        ContextDescriptor.from_mapping({"location": "Plaka",
+                                        "temperature": "warm"}),
+        AttributeClause("name", "Acropolis"),
+        0.8,
+    )])
+    tree = ProfileTree.from_profile(profile)
+"""
+
+from repro.context import (
+    ContextDescriptor,
+    ContextEnvironment,
+    ContextParameter,
+    ContextSource,
+    ContextState,
+    CurrentContext,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+    covers_set,
+)
+from repro.db import Attribute, Relation, Schema, generate_poi_relation
+from repro.exceptions import (
+    ConflictError,
+    ContextError,
+    DescriptorError,
+    HierarchyError,
+    InvalidStateError,
+    OrderingError,
+    PreferenceError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    TreeError,
+    UnknownLevelError,
+    UnknownParameterError,
+    UnknownValueError,
+)
+from repro.hierarchy import ALL_LEVEL, ALL_VALUE, Hierarchy, Level
+from repro.preferences import (
+    AttributeClause,
+    ContextualPreference,
+    PreferenceRelation,
+    PreferenceRepository,
+    Profile,
+    QualitativePreference,
+    QualitativeProfile,
+    combine_avg,
+    combine_max,
+    combine_min,
+    rank_by_strata,
+    winnow,
+)
+from repro.query import (
+    ContextualQuery,
+    ContextualQueryExecutor,
+    QueryResult,
+    RankedTuple,
+    rank_cs,
+)
+from repro.resolution import (
+    ContextResolver,
+    Resolution,
+    SearchResult,
+    SequentialStore,
+    exact_search,
+    hierarchy_state_distance,
+    jaccard_state_distance,
+    search_cs,
+)
+from repro.tree import (
+    AccessCounter,
+    ContextQueryTree,
+    ProfileTree,
+    StorageCostModel,
+    optimal_ordering,
+    worst_case_cells,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_LEVEL",
+    "ALL_VALUE",
+    "AccessCounter",
+    "Attribute",
+    "AttributeClause",
+    "ConflictError",
+    "ContextDescriptor",
+    "ContextEnvironment",
+    "ContextError",
+    "ContextParameter",
+    "ContextQueryTree",
+    "ContextResolver",
+    "ContextSource",
+    "ContextState",
+    "CurrentContext",
+    "ContextualPreference",
+    "ContextualQuery",
+    "ContextualQueryExecutor",
+    "DescriptorError",
+    "ExtendedContextDescriptor",
+    "Hierarchy",
+    "HierarchyError",
+    "InvalidStateError",
+    "Level",
+    "OrderingError",
+    "ParameterDescriptor",
+    "PreferenceError",
+    "PreferenceRelation",
+    "PreferenceRepository",
+    "Profile",
+    "ProfileTree",
+    "QualitativePreference",
+    "QualitativeProfile",
+    "QueryError",
+    "QueryResult",
+    "RankedTuple",
+    "Relation",
+    "ReproError",
+    "Resolution",
+    "Schema",
+    "SchemaError",
+    "SearchResult",
+    "SequentialStore",
+    "StorageCostModel",
+    "TreeError",
+    "UnknownLevelError",
+    "UnknownParameterError",
+    "UnknownValueError",
+    "combine_avg",
+    "combine_max",
+    "combine_min",
+    "covers_set",
+    "exact_search",
+    "generate_poi_relation",
+    "hierarchy_state_distance",
+    "jaccard_state_distance",
+    "optimal_ordering",
+    "rank_by_strata",
+    "rank_cs",
+    "search_cs",
+    "winnow",
+    "worst_case_cells",
+]

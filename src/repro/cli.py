@@ -1,0 +1,180 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1              # Table 1 (usability study)
+    python -m repro fig5                # Fig. 5 (real-profile tree sizes)
+    python -m repro fig6 left           # Fig. 6 left (uniform sizes)
+    python -m repro fig6 center         # Fig. 6 center (zipf sizes)
+    python -m repro fig6 right          # Fig. 6 right (skew crossover)
+    python -m repro fig7 real           # Fig. 7 left (real profile accesses)
+    python -m repro fig7 synthetic      # Fig. 7 center+right (synthetic)
+
+Every command accepts ``--seed`` and, where meaningful, ``--sizes`` to
+re-run the sweep at other scales than the paper's.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.eval import (
+    fig5_real_profile,
+    fig6_size_sweep,
+    fig6_skew_sweep,
+    fig7_real_profile,
+    fig7_synthetic,
+    format_series,
+    format_table,
+    run_usability_study,
+)
+
+__all__ = ["build_parser", "main"]
+
+_DEFAULT_SIZES = (500, 1000, 5000, 10000)
+_DEFAULT_SKEWS = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of 'Adding Context to "
+        "Preferences' (ICDE 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="usability study (Table 1)")
+    table1.add_argument("--users", type=int, default=10)
+    table1.add_argument("--seed", type=int, default=11)
+
+    fig5 = sub.add_parser("fig5", help="real-profile tree sizes (Fig. 5)")
+    fig5.add_argument("--seed", type=int, default=42)
+
+    fig6 = sub.add_parser("fig6", help="synthetic tree sizes (Fig. 6)")
+    fig6.add_argument("panel", choices=["left", "center", "right"])
+    fig6.add_argument("--seed", type=int, default=17)
+    fig6.add_argument("--sizes", type=int, nargs="+", default=list(_DEFAULT_SIZES))
+
+    fig7 = sub.add_parser("fig7", help="resolution cell accesses (Fig. 7)")
+    fig7.add_argument("panel", choices=["real", "synthetic"])
+    fig7.add_argument("--seed", type=int, default=None)
+    fig7.add_argument("--sizes", type=int, nargs="+", default=list(_DEFAULT_SIZES))
+    fig7.add_argument("--queries", type=int, default=50)
+
+    report = sub.add_parser(
+        "report", help="run every experiment, emit a Markdown report"
+    )
+    report.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for a fast smoke run")
+    report.add_argument("--seed", type=int, default=17)
+    report.add_argument("--output", type=str, default=None,
+                        help="write to a file instead of stdout")
+    return parser
+
+
+def _run_table1(args: argparse.Namespace) -> str:
+    study = run_usability_study(num_users=args.users, seed=args.seed)
+    headers = ["", *[f"User {row.user_id}" for row in study.rows]]
+    rows = [
+        ["Num of updates", *[row.num_updates for row in study.rows]],
+        ["Update time (mins)", *[row.update_time_minutes for row in study.rows]],
+        ["Exact match", *[f"{row.exact_match_pct:.0f}%" for row in study.rows]],
+        ["1 cover state", *[f"{row.one_cover_pct:.0f}%" for row in study.rows]],
+        ["Hierarchy", *[f"{row.multi_cover_hierarchy_pct:.0f}%" for row in study.rows]],
+        ["Jaccard", *[f"{row.multi_cover_jaccard_pct:.0f}%" for row in study.rows]],
+    ]
+    return format_table(headers, rows, title="Table 1. User Study Results")
+
+
+def _run_fig5(args: argparse.Namespace) -> str:
+    experiment = fig5_real_profile(seed=args.seed)
+    cells = experiment.cells_by_label()
+    num_bytes = experiment.bytes_by_label()
+    labels = ["serial", *[f"order{i}" for i in range(1, 7)]]
+    return format_table(
+        ["ordering", "cells", "bytes"],
+        [[label, cells[label], num_bytes[label]] for label in labels],
+        title="Fig. 5 - profile tree size, real profile",
+    )
+
+
+def _run_fig6(args: argparse.Namespace) -> str:
+    if args.panel == "right":
+        series = fig6_skew_sweep(_DEFAULT_SKEWS, seed=args.seed)
+        return format_series(
+            "Fig. 6 (right) - cells vs skew of the 200-value domain",
+            "a",
+            _DEFAULT_SKEWS,
+            series,
+        )
+    distribution = "uniform" if args.panel == "left" else "zipf"
+    sizes = tuple(args.sizes)
+    series = fig6_size_sweep(distribution, sizes, seed=args.seed)
+    return format_series(
+        f"Fig. 6 ({args.panel}) - cells, {distribution} distribution",
+        "#prefs",
+        sizes,
+        series,
+    )
+
+
+def _run_fig7(args: argparse.Namespace) -> str:
+    if args.panel == "real":
+        seed = 42 if args.seed is None else args.seed
+        measurements = fig7_real_profile(num_queries=args.queries, seed=seed)
+        return format_table(
+            ["method", "mean cells/query"],
+            [
+                [label, f"{measurement.mean_cells:.1f}"]
+                for label, measurement in measurements.items()
+            ],
+            title=f"Fig. 7 (left) - accesses, real profile, {args.queries} queries",
+        )
+    seed = 17 if args.seed is None else args.seed
+    sizes = tuple(args.sizes)
+    uniform = fig7_synthetic("uniform", sizes, num_queries=args.queries, seed=seed)
+    zipf = fig7_synthetic("zipf", sizes, num_queries=args.queries, seed=seed)
+    series = {
+        "exact_uni": [f"{v:.1f}" for v in uniform["tree_exact"]],
+        "exact_zipf": [f"{v:.1f}" for v in zipf["tree_exact"]],
+        "exact_serial": [f"{v:.1f}" for v in uniform["serial_exact"]],
+        "cover_uni": [f"{v:.1f}" for v in uniform["tree_cover"]],
+        "cover_zipf": [f"{v:.1f}" for v in zipf["tree_cover"]],
+        "cover_serial": [f"{v:.1f}" for v in uniform["serial_cover"]],
+    }
+    return format_series(
+        "Fig. 7 (center/right) - mean cell accesses per query",
+        "#prefs",
+        sizes,
+        series,
+    )
+
+
+def _run_report(args: argparse.Namespace) -> str:
+    from repro.eval.report import generate_report
+
+    text = generate_report(quick=args.quick, seed=args.seed)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        return f"report written to {args.output}"
+    return text
+
+
+_RUNNERS = {
+    "table1": _run_table1,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "report": _run_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(_RUNNERS[args.command](args))
+    return 0

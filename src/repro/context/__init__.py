@@ -1,0 +1,23 @@
+"""Context model: parameters, environments, states, descriptors (Sec. 3.1)."""
+
+from repro.context.acquisition import ContextSource, CurrentContext
+from repro.context.descriptor import (
+    ContextDescriptor,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+)
+from repro.context.environment import ContextEnvironment
+from repro.context.parameter import ContextParameter
+from repro.context.state import ContextState, covers_set
+
+__all__ = [
+    "ContextDescriptor",
+    "ContextEnvironment",
+    "ContextParameter",
+    "ContextSource",
+    "ContextState",
+    "CurrentContext",
+    "ExtendedContextDescriptor",
+    "ParameterDescriptor",
+    "covers_set",
+]

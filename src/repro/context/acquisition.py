@@ -1,0 +1,200 @@
+"""Acquiring the implicit current context (Sec. 4.1).
+
+The context of a contextual query defaults to "the current context,
+that is, the context surrounding the user at the time of the submission
+of the query". The paper notes that sensors may only deliver *rough*
+values - "a context parameter may take a single value from a higher
+level of the hierarchy or even more than one value".
+
+This module models that acquisition layer: per-parameter
+:class:`ContextSource` objects feed a :class:`CurrentContext` that
+assembles query context: a single :class:`ContextState` when every
+source reports one value, or a :class:`ContextDescriptor` when some
+source reports several candidates (limited accuracy). Sources that have
+not reported, or whose reading is older than their freshness bound,
+degrade to ``'all'`` - the unknown-context value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.exceptions import ContextError
+from repro.context.descriptor import ContextDescriptor, ParameterDescriptor
+from repro.context.environment import ContextEnvironment
+from repro.context.state import ContextState
+from repro.hierarchy import ALL_VALUE, Value
+
+__all__ = ["ContextSource", "CurrentContext"]
+
+
+class ContextSource:
+    """The reading source of one context parameter.
+
+    Args:
+        parameter_name: The parameter this source feeds.
+        max_age: Readings older than this many time units are considered
+            stale and degrade to ``'all'``; ``None`` disables expiry.
+
+    A reading is one or more values from the parameter's extended
+    domain, tagged with the time it was taken. A GPS fix is a single
+    detailed value; a cell-tower fix might be a city-level value; an
+    ambiguous fix is several candidate values.
+    """
+
+    def __init__(self, parameter_name: str, max_age: float | None = None) -> None:
+        if not parameter_name:
+            raise ContextError("source parameter name must be non-empty")
+        if max_age is not None and max_age <= 0:
+            raise ContextError(f"max_age must be positive or None, got {max_age}")
+        self._parameter_name = parameter_name
+        self._max_age = max_age
+        self._values: tuple[Value, ...] = ()
+        self._timestamp: float | None = None
+
+    @property
+    def parameter_name(self) -> str:
+        """The parameter this source feeds."""
+        return self._parameter_name
+
+    @property
+    def max_age(self) -> float | None:
+        """Freshness bound for readings."""
+        return self._max_age
+
+    def report(self, values: Value | Iterable[Value], timestamp: float) -> None:
+        """Record a reading: one value, or several candidates.
+
+        Raises:
+            ContextError: On an empty reading or a timestamp going
+                backwards.
+        """
+        if isinstance(values, (str, int)):
+            values = (values,)
+        values = tuple(values)
+        if not values:
+            raise ContextError("a reading needs at least one value")
+        if self._timestamp is not None and timestamp < self._timestamp:
+            raise ContextError(
+                f"reading timestamp {timestamp} precedes the previous "
+                f"reading at {self._timestamp}"
+            )
+        self._values = values
+        self._timestamp = timestamp
+
+    def current(self, now: float) -> tuple[Value, ...]:
+        """The current candidate values, or ``('all',)`` if unknown/stale."""
+        if self._timestamp is None:
+            return (ALL_VALUE,)
+        if self._max_age is not None and now - self._timestamp > self._max_age:
+            return (ALL_VALUE,)
+        return self._values
+
+    def is_fresh(self, now: float) -> bool:
+        """True iff the source has a non-stale reading."""
+        return self.current(now) != (ALL_VALUE,) or self._values == (ALL_VALUE,)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContextSource({self._parameter_name!r}, values={self._values}, "
+            f"at={self._timestamp})"
+        )
+
+
+class CurrentContext:
+    """Assembles the implicit query context from per-parameter sources.
+
+    Example:
+        >>> current = CurrentContext(env)
+        >>> current.source("location").report("Plaka", timestamp=10.0)
+        >>> current.source("temperature").report(["warm", "hot"], timestamp=10.0)
+        >>> current.descriptor(now=11.0)   # ambiguous -> descriptor
+        ContextDescriptor(...)
+    """
+
+    def __init__(
+        self,
+        environment: ContextEnvironment,
+        max_age: float | Mapping[str, float] | None = None,
+    ) -> None:
+        self._environment = environment
+        if isinstance(max_age, Mapping):
+            unknown = set(max_age) - set(environment.names)
+            if unknown:
+                raise ContextError(
+                    f"max_age names unknown parameters: {sorted(unknown)}"
+                )
+            ages = {name: max_age.get(name) for name in environment.names}
+        else:
+            ages = {name: max_age for name in environment.names}
+        self._sources = {
+            parameter.name: ContextSource(parameter.name, ages[parameter.name])
+            for parameter in environment
+        }
+
+    @property
+    def environment(self) -> ContextEnvironment:
+        """The context environment."""
+        return self._environment
+
+    def source(self, parameter_name: str) -> ContextSource:
+        """The source feeding ``parameter_name``.
+
+        Raises:
+            ContextError: For parameters outside the environment.
+        """
+        try:
+            return self._sources[parameter_name]
+        except KeyError:
+            raise ContextError(
+                f"no context source for parameter {parameter_name!r}"
+            ) from None
+
+    def report(
+        self, parameter_name: str, values: Value | Iterable[Value], timestamp: float
+    ) -> None:
+        """Convenience: forward a reading to the right source."""
+        self.source(parameter_name).report(values, timestamp)
+
+    def is_ambiguous(self, now: float) -> bool:
+        """True iff some source currently reports several candidates."""
+        return any(
+            len(source.current(now)) > 1 for source in self._sources.values()
+        )
+
+    def state(self, now: float) -> ContextState:
+        """The current context as a single state.
+
+        Requires every source to be unambiguous; multi-valued readings
+        raise (use :meth:`descriptor` for those).
+        """
+        values = []
+        for parameter in self._environment:
+            current = self._sources[parameter.name].current(now)
+            if len(current) > 1:
+                raise ContextError(
+                    f"parameter {parameter.name!r} is ambiguous "
+                    f"({list(current)}); use descriptor() instead"
+                )
+            values.append(current[0])
+        return ContextState(self._environment, values)
+
+    def descriptor(self, now: float) -> ContextDescriptor:
+        """The current context as a descriptor (handles ambiguity).
+
+        Single-valued readings become equality conditions, multi-valued
+        readings ``one_of`` conditions, and unknown/stale parameters are
+        simply omitted (= ``'all'``, Def. 4).
+        """
+        conditions = []
+        for parameter in self._environment:
+            current = self._sources[parameter.name].current(now)
+            if current == (ALL_VALUE,):
+                continue
+            if len(current) == 1:
+                conditions.append(
+                    ParameterDescriptor.equals(parameter.name, current[0])
+                )
+            else:
+                conditions.append(ParameterDescriptor.one_of(parameter.name, current))
+        return ContextDescriptor(conditions)

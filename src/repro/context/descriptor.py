@@ -1,0 +1,290 @@
+"""Context descriptors (Defs. 1-4) and extended context descriptors (Def. 8).
+
+A *parameter descriptor* constrains one context parameter to a point, a
+finite set, or a range of values of its extended domain. A *composite
+context descriptor* conjoins at most one parameter descriptor per
+parameter and denotes a finite set of extended context states: the
+Cartesian product of the per-parameter value sets, with ``'all'`` for
+unmentioned parameters (Def. 4). An *extended context descriptor* is a
+disjunction of composites (Def. 8) used to contextualise queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.exceptions import DescriptorError
+from repro.context.environment import ContextEnvironment
+from repro.context.state import ContextState
+from repro.hierarchy import ALL_VALUE, Value
+
+__all__ = [
+    "ParameterDescriptor",
+    "ContextDescriptor",
+    "ExtendedContextDescriptor",
+]
+
+
+class ParameterDescriptor:
+    """A condition ``cod(Ci)`` on one context parameter (Def. 1).
+
+    Build instances through the classmethods:
+
+    * :meth:`equals` - ``Ci = v``
+    * :meth:`one_of` - ``Ci in {v1, ..., vm}``
+    * :meth:`between` - ``Ci in [v1, vm]`` (range within one level)
+
+    ``context(parameter)`` materialises the finite value set of Def. 2;
+    ranges are expanded against the parameter's declared value order.
+    """
+
+    _KINDS = ("equals", "one_of", "between")
+
+    def __init__(self, parameter_name: str, kind: str, payload: tuple[Value, ...]) -> None:
+        if kind not in self._KINDS:
+            raise DescriptorError(f"unknown descriptor kind {kind!r}")
+        if not parameter_name:
+            raise DescriptorError("parameter name must be non-empty")
+        if not payload:
+            raise DescriptorError("a parameter descriptor needs at least one value")
+        self._parameter_name = parameter_name
+        self._kind = kind
+        self._payload = payload
+
+    @classmethod
+    def equals(cls, parameter_name: str, value: Value) -> "ParameterDescriptor":
+        """``Ci = value``."""
+        return cls(parameter_name, "equals", (value,))
+
+    @classmethod
+    def one_of(cls, parameter_name: str, values: Iterable[Value]) -> "ParameterDescriptor":
+        """``Ci in {v1, ..., vm}``; duplicates are removed, order kept."""
+        unique = tuple(dict.fromkeys(values))
+        return cls(parameter_name, "one_of", unique)
+
+    @classmethod
+    def between(cls, parameter_name: str, low: Value, high: Value) -> "ParameterDescriptor":
+        """``Ci in [low, high]`` over the declared order of one level."""
+        return cls(parameter_name, "between", (low, high))
+
+    @property
+    def parameter_name(self) -> str:
+        """Name of the constrained parameter."""
+        return self._parameter_name
+
+    @property
+    def kind(self) -> str:
+        """One of ``"equals"``, ``"one_of"``, ``"between"``."""
+        return self._kind
+
+    @property
+    def payload(self) -> tuple[Value, ...]:
+        """The raw values: a point, a set, or the two range endpoints."""
+        return self._payload
+
+    def context(self, environment: ContextEnvironment) -> tuple[Value, ...]:
+        """Def. 2: the finite set of values this descriptor denotes.
+
+        Values are validated against the parameter's extended domain;
+        ranges are expanded using the level's declared value order.
+
+        Raises:
+            DescriptorError: On unknown values or cross-level ranges.
+        """
+        parameter = environment[self._parameter_name]
+        hierarchy = parameter.hierarchy
+        for value in self._payload:
+            if value not in hierarchy:
+                raise DescriptorError(
+                    f"{value!r} is not in the extended domain of "
+                    f"{self._parameter_name!r}"
+                )
+        if self._kind == "between":
+            low, high = self._payload
+            try:
+                values = hierarchy.values_between(low, high)
+            except Exception as exc:
+                raise DescriptorError(str(exc)) from exc
+            if not values:
+                raise DescriptorError(
+                    f"empty range [{low!r}, {high!r}] for {self._parameter_name!r}"
+                )
+            return values
+        return self._payload
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParameterDescriptor):
+            return NotImplemented
+        return (
+            self._parameter_name == other._parameter_name
+            and self._kind == other._kind
+            and self._payload == other._payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._parameter_name, self._kind, self._payload))
+
+    def __repr__(self) -> str:
+        if self._kind == "equals":
+            return f"({self._parameter_name} = {self._payload[0]!r})"
+        if self._kind == "one_of":
+            inner = ", ".join(repr(value) for value in self._payload)
+            return f"({self._parameter_name} in {{{inner}}})"
+        low, high = self._payload
+        return f"({self._parameter_name} in [{low!r}, {high!r}])"
+
+
+class ContextDescriptor:
+    """A composite context descriptor (Def. 3): a conjunction of
+    parameter descriptors, at most one per parameter.
+
+    ``states(environment)`` computes ``Context(cod)`` per Def. 4: the
+    Cartesian product of the per-parameter contexts, using ``'all'``
+    for parameters without a descriptor.
+
+    Example:
+        >>> cod = ContextDescriptor([
+        ...     ParameterDescriptor.equals("location", "Plaka"),
+        ...     ParameterDescriptor.one_of("temperature", ["warm", "hot"]),
+        ... ])
+        >>> len(cod.states(env))
+        2
+    """
+
+    def __init__(self, descriptors: Iterable[ParameterDescriptor] = ()) -> None:
+        descriptors = tuple(descriptors)
+        names = [descriptor.parameter_name for descriptor in descriptors]
+        if len(set(names)) != len(names):
+            raise DescriptorError(
+                f"at most one parameter descriptor per parameter; got {names}"
+            )
+        self._descriptors = descriptors
+        self._by_name = {
+            descriptor.parameter_name: descriptor for descriptor in descriptors
+        }
+
+    @classmethod
+    def from_mapping(cls, conditions: Mapping[str, object]) -> "ContextDescriptor":
+        """Convenience builder from ``{parameter: condition}``.
+
+        A condition may be a single value (``equals``), a list/set/tuple
+        of values (``one_of``), or a ``(low, high)`` 2-tuple tagged by
+        being a tuple (``between``).
+
+        Example:
+            >>> ContextDescriptor.from_mapping({
+            ...     "location": "Plaka",
+            ...     "temperature": ("mild", "hot"),
+            ...     "accompanying_people": ["friends", "family"],
+            ... })
+        """
+        descriptors = []
+        for name, condition in conditions.items():
+            if isinstance(condition, tuple) and len(condition) == 2:
+                descriptors.append(ParameterDescriptor.between(name, *condition))
+            elif isinstance(condition, (list, set, frozenset)):
+                ordered = sorted(condition) if isinstance(condition, (set, frozenset)) else condition
+                descriptors.append(ParameterDescriptor.one_of(name, ordered))
+            else:
+                descriptors.append(ParameterDescriptor.equals(name, condition))
+        return cls(descriptors)
+
+    @classmethod
+    def empty(cls) -> "ContextDescriptor":
+        """The empty descriptor, denoting ``(all, ..., all)`` only."""
+        return cls(())
+
+    @property
+    def descriptors(self) -> tuple[ParameterDescriptor, ...]:
+        """The parameter descriptors, in declaration order."""
+        return self._descriptors
+
+    def descriptor_for(self, parameter_name: str) -> ParameterDescriptor | None:
+        """The descriptor constraining ``parameter_name``, if any."""
+        return self._by_name.get(parameter_name)
+
+    def is_empty(self) -> bool:
+        """True iff no parameter is constrained."""
+        return not self._descriptors
+
+    def states(self, environment: ContextEnvironment) -> tuple[ContextState, ...]:
+        """Def. 4: the finite set ``Context(cod)`` of extended states."""
+        unknown = set(self._by_name) - set(environment.names)
+        if unknown:
+            raise DescriptorError(
+                f"descriptor mentions parameters outside the environment: "
+                f"{sorted(unknown)}"
+            )
+        per_parameter: list[tuple[Value, ...]] = []
+        for parameter in environment:
+            descriptor = self._by_name.get(parameter.name)
+            if descriptor is None:
+                per_parameter.append((ALL_VALUE,))
+            else:
+                per_parameter.append(descriptor.context(environment))
+        return tuple(
+            ContextState(environment, combination)
+            for combination in itertools.product(*per_parameter)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContextDescriptor):
+            return NotImplemented
+        return self._by_name == other._by_name
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._by_name.items()))
+
+    def __repr__(self) -> str:
+        if not self._descriptors:
+            return "ContextDescriptor(<empty>)"
+        inner = " AND ".join(repr(descriptor) for descriptor in self._descriptors)
+        return f"ContextDescriptor({inner})"
+
+
+class ExtendedContextDescriptor:
+    """An extended context descriptor (Def. 8): a disjunction of
+    composite context descriptors, used to contextualise queries.
+
+    ``states(environment)`` returns the union of the disjuncts'
+    contexts, with duplicates removed and first-seen order preserved.
+    """
+
+    def __init__(self, disjuncts: Iterable[ContextDescriptor]) -> None:
+        disjuncts = tuple(disjuncts)
+        if not disjuncts:
+            raise DescriptorError(
+                "an extended context descriptor needs at least one disjunct"
+            )
+        self._disjuncts = disjuncts
+
+    @classmethod
+    def single(cls, descriptor: ContextDescriptor) -> "ExtendedContextDescriptor":
+        """Wrap one composite descriptor."""
+        return cls((descriptor,))
+
+    @property
+    def disjuncts(self) -> tuple[ContextDescriptor, ...]:
+        """The composite descriptors being disjoined."""
+        return self._disjuncts
+
+    def states(self, environment: ContextEnvironment) -> tuple[ContextState, ...]:
+        """Union of the disjuncts' state sets, duplicates removed."""
+        seen: dict[ContextState, None] = {}
+        for disjunct in self._disjuncts:
+            for state in disjunct.states(environment):
+                seen.setdefault(state, None)
+        return tuple(seen)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtendedContextDescriptor):
+            return NotImplemented
+        return set(self._disjuncts) == set(other._disjuncts)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._disjuncts))
+
+    def __repr__(self) -> str:
+        inner = " OR ".join(repr(disjunct) for disjunct in self._disjuncts)
+        return f"ExtendedContextDescriptor({inner})"

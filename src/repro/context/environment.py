@@ -1,0 +1,93 @@
+"""Context environments: the ordered set of context parameters of an app."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+from repro.exceptions import ContextError, UnknownParameterError
+from repro.context.parameter import ContextParameter
+
+__all__ = ["ContextEnvironment"]
+
+
+class ContextEnvironment:
+    """The context environment ``CE_X = {C1, ..., Cn}`` of an application.
+
+    The environment fixes the identity *and order* of the context
+    parameters; states, descriptors and profile trees are all expressed
+    relative to one environment.
+
+    Example:
+        >>> from repro.hierarchy import location_hierarchy
+        >>> from repro.context import ContextParameter
+        >>> env = ContextEnvironment([ContextParameter(location_hierarchy())])
+        >>> env.names
+        ('location',)
+    """
+
+    def __init__(self, parameters: Sequence[ContextParameter]) -> None:
+        params = tuple(parameters)
+        if not params:
+            raise ContextError("a context environment needs at least one parameter")
+        names = [param.name for param in params]
+        if len(set(names)) != len(names):
+            raise ContextError(f"duplicate context parameter names: {names}")
+        self._parameters = params
+        self._index = {param.name: position for position, param in enumerate(params)}
+
+    @property
+    def parameters(self) -> tuple[ContextParameter, ...]:
+        """The parameters, in declaration order."""
+        return self._parameters
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Parameter names, in declaration order."""
+        return tuple(param.name for param in self._parameters)
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __iter__(self) -> Iterator[ContextParameter]:
+        return iter(self._parameters)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key: int | str) -> ContextParameter:
+        if isinstance(key, str):
+            return self._parameters[self.index_of(key)]
+        return self._parameters[key]
+
+    def index_of(self, name: str) -> int:
+        """Position of the parameter called ``name``.
+
+        Raises:
+            UnknownParameterError: If the environment has no such parameter.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownParameterError(
+                f"environment has no context parameter {name!r}"
+            ) from None
+
+    def world_size(self) -> int:
+        """``|W|``: number of detailed context states (Sec. 3.1)."""
+        return math.prod(len(param.dom) for param in self._parameters)
+
+    def extended_world_size(self) -> int:
+        """``|EW|``: number of extended context states."""
+        return math.prod(len(param.edom) for param in self._parameters)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContextEnvironment):
+            return NotImplemented
+        return self._parameters == other._parameters
+
+    def __hash__(self) -> int:
+        return hash(self._parameters)
+
+    def __repr__(self) -> str:
+        return f"ContextEnvironment({list(self.names)})"

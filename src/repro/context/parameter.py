@@ -1,0 +1,64 @@
+"""Context parameters: named multidimensional attributes (Sec. 3.1)."""
+
+from __future__ import annotations
+
+from repro.exceptions import ContextError
+from repro.hierarchy import Hierarchy, Value
+
+__all__ = ["ContextParameter"]
+
+
+class ContextParameter:
+    """One context parameter ``Ci`` with its hierarchical domain.
+
+    A context parameter couples a name (``location``, ``temperature``,
+    ...) with the :class:`~repro.hierarchy.Hierarchy` that organises its
+    domain into levels. ``dom`` is the detailed domain and ``edom`` the
+    extended domain (union of all levels, including ``'all'``).
+
+    Args:
+        name: Parameter name; defaults to the hierarchy's name.
+        hierarchy: The hierarchy organising the parameter's values.
+    """
+
+    def __init__(self, hierarchy: Hierarchy, name: str | None = None) -> None:
+        if not isinstance(hierarchy, Hierarchy):
+            raise ContextError("a context parameter needs a Hierarchy domain")
+        self._hierarchy = hierarchy
+        self._name = name if name is not None else hierarchy.name
+        if not self._name:
+            raise ContextError("context parameter name must be non-empty")
+
+    @property
+    def name(self) -> str:
+        """Parameter name."""
+        return self._name
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The hierarchy organising this parameter's values."""
+        return self._hierarchy
+
+    @property
+    def dom(self) -> tuple[Value, ...]:
+        """The detailed domain ``dom(Ci)``."""
+        return self._hierarchy.dom
+
+    @property
+    def edom(self) -> tuple[Value, ...]:
+        """The extended domain ``edom(Ci)`` (all levels plus ``'all'``)."""
+        return self._hierarchy.edom
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._hierarchy
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContextParameter):
+            return NotImplemented
+        return self._name == other._name and self._hierarchy == other._hierarchy
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._hierarchy))
+
+    def __repr__(self) -> str:
+        return f"ContextParameter({self._name!r}, levels={self._hierarchy.num_levels})"

@@ -1,0 +1,191 @@
+"""Context states and the ``covers`` partial order (Secs. 3.1, 4.2).
+
+A *context state* assigns one value to every parameter of an
+environment. When every value is drawn from its parameter's detailed
+domain the state is a member of the world ``W``; allowing values from
+any hierarchy level yields *extended* context states, members of the
+extended world ``EW``. This module implements both through a single
+:class:`ContextState` class, plus the ``covers`` relation of Def. 10
+(proved a partial order by Theorem 1) and its lifting to sets of states
+(Def. 11).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import InvalidStateError
+from repro.context.environment import ContextEnvironment
+from repro.hierarchy import ALL_VALUE, Level, Value
+
+__all__ = ["ContextState", "covers_set"]
+
+
+class ContextState:
+    """An (extended) context state ``s = (c1, ..., cn)``.
+
+    Args:
+        environment: The context environment the state belongs to.
+        values: One value per parameter, in environment order; each must
+            belong to the extended domain of its parameter.
+
+    Example:
+        >>> state = ContextState(env, ("Plaka", "warm", "friends"))
+        >>> state["location"]
+        'Plaka'
+    """
+
+    __slots__ = ("_environment", "_values", "_hash")
+
+    def __init__(self, environment: ContextEnvironment, values: Sequence[Value]) -> None:
+        values = tuple(values)
+        if len(values) != len(environment):
+            raise InvalidStateError(
+                f"state has {len(values)} values but the environment has "
+                f"{len(environment)} parameters"
+            )
+        for param, value in zip(environment, values):
+            if value not in param:
+                raise InvalidStateError(
+                    f"{value!r} is not in the extended domain of parameter "
+                    f"{param.name!r}"
+                )
+        self._environment = environment
+        self._values = values
+        self._hash = hash((environment.names, values))
+
+    @classmethod
+    def from_mapping(
+        cls, environment: ContextEnvironment, mapping: Mapping[str, Value]
+    ) -> "ContextState":
+        """Build a state from ``{parameter name: value}``.
+
+        Parameters missing from the mapping take the value ``'all'``.
+
+        Raises:
+            InvalidStateError: If the mapping names unknown parameters.
+        """
+        extra = set(mapping) - set(environment.names)
+        if extra:
+            raise InvalidStateError(f"unknown context parameters: {sorted(extra)}")
+        values = tuple(mapping.get(name, ALL_VALUE) for name in environment.names)
+        return cls(environment, values)
+
+    @classmethod
+    def all_state(cls, environment: ContextEnvironment) -> "ContextState":
+        """The empty-context state ``(all, ..., all)``."""
+        return cls(environment, (ALL_VALUE,) * len(environment))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def environment(self) -> ContextEnvironment:
+        """The environment the state is expressed against."""
+        return self._environment
+
+    @property
+    def values(self) -> tuple[Value, ...]:
+        """The state's values, in environment order."""
+        return self._values
+
+    def __getitem__(self, key: int | str) -> Value:
+        if isinstance(key, str):
+            return self._values[self._environment.index_of(key)]
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def levels(self) -> tuple[Level, ...]:
+        """``levels(s)`` (Def. 13): the hierarchy level of each value."""
+        return tuple(
+            param.hierarchy.level_of(value)
+            for param, value in zip(self._environment, self._values)
+        )
+
+    def is_detailed(self) -> bool:
+        """True iff every value sits at its parameter's detailed level."""
+        return all(level.index == 0 for level in self.levels())
+
+    def is_all(self) -> bool:
+        """True iff this is the empty-context state ``(all, ..., all)``."""
+        return all(value == ALL_VALUE for value in self._values)
+
+    # ------------------------------------------------------------------
+    # The covers partial order (Def. 10)
+    # ------------------------------------------------------------------
+    def covers(self, other: "ContextState") -> bool:
+        """Def. 10: ``self`` covers ``other``.
+
+        True iff for every parameter the two values are equal or
+        ``self``'s value is an ancestor of ``other``'s.
+        """
+        self._check_same_environment(other)
+        return all(
+            param.hierarchy.covers_value(mine, theirs)
+            for param, mine, theirs in zip(
+                self._environment, self._values, other._values
+            )
+        )
+
+    def strictly_covers(self, other: "ContextState") -> bool:
+        """``self`` covers ``other`` and the two states differ."""
+        return self != other and self.covers(other)
+
+    def generalisations(self) -> Iterator["ContextState"]:
+        """Yield every state that covers this one (including itself).
+
+        The states are produced by replacing each value with each of its
+        ancestors in every combination; there are
+        ``prod(1 + #ancestors)`` of them.
+        """
+        options = [
+            (value, *param.hierarchy.ancestors(value))
+            for param, value in zip(self._environment, self._values)
+        ]
+        for combination in itertools.product(*options):
+            yield ContextState(self._environment, combination)
+
+    def _check_same_environment(self, other: "ContextState") -> None:
+        if self._environment.names != other._environment.names:
+            raise InvalidStateError(
+                "states belong to different context environments: "
+                f"{self._environment.names} vs {other._environment.names}"
+            )
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContextState):
+            return NotImplemented
+        return (
+            self._environment.names == other._environment.names
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(value) for value in self._values)
+        return f"ContextState(({inner}))"
+
+
+def covers_set(
+    covering: Iterable[ContextState], covered: Iterable[ContextState]
+) -> bool:
+    """Def. 11: set ``covering`` covers set ``covered``.
+
+    True iff every state of ``covered`` is covered by some state of
+    ``covering``.
+    """
+    covering = list(covering)
+    return all(
+        any(upper.covers(state) for upper in covering) for state in covered
+    )

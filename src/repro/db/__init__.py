@@ -1,0 +1,20 @@
+"""Relational substrate: schemas, relations, the POI database (Sec. 2)."""
+
+from repro.db.poi import (
+    POI_TYPES,
+    generate_poi_relation,
+    landmark_rows,
+    points_of_interest_schema,
+)
+from repro.db.relation import Relation
+from repro.db.schema import Attribute, Schema
+
+__all__ = [
+    "Attribute",
+    "POI_TYPES",
+    "Relation",
+    "Schema",
+    "generate_poi_relation",
+    "landmark_rows",
+    "points_of_interest_schema",
+]

@@ -1,0 +1,191 @@
+"""In-memory relations with selection over attribute clauses.
+
+A :class:`Relation` is a schema plus an ordered bag of validated rows.
+``select`` implements the relational selection ``sigma_{A theta a}(R)``
+used by Rank_CS (Algorithm 2), reusing the same
+:class:`~repro.preferences.AttributeClause` machinery preferences are
+written in, so every operator of Def. 5 works on both sides.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from types import MappingProxyType
+
+from repro.exceptions import SchemaError
+from repro.db.schema import Schema
+from repro.preferences.preference import AttributeClause
+
+__all__ = ["Relation"]
+
+Row = Mapping[str, object]
+
+
+class Relation:
+    """A named relation: a schema and its tuples.
+
+    Rows are stored as read-only mappings; insertion validates against
+    the schema so downstream code never sees malformed tuples.
+
+    Example:
+        >>> relation = Relation("points_of_interest", schema)
+        >>> relation.insert({"pid": 1, "name": "Acropolis", ...})
+        >>> relation.select(AttributeClause("name", "Acropolis"))
+        [...]
+    """
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Row] = ()) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        self._name = name
+        self._schema = schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    @property
+    def name(self) -> str:
+        """The relation's name."""
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        """The relation's schema."""
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def insert(self, row: Row) -> None:
+        """Validate and append one tuple."""
+        self._schema.validate(row)
+        self._rows.append(MappingProxyType(dict(row)))
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        """Validate and append several tuples."""
+        for row in rows:
+            self.insert(row)
+
+    def select(self, clause: AttributeClause) -> list[Row]:
+        """``sigma_{A theta a}(R)``: rows satisfying the clause.
+
+        Raises:
+            SchemaError: If the clause names an attribute outside the schema.
+        """
+        if clause.attribute not in self._schema:
+            raise SchemaError(
+                f"relation {self._name!r} has no attribute {clause.attribute!r}"
+            )
+        return [row for row in self._rows if clause.matches(row)]
+
+    def select_all(self, clauses: Iterable[AttributeClause]) -> list[Row]:
+        """Rows satisfying *every* clause (conjunction)."""
+        clauses = list(clauses)
+        for clause in clauses:
+            if clause.attribute not in self._schema:
+                raise SchemaError(
+                    f"relation {self._name!r} has no attribute {clause.attribute!r}"
+                )
+        return [
+            row for row in self._rows if all(clause.matches(row) for clause in clauses)
+        ]
+
+    def project(self, names: Iterable[str]) -> list[dict[str, object]]:
+        """``pi_{names}(R)`` preserving duplicates and row order."""
+        names = list(names)
+        for name in names:
+            if name not in self._schema:
+                raise SchemaError(
+                    f"relation {self._name!r} has no attribute {name!r}"
+                )
+        return [{name: row[name] for name in names} for row in self._rows]
+
+    def order_by(
+        self, attribute: str, descending: bool = False
+    ) -> list[Row]:
+        """Rows sorted by one attribute (stable; ``None`` sorts last)."""
+        if attribute not in self._schema:
+            raise SchemaError(
+                f"relation {self._name!r} has no attribute {attribute!r}"
+            )
+        return sorted(
+            self._rows,
+            key=lambda row: (row[attribute] is None, row[attribute]),
+            reverse=descending,
+        )
+
+    def join(
+        self,
+        other: "Relation",
+        self_attribute: str,
+        other_attribute: str | None = None,
+        name: str | None = None,
+    ) -> "Relation":
+        """Equi-join with another relation (hash join).
+
+        Overlapping attribute names on the right side are prefixed with
+        ``"<other relation name>_"`` in the result schema.
+
+        Raises:
+            SchemaError: If a join attribute is missing on either side.
+        """
+        other_attribute = other_attribute or self_attribute
+        if self_attribute not in self._schema:
+            raise SchemaError(
+                f"relation {self._name!r} has no attribute {self_attribute!r}"
+            )
+        if other_attribute not in other.schema:
+            raise SchemaError(
+                f"relation {other.name!r} has no attribute {other_attribute!r}"
+            )
+
+        def rename(attribute_name: str) -> str:
+            if attribute_name in self._schema:
+                return f"{other.name}_{attribute_name}"
+            return attribute_name
+
+        from repro.db.schema import Schema  # local to avoid import cycles
+
+        joined_schema = Schema(
+            [
+                *self._schema.attributes,
+                *(
+                    type(attribute)(
+                        rename(attribute.name), attribute.type_name, attribute.nullable
+                    )
+                    for attribute in other.schema
+                ),
+            ]
+        )
+        joined = Relation(name or f"{self._name}_join_{other.name}", joined_schema)
+        buckets: dict[object, list[Row]] = {}
+        for row in other:
+            buckets.setdefault(row[other_attribute], []).append(row)
+        for left in self._rows:
+            for right in buckets.get(left[self_attribute], ()):
+                combined = dict(left)
+                combined.update(
+                    {rename(attr): value for attr, value in right.items()}
+                )
+                joined.insert(combined)
+        return joined
+
+    def distinct_values(self, attribute: str) -> list[object]:
+        """Distinct values of one attribute, in first-seen order."""
+        if attribute not in self._schema:
+            raise SchemaError(
+                f"relation {self._name!r} has no attribute {attribute!r}"
+            )
+        seen: dict[object, None] = {}
+        for row in self._rows:
+            seen.setdefault(row[attribute], None)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return f"Relation({self._name!r}, {len(self._rows)} rows)"

@@ -1,0 +1,127 @@
+"""Relation schemas: named, typed attributes with validation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import SchemaError
+
+__all__ = ["Attribute", "Schema"]
+
+_TYPES: dict[str, type | tuple[type, ...]] = {
+    "int": int,
+    "float": (int, float),
+    "str": str,
+    "bool": bool,
+}
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One attribute of a relation schema.
+
+    Attributes:
+        name: Attribute name, e.g. ``"admission_cost"``.
+        type_name: One of ``int``, ``float``, ``str``, ``bool``.
+        nullable: Whether ``None`` values are accepted.
+    """
+
+    name: str
+    type_name: str = "str"
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.type_name not in _TYPES:
+            raise SchemaError(
+                f"unknown type {self.type_name!r}; expected one of {sorted(_TYPES)}"
+            )
+
+    def accepts(self, value: object) -> bool:
+        """True iff ``value`` fits this attribute."""
+        if value is None:
+            return self.nullable
+        expected = _TYPES[self.type_name]
+        if self.type_name in ("int", "float") and isinstance(value, bool):
+            return False  # bool is an int subclass; keep the types honest.
+        return isinstance(value, expected)
+
+
+class Schema:
+    """An ordered collection of attributes.
+
+    Example:
+        >>> schema = Schema([Attribute("pid", "int"), Attribute("name")])
+        >>> schema.validate({"pid": 1, "name": "Acropolis"})
+    """
+
+    def __init__(self, attributes: Sequence[Attribute]) -> None:
+        attributes = tuple(attributes)
+        if not attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [attribute.name for attribute in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names: {names}")
+        self._attributes = attributes
+        self._by_name = {attribute.name: attribute for attribute in attributes}
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The attributes, in declaration order."""
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names, in declaration order."""
+        return tuple(attribute.name for attribute in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"schema has no attribute {name!r}") from None
+
+    def validate(self, row: Mapping[str, object]) -> None:
+        """Check that ``row`` has exactly the schema's attributes with
+        acceptable values.
+
+        Raises:
+            SchemaError: On missing/extra attributes or type mismatches.
+        """
+        missing = set(self._by_name) - set(row)
+        if missing:
+            raise SchemaError(f"row is missing attributes {sorted(missing)}")
+        extra = set(row) - set(self._by_name)
+        if extra:
+            raise SchemaError(f"row has unknown attributes {sorted(extra)}")
+        for name, attribute in self._by_name.items():
+            if not attribute.accepts(row[name]):
+                raise SchemaError(
+                    f"value {row[name]!r} does not fit attribute {name!r} "
+                    f"({attribute.type_name}{', nullable' if attribute.nullable else ''})"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{attribute.name}:{attribute.type_name}" for attribute in self._attributes
+        )
+        return f"Schema({inner})"

@@ -1,0 +1,65 @@
+"""A tiny declarative syntax for preferences and contextual queries.
+
+Write preferences the way the paper states them::
+
+    PREFER name = 'Acropolis' SCORE 0.8
+        WHEN location = 'Plaka' AND temperature IN ('warm', 'hot')
+
+and queries with explicit context (Def. 9)::
+
+    TOP 20 WHERE open_air = TRUE
+        IN CONTEXT location = 'Athens' AND accompanying_people = 'family'
+        OR location = 'Thessaloniki'
+
+``to_query`` turns a parsed query into an executable
+:class:`~repro.query.ContextualQuery` for an environment.
+"""
+
+from repro.context.environment import ContextEnvironment
+from repro.dsl.lexer import DslSyntaxError, Token, tokenize
+from repro.dsl.parser import (
+    ParsedQuery,
+    parse_clause,
+    parse_descriptor,
+    parse_extended_descriptor,
+    parse_preference,
+    parse_query,
+)
+from repro.dsl.render import (
+    parse_profile,
+    render_clause,
+    render_descriptor,
+    render_preference,
+    render_profile,
+)
+from repro.query.contextual_query import ContextualQuery
+
+__all__ = [
+    "DslSyntaxError",
+    "ParsedQuery",
+    "Token",
+    "parse_clause",
+    "parse_descriptor",
+    "parse_extended_descriptor",
+    "parse_preference",
+    "parse_profile",
+    "parse_query",
+    "render_clause",
+    "render_descriptor",
+    "render_preference",
+    "render_profile",
+    "to_query",
+    "tokenize",
+]
+
+
+def to_query(
+    parsed: ParsedQuery, environment: ContextEnvironment
+) -> ContextualQuery:
+    """Materialise a parsed query against an environment."""
+    return ContextualQuery(
+        environment,
+        descriptor=parsed.descriptor,
+        base_clauses=parsed.clauses,
+        top_k=parsed.top_k,
+    )

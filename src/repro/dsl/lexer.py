@@ -1,0 +1,113 @@
+"""Tokenizer for the preference/query DSL.
+
+The surface syntax (see :mod:`repro.dsl`) is tiny: keywords, dotted-less
+identifiers, single-quoted strings, numbers, comparison operators and
+punctuation. The lexer is a single regex pass producing
+:class:`Token` objects with positions for error messages.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+__all__ = ["DslSyntaxError", "Token", "tokenize", "KEYWORDS"]
+
+#: Reserved words, case-insensitive in the source text.
+KEYWORDS = frozenset(
+    {
+        "PREFER",
+        "SCORE",
+        "WHEN",
+        "IN",
+        "BETWEEN",
+        "AND",
+        "OR",
+        "CONTEXT",
+        "TOP",
+        "WHERE",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+
+class DslSyntaxError(ReproError):
+    """A DSL string failed to tokenize or parse."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: ``KEYWORD``, ``IDENT``, ``STRING``, ``NUMBER``, ``OP``,
+            ``LPAREN``, ``RPAREN``, ``COMMA`` or ``EOF``.
+        value: The token's semantic value (keywords are upper-cased;
+            strings are unquoted; numbers are int/float).
+        position: Character offset in the source text.
+    """
+
+    kind: str
+    value: object
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; a trailing ``EOF`` token is always appended.
+
+    Raises:
+        DslSyntaxError: On any character the grammar does not know.
+    """
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise DslSyntaxError(
+                f"unexpected character {text[position]!r} at position {position}"
+            )
+        if match.lastgroup == "string":
+            raw = match.group("string")[1:-1]
+            value = raw.replace("\\'", "'").replace("\\\\", "\\")
+            tokens.append(Token("STRING", value, position))
+        elif match.lastgroup == "number":
+            raw = match.group("number")
+            is_float = "." in raw or "e" in raw or "E" in raw
+            value = float(raw) if is_float else int(raw)
+            tokens.append(Token("NUMBER", value, position))
+        elif match.lastgroup == "op":
+            tokens.append(Token("OP", match.group("op"), position))
+        elif match.lastgroup == "lparen":
+            tokens.append(Token("LPAREN", "(", position))
+        elif match.lastgroup == "rparen":
+            tokens.append(Token("RPAREN", ")", position))
+        elif match.lastgroup == "comma":
+            tokens.append(Token("COMMA", ",", position))
+        elif match.lastgroup == "word":
+            word = match.group("word")
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), position))
+            else:
+                tokens.append(Token("IDENT", word, position))
+        # whitespace falls through
+        position = match.end()
+    tokens.append(Token("EOF", None, len(text)))
+    return tokens

@@ -1,0 +1,235 @@
+"""Recursive-descent parser for the preference/query DSL.
+
+Grammar (keywords case-insensitive; ``#`` marks the paper concept):
+
+.. code-block:: text
+
+    preference := PREFER clause SCORE number [WHEN context]      # Def. 5
+    clause     := IDENT op literal
+    op         := = | != | < | > | <= | >=
+    context    := condition (AND condition)*                     # Def. 3
+    condition  := IDENT = literal                                # Def. 1
+                | IDENT IN ( literal [, literal]* )
+                | IDENT BETWEEN literal AND literal
+    extended   := context (OR context)*                          # Def. 8
+    query      := [TOP number] [WHERE clause (AND clause)*]
+                  [IN CONTEXT extended]                          # Def. 9
+    literal    := 'string' | number | TRUE | FALSE
+
+``BETWEEN ... AND ...`` binds its ``AND`` to the range, so
+``t BETWEEN 'mild' AND 'hot' AND place = 'Plaka'`` parses as a range
+condition conjoined with an equality condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.context.descriptor import (
+    ContextDescriptor,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+)
+from repro.preferences.preference import AttributeClause, ContextualPreference
+from repro.dsl.lexer import DslSyntaxError, Token, tokenize
+
+__all__ = [
+    "ParsedQuery",
+    "parse_clause",
+    "parse_descriptor",
+    "parse_extended_descriptor",
+    "parse_preference",
+    "parse_query",
+]
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The outcome of parsing a query string (Def. 9 ingredients).
+
+    Attributes:
+        top_k: Result-set bound, if a ``TOP k`` prefix was given.
+        clauses: Ordinary ``WHERE`` conditions.
+        descriptor: The ``IN CONTEXT`` extended descriptor, if any.
+    """
+
+    top_k: int | None = None
+    clauses: tuple[AttributeClause, ...] = ()
+    descriptor: ExtendedContextDescriptor | None = None
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _error(self, message: str) -> DslSyntaxError:
+        token = self._peek()
+        return DslSyntaxError(
+            f"{message} at position {token.position} "
+            f"(found {token.value!r}) in: {self._text!r}"
+        )
+
+    def _expect(self, kind: str, value: object = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value if value is not None else kind
+            raise self._error(f"expected {wanted}")
+        return self._advance()
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "KEYWORD" and token.value == word
+
+    def _expect_end(self) -> None:
+        if self._peek().kind != "EOF":
+            raise self._error("unexpected trailing input")
+
+    # -- terminals ------------------------------------------------------
+    def _literal(self) -> object:
+        token = self._peek()
+        if token.kind in ("STRING", "NUMBER"):
+            return self._advance().value
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self._advance()
+            return token.value == "TRUE"
+        raise self._error("expected a literal")
+
+    def _identifier(self) -> str:
+        return str(self._expect("IDENT").value)
+
+    # -- productions ------------------------------------------------------
+    def clause(self) -> AttributeClause:
+        attribute = self._identifier()
+        op = str(self._expect("OP").value)
+        value = self._literal()
+        return AttributeClause(attribute, value, op)
+
+    def condition(self) -> ParameterDescriptor:
+        name = self._identifier()
+        token = self._peek()
+        if token.kind == "OP" and token.value == "=":
+            self._advance()
+            return ParameterDescriptor.equals(name, self._literal())
+        if self._at_keyword("IN"):
+            self._advance()
+            self._expect("LPAREN")
+            values = [self._literal()]
+            while self._peek().kind == "COMMA":
+                self._advance()
+                values.append(self._literal())
+            self._expect("RPAREN")
+            return ParameterDescriptor.one_of(name, values)
+        if self._at_keyword("BETWEEN"):
+            self._advance()
+            low = self._literal()
+            self._expect("KEYWORD", "AND")
+            high = self._literal()
+            return ParameterDescriptor.between(name, low, high)
+        raise self._error("expected '=', IN or BETWEEN")
+
+    def context(self) -> ContextDescriptor:
+        conditions = [self.condition()]
+        while self._at_keyword("AND"):
+            self._advance()
+            conditions.append(self.condition())
+        return ContextDescriptor(conditions)
+
+    def extended(self) -> ExtendedContextDescriptor:
+        disjuncts = [self.context()]
+        while self._at_keyword("OR"):
+            self._advance()
+            disjuncts.append(self.context())
+        return ExtendedContextDescriptor(disjuncts)
+
+    def preference(self) -> ContextualPreference:
+        self._expect("KEYWORD", "PREFER")
+        clause = self.clause()
+        self._expect("KEYWORD", "SCORE")
+        score_token = self._expect("NUMBER")
+        descriptor = ContextDescriptor.empty()
+        if self._at_keyword("WHEN"):
+            self._advance()
+            descriptor = self.context()
+        self._expect_end()
+        return ContextualPreference(descriptor, clause, float(score_token.value))
+
+    def query(self) -> ParsedQuery:
+        top_k = None
+        if self._at_keyword("TOP"):
+            self._advance()
+            top_k = int(self._expect("NUMBER").value)
+        clauses: list[AttributeClause] = []
+        if self._at_keyword("WHERE"):
+            self._advance()
+            clauses.append(self.clause())
+            while self._at_keyword("AND"):
+                self._advance()
+                clauses.append(self.clause())
+        descriptor = None
+        if self._at_keyword("IN"):
+            self._advance()
+            self._expect("KEYWORD", "CONTEXT")
+            descriptor = self.extended()
+        self._expect_end()
+        return ParsedQuery(
+            top_k=top_k, clauses=tuple(clauses), descriptor=descriptor
+        )
+
+
+def parse_clause(text: str) -> AttributeClause:
+    """Parse one attribute clause, e.g. ``"type = 'brewery'"``."""
+    parser = _Parser(text)
+    clause = parser.clause()
+    parser._expect_end()
+    return clause
+
+
+def parse_descriptor(text: str) -> ContextDescriptor:
+    """Parse a composite context descriptor (Def. 3)."""
+    parser = _Parser(text)
+    descriptor = parser.context()
+    parser._expect_end()
+    return descriptor
+
+
+def parse_extended_descriptor(text: str) -> ExtendedContextDescriptor:
+    """Parse an extended (DNF) context descriptor (Def. 8)."""
+    parser = _Parser(text)
+    descriptor = parser.extended()
+    parser._expect_end()
+    return descriptor
+
+
+def parse_preference(text: str) -> ContextualPreference:
+    """Parse a ``PREFER ... SCORE ... [WHEN ...]`` statement (Def. 5).
+
+    Example:
+        >>> parse_preference(
+        ...     "PREFER type = 'brewery' SCORE 0.9 "
+        ...     "WHEN accompanying_people = 'friends'"
+        ... )
+    """
+    return _Parser(text).preference()
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a ``[TOP k] [WHERE ...] [IN CONTEXT ...]`` query (Def. 9).
+
+    Example:
+        >>> parse_query(
+        ...     "TOP 5 WHERE open_air = TRUE IN CONTEXT "
+        ...     "location = 'Plaka' AND temperature BETWEEN 'mild' AND 'hot'"
+        ... )
+    """
+    return _Parser(text).query()

@@ -1,0 +1,102 @@
+"""Rendering model objects back to DSL text.
+
+The inverse of :mod:`repro.dsl.parser`: preferences, descriptors and
+whole profiles render to the surface syntax, giving a human-readable
+(and diff-friendly) persistence format - ``parse(render(x)) == x`` is
+pinned by property-based tests.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+from repro.context.descriptor import (
+    ContextDescriptor,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+)
+from repro.context.environment import ContextEnvironment
+from repro.preferences.preference import AttributeClause, ContextualPreference
+from repro.preferences.profile import Profile
+from repro.dsl.parser import parse_preference
+
+__all__ = [
+    "render_clause",
+    "render_descriptor",
+    "render_preference",
+    "render_profile",
+    "parse_profile",
+]
+
+
+def _literal(value: object) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{text}'"
+
+
+def render_clause(clause: AttributeClause) -> str:
+    """``type = 'brewery'``."""
+    return f"{clause.attribute} {clause.op} {_literal(clause.value)}"
+
+
+def _render_condition(descriptor: ParameterDescriptor) -> str:
+    name = descriptor.parameter_name
+    if descriptor.kind == "equals":
+        return f"{name} = {_literal(descriptor.payload[0])}"
+    if descriptor.kind == "one_of":
+        inner = ", ".join(_literal(value) for value in descriptor.payload)
+        return f"{name} IN ({inner})"
+    low, high = descriptor.payload
+    return f"{name} BETWEEN {_literal(low)} AND {_literal(high)}"
+
+
+def render_descriptor(
+    descriptor: ContextDescriptor | ExtendedContextDescriptor,
+) -> str:
+    """Render a (possibly extended) descriptor; empty renders to ``""``."""
+    if isinstance(descriptor, ExtendedContextDescriptor):
+        return " OR ".join(
+            render_descriptor(disjunct) for disjunct in descriptor.disjuncts
+        )
+    return " AND ".join(
+        _render_condition(condition) for condition in descriptor.descriptors
+    )
+
+
+def render_preference(preference: ContextualPreference) -> str:
+    """``PREFER <clause> SCORE <s> [WHEN <context>]``."""
+    text = f"PREFER {render_clause(preference.clause)} SCORE {preference.score!r}"
+    if not preference.descriptor.is_empty():
+        text += f" WHEN {render_descriptor(preference.descriptor)}"
+    return text
+
+
+def render_profile(profile: Profile) -> str:
+    """One ``PREFER`` statement per line, comment header included."""
+    lines = [f"-- profile: {len(profile)} preferences"]
+    lines.extend(render_preference(preference) for preference in profile)
+    return "\n".join(lines) + "\n"
+
+
+def parse_profile(text: str, environment: ContextEnvironment) -> Profile:
+    """Parse a multi-line DSL script into a profile.
+
+    One statement per line; blank lines and ``--`` comments are
+    skipped. Conflicting statements raise, like interactive insertion.
+
+    Raises:
+        ReproError: On malformed statements (with the line number).
+    """
+    profile = Profile(environment)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("--"):
+            continue
+        try:
+            profile.add(parse_preference(line))
+        except ReproError as error:
+            raise type(error)(f"line {line_number}: {error}") from error
+    return profile

@@ -1,0 +1,42 @@
+"""Experiment drivers reproducing the paper's evaluation (Sec. 5)."""
+
+from repro.eval.accesses import (
+    AccessMeasurement,
+    fig7_real_profile,
+    fig7_synthetic,
+    measure_accesses,
+)
+from repro.eval.reporting import format_series, format_table
+from repro.eval.sizes import (
+    OrderingSize,
+    SizeExperiment,
+    fig5_real_profile,
+    fig6_size_sweep,
+    fig6_skew_sweep,
+    measure_orderings,
+)
+from repro.eval.usability import (
+    UsabilityStudy,
+    UserStudyRow,
+    classify_states,
+    run_usability_study,
+)
+
+__all__ = [
+    "AccessMeasurement",
+    "OrderingSize",
+    "SizeExperiment",
+    "UsabilityStudy",
+    "UserStudyRow",
+    "classify_states",
+    "fig5_real_profile",
+    "fig6_size_sweep",
+    "fig6_skew_sweep",
+    "fig7_real_profile",
+    "fig7_synthetic",
+    "format_series",
+    "format_table",
+    "measure_accesses",
+    "measure_orderings",
+    "run_usability_study",
+]

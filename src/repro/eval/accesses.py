@@ -1,0 +1,151 @@
+"""Cell-access experiments for context resolution (Sec. 5.2, Fig. 7).
+
+Measures how many cells the profile tree touches to find the
+preferences relevant to a query, against the sequential-scan baseline,
+for exact-match and covering (non-exact) resolution, over the real and
+synthetic profiles. Trees always use the size-optimal ordering (larger
+domains lower), as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.context.state import ContextState
+from repro.preferences.profile import Profile
+from repro.resolution.search import search_cs
+from repro.resolution.sequential import SequentialStore
+from repro.tree.counters import AccessCounter
+from repro.tree.ordering import optimal_ordering
+from repro.tree.profile_tree import ProfileTree
+from repro.workloads.queries import exact_match_states, random_states
+from repro.workloads.real_profile import generate_real_profile
+from repro.workloads.synthetic import ProfileSpec, generate_profile, synthetic_environment
+
+__all__ = [
+    "AccessMeasurement",
+    "measure_accesses",
+    "fig7_real_profile",
+    "fig7_synthetic",
+]
+
+
+@dataclass(frozen=True)
+class AccessMeasurement:
+    """Average cell accesses of one method over one query workload."""
+
+    label: str
+    mean_cells: float
+    total_cells: int
+    num_queries: int
+
+
+def _run(label: str, states: Sequence[ContextState], operation) -> AccessMeasurement:
+    counter = AccessCounter()
+    for state in states:
+        operation(state, counter)
+    total = counter.cells
+    return AccessMeasurement(
+        label=label,
+        mean_cells=total / len(states) if states else 0.0,
+        total_cells=total,
+        num_queries=len(states),
+    )
+
+
+def measure_accesses(
+    profile: Profile,
+    exact_states: Sequence[ContextState],
+    cover_states: Sequence[ContextState],
+    ordering: Sequence[str] | None = None,
+) -> dict[str, AccessMeasurement]:
+    """Cell accesses of tree vs. sequential scan, exact vs. covering.
+
+    Returns measurements keyed ``tree_exact``, ``serial_exact``,
+    ``tree_cover``, ``serial_cover``.
+    """
+    ordering = ordering or optimal_ordering(profile.environment)
+    tree = ProfileTree.from_profile(profile, ordering)
+    store = SequentialStore.from_profile(profile)
+    return {
+        "tree_exact": _run(
+            "tree_exact",
+            exact_states,
+            lambda state, counter: tree.exact_lookup(state, counter),
+        ),
+        "serial_exact": _run(
+            "serial_exact",
+            exact_states,
+            lambda state, counter: store.exact_scan(state, counter),
+        ),
+        "tree_cover": _run(
+            "tree_cover",
+            cover_states,
+            lambda state, counter: search_cs(tree, state, counter),
+        ),
+        "serial_cover": _run(
+            "serial_cover",
+            cover_states,
+            lambda state, counter: store.cover_scan(state, counter),
+        ),
+    }
+
+
+def fig7_real_profile(
+    num_queries: int = 50, seed: int = 42
+) -> dict[str, AccessMeasurement]:
+    """Fig. 7 (left): accesses over the real profile, 50 queries.
+
+    Exact-match queries are drawn from the profile's own states;
+    non-exact queries are fresh states with mixed-level values.
+    """
+    environment, profile = generate_real_profile(seed=seed)
+    exact_states = exact_match_states(profile, num_queries, seed=seed + 1)
+    cover_states = random_states(environment, num_queries, seed=seed + 2)
+    return measure_accesses(profile, exact_states, cover_states)
+
+
+def fig7_synthetic(
+    distribution: str = "uniform",
+    profile_sizes: Sequence[int] = (500, 1000, 5000, 10000),
+    num_queries: int = 50,
+    zipf_a: float = 1.5,
+    seed: int = 17,
+) -> dict[str, list[float]]:
+    """Fig. 7 (center/right): mean accesses vs. profile size.
+
+    The synthetic profiles draw context values from every hierarchy
+    level (the complexity analysis of Sec. 4.4 is over the extended
+    domains), so covering resolution has real work to do. Queries are
+    profile states for the exact series and fresh detailed states for
+    the covering series.
+
+    Returns ``{series: [mean cells per profile size]}`` with series
+    ``tree_exact``, ``serial_exact``, ``tree_cover``, ``serial_cover``.
+    """
+    if distribution not in ("uniform", "zipf"):
+        raise ValueError(f"unknown distribution {distribution!r}")
+    environment = synthetic_environment()
+    series: dict[str, list[float]] = {
+        "tree_exact": [],
+        "serial_exact": [],
+        "tree_cover": [],
+        "serial_cover": [],
+    }
+    for size in profile_sizes:
+        spec = ProfileSpec(
+            num_preferences=size,
+            zipf_a=zipf_a if distribution == "zipf" else 0.0,
+            level_weights=(0.7, 0.2, 0.1),
+            seed=seed,
+        )
+        profile = generate_profile(environment, spec)
+        exact_states = exact_match_states(profile, num_queries, seed=seed + 1)
+        cover_states = random_states(
+            environment, num_queries, seed=seed + 2, level_weights=(1.0,)
+        )
+        measurements = measure_accesses(profile, exact_states, cover_states)
+        for key in series:
+            series[key].append(measurements[key].mean_cells)
+    return series

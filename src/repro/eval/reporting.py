@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment driver returns structured data; these helpers render
+them as the rows/series the paper's tables and figures report, so the
+benchmark harness can print paper-comparable output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with right-padded columns.
+
+    Example:
+        >>> print(format_table(["a", "b"], [[1, 2]], title="T"))
+        T
+        a  b
+        -  -
+        1  2
+    """
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(row, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(list(headers)))
+    lines.append(render(["-" * width for width in widths]))
+    lines.extend(render(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+) -> str:
+    """Render one figure's series as a table: x column + one column per
+    series (the format the paper's line plots reduce to)."""
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(values[index] for values in series.values())]
+        for index, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,193 @@
+"""Profile-tree size experiments (Sec. 5.2, Figs. 5 and 6).
+
+Three drivers:
+
+* :func:`fig5_real_profile` - the 522-preference real profile, six
+  parameter orderings, cells and bytes (Fig. 5).
+* :func:`fig6_size_sweep` - synthetic profiles of 500..10000
+  preferences over 50/100/1000-value domains, uniform or zipf(1.5)
+  context values, six orderings plus the serial baseline (Fig. 6 left
+  and center).
+* :func:`fig6_skew_sweep` - 5000 preferences over 50/100/200-value
+  domains where the 200-value parameter's skew ``a`` sweeps 0..3.5,
+  showing the ordering crossover (Fig. 6 right).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.context.environment import ContextEnvironment
+from repro.preferences.profile import Profile
+from repro.tree.cost import StorageCostModel
+from repro.tree.profile_tree import ProfileTree
+from repro.workloads.real_profile import generate_real_profile
+from repro.workloads.synthetic import ProfileSpec, generate_profile, synthetic_environment
+
+__all__ = [
+    "OrderingSize",
+    "SizeExperiment",
+    "measure_orderings",
+    "fig5_real_profile",
+    "fig6_size_sweep",
+    "fig6_skew_sweep",
+]
+
+
+@dataclass(frozen=True)
+class OrderingSize:
+    """Tree size under one parameter-to-level ordering."""
+
+    label: str
+    ordering: tuple[str, ...]
+    cells: int
+    num_bytes: int
+
+
+@dataclass(frozen=True)
+class SizeExperiment:
+    """Sizes of one profile under several orderings plus the serial
+    baseline."""
+
+    title: str
+    orderings: tuple[OrderingSize, ...]
+    serial_cells: int
+    serial_bytes: int
+
+    def cells_by_label(self) -> dict[str, int]:
+        """``{ordering label: cells}`` including ``serial``."""
+        result = {entry.label: entry.cells for entry in self.orderings}
+        result["serial"] = self.serial_cells
+        return result
+
+    def bytes_by_label(self) -> dict[str, int]:
+        """``{ordering label: bytes}`` including ``serial``."""
+        result = {entry.label: entry.num_bytes for entry in self.orderings}
+        result["serial"] = self.serial_bytes
+        return result
+
+
+def _six_orderings(names: Sequence[str]) -> dict[str, tuple[str, ...]]:
+    """The paper's order 1..6 labels over three parameter names
+    (given in ascending domain-size order)."""
+    small, medium, large = names
+    return {
+        "order1": (small, medium, large),
+        "order2": (small, large, medium),
+        "order3": (medium, small, large),
+        "order4": (medium, large, small),
+        "order5": (large, small, medium),
+        "order6": (large, medium, small),
+    }
+
+
+def measure_orderings(
+    profile: Profile,
+    orderings: dict[str, tuple[str, ...]],
+    cost_model: StorageCostModel | None = None,
+    title: str = "tree sizes",
+) -> SizeExperiment:
+    """Build one tree per ordering and measure cells/bytes."""
+    cost_model = cost_model or StorageCostModel()
+    measured = []
+    for label, ordering in orderings.items():
+        tree = ProfileTree.from_profile(profile, ordering)
+        size = cost_model.tree_size(tree)
+        measured.append(OrderingSize(label, ordering, size.cells, size.num_bytes))
+    serial = cost_model.serial_size(profile)
+    return SizeExperiment(
+        title=title,
+        orderings=tuple(measured),
+        serial_cells=serial.cells,
+        serial_bytes=serial.num_bytes,
+    )
+
+
+def fig5_real_profile(
+    seed: int = 42, cost_model: StorageCostModel | None = None
+) -> SizeExperiment:
+    """Fig. 5: the real profile's tree size under the six orderings.
+
+    Order 1 is (accompanying_people, time, location) - ascending domain
+    sizes 4/17/100 - through order 6 = (location, time,
+    accompanying_people), exactly the paper's labelling.
+    """
+    environment, profile = generate_real_profile(seed=seed)
+    names = ("accompanying_people", "time", "location")
+    return measure_orderings(
+        profile,
+        _six_orderings(names),
+        cost_model,
+        title="Fig. 5 - profile tree size, real profile (522 preferences)",
+    )
+
+
+def fig6_size_sweep(
+    distribution: str = "uniform",
+    profile_sizes: Sequence[int] = (500, 1000, 5000, 10000),
+    zipf_a: float = 1.5,
+    seed: int = 17,
+    cost_model: StorageCostModel | None = None,
+    environment: ContextEnvironment | None = None,
+) -> dict[str, list[int]]:
+    """Fig. 6 (left/center): tree cells vs. profile size.
+
+    Returns ``{label: [cells per profile size]}`` for order1..order6
+    and ``serial``; ``distribution`` is ``"uniform"`` or ``"zipf"``.
+    """
+    if distribution not in ("uniform", "zipf"):
+        raise ValueError(f"unknown distribution {distribution!r}")
+    environment = environment or synthetic_environment()
+    orderings = _six_orderings(environment.names)
+    series: dict[str, list[int]] = {label: [] for label in orderings}
+    series["serial"] = []
+    for size in profile_sizes:
+        spec = ProfileSpec(
+            num_preferences=size,
+            zipf_a=zipf_a if distribution == "zipf" else 0.0,
+            seed=seed,
+        )
+        profile = generate_profile(environment, spec)
+        experiment = measure_orderings(profile, orderings, cost_model)
+        for label, cells in experiment.cells_by_label().items():
+            series[label].append(cells)
+    return series
+
+
+def fig6_skew_sweep(
+    a_values: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5),
+    num_preferences: int = 5000,
+    seed: int = 17,
+    cost_model: StorageCostModel | None = None,
+) -> dict[str, list[int]]:
+    """Fig. 6 (right): cells vs. skew of the 200-value parameter.
+
+    The profile has 5000 preferences over domains of 50, 100 and 200
+    values; the 50/100 parameters stay uniform while the 200 parameter's
+    zipf exponent sweeps ``a_values``. The three measured orderings are
+    the paper's: order1 = (50, 100, 200), order2 = (50, 200, 100),
+    order3 = (200, 50, 100).
+    """
+    environment = synthetic_environment(
+        domain_sizes=(50, 100, 200), num_levels=(2, 3, 3)
+    )
+    small, medium, large = environment.names
+    orderings = {
+        "order1": (small, medium, large),
+        "order2": (small, large, medium),
+        "order3": (large, small, medium),
+    }
+    series: dict[str, list[int]] = {label: [] for label in orderings}
+    series["serial"] = []
+    for a in a_values:
+        spec = ProfileSpec(
+            num_preferences=num_preferences,
+            zipf_a_per_parameter=(0.0, 0.0, a),
+            seed=seed,
+        )
+        profile = generate_profile(environment, spec)
+        experiment = measure_orderings(profile, orderings, cost_model)
+        for label, cells in experiment.cells_by_label().items():
+            series[label].append(cells)
+    return series

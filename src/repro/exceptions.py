@@ -1,0 +1,91 @@
+"""Exception hierarchy for the contextual-preference library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch a single base class. The subclasses mirror the
+conceptual layers of the system (hierarchies, context model, preference
+model, indexing, querying).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "HierarchyError",
+    "UnknownValueError",
+    "UnknownLevelError",
+    "ContextError",
+    "UnknownParameterError",
+    "InvalidStateError",
+    "DescriptorError",
+    "PreferenceError",
+    "ConflictError",
+    "TreeError",
+    "OrderingError",
+    "QueryError",
+    "SchemaError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class HierarchyError(ReproError):
+    """A hierarchy definition or operation is invalid."""
+
+
+class UnknownValueError(HierarchyError, KeyError):
+    """A value does not belong to any level of the hierarchy."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep a message.
+        return Exception.__str__(self)
+
+
+class UnknownLevelError(HierarchyError, KeyError):
+    """A level name does not belong to the hierarchy."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class ContextError(ReproError):
+    """A context-model object (parameter, environment, state) is invalid."""
+
+
+class UnknownParameterError(ContextError, KeyError):
+    """A context parameter name is not part of the environment."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class InvalidStateError(ContextError):
+    """A context state does not fit its environment."""
+
+
+class DescriptorError(ContextError):
+    """A context descriptor is malformed."""
+
+
+class PreferenceError(ReproError):
+    """A contextual preference is malformed."""
+
+
+class ConflictError(PreferenceError):
+    """Two contextual preferences conflict (Def. 6 of the paper)."""
+
+
+class TreeError(ReproError):
+    """A profile-tree (or query-tree) operation is invalid."""
+
+
+class OrderingError(TreeError):
+    """A parameter-to-level ordering is not a valid permutation."""
+
+
+class QueryError(ReproError):
+    """A contextual query is malformed or cannot be executed."""
+
+
+class SchemaError(ReproError):
+    """A relation schema or tuple violates its declared structure."""

@@ -1,0 +1,26 @@
+"""Attribute hierarchies: levels, lattices and ancestor functions (Sec. 3.1)."""
+
+from repro.hierarchy.builders import (
+    accompanying_people_hierarchy,
+    balanced_hierarchy,
+    flat_hierarchy,
+    location_hierarchy,
+    synthetic_level_sizes,
+    temperature_hierarchy,
+)
+from repro.hierarchy.hierarchy import Hierarchy, Value
+from repro.hierarchy.levels import ALL_LEVEL, ALL_VALUE, Level
+
+__all__ = [
+    "ALL_LEVEL",
+    "ALL_VALUE",
+    "Hierarchy",
+    "Level",
+    "Value",
+    "accompanying_people_hierarchy",
+    "balanced_hierarchy",
+    "flat_hierarchy",
+    "location_hierarchy",
+    "synthetic_level_sizes",
+    "temperature_hierarchy",
+]

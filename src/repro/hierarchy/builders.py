@@ -1,0 +1,170 @@
+"""Builders for commonly needed hierarchies.
+
+Two families are provided: the *reference* hierarchies of the paper's
+running example (Figs. 1-2: location, temperature, accompanying
+people), and *balanced synthetic* hierarchies used by the performance
+experiments of Sec. 5.2, where a detailed domain of a given cardinality
+is grouped into progressively smaller levels.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.exceptions import HierarchyError
+from repro.hierarchy.hierarchy import Hierarchy, Value
+
+__all__ = [
+    "balanced_hierarchy",
+    "flat_hierarchy",
+    "location_hierarchy",
+    "temperature_hierarchy",
+    "accompanying_people_hierarchy",
+]
+
+
+def flat_hierarchy(name: str, values: Sequence[Value], level: str = "Detail") -> Hierarchy:
+    """A two-level hierarchy: one detailed level directly under ``ALL``."""
+    return Hierarchy(name, levels=[level], members={level: list(values)})
+
+
+def balanced_hierarchy(
+    name: str,
+    level_sizes: Sequence[int],
+    level_names: Sequence[str] | None = None,
+    value_prefix: str | None = None,
+) -> Hierarchy:
+    """Build a balanced hierarchy with the given per-level cardinalities.
+
+    ``level_sizes`` lists the number of values of each level from the
+    detailed level upward, excluding ``ALL`` (e.g. ``[100, 10]`` builds
+    100 detailed values grouped into 10 parents under ``'all'``). Sizes
+    must be strictly decreasing; children are distributed contiguously
+    so every parent receives either ``floor`` or ``ceil`` of its fair
+    share and the ``anc`` functions are monotone by construction.
+
+    Values are named ``"{prefix}_{level_index}_{rank}"``.
+
+    Example:
+        >>> h = balanced_hierarchy("loc", [6, 2])
+        >>> h.anc("loc_0_0", "L2")
+        'loc_1_0'
+        >>> sorted(h.desc("loc_1_1", "L1"))
+        ['loc_0_3', 'loc_0_4', 'loc_0_5']
+    """
+    if not level_sizes:
+        raise HierarchyError("level_sizes must be non-empty")
+    if any(size <= 0 for size in level_sizes):
+        raise HierarchyError(f"level sizes must be positive, got {list(level_sizes)}")
+    if any(lower < upper for lower, upper in zip(level_sizes, level_sizes[1:])):
+        raise HierarchyError(
+            f"level sizes must not increase upward, got {list(level_sizes)}"
+        )
+    if level_names is None:
+        level_names = [f"L{index + 1}" for index in range(len(level_sizes))]
+    if len(level_names) != len(level_sizes):
+        raise HierarchyError("level_names and level_sizes must have the same length")
+    prefix = value_prefix if value_prefix is not None else name
+
+    members = {
+        level_name: [f"{prefix}_{depth}_{rank}" for rank in range(size)]
+        for depth, (level_name, size) in enumerate(zip(level_names, level_sizes))
+    }
+    parent_of: dict[Value, Value] = {}
+    for depth in range(len(level_sizes) - 1):
+        lower = members[level_names[depth]]
+        upper = members[level_names[depth + 1]]
+        # Contiguous, near-even assignment keeps anc monotone.
+        per_parent = len(lower) / len(upper)
+        for rank, value in enumerate(lower):
+            parent_index = min(int(rank / per_parent), len(upper) - 1)
+            parent_of[value] = upper[parent_index]
+    return Hierarchy(name, levels=list(level_names), members=members, parent_of=parent_of)
+
+
+def synthetic_level_sizes(domain_size: int, num_levels: int, fanout: int = 10) -> list[int]:
+    """Per-level sizes for a synthetic hierarchy of ``num_levels`` levels.
+
+    ``num_levels`` counts *all* levels including ``ALL`` (as the paper
+    does when it says the 50-value parameter has 2 hierarchy levels).
+    Each level above the detailed one shrinks by ``fanout``.
+    """
+    if num_levels < 2:
+        raise HierarchyError("num_levels includes ALL and must be >= 2")
+    sizes = [domain_size]
+    for _ in range(num_levels - 2):
+        sizes.append(max(1, math.ceil(sizes[-1] / fanout)))
+    return sizes
+
+
+def location_hierarchy() -> Hierarchy:
+    """The paper's location hierarchy (Fig. 1): Region < City < Country < ALL.
+
+    A second country (Cyprus) is included so that ``Greece`` and the
+    top value ``all`` have different detailed-level descendant sets -
+    without it the Jaccard distance could not tell them apart.
+    """
+    return Hierarchy(
+        "location",
+        levels=["Region", "City", "Country"],
+        members={
+            "Region": [
+                "Plaka",
+                "Kifisia",
+                "Syntagma",
+                "Perama",
+                "Ladadika",
+                "Kastra",
+                "Ledra",
+            ],
+            "City": ["Athens", "Ioannina", "Thessaloniki", "Nicosia"],
+            "Country": ["Greece", "Cyprus"],
+        },
+        parent_of={
+            "Plaka": "Athens",
+            "Kifisia": "Athens",
+            "Syntagma": "Athens",
+            "Perama": "Ioannina",
+            "Ladadika": "Thessaloniki",
+            "Kastra": "Thessaloniki",
+            "Ledra": "Nicosia",
+            "Athens": "Greece",
+            "Ioannina": "Greece",
+            "Thessaloniki": "Greece",
+            "Nicosia": "Cyprus",
+        },
+    )
+
+
+def temperature_hierarchy() -> Hierarchy:
+    """The paper's temperature hierarchy (Fig. 2).
+
+    ``Conditions`` (freezing..hot) < ``Weather Characterization``
+    (bad/good) < ``ALL``; the declared value order makes range
+    descriptors such as ``temperature in [mild, hot]`` meaningful.
+    """
+    return Hierarchy(
+        "temperature",
+        levels=["Conditions", "Weather Characterization"],
+        members={
+            "Conditions": ["freezing", "cold", "mild", "warm", "hot"],
+            "Weather Characterization": ["bad", "good"],
+        },
+        parent_of={
+            "freezing": "bad",
+            "cold": "bad",
+            "mild": "good",
+            "warm": "good",
+            "hot": "good",
+        },
+    )
+
+
+def accompanying_people_hierarchy() -> Hierarchy:
+    """The paper's accompanying-people hierarchy (Fig. 2): Relationship < ALL."""
+    return Hierarchy(
+        "accompanying_people",
+        levels=["Relationship"],
+        members={"Relationship": ["friends", "family", "alone"]},
+    )

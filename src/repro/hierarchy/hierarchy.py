@@ -1,0 +1,372 @@
+"""Attribute hierarchies with ``anc``/``desc`` families of functions.
+
+A :class:`Hierarchy` realises the paper's lattice of levels (Sec. 3.1):
+an ordered chain of named levels whose top is always ``ALL`` with the
+single value ``'all'``, plus the family of ancestor functions
+``anc_Li^Lj`` relating values of different levels and their inverses
+``desc_Lj^Li``. Values are unique across the whole hierarchy, so the
+level of a value never needs to be spelled out by callers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.exceptions import HierarchyError, UnknownLevelError, UnknownValueError
+from repro.hierarchy.levels import ALL_LEVEL, ALL_VALUE, Level
+
+__all__ = ["Hierarchy", "Value"]
+
+#: Values stored in hierarchies: plain strings or integers.
+Value = str | int
+
+
+class Hierarchy:
+    """A chain of levels over a value domain, with ancestor functions.
+
+    Args:
+        name: Hierarchy name, e.g. ``"location"``.
+        levels: Level names from the detailed level upward. The top
+            ``ALL`` level is appended automatically when absent.
+        members: For each level below ``ALL``, the ordered sequence of
+            its values. Order matters: it defines the ``<`` used by
+            range descriptors and by the monotonicity check.
+        parent_of: Maps every value to its parent at the next level up.
+            Parents of values on the level directly below ``ALL`` may be
+            omitted (they default to ``'all'``).
+
+    Raises:
+        HierarchyError: On duplicate values, missing/dangling parents,
+            childless intermediate values, or an empty detailed level.
+
+    Example:
+        >>> h = Hierarchy(
+        ...     "location",
+        ...     levels=["Region", "City"],
+        ...     members={"Region": ["Plaka", "Kifisia"], "City": ["Athens"]},
+        ...     parent_of={"Plaka": "Athens", "Kifisia": "Athens"},
+        ... )
+        >>> h.anc("Plaka", "City")
+        'Athens'
+        >>> sorted(h.desc("Athens", "Region"))
+        ['Kifisia', 'Plaka']
+    """
+
+    def __init__(
+        self,
+        name: str,
+        levels: Sequence[str],
+        members: Mapping[str, Sequence[Value]],
+        parent_of: Mapping[Value, Value] | None = None,
+    ) -> None:
+        if not name:
+            raise HierarchyError("hierarchy name must be non-empty")
+        level_names = [str(level) for level in levels]
+        if not level_names:
+            raise HierarchyError("a hierarchy needs at least one level below ALL")
+        if ALL_LEVEL in level_names:
+            if level_names[-1] != ALL_LEVEL:
+                raise HierarchyError("the ALL level must be the top level")
+            level_names = level_names[:-1]
+        if len(set(level_names)) != len(level_names):
+            raise HierarchyError(f"duplicate level names in {level_names}")
+
+        self._name = name
+        self._levels = tuple(
+            Level(index, level_name)
+            for index, level_name in enumerate([*level_names, ALL_LEVEL])
+        )
+        self._level_by_name = {level.name: level for level in self._levels}
+
+        parent_of = dict(parent_of or {})
+        self._members: dict[str, tuple[Value, ...]] = {}
+        self._level_of: dict[Value, Level] = {}
+        self._rank: dict[Value, int] = {}
+        for level in self._levels[:-1]:
+            values = tuple(members.get(level.name, ()))
+            if not values:
+                raise HierarchyError(
+                    f"level {level.name!r} of hierarchy {name!r} has no values"
+                )
+            self._members[level.name] = values
+            for rank, value in enumerate(values):
+                if value in self._level_of or value == ALL_VALUE:
+                    raise HierarchyError(
+                        f"value {value!r} appears more than once in hierarchy {name!r}"
+                    )
+                self._level_of[value] = level
+                self._rank[value] = rank
+        self._members[ALL_LEVEL] = (ALL_VALUE,)
+        self._level_of[ALL_VALUE] = self._levels[-1]
+        self._rank[ALL_VALUE] = 0
+
+        extra_members = set(members) - {level.name for level in self._levels}
+        if extra_members:
+            raise HierarchyError(f"members given for unknown levels {extra_members}")
+
+        self._parent: dict[Value, Value] = {ALL_VALUE: ALL_VALUE}
+        self._children: dict[Value, list[Value]] = {value: [] for value in self._level_of}
+        below_top = self._levels[-2].name if len(self._levels) > 1 else None
+        for value, level in self._level_of.items():
+            if value == ALL_VALUE:
+                continue
+            parent = parent_of.pop(value, None)
+            if parent is None:
+                if level.name != below_top:
+                    raise HierarchyError(
+                        f"value {value!r} at level {level.name!r} has no parent"
+                    )
+                parent = ALL_VALUE
+            parent_level = self._level_of.get(parent)
+            if parent_level is None:
+                raise HierarchyError(
+                    f"parent {parent!r} of {value!r} is not a hierarchy value"
+                )
+            if parent_level.index != level.index + 1:
+                raise HierarchyError(
+                    f"parent {parent!r} of {value!r} must sit exactly one level up"
+                )
+            self._parent[value] = parent
+            self._children[parent].append(value)
+        if parent_of:
+            raise HierarchyError(
+                f"parent_of mentions values outside the hierarchy: {set(parent_of)}"
+            )
+        for value, level in self._level_of.items():
+            if 0 < level.index < len(self._levels) - 1 and not self._children[value]:
+                raise HierarchyError(
+                    f"intermediate value {value!r} has no children; "
+                    "desc() to the detailed level would be empty"
+                )
+
+        self._leaves: dict[Value, frozenset[Value]] = {}
+        for value in self._members[self._levels[0].name]:
+            self._leaves[value] = frozenset([value])
+        for level in self._levels[1:]:
+            for value in self._members[level.name]:
+                descendants: set[Value] = set()
+                for child in self._children[value]:
+                    descendants |= self._leaves[child]
+                self._leaves[value] = frozenset(descendants)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Name of the hierarchy."""
+        return self._name
+
+    @property
+    def levels(self) -> tuple[Level, ...]:
+        """All levels, detailed first, ``ALL`` last."""
+        return self._levels
+
+    @property
+    def num_levels(self) -> int:
+        """Number of levels including ``ALL`` (the paper's ``m``)."""
+        return len(self._levels)
+
+    @property
+    def detailed_level(self) -> Level:
+        """The bottom level ``L1``."""
+        return self._levels[0]
+
+    @property
+    def top_level(self) -> Level:
+        """The ``ALL`` level."""
+        return self._levels[-1]
+
+    def level(self, name: str) -> Level:
+        """Return the level called ``name``.
+
+        Raises:
+            UnknownLevelError: If no such level exists.
+        """
+        try:
+            return self._level_by_name[name]
+        except KeyError:
+            raise UnknownLevelError(
+                f"hierarchy {self._name!r} has no level {name!r}"
+            ) from None
+
+    def domain(self, level: str | Level | None = None) -> tuple[Value, ...]:
+        """Values of one level (``dom_Lj``), detailed level by default."""
+        if level is None:
+            level = self._levels[0]
+        name = level.name if isinstance(level, Level) else level
+        self.level(name)  # validate
+        return self._members[name]
+
+    @property
+    def dom(self) -> tuple[Value, ...]:
+        """The detailed domain ``dom(C)`` = ``dom_L1(C)``."""
+        return self._members[self._levels[0].name]
+
+    @property
+    def edom(self) -> tuple[Value, ...]:
+        """The extended domain: union of every level's domain, incl. ``'all'``."""
+        values: list[Value] = []
+        for level in self._levels:
+            values.extend(self._members[level.name])
+        return tuple(values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._level_of
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hierarchy):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._levels == other._levels
+            and self._members == other._members
+            and self._parent == other._parent
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._levels))
+
+    def __repr__(self) -> str:
+        level_names = " < ".join(level.name for level in self._levels)
+        return f"Hierarchy({self._name!r}: {level_names})"
+
+    # ------------------------------------------------------------------
+    # Ancestor / descendant functions
+    # ------------------------------------------------------------------
+    def level_of(self, value: Value) -> Level:
+        """The level a value belongs to.
+
+        Raises:
+            UnknownValueError: If the value is not in the hierarchy.
+        """
+        try:
+            return self._level_of[value]
+        except KeyError:
+            raise UnknownValueError(
+                f"{value!r} is not a value of hierarchy {self._name!r}"
+            ) from None
+
+    def rank(self, value: Value) -> int:
+        """Position of ``value`` within its level's declared order."""
+        self.level_of(value)
+        return self._rank[value]
+
+    def parent(self, value: Value) -> Value:
+        """The value's parent one level up (``'all'`` maps to itself)."""
+        self.level_of(value)
+        return self._parent[value]
+
+    def children(self, value: Value) -> tuple[Value, ...]:
+        """The value's children one level down (empty for detailed values)."""
+        self.level_of(value)
+        return tuple(self._children[value])
+
+    def anc(self, value: Value, to_level: str | Level) -> Value:
+        """``anc_Li^Lj(value)``: the value's ancestor at ``to_level``.
+
+        The target level must be at or above the value's level; asking
+        for the value's own level returns the value itself.
+
+        Raises:
+            HierarchyError: If ``to_level`` lies below the value's level.
+        """
+        target = to_level if isinstance(to_level, Level) else self.level(to_level)
+        if isinstance(to_level, Level) and to_level not in self._levels:
+            raise UnknownLevelError(
+                f"hierarchy {self._name!r} has no level {to_level!r}"
+            )
+        current = self.level_of(value)
+        if target.index < current.index:
+            raise HierarchyError(
+                f"anc() target level {target.name!r} is below the level "
+                f"{current.name!r} of value {value!r}"
+            )
+        result = value
+        for _ in range(target.index - current.index):
+            result = self._parent[result]
+        return result
+
+    def ancestors(self, value: Value) -> tuple[Value, ...]:
+        """All strict ancestors of ``value``, nearest first, ending at ``'all'``.
+
+        For ``'all'`` itself the result is empty.
+        """
+        self.level_of(value)
+        chain: list[Value] = []
+        current = value
+        while current != ALL_VALUE:
+            current = self._parent[current]
+            chain.append(current)
+        return tuple(chain)
+
+    def desc(self, value: Value, to_level: str | Level) -> frozenset[Value]:
+        """``desc_Lj^Li(value)``: all descendants of ``value`` at ``to_level``.
+
+        The target level must be at or below the value's level; asking
+        for the value's own level returns ``{value}``.
+        """
+        target = to_level if isinstance(to_level, Level) else self.level(to_level)
+        current = self.level_of(value)
+        if target.index > current.index:
+            raise HierarchyError(
+                f"desc() target level {target.name!r} is above the level "
+                f"{current.name!r} of value {value!r}"
+            )
+        frontier = [value]
+        for _ in range(current.index - target.index):
+            frontier = [child for parent in frontier for child in self._children[parent]]
+        return frozenset(frontier)
+
+    def leaves(self, value: Value) -> frozenset[Value]:
+        """Descendants of ``value`` at the detailed level (memoised)."""
+        self.level_of(value)
+        return self._leaves[value]
+
+    def is_ancestor(self, upper: Value, lower: Value) -> bool:
+        """True iff ``upper`` is a *strict* ancestor of ``lower``."""
+        upper_level = self.level_of(upper)
+        lower_level = self.level_of(lower)
+        if upper_level.index <= lower_level.index:
+            return False
+        return self.anc(lower, upper_level) == upper
+
+    def covers_value(self, upper: Value, lower: Value) -> bool:
+        """True iff ``upper == lower`` or ``upper`` is an ancestor of ``lower``.
+
+        This is the per-parameter ingredient of the ``covers`` relation
+        between context states (Def. 10).
+        """
+        return upper == lower or self.is_ancestor(upper, lower)
+
+    # ------------------------------------------------------------------
+    # Ordering and monotonicity
+    # ------------------------------------------------------------------
+    def values_between(self, low: Value, high: Value) -> tuple[Value, ...]:
+        """Expand the range ``[low, high]`` within one level (Def. 1, case 3).
+
+        Both endpoints must belong to the same level; the declared order
+        of that level's members is used. An empty tuple results when
+        ``low`` comes after ``high``.
+        """
+        low_level = self.level_of(low)
+        high_level = self.level_of(high)
+        if low_level != high_level:
+            raise HierarchyError(
+                f"range endpoints {low!r} and {high!r} are on different levels"
+            )
+        values = self._members[low_level.name]
+        start, stop = self._rank[low], self._rank[high]
+        return values[start : stop + 1]
+
+    def is_monotone(self) -> bool:
+        """Check condition 3 of Sec. 3.1: every ``anc`` step is monotone.
+
+        With values ordered by their declared rank, ``x < y`` must imply
+        ``anc(x) <= anc(y)`` for each adjacent pair of levels.
+        """
+        for level in self._levels[:-1]:
+            ranks = [self._rank[self._parent[value]] for value in self._members[level.name]]
+            if any(left > right for left, right in zip(ranks, ranks[1:])):
+                return False
+        return True

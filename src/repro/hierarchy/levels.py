@@ -1,0 +1,49 @@
+"""Levels of an attribute hierarchy.
+
+The paper (Sec. 3.1) models each context parameter as a multidimensional
+attribute whose domain participates in a lattice of *levels*
+``L = (L1, ..., Lm-1, ALL)``: ``L1`` is the *detailed* level, ``ALL``
+the single-value top. All hierarchies in the paper (Figs. 1-2) are
+chains, which are the lattices this implementation realises; the level
+partial order ``L1 < L2 < ... < ALL`` is total within one hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import HierarchyError
+
+__all__ = ["ALL_LEVEL", "ALL_VALUE", "Level"]
+
+#: Canonical name of the mandatory top level of every hierarchy.
+ALL_LEVEL = "ALL"
+
+#: The single value populating the top level (``'all'`` in the paper).
+ALL_VALUE = "all"
+
+
+@dataclass(frozen=True, order=True)
+class Level:
+    """One level of a hierarchy.
+
+    Levels are ordered by ``index``: index 0 is the detailed level
+    ``L1`` and the largest index is ``ALL``. Comparisons between levels
+    therefore realise the paper's ``<`` partial order on levels.
+
+    Attributes:
+        index: Position in the chain, 0 for the detailed level.
+        name: Human-readable level name, e.g. ``"City"``.
+    """
+
+    index: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise HierarchyError(f"level index must be >= 0, got {self.index}")
+        if not self.name:
+            raise HierarchyError("level name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.name}(L{self.index + 1})"

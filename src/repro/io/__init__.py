@@ -1,0 +1,36 @@
+"""Serialisation: model objects to dicts/JSON, relations to CSV."""
+
+from repro.io.csvio import read_csv, relation_from_csv, relation_to_csv, write_csv
+from repro.io.serialize import (
+    descriptor_from_dict,
+    descriptor_to_dict,
+    dumps,
+    environment_from_dict,
+    environment_to_dict,
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    loads,
+    preference_from_dict,
+    preference_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+)
+
+__all__ = [
+    "descriptor_from_dict",
+    "descriptor_to_dict",
+    "dumps",
+    "environment_from_dict",
+    "environment_to_dict",
+    "hierarchy_from_dict",
+    "hierarchy_to_dict",
+    "loads",
+    "preference_from_dict",
+    "preference_to_dict",
+    "profile_from_dict",
+    "profile_to_dict",
+    "read_csv",
+    "relation_from_csv",
+    "relation_to_csv",
+    "write_csv",
+]

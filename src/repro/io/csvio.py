@@ -1,0 +1,101 @@
+"""CSV import/export for relations.
+
+Real deployments feed the Points_of_Interest relation from flat files;
+this module writes a :class:`Relation` to CSV and reads one back
+against a declared schema, converting each column to its attribute
+type (CSV is stringly-typed).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.exceptions import SchemaError
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+
+__all__ = ["relation_to_csv", "relation_from_csv", "write_csv", "read_csv"]
+
+_TRUE_WORDS = frozenset({"true", "1", "yes", "t"})
+_FALSE_WORDS = frozenset({"false", "0", "no", "f"})
+
+
+def _parse(value: str, type_name: str, nullable: bool) -> object:
+    if value == "" and nullable:
+        return None
+    try:
+        if type_name == "int":
+            return int(value)
+        if type_name == "float":
+            return float(value)
+        if type_name == "bool":
+            lowered = value.strip().lower()
+            if lowered in _TRUE_WORDS:
+                return True
+            if lowered in _FALSE_WORDS:
+                return False
+            raise ValueError(value)
+        return value
+    except ValueError as error:
+        raise SchemaError(
+            f"cannot parse {value!r} as {type_name}"
+        ) from error
+
+
+def relation_to_csv(relation: Relation) -> str:
+    """Render a relation as a CSV string (header row included)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(relation.schema.names)
+    for row in relation:
+        writer.writerow(["" if row[name] is None else row[name]
+                         for name in relation.schema.names])
+    return buffer.getvalue()
+
+
+def relation_from_csv(text: str, name: str, schema: Schema) -> Relation:
+    """Parse a CSV string into a validated relation.
+
+    The header must contain exactly the schema's attributes (any column
+    order); every value is converted to its attribute's type.
+
+    Raises:
+        SchemaError: On header/type mismatches.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input is empty (no header row)") from None
+    if sorted(header) != sorted(schema.names):
+        raise SchemaError(
+            f"CSV header {header} does not match schema attributes "
+            f"{list(schema.names)}"
+        )
+    relation = Relation(name, schema)
+    for line_number, record in enumerate(reader, start=2):
+        if not record:
+            continue
+        if len(record) != len(header):
+            raise SchemaError(
+                f"CSV line {line_number} has {len(record)} fields, "
+                f"expected {len(header)}"
+            )
+        row = {}
+        for column, value in zip(header, record):
+            attribute = schema[column]
+            row[column] = _parse(value, attribute.type_name, attribute.nullable)
+        relation.insert(row)
+    return relation
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to a CSV file."""
+    Path(path).write_text(relation_to_csv(relation), encoding="utf-8")
+
+
+def read_csv(path: str | Path, name: str, schema: Schema) -> Relation:
+    """Read a relation from a CSV file."""
+    return relation_from_csv(Path(path).read_text(encoding="utf-8"), name, schema)

@@ -1,0 +1,259 @@
+"""JSON-friendly (de)serialisation of the context/preference model.
+
+Profiles outlive processes: the paper's system stores user profiles in
+the database. This module round-trips every model object through plain
+dicts (and therefore JSON): hierarchies, context parameters and
+environments, descriptors, preferences and whole profiles.
+
+The dict formats are versioned with a ``"kind"`` tag so files are
+self-describing; ``loads``/``dumps`` wrap the dict codecs with
+``json``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+from repro.exceptions import ReproError
+from repro.context.descriptor import (
+    ContextDescriptor,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+)
+from repro.context.environment import ContextEnvironment
+from repro.context.parameter import ContextParameter
+from repro.hierarchy import ALL_LEVEL, Hierarchy
+from repro.preferences.preference import AttributeClause, ContextualPreference
+from repro.preferences.profile import Profile
+
+__all__ = [
+    "hierarchy_to_dict",
+    "hierarchy_from_dict",
+    "environment_to_dict",
+    "environment_from_dict",
+    "descriptor_to_dict",
+    "descriptor_from_dict",
+    "preference_to_dict",
+    "preference_from_dict",
+    "profile_to_dict",
+    "profile_from_dict",
+    "dumps",
+    "loads",
+]
+
+
+def _expect(data: Mapping, kind: str) -> None:
+    found = data.get("kind")
+    if found != kind:
+        raise ReproError(f"expected serialized {kind!r}, found {found!r}")
+
+
+# ----------------------------------------------------------------------
+# Hierarchies / parameters / environments
+# ----------------------------------------------------------------------
+def hierarchy_to_dict(hierarchy: Hierarchy) -> dict:
+    """Serialise a hierarchy: levels, members and parent links."""
+    levels = [level.name for level in hierarchy.levels if level.name != ALL_LEVEL]
+    members = {name: list(hierarchy.domain(name)) for name in levels}
+    parent_of = {}
+    for name in levels[:-1] if len(levels) > 1 else []:
+        for value in hierarchy.domain(name):
+            parent_of[value] = hierarchy.parent(value)
+    return {
+        "kind": "hierarchy",
+        "name": hierarchy.name,
+        "levels": levels,
+        "members": members,
+        "parent_of": parent_of,
+    }
+
+
+def hierarchy_from_dict(data: Mapping) -> Hierarchy:
+    """Rebuild a hierarchy serialised by :func:`hierarchy_to_dict`."""
+    _expect(data, "hierarchy")
+    return Hierarchy(
+        data["name"],
+        levels=data["levels"],
+        members=data["members"],
+        parent_of=data.get("parent_of") or {},
+    )
+
+
+def environment_to_dict(environment: ContextEnvironment) -> dict:
+    """Serialise an environment as its named parameters."""
+    return {
+        "kind": "environment",
+        "parameters": [
+            {
+                "name": parameter.name,
+                "hierarchy": hierarchy_to_dict(parameter.hierarchy),
+            }
+            for parameter in environment
+        ],
+    }
+
+
+def environment_from_dict(data: Mapping) -> ContextEnvironment:
+    """Rebuild an environment serialised by :func:`environment_to_dict`."""
+    _expect(data, "environment")
+    return ContextEnvironment(
+        [
+            ContextParameter(
+                hierarchy_from_dict(entry["hierarchy"]), name=entry["name"]
+            )
+            for entry in data["parameters"]
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Descriptors
+# ----------------------------------------------------------------------
+def _parameter_descriptor_to_dict(descriptor: ParameterDescriptor) -> dict:
+    return {
+        "parameter": descriptor.parameter_name,
+        "op": descriptor.kind,
+        "values": list(descriptor.payload),
+    }
+
+
+def _parameter_descriptor_from_dict(data: Mapping) -> ParameterDescriptor:
+    op = data["op"]
+    values = data["values"]
+    name = data["parameter"]
+    if op == "equals":
+        return ParameterDescriptor.equals(name, values[0])
+    if op == "one_of":
+        return ParameterDescriptor.one_of(name, values)
+    if op == "between":
+        return ParameterDescriptor.between(name, values[0], values[1])
+    raise ReproError(f"unknown parameter-descriptor op {op!r}")
+
+
+def descriptor_to_dict(
+    descriptor: ContextDescriptor | ExtendedContextDescriptor,
+) -> dict:
+    """Serialise a composite or extended (DNF) context descriptor."""
+    if isinstance(descriptor, ExtendedContextDescriptor):
+        return {
+            "kind": "extended_descriptor",
+            "disjuncts": [descriptor_to_dict(d) for d in descriptor.disjuncts],
+        }
+    return {
+        "kind": "descriptor",
+        "conditions": [
+            _parameter_descriptor_to_dict(d) for d in descriptor.descriptors
+        ],
+    }
+
+
+def descriptor_from_dict(data: Mapping) -> ContextDescriptor | ExtendedContextDescriptor:
+    """Rebuild a descriptor serialised by :func:`descriptor_to_dict`."""
+    kind = data.get("kind")
+    if kind == "extended_descriptor":
+        return ExtendedContextDescriptor(
+            [descriptor_from_dict(d) for d in data["disjuncts"]]
+        )
+    _expect(data, "descriptor")
+    return ContextDescriptor(
+        [_parameter_descriptor_from_dict(d) for d in data["conditions"]]
+    )
+
+
+# ----------------------------------------------------------------------
+# Preferences / profiles
+# ----------------------------------------------------------------------
+def preference_to_dict(preference: ContextualPreference) -> dict:
+    """Serialise one contextual preference."""
+    return {
+        "kind": "preference",
+        "descriptor": descriptor_to_dict(preference.descriptor),
+        "clause": {
+            "attribute": preference.clause.attribute,
+            "op": preference.clause.op,
+            "value": preference.clause.value,
+        },
+        "score": preference.score,
+    }
+
+
+def preference_from_dict(data: Mapping) -> ContextualPreference:
+    """Rebuild a preference serialised by :func:`preference_to_dict`."""
+    _expect(data, "preference")
+    descriptor = descriptor_from_dict(data["descriptor"])
+    if isinstance(descriptor, ExtendedContextDescriptor):
+        raise ReproError("a preference descriptor cannot be extended (DNF)")
+    clause = data["clause"]
+    return ContextualPreference(
+        descriptor,
+        AttributeClause(clause["attribute"], clause["value"], clause.get("op", "=")),
+        data["score"],
+    )
+
+
+def profile_to_dict(profile: Profile) -> dict:
+    """Serialise a whole profile, environment included."""
+    return {
+        "kind": "profile",
+        "environment": environment_to_dict(profile.environment),
+        "preferences": [
+            preference_to_dict(preference) for preference in profile
+        ],
+    }
+
+
+def profile_from_dict(data: Mapping) -> Profile:
+    """Rebuild a profile serialised by :func:`profile_to_dict`.
+
+    Conflicting preferences in the payload raise
+    :class:`~repro.exceptions.ConflictError`, exactly as interactive
+    insertion would.
+    """
+    _expect(data, "profile")
+    environment = environment_from_dict(data["environment"])
+    return Profile(
+        environment,
+        (preference_from_dict(entry) for entry in data["preferences"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON convenience wrappers
+# ----------------------------------------------------------------------
+_TO_DICT = {
+    Hierarchy: hierarchy_to_dict,
+    ContextEnvironment: environment_to_dict,
+    ContextDescriptor: descriptor_to_dict,
+    ExtendedContextDescriptor: descriptor_to_dict,
+    ContextualPreference: preference_to_dict,
+    Profile: profile_to_dict,
+}
+
+_FROM_DICT = {
+    "hierarchy": hierarchy_from_dict,
+    "environment": environment_from_dict,
+    "descriptor": descriptor_from_dict,
+    "extended_descriptor": descriptor_from_dict,
+    "preference": preference_from_dict,
+    "profile": profile_from_dict,
+}
+
+
+def dumps(obj: object, **json_kwargs) -> str:
+    """Serialise any supported model object to a JSON string."""
+    for cls, encode in _TO_DICT.items():
+        if isinstance(obj, cls):
+            return json.dumps(encode(obj), **json_kwargs)
+    raise ReproError(f"cannot serialise objects of type {type(obj).__name__}")
+
+
+def loads(text: str):
+    """Rebuild a model object from a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ReproError("not a serialized repro object (missing 'kind')")
+    decode = _FROM_DICT.get(data["kind"])
+    if decode is None:
+        raise ReproError(f"unknown serialized kind {data['kind']!r}")
+    return decode(data)

@@ -1,0 +1,49 @@
+"""Preference model: contextual preferences, conflicts, profiles (Sec. 3.2)."""
+
+from repro.preferences.combine import (
+    combine_avg,
+    combine_max,
+    combine_min,
+    combiner,
+    weighted_average,
+)
+from repro.preferences.atomic import (
+    AtomicElement,
+    ContextualElementPreference,
+    ElementPreferenceStore,
+    personalize,
+)
+from repro.preferences.conflict import conflicts, find_conflicts
+from repro.preferences.preference import AttributeClause, ContextualPreference
+from repro.preferences.profile import Profile
+from repro.preferences.qualitative import (
+    PreferenceRelation,
+    QualitativePreference,
+    QualitativeProfile,
+    rank_by_strata,
+    winnow,
+)
+from repro.preferences.repository import PreferenceRepository
+
+__all__ = [
+    "AtomicElement",
+    "AttributeClause",
+    "ContextualElementPreference",
+    "ContextualPreference",
+    "ElementPreferenceStore",
+    "PreferenceRelation",
+    "PreferenceRepository",
+    "Profile",
+    "QualitativePreference",
+    "QualitativeProfile",
+    "combine_avg",
+    "combine_max",
+    "combine_min",
+    "combiner",
+    "conflicts",
+    "find_conflicts",
+    "personalize",
+    "rank_by_strata",
+    "weighted_average",
+    "winnow",
+]

@@ -1,0 +1,232 @@
+"""Contextual preferences over *atomic query elements* (Sec. 6 remark).
+
+The paper adapts the Agrawal-Wimmers framework (scores on attribute
+values) but notes that in the Koutrika-Ioannidis framework "user
+preferences are stored as degrees of interest in atomic query elements
+(such as individual selection or join conditions) instead of interests
+in specific attribute values. Our approach can be generalized for this
+framework as well, either by including contextual parameters in the
+atomic query elements or by making the degree of interest for each
+atomic query element depend on context."
+
+This module implements the second generalisation: an
+:class:`AtomicElement` is a named query building block (a selection
+condition, here), a :class:`ContextualElementPreference` scopes its
+degree of interest with a context descriptor, and an
+:class:`ElementPreferenceStore` resolves, for a query context state,
+the degree of every element - reusing the same ``covers``/distance
+machinery as the value-level model. A personalised query then combines
+the degrees of the elements each tuple satisfies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import PreferenceError
+from repro.context.descriptor import ContextDescriptor
+from repro.context.environment import ContextEnvironment
+from repro.context.state import ContextState
+from repro.preferences.combine import combine_max
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.db.relation import Relation
+from repro.preferences.preference import AttributeClause
+from repro.resolution.distances import state_distance
+
+__all__ = [
+    "AtomicElement",
+    "ContextualElementPreference",
+    "ElementPreferenceStore",
+    "personalize",
+]
+
+Row = Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class AtomicElement:
+    """A named atomic query element: one selection condition.
+
+    Attributes:
+        name: Element identifier, e.g. ``"is_open_air"``.
+        clause: The selection condition the element stands for.
+    """
+
+    name: str
+    clause: AttributeClause
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PreferenceError("atomic element name must be non-empty")
+
+    def matches(self, row: Row) -> bool:
+        """True iff the row satisfies the element's condition."""
+        return self.clause.matches(row)
+
+
+class ContextualElementPreference:
+    """A context-scoped degree of interest in one atomic element."""
+
+    __slots__ = ("_descriptor", "_element", "_degree")
+
+    def __init__(
+        self,
+        descriptor: ContextDescriptor,
+        element: AtomicElement,
+        degree: float,
+    ) -> None:
+        if not isinstance(descriptor, ContextDescriptor):
+            raise PreferenceError("descriptor must be a ContextDescriptor")
+        degree = float(degree)
+        if not 0.0 <= degree <= 1.0:
+            raise PreferenceError(f"degree of interest must be in [0, 1], got {degree}")
+        self._descriptor = descriptor
+        self._element = element
+        self._degree = degree
+
+    @property
+    def descriptor(self) -> ContextDescriptor:
+        """The context descriptor scoping this degree."""
+        return self._descriptor
+
+    @property
+    def element(self) -> AtomicElement:
+        """The atomic element."""
+        return self._element
+
+    @property
+    def degree(self) -> float:
+        """The degree of interest in ``[0, 1]``."""
+        return self._degree
+
+    def __repr__(self) -> str:
+        return (
+            f"ContextualElementPreference({self._descriptor!r}, "
+            f"{self._element.name!r}, {self._degree})"
+        )
+
+
+class ElementPreferenceStore:
+    """Per-element contextual degrees with Def.-12-style resolution.
+
+    For each element, the stored context states covering the query
+    state are ranked by the metric and the minimum-distance state's
+    degree applies (ties resolved by the maximum degree, a deterministic
+    stand-in for "let the user decide").
+    """
+
+    def __init__(
+        self,
+        environment: ContextEnvironment,
+        preferences: Iterable[ContextualElementPreference] = (),
+    ) -> None:
+        self._environment = environment
+        # element name -> {state: degree}
+        self._degrees: dict[str, dict[ContextState, float]] = {}
+        self._elements: dict[str, AtomicElement] = {}
+        for preference in preferences:
+            self.add(preference)
+
+    @property
+    def environment(self) -> ContextEnvironment:
+        """The context environment."""
+        return self._environment
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[AtomicElement]:
+        return iter(self._elements.values())
+
+    def add(self, preference: ContextualElementPreference) -> None:
+        """Insert one contextual degree (Def.-6-style conflicts raise)."""
+        element = preference.element
+        existing = self._elements.get(element.name)
+        if existing is not None and existing != element:
+            raise PreferenceError(
+                f"element name {element.name!r} already bound to {existing!r}"
+            )
+        degrees = self._degrees.setdefault(element.name, {})
+        for state in preference.descriptor.states(self._environment):
+            recorded = degrees.get(state)
+            if recorded is not None and recorded != preference.degree:
+                raise PreferenceError(
+                    f"conflicting degree for element {element.name!r} at "
+                    f"state {state!r}: {recorded} vs {preference.degree}"
+                )
+            degrees[state] = preference.degree
+        self._elements[element.name] = element
+
+    def element(self, name: str) -> AtomicElement:
+        """Look up an element by name."""
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise PreferenceError(f"unknown atomic element {name!r}") from None
+
+    def degree_of(
+        self,
+        name: str,
+        state: ContextState,
+        metric: str = "hierarchy",
+    ) -> float | None:
+        """The element's degree in ``state``, or ``None`` if no stored
+        context covers it."""
+        degrees = self._degrees.get(name)
+        if not degrees:
+            return None
+        covering = [
+            (stored, state_distance(state, stored, metric))
+            for stored in degrees
+            if stored.covers(state)
+        ]
+        if not covering:
+            return None
+        minimum = min(distance for _stored, distance in covering)
+        return max(
+            degrees[stored]
+            for stored, distance in covering
+            if distance == minimum
+        )
+
+    def degrees(
+        self, state: ContextState, metric: str = "hierarchy"
+    ) -> dict[str, float]:
+        """Degrees of every element applicable in ``state``."""
+        result = {}
+        for name in self._elements:
+            degree = self.degree_of(name, state, metric)
+            if degree is not None:
+                result[name] = degree
+        return result
+
+
+def personalize(
+    relation: Relation,
+    store: ElementPreferenceStore,
+    state: ContextState,
+    metric: str = "hierarchy",
+    combine=combine_max,
+) -> list[tuple[Row, float]]:
+    """Rank a relation by the contextual degrees of the elements each
+    tuple satisfies.
+
+    Tuples satisfying no applicable element are omitted, like Rank_CS's
+    unmatched tuples. Returns ``(row, score)`` pairs, best first (the
+    relation's row order breaks ties).
+    """
+    degrees = store.degrees(state, metric)
+    ranked: list[tuple[Row, float]] = []
+    for row in relation:
+        satisfied = [
+            degree
+            for name, degree in degrees.items()
+            if store.element(name).matches(row)
+        ]
+        if satisfied:
+            ranked.append((row, combine(satisfied)))
+    ranked.sort(key=lambda pair: -pair[1])
+    return ranked

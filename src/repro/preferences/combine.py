@@ -1,0 +1,85 @@
+"""Score-combining functions.
+
+When more than one preference applies to a tuple, the paper assumes
+"appropriate combining preference functions exist" (Sec. 3.2, after
+[1]) and Rank_CS's dedup step keeps "the max (equivalently, avg, min,
+or some weighted average)". This module provides exactly that family.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.exceptions import PreferenceError
+
+__all__ = ["combiner", "combine_max", "combine_min", "combine_avg", "weighted_average"]
+
+Combiner = Callable[[Sequence[float]], float]
+
+
+def _require_scores(scores: Sequence[float]) -> None:
+    if not scores:
+        raise PreferenceError("cannot combine an empty sequence of scores")
+
+
+def combine_max(scores: Sequence[float]) -> float:
+    """Keep the highest score (Rank_CS's default dedup policy)."""
+    _require_scores(scores)
+    return max(scores)
+
+
+def combine_min(scores: Sequence[float]) -> float:
+    """Keep the lowest score."""
+    _require_scores(scores)
+    return min(scores)
+
+
+def combine_avg(scores: Sequence[float]) -> float:
+    """Arithmetic mean of the scores."""
+    _require_scores(scores)
+    return sum(scores) / len(scores)
+
+
+def weighted_average(weights: Sequence[float]) -> Combiner:
+    """Build a weighted-average combiner.
+
+    The returned function expects exactly ``len(weights)`` scores;
+    weights are normalised so they need not sum to one.
+
+    Example:
+        >>> combine = weighted_average([3, 1])
+        >>> combine([1.0, 0.0])
+        0.75
+    """
+    weights = [float(weight) for weight in weights]
+    if not weights or any(weight < 0 for weight in weights):
+        raise PreferenceError("weights must be non-empty and non-negative")
+    total = sum(weights)
+    if total == 0:
+        raise PreferenceError("weights must not all be zero")
+
+    def combine(scores: Sequence[float]) -> float:
+        if len(scores) != len(weights):
+            raise PreferenceError(
+                f"expected {len(weights)} scores, got {len(scores)}"
+            )
+        return sum(weight * score for weight, score in zip(weights, scores)) / total
+
+    return combine
+
+
+_BY_NAME: dict[str, Combiner] = {
+    "max": combine_max,
+    "min": combine_min,
+    "avg": combine_avg,
+}
+
+
+def combiner(name: str) -> Combiner:
+    """Look up a named combiner (``"max"``, ``"min"``, ``"avg"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise PreferenceError(
+            f"unknown combiner {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,61 @@
+"""Conflict detection between contextual preferences (Def. 6).
+
+Two preferences conflict when their context-state sets intersect, their
+attribute clauses coincide, and their interest scores differ. The
+paper detects conflicts at profile-entry time; :class:`~repro.
+preferences.profile.Profile` and the profile tree both call into this
+module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.context.environment import ContextEnvironment
+from repro.preferences.preference import ContextualPreference
+
+__all__ = ["conflicts", "find_conflicts"]
+
+
+def conflicts(
+    first: ContextualPreference,
+    second: ContextualPreference,
+    environment: ContextEnvironment,
+) -> bool:
+    """Def. 6: do the two preferences conflict?
+
+    True iff (1) their contexts share at least one state, (2) their
+    attribute clauses are identical, and (3) their scores differ.
+    """
+    if first.clause != second.clause:
+        return False
+    if first.score == second.score:
+        return False
+    first_states = set(first.descriptor.states(environment))
+    return any(
+        state in first_states for state in second.descriptor.states(environment)
+    )
+
+
+def find_conflicts(
+    preferences: Iterable[ContextualPreference],
+    environment: ContextEnvironment,
+) -> list[tuple[ContextualPreference, ContextualPreference]]:
+    """All conflicting pairs within ``preferences``.
+
+    The check is grouped by attribute clause so only preferences about
+    the same clause are compared pairwise.
+    """
+    by_clause: dict[object, list[ContextualPreference]] = {}
+    for preference in preferences:
+        by_clause.setdefault(preference.clause, []).append(preference)
+
+    pairs: list[tuple[ContextualPreference, ContextualPreference]] = []
+    for group in by_clause.values():
+        states = [set(preference.descriptor.states(environment)) for preference in group]
+        for i, first in enumerate(group):
+            for j in range(i + 1, len(group)):
+                second = group[j]
+                if first.score != second.score and states[i] & states[j]:
+                    pairs.append((first, second))
+    return pairs

@@ -1,0 +1,163 @@
+"""Contextual preferences (Def. 5).
+
+A contextual preference couples a context descriptor with an
+*attribute clause* over non-context attributes and an interest score in
+``[0, 1]``. Def. 5 allows clauses with any comparison operator from
+``{=, <, >, <=, >=, !=}``; the paper's experiments (and ours) use
+single-attribute equality clauses, but the full operator set is
+implemented and usable.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable, Mapping
+
+from repro.exceptions import PreferenceError
+from repro.context.descriptor import ContextDescriptor
+
+__all__ = ["AttributeClause", "ContextualPreference"]
+
+_OPERATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+
+class AttributeClause:
+    """One condition ``A theta a`` on a non-context attribute.
+
+    Args:
+        attribute: Attribute name, e.g. ``"type"``.
+        value: Comparison constant.
+        op: One of ``= != < > <= >=`` (default ``=``).
+
+    Example:
+        >>> clause = AttributeClause("type", "brewery")
+        >>> clause.matches({"type": "brewery", "name": "Craft"})
+        True
+    """
+
+    __slots__ = ("_attribute", "_op", "_value")
+
+    def __init__(self, attribute: str, value: object, op: str = "=") -> None:
+        if not attribute:
+            raise PreferenceError("attribute name must be non-empty")
+        if op not in _OPERATORS:
+            raise PreferenceError(
+                f"unknown operator {op!r}; expected one of {sorted(_OPERATORS)}"
+            )
+        self._attribute = attribute
+        self._op = op
+        self._value = value
+
+    @property
+    def attribute(self) -> str:
+        """The attribute name."""
+        return self._attribute
+
+    @property
+    def op(self) -> str:
+        """The comparison operator."""
+        return self._op
+
+    @property
+    def value(self) -> object:
+        """The comparison constant."""
+        return self._value
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        """Evaluate the clause against a tuple (mapping of attributes).
+
+        A missing attribute never matches; incomparable values (e.g. a
+        string ordered against an int) never match either.
+        """
+        if self._attribute not in row:
+            return False
+        try:
+            return _OPERATORS[self._op](row[self._attribute], self._value)
+        except TypeError:
+            return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributeClause):
+            return NotImplemented
+        return (
+            self._attribute == other._attribute
+            and self._op == other._op
+            and self._value == other._value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attribute, self._op, self._value))
+
+    def __repr__(self) -> str:
+        return f"({self._attribute} {self._op} {self._value!r})"
+
+
+class ContextualPreference:
+    """A contextual preference ``(cod, attributes clause, score)`` (Def. 5).
+
+    Example:
+        >>> pref = ContextualPreference(
+        ...     ContextDescriptor.from_mapping({"location": "Plaka"}),
+        ...     AttributeClause("name", "Acropolis"),
+        ...     0.8,
+        ... )
+    """
+
+    __slots__ = ("_descriptor", "_clause", "_score")
+
+    def __init__(
+        self,
+        descriptor: ContextDescriptor,
+        clause: AttributeClause,
+        score: float,
+    ) -> None:
+        if not isinstance(descriptor, ContextDescriptor):
+            raise PreferenceError("descriptor must be a ContextDescriptor")
+        if not isinstance(clause, AttributeClause):
+            raise PreferenceError("clause must be an AttributeClause")
+        score = float(score)
+        if not 0.0 <= score <= 1.0:
+            raise PreferenceError(f"interest score must be in [0, 1], got {score}")
+        self._descriptor = descriptor
+        self._clause = clause
+        self._score = score
+
+    @property
+    def descriptor(self) -> ContextDescriptor:
+        """The context descriptor scoping this preference."""
+        return self._descriptor
+
+    @property
+    def clause(self) -> AttributeClause:
+        """The attribute clause the score applies to."""
+        return self._clause
+
+    @property
+    def score(self) -> float:
+        """The degree of interest in ``[0, 1]``."""
+        return self._score
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContextualPreference):
+            return NotImplemented
+        return (
+            self._descriptor == other._descriptor
+            and self._clause == other._clause
+            and self._score == other._score
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._descriptor, self._clause, self._score))
+
+    def __repr__(self) -> str:
+        return (
+            f"ContextualPreference({self._descriptor!r}, {self._clause!r}, "
+            f"{self._score})"
+        )

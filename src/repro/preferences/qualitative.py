@@ -1,0 +1,223 @@
+"""Contextual *qualitative* preferences (the Sec. 3.2 extension).
+
+The paper adopts a quantitative (scoring) model but notes that "our
+context model can be used for extending both quantitative and
+qualitative approaches", the qualitative one (Chomicki [4]) specifying
+binary preference relations between tuples directly. This module
+realises that extension: a :class:`QualitativePreference` scopes a
+*better-than* relation between attribute clauses with a context
+descriptor; resolution reuses the same ``covers``/distance machinery,
+and ranking uses the standard *winnow* (best-matches-only) operator,
+iterated to produce strata.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import PreferenceError
+from repro.context.descriptor import ContextDescriptor
+from repro.context.environment import ContextEnvironment
+from repro.context.state import ContextState
+from repro.preferences.preference import AttributeClause
+from repro.resolution.distances import state_distance
+
+__all__ = [
+    "PreferenceRelation",
+    "QualitativePreference",
+    "QualitativeProfile",
+    "winnow",
+    "rank_by_strata",
+]
+
+Row = Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class PreferenceRelation:
+    """``better > worse``: tuples matching ``better`` are preferred to
+    tuples matching ``worse``."""
+
+    better: AttributeClause
+    worse: AttributeClause
+
+    def __post_init__(self) -> None:
+        if self.better == self.worse:
+            raise PreferenceError("a preference relation needs two distinct sides")
+
+    def dominates(self, first: Row, second: Row) -> bool:
+        """True iff this relation makes ``first`` dominate ``second``."""
+        return self.better.matches(first) and self.worse.matches(second)
+
+    def __repr__(self) -> str:
+        return f"({self.better!r} > {self.worse!r})"
+
+
+class QualitativePreference:
+    """A preference relation scoped by a context descriptor.
+
+    Example:
+        >>> QualitativePreference(
+        ...     ContextDescriptor.from_mapping({"accompanying_people": "family"}),
+        ...     PreferenceRelation(AttributeClause("type", "museum"),
+        ...                        AttributeClause("type", "brewery")),
+        ... )
+    """
+
+    __slots__ = ("_descriptor", "_relation")
+
+    def __init__(
+        self, descriptor: ContextDescriptor, relation: PreferenceRelation
+    ) -> None:
+        if not isinstance(descriptor, ContextDescriptor):
+            raise PreferenceError("descriptor must be a ContextDescriptor")
+        if not isinstance(relation, PreferenceRelation):
+            raise PreferenceError("relation must be a PreferenceRelation")
+        self._descriptor = descriptor
+        self._relation = relation
+
+    @property
+    def descriptor(self) -> ContextDescriptor:
+        """The context descriptor scoping the relation."""
+        return self._descriptor
+
+    @property
+    def relation(self) -> PreferenceRelation:
+        """The better-than relation."""
+        return self._relation
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QualitativePreference):
+            return NotImplemented
+        return (
+            self._descriptor == other._descriptor
+            and self._relation == other._relation
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._descriptor, self._relation))
+
+    def __repr__(self) -> str:
+        return f"QualitativePreference({self._descriptor!r}, {self._relation!r})"
+
+
+class QualitativeProfile:
+    """A set of contextual qualitative preferences with resolution.
+
+    Resolution mirrors the quantitative side (Def. 12): the stored
+    context states covering the query state are found, and the
+    relations attached to the minimum-distance states (under the chosen
+    metric; ties are unioned) apply.
+    """
+
+    def __init__(
+        self,
+        environment: ContextEnvironment,
+        preferences: Iterable[QualitativePreference] = (),
+    ) -> None:
+        self._environment = environment
+        self._preferences: list[QualitativePreference] = []
+        self._by_state: dict[ContextState, list[PreferenceRelation]] = {}
+        for preference in preferences:
+            self.add(preference)
+
+    @property
+    def environment(self) -> ContextEnvironment:
+        """The context environment."""
+        return self._environment
+
+    def __len__(self) -> int:
+        return len(self._preferences)
+
+    def __iter__(self) -> Iterator[QualitativePreference]:
+        return iter(self._preferences)
+
+    def add(self, preference: QualitativePreference) -> None:
+        """Insert a preference; the opposite relation in an overlapping
+        context is a conflict (the qualitative analogue of Def. 6)."""
+        states = preference.descriptor.states(self._environment)
+        opposite = PreferenceRelation(
+            preference.relation.worse, preference.relation.better
+        )
+        for state in states:
+            if opposite in self._by_state.get(state, ()):
+                raise PreferenceError(
+                    f"conflicting relation at state {state!r}: "
+                    f"{opposite!r} already recorded"
+                )
+        if preference in self._preferences:
+            return
+        for state in states:
+            relations = self._by_state.setdefault(state, [])
+            if preference.relation not in relations:
+                relations.append(preference.relation)
+        self._preferences.append(preference)
+
+    def states(self) -> tuple[ContextState, ...]:
+        """All stored context states."""
+        return tuple(self._by_state)
+
+    def applicable(
+        self, state: ContextState, metric: str = "hierarchy"
+    ) -> list[PreferenceRelation]:
+        """The relations that apply in ``state``.
+
+        All stored states covering ``state`` are ranked by the metric;
+        relations of every minimum-distance state are returned (union
+        on ties), duplicates removed.
+        """
+        covering = [
+            (stored, state_distance(state, stored, metric))
+            for stored in self._by_state
+            if stored.covers(state)
+        ]
+        if not covering:
+            return []
+        minimum = min(distance for _s, distance in covering)
+        relations: dict[PreferenceRelation, None] = {}
+        for stored, distance in covering:
+            if distance == minimum:
+                for relation in self._by_state[stored]:
+                    relations.setdefault(relation, None)
+        return list(relations)
+
+
+def winnow(rows: Sequence[Row], relations: Sequence[PreferenceRelation]) -> list[Row]:
+    """The winnow operator: rows not dominated by any other row.
+
+    ``row1`` dominates ``row2`` iff some relation prefers ``row1``'s
+    side and disfavours ``row2``'s, and no relation does the reverse.
+    """
+    def dominates(first: Row, second: Row) -> bool:
+        forward = any(relation.dominates(first, second) for relation in relations)
+        backward = any(relation.dominates(second, first) for relation in relations)
+        return forward and not backward
+
+    return [
+        row
+        for row in rows
+        if not any(dominates(other, row) for other in rows if other is not row)
+    ]
+
+
+def rank_by_strata(
+    rows: Sequence[Row], relations: Sequence[PreferenceRelation]
+) -> list[list[Row]]:
+    """Iterated winnow: stratify rows into preference levels.
+
+    Stratum 0 holds the undominated rows, stratum 1 the rows undominated
+    once stratum 0 is removed, and so on - the standard ranking induced
+    by a qualitative preference relation.
+    """
+    remaining = list(rows)
+    strata: list[list[Row]] = []
+    while remaining:
+        best = winnow(remaining, relations)
+        if not best:  # cyclic relations: stop rather than loop forever
+            strata.append(remaining)
+            break
+        strata.append(best)
+        best_ids = {id(row) for row in best}
+        remaining = [row for row in remaining if id(row) not in best_ids]
+    return strata

@@ -1,0 +1,24 @@
+"""Contextual queries and their execution (Sec. 4)."""
+
+from repro.query.contextual_query import ContextualQuery
+from repro.query.executor import ContextualQueryExecutor, QueryResult
+from repro.query.explain import explain_resolution, explain_result
+from repro.query.qualitative_executor import (
+    QualitativeQueryExecutor,
+    QualitativeResult,
+)
+from repro.query.rank import Contribution, RankedTuple, rank_cs, rank_rows
+
+__all__ = [
+    "ContextualQuery",
+    "ContextualQueryExecutor",
+    "Contribution",
+    "QualitativeQueryExecutor",
+    "QualitativeResult",
+    "QueryResult",
+    "RankedTuple",
+    "explain_resolution",
+    "explain_result",
+    "rank_cs",
+    "rank_rows",
+]

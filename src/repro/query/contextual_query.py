@@ -1,0 +1,137 @@
+"""Contextual queries (Defs. 8-9).
+
+A contextual query is an ordinary query enhanced with context: either
+the *implicit* current context state (captured at submission time) or
+an *explicit* extended context descriptor, possibly both - the paper's
+exploratory queries ("when I travel to Athens with my family this
+summer...") are explicit descriptors over hypothetical contexts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import QueryError
+from repro.context.descriptor import (
+    ContextDescriptor,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+)
+from repro.context.environment import ContextEnvironment
+from repro.context.state import ContextState
+from repro.preferences.preference import AttributeClause
+
+__all__ = ["ContextualQuery"]
+
+
+class ContextualQuery:
+    """A query plus its context (Def. 9).
+
+    Args:
+        environment: The context environment queries are posed against.
+        descriptor: Explicit extended context descriptor, if any.
+        current_state: Implicit current context state, if any. When both
+            are given, the query's context is their union of states;
+            when neither is given the query is non-contextual.
+        base_clauses: Plain selection conditions applied to the relation
+            *before* preference ranking (the ordinary part of the query).
+        top_k: How many results the caller wants (``None`` = all).
+
+    Example:
+        >>> query = ContextualQuery(
+        ...     env,
+        ...     current_state=ContextState.from_mapping(env, {
+        ...         "location": "Plaka", "temperature": "warm",
+        ...     }),
+        ...     top_k=20,
+        ... )
+    """
+
+    def __init__(
+        self,
+        environment: ContextEnvironment,
+        descriptor: ContextDescriptor | ExtendedContextDescriptor | None = None,
+        current_state: ContextState | None = None,
+        base_clauses: Sequence[AttributeClause] = (),
+        top_k: int | None = None,
+    ) -> None:
+        if top_k is not None and top_k <= 0:
+            raise QueryError(f"top_k must be positive or None, got {top_k}")
+        if isinstance(descriptor, ContextDescriptor):
+            descriptor = ExtendedContextDescriptor.single(descriptor)
+        if descriptor is not None and not isinstance(
+            descriptor, ExtendedContextDescriptor
+        ):
+            raise QueryError("descriptor must be a (extended) context descriptor")
+        if current_state is not None and current_state.environment.names != environment.names:
+            raise QueryError("current_state belongs to a different environment")
+        self._environment = environment
+        self._descriptor = descriptor
+        self._current_state = current_state
+        self._base_clauses = tuple(base_clauses)
+        self._top_k = top_k
+
+    @property
+    def environment(self) -> ContextEnvironment:
+        """The context environment."""
+        return self._environment
+
+    @property
+    def descriptor(self) -> ExtendedContextDescriptor | None:
+        """The explicit context descriptor, if any."""
+        return self._descriptor
+
+    @property
+    def current_state(self) -> ContextState | None:
+        """The implicit current context state, if any."""
+        return self._current_state
+
+    @property
+    def base_clauses(self) -> tuple[AttributeClause, ...]:
+        """Ordinary selection conditions of the query."""
+        return self._base_clauses
+
+    @property
+    def top_k(self) -> int | None:
+        """Requested result-set size."""
+        return self._top_k
+
+    def is_contextual(self) -> bool:
+        """True iff the query carries any context at all."""
+        return self._descriptor is not None or self._current_state is not None
+
+    def states(self) -> tuple[ContextState, ...]:
+        """The query's context states: explicit descriptor states plus
+        the implicit current state, duplicates removed."""
+        seen: dict[ContextState, None] = {}
+        if self._current_state is not None:
+            seen.setdefault(self._current_state, None)
+        if self._descriptor is not None:
+            for state in self._descriptor.states(self._environment):
+                seen.setdefault(state, None)
+        return tuple(seen)
+
+    @classmethod
+    def at_state(
+        cls,
+        state: ContextState,
+        base_clauses: Sequence[AttributeClause] = (),
+        top_k: int | None = None,
+    ) -> "ContextualQuery":
+        """Convenience: a query at the given implicit current state."""
+        return cls(
+            state.environment,
+            current_state=state,
+            base_clauses=base_clauses,
+            top_k=top_k,
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        if self._current_state is not None:
+            parts.append(f"current={self._current_state!r}")
+        if self._descriptor is not None:
+            parts.append(f"descriptor={self._descriptor!r}")
+        if self._base_clauses:
+            parts.append(f"where={list(self._base_clauses)!r}")
+        return f"ContextualQuery({', '.join(parts) or '<non-contextual>'})"

@@ -1,0 +1,181 @@
+"""End-to-end execution of contextual queries (Sec. 4).
+
+The executor glues the pieces together: resolve each query context
+state over the profile tree (``Search_CS``), turn the winning
+preferences into selections over the relation (``Rank_CS``), combine
+duplicate scores, restrict by the query's ordinary conditions, and
+optionally serve/populate a :class:`~repro.tree.ContextQueryTree`
+result cache keyed by context state. Queries whose context matches no
+preference fall back to a plain, unranked query, as Sec. 4.2 specifies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.context.state import ContextState
+from repro.db.relation import Relation
+from repro.preferences.combine import combine_max
+from repro.query.contextual_query import ContextualQuery
+from repro.query.rank import Contribution, RankedTuple, rank_rows
+from repro.resolution.resolver import ContextResolver, Resolution
+from repro.tree.counters import AccessCounter
+from repro.tree.profile_tree import ProfileTree
+from repro.tree.query_tree import ContextQueryTree
+
+__all__ = ["QueryResult", "ContextualQueryExecutor"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of executing a contextual query.
+
+    Attributes:
+        results: Ranked tuples, best first.
+        resolutions: Per-query-state resolution outcomes (empty for
+            non-contextual execution).
+        contextual: False when the query fell back to a plain query
+            because no preference matched its context.
+        cache_hits / cache_misses: Query-tree cache statistics for this
+            execution (zero when no cache is configured).
+    """
+
+    results: list[RankedTuple]
+    resolutions: list[Resolution] = field(default_factory=list)
+    contextual: bool = True
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def top(self, k: int, include_ties: bool = True) -> list[RankedTuple]:
+        """The best ``k`` results; with ``include_ties`` every tuple
+        scoring the same as the k-th is kept (the paper's Table 1 rule:
+        "when there are ties in the ranking, we consider all results
+        with the same score")."""
+        if k <= 0 or not self.results:
+            return []
+        if len(self.results) <= k or not include_ties:
+            return self.results[:k]
+        threshold = self.results[k - 1].score
+        cut = k
+        while cut < len(self.results) and self.results[cut].score == threshold:
+            cut += 1
+        return self.results[:cut]
+
+
+class ContextualQueryExecutor:
+    """Executes contextual queries against one relation and one profile.
+
+    Args:
+        tree: Profile tree of the user's preferences.
+        relation: The relation queries run against.
+        metric: Distance metric for resolution (``"hierarchy"`` or
+            ``"jaccard"``).
+        combine: Score-combining function for duplicate tuples.
+        cache: Optional context query tree; when present, per-state
+            ranked contributions are cached and reused.
+
+    Example:
+        >>> executor = ContextualQueryExecutor(tree, relation)
+        >>> result = executor.execute(ContextualQuery.at_state(state))
+        >>> result.results[0].row["name"]
+        'Acropolis'
+    """
+
+    def __init__(
+        self,
+        tree: ProfileTree,
+        relation: Relation,
+        metric: str = "hierarchy",
+        combine: Callable[[Sequence[float]], float] = combine_max,
+        cache: ContextQueryTree | None = None,
+    ) -> None:
+        self._resolver = ContextResolver(tree, metric)
+        self._relation = relation
+        self._combine = combine
+        self._cache = cache
+
+    @property
+    def resolver(self) -> ContextResolver:
+        """The underlying context resolver."""
+        return self._resolver
+
+    @property
+    def relation(self) -> Relation:
+        """The relation queries run against."""
+        return self._relation
+
+    @property
+    def cache(self) -> ContextQueryTree | None:
+        """The result cache, if configured."""
+        return self._cache
+
+    def execute(
+        self,
+        query: ContextualQuery,
+        counter: AccessCounter | None = None,
+    ) -> QueryResult:
+        """Run one contextual query end to end."""
+        if not query.is_contextual():
+            return self._plain(query)
+
+        contributions: dict[Contribution, None] = {}
+        resolutions: list[Resolution] = []
+        cache_hits = 0
+        cache_misses = 0
+        for state in query.states():
+            cached = self._cache.get(state, counter) if self._cache is not None else None
+            if cached is not None:
+                cache_hits += 1
+                state_contributions, resolution = cached
+            else:
+                if self._cache is not None:
+                    cache_misses += 1
+                resolution = self._resolver.resolve_state(state, counter)
+                state_contributions = tuple(
+                    Contribution(candidate.state, clause, score)
+                    for candidate in resolution.best
+                    for clause, score in candidate.entries.items()
+                )
+                if self._cache is not None:
+                    self._cache.put(state, (state_contributions, resolution))
+            resolutions.append(resolution)
+            for contribution in state_contributions:
+                contributions.setdefault(contribution, None)
+
+        if not contributions:
+            # No preference matched any query state: run non-contextually.
+            plain = self._plain(query)
+            plain.resolutions = resolutions
+            plain.cache_hits = cache_hits
+            plain.cache_misses = cache_misses
+            return plain
+
+        ranked = rank_rows(self._relation, list(contributions), self._combine)
+        if query.base_clauses:
+            ranked = [
+                item
+                for item in ranked
+                if all(clause.matches(item.row) for clause in query.base_clauses)
+            ]
+        result = QueryResult(
+            results=ranked,
+            resolutions=resolutions,
+            contextual=True,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
+        if query.top_k is not None:
+            result.results = result.top(query.top_k)
+        return result
+
+    def _plain(self, query: ContextualQuery) -> QueryResult:
+        """Non-contextual fallback: the ordinary query, unranked."""
+        if query.base_clauses:
+            rows = self._relation.select_all(query.base_clauses)
+        else:
+            rows = list(self._relation)
+        results = [RankedTuple(row=row, score=0.0, contributions=()) for row in rows]
+        if query.top_k is not None:
+            results = results[: query.top_k]
+        return QueryResult(results=results, contextual=False)

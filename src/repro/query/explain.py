@@ -1,0 +1,81 @@
+"""Human-readable explanations of contextual query execution.
+
+The paper's usability study found that "traceability helps a lot, since
+users can track back which preferences were used to attain the
+results". This module renders that trace: for each query context state,
+every covering candidate with its distances and whether it was chosen;
+for each returned tuple, the preferences whose scores produced it.
+"""
+
+from __future__ import annotations
+
+from repro.query.executor import QueryResult
+from repro.resolution.resolver import Resolution
+
+__all__ = ["explain_resolution", "explain_result"]
+
+
+def _state_text(values) -> str:
+    return "(" + ", ".join(str(value) for value in values) + ")"
+
+
+def explain_resolution(resolution: Resolution) -> str:
+    """Render one context state's resolution as indented text.
+
+    Shows every covering candidate, its hierarchy/Jaccard distances,
+    its payloads, and which candidate(s) won under the active metric.
+    """
+    lines = [f"query state {_state_text(resolution.query_state)}"]
+    if not resolution.matched:
+        lines.append("  no stored context state covers this state;")
+        lines.append("  the query falls back to non-contextual execution")
+        return "\n".join(lines)
+    best = {id(candidate) for candidate in resolution.best}
+    lines.append(f"  metric: {resolution.metric}")
+    for candidate in resolution.candidates:
+        marker = "*" if id(candidate) in best else " "
+        kind = "exact" if candidate.is_exact() else "cover"
+        lines.append(
+            f"  {marker} {kind} {_state_text(candidate.state)} "
+            f"dist_H={candidate.hierarchy_distance} "
+            f"dist_J={candidate.jaccard_distance:.3f}"
+        )
+        for clause, score in candidate.entries.items():
+            lines.append(f"        {clause}: {score}")
+    if len(resolution.best) > 1:
+        lines.append(
+            f"  note: {len(resolution.best)} candidates tie at the minimum "
+            "distance; all of them apply (the paper lets the user decide)"
+        )
+    return "\n".join(lines)
+
+
+def explain_result(result: QueryResult, limit: int = 5) -> str:
+    """Render a full query execution: resolutions, then the provenance
+    of the top ``limit`` returned tuples."""
+    sections = []
+    if not result.contextual:
+        sections.append(
+            "non-contextual execution (no context, or no matching preference)"
+        )
+    for resolution in result.resolutions:
+        sections.append(explain_resolution(resolution))
+    if result.contextual and result.results:
+        lines = ["ranked results:"]
+        for item in result.results[:limit]:
+            label = item.row.get("name", item.row)
+            lines.append(f"  {item.score:.2f}  {label}")
+            for contribution in item.contributions:
+                lines.append(
+                    f"        from {contribution.clause} @ "
+                    f"{_state_text(contribution.state)} "
+                    f"(score {contribution.score})"
+                )
+        if len(result.results) > limit:
+            lines.append(f"  ... and {len(result.results) - limit} more")
+        sections.append("\n".join(lines))
+    if result.cache_hits or result.cache_misses:
+        sections.append(
+            f"cache: {result.cache_hits} hit(s), {result.cache_misses} miss(es)"
+        )
+    return "\n\n".join(sections)

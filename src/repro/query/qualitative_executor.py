@@ -1,0 +1,105 @@
+"""End-to-end execution for *qualitative* contextual preferences.
+
+The quantitative executor ranks by scores; its qualitative sibling
+stratifies by the winnow operator under the preference relations that
+the query's context activates. Queries whose context activates no
+relation degrade to a single stratum (the non-contextual fallback of
+Sec. 4.2, qualitatively).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.context.state import ContextState
+from repro.db.relation import Relation
+from repro.preferences.preference import AttributeClause
+from repro.preferences.qualitative import (
+    PreferenceRelation,
+    QualitativeProfile,
+    rank_by_strata,
+)
+
+__all__ = ["QualitativeResult", "QualitativeQueryExecutor"]
+
+Row = Mapping[str, object]
+
+
+@dataclass
+class QualitativeResult:
+    """Outcome of a qualitative contextual query.
+
+    Attributes:
+        strata: Preference levels, best first; within a stratum rows are
+            incomparable.
+        relations: The preference relations the context activated.
+        contextual: False when no relation applied (single stratum).
+    """
+
+    strata: list[list[Row]]
+    relations: list[PreferenceRelation] = field(default_factory=list)
+    contextual: bool = True
+
+    def best(self) -> list[Row]:
+        """The top stratum (empty when the relation matched no rows)."""
+        return self.strata[0] if self.strata else []
+
+    def position_of(self, row: Row) -> int | None:
+        """The stratum index holding ``row``, or ``None``."""
+        for index, stratum in enumerate(self.strata):
+            if any(member is row for member in stratum):
+                return index
+        return None
+
+
+class QualitativeQueryExecutor:
+    """Executes context states against a qualitative profile.
+
+    Example:
+        >>> executor = QualitativeQueryExecutor(profile, relation)
+        >>> result = executor.execute(state)
+        >>> result.best()
+    """
+
+    def __init__(
+        self,
+        profile: QualitativeProfile,
+        relation: Relation,
+        metric: str = "hierarchy",
+    ) -> None:
+        self._profile = profile
+        self._relation = relation
+        self._metric = metric
+
+    @property
+    def profile(self) -> QualitativeProfile:
+        """The qualitative profile."""
+        return self._profile
+
+    @property
+    def relation(self) -> Relation:
+        """The queried relation."""
+        return self._relation
+
+    def execute(
+        self,
+        state: ContextState,
+        base_clauses: Sequence[AttributeClause] = (),
+    ) -> QualitativeResult:
+        """Stratify the relation's rows for the given context state."""
+        rows = (
+            self._relation.select_all(base_clauses)
+            if base_clauses
+            else list(self._relation)
+        )
+        relations = self._profile.applicable(state, self._metric)
+        if not relations:
+            return QualitativeResult(
+                strata=[rows] if rows else [], relations=[], contextual=False
+            )
+        return QualitativeResult(
+            strata=rank_by_strata(rows, relations),
+            relations=relations,
+            contextual=True,
+        )

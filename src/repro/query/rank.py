@@ -1,0 +1,109 @@
+"""The ``Rank_CS`` algorithm (Algorithm 2 of the paper).
+
+Given a profile tree, a relation and a context descriptor: resolve
+every context state of the descriptor with ``Search_CS``, keep the
+minimum-distance expression(s), evaluate each as a selection over the
+relation, and annotate the selected tuples with the expression's score.
+Tuples matched by several expressions are deduplicated by a combining
+function (``max`` by default, as the paper suggests; ``avg``/``min``/
+weighted averages are equally valid).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
+from repro.context.state import ContextState
+from repro.db.relation import Relation
+from repro.preferences.combine import combine_max
+from repro.preferences.preference import AttributeClause
+from repro.resolution.resolver import ContextResolver, Resolution
+from repro.tree.counters import AccessCounter
+
+__all__ = ["Contribution", "RankedTuple", "rank_cs", "rank_rows"]
+
+Row = Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """Provenance for one score contribution: which preference fired.
+
+    Keeping the originating state and clause gives the *traceability*
+    the paper's user study leans on ("users can track back which
+    preferences were used to attain the results").
+    """
+
+    state: ContextState
+    clause: AttributeClause
+    score: float
+
+
+@dataclass(frozen=True)
+class RankedTuple:
+    """A relation tuple annotated with its combined interest score."""
+
+    row: Row
+    score: float
+    contributions: tuple[Contribution, ...]
+
+
+def rank_rows(
+    relation: Relation,
+    contributions: Sequence[Contribution],
+    combine: Callable[[Sequence[float]], float] = combine_max,
+) -> list[RankedTuple]:
+    """Evaluate expressions over ``relation`` and rank the results.
+
+    Each contribution's clause is run as a selection; a tuple selected
+    by several contributions gets their scores combined. The result is
+    sorted by descending score, with the relation's row order breaking
+    ties deterministically.
+    """
+    per_row: dict[int, tuple[Row, list[Contribution]]] = {}
+    for contribution in contributions:
+        for row in relation.select(contribution.clause):
+            key = id(row)
+            if key not in per_row:
+                per_row[key] = (row, [])
+            per_row[key][1].append(contribution)
+
+    ranked = [
+        RankedTuple(
+            row=row,
+            score=combine([contribution.score for contribution in row_contributions]),
+            contributions=tuple(row_contributions),
+        )
+        for row, row_contributions in per_row.values()
+    ]
+    ranked.sort(key=lambda item: -item.score)
+    return ranked
+
+
+def rank_cs(
+    resolver: ContextResolver,
+    relation: Relation,
+    descriptor: ContextDescriptor | ExtendedContextDescriptor,
+    combine: Callable[[Sequence[float]], float] = combine_max,
+    counter: AccessCounter | None = None,
+) -> tuple[list[RankedTuple], list[Resolution]]:
+    """Algorithm 2: rank ``relation``'s tuples for ``descriptor``.
+
+    Returns the ranked tuples *and* the per-state resolutions, so
+    callers can inspect how each query state was matched (exact, cover,
+    tie). States with no covering preference contribute nothing; if no
+    state matches at all, the ranked list is empty and the caller
+    should fall back to a non-contextual query (Sec. 4.2).
+    """
+    resolutions = resolver.resolve_descriptor(descriptor, counter)
+    contributions: dict[Contribution, None] = {}
+    for resolution in resolutions:
+        for candidate in resolution.best:
+            for clause, score in candidate.entries.items():
+                contributions.setdefault(
+                    Contribution(candidate.state, clause, score), None
+                )
+    ranked = rank_rows(relation, list(contributions), combine)
+    return ranked, resolutions

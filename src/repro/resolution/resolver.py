@@ -1,0 +1,157 @@
+"""Context resolution (Defs. 10-12 and Sec. 4.4).
+
+Resolution answers: *given a query's context state, which stored
+preferences apply?* Candidates are the stored states that cover the
+query state (found with ``Search_CS``); the best candidate minimises
+the chosen distance metric, which by Properties 2-3 is always one of
+the minimal candidates under the ``covers`` partial order - i.e. a
+*match* in the sense of Def. 12. Ties between incomparable candidates
+are surfaced to the caller, mirroring the paper's "one [way] is to let
+the user decide".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ContextError
+from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
+from repro.context.state import ContextState
+from repro.resolution.distances import METRICS
+from repro.resolution.search import SearchResult, exact_search, search_cs
+from repro.tree.counters import AccessCounter
+from repro.tree.profile_tree import ProfileTree
+
+__all__ = ["Resolution", "ContextResolver", "minimal_covering"]
+
+
+def minimal_covering(candidates: list[SearchResult]) -> list[SearchResult]:
+    """The candidates minimal under the ``covers`` partial order.
+
+    A candidate is kept iff no other candidate is strictly covered by
+    it - this is the literal Def. 12 condition (ii), used both by the
+    resolver's sanity checks and by the property-based tests.
+    """
+    minimal = []
+    for candidate in candidates:
+        dominated = any(
+            other.state != candidate.state
+            and candidate.state.covers(other.state)
+            for other in candidates
+        )
+        if not dominated:
+            minimal.append(candidate)
+    return minimal
+
+
+@dataclass
+class Resolution:
+    """Outcome of resolving one query context state.
+
+    Attributes:
+        query_state: The state being resolved.
+        metric: The distance metric used for ranking.
+        candidates: Every stored state covering the query state, sorted
+            by the metric (then hierarchy distance as tiebreak).
+        best: The minimal-distance candidates (more than one on ties).
+    """
+
+    query_state: ContextState
+    metric: str
+    candidates: list[SearchResult] = field(default_factory=list)
+    best: list[SearchResult] = field(default_factory=list)
+
+    @property
+    def matched(self) -> bool:
+        """True iff at least one stored state covers the query state."""
+        return bool(self.candidates)
+
+    @property
+    def is_exact(self) -> bool:
+        """True iff the best candidate equals the query state."""
+        return bool(self.best) and self.best[0].is_exact()
+
+    def chosen(self) -> SearchResult | None:
+        """The single chosen candidate (first of ``best``), if any."""
+        return self.best[0] if self.best else None
+
+
+class ContextResolver:
+    """Facade for context resolution over a profile tree.
+
+    Args:
+        tree: The profile tree to search.
+        metric: ``"hierarchy"`` (default) or ``"jaccard"``.
+
+    Example:
+        >>> resolver = ContextResolver(tree, metric="jaccard")
+        >>> resolution = resolver.resolve_state(state)
+        >>> resolution.chosen().entries
+        {(name = 'Acropolis'): 0.8}
+    """
+
+    def __init__(self, tree: ProfileTree, metric: str = "hierarchy") -> None:
+        if metric not in METRICS:
+            raise ContextError(f"unknown metric {metric!r}; expected one of {METRICS}")
+        self._tree = tree
+        self._metric = metric
+
+    @property
+    def tree(self) -> ProfileTree:
+        """The underlying profile tree."""
+        return self._tree
+
+    @property
+    def metric(self) -> str:
+        """The active distance metric."""
+        return self._metric
+
+    def resolve_state(
+        self,
+        state: ContextState,
+        counter: AccessCounter | None = None,
+        exact_only: bool = False,
+    ) -> Resolution:
+        """Resolve one query context state.
+
+        With ``exact_only`` the search degrades to the single
+        root-to-leaf traversal of the exact-match fast path.
+        """
+        if exact_only:
+            result = exact_search(self._tree, state, counter)
+            candidates = [result] if result is not None else []
+        else:
+            candidates = search_cs(self._tree, state, counter)
+            candidates.sort(
+                key=lambda result: (
+                    result.distance(self._metric),
+                    result.hierarchy_distance,
+                )
+            )
+        if not candidates:
+            return Resolution(query_state=state, metric=self._metric)
+        minimum = candidates[0].distance(self._metric)
+        best = [
+            candidate
+            for candidate in candidates
+            if candidate.distance(self._metric) == minimum
+        ]
+        return Resolution(
+            query_state=state,
+            metric=self._metric,
+            candidates=candidates,
+            best=best,
+        )
+
+    def resolve_descriptor(
+        self,
+        descriptor: ContextDescriptor | ExtendedContextDescriptor,
+        counter: AccessCounter | None = None,
+        exact_only: bool = False,
+    ) -> list[Resolution]:
+        """Resolve every context state produced by a (possibly extended)
+        context descriptor, in state order."""
+        states = descriptor.states(self._tree.environment)
+        return [
+            self.resolve_state(state, counter, exact_only) for state in states
+        ]

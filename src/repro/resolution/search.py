@@ -1,0 +1,138 @@
+"""The ``Search_CS`` algorithm (Algorithm 1 of the paper).
+
+Given a query context state, descend the profile tree following, at
+each level, the cell whose key equals the query value *and* every cell
+whose key is an ancestor of it (the special key ``'all'`` being the top
+ancestor). Each complete root-to-leaf path reached this way is a stored
+context state that covers the query state; every candidate is returned
+annotated with both its hierarchy and its Jaccard distance from the
+query, so the caller can pick the best under either metric.
+
+Cell accesses are charged to an optional counter: a visited node is
+scanned in full during the covering search (each cell examined once),
+while the exact-match fast path pays linear-scan costs only - exactly
+the two cost regimes analysed in Sec. 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.context.state import ContextState
+from repro.preferences.preference import AttributeClause
+from repro.tree.counters import AccessCounter
+from repro.tree.node import InternalNode, LeafNode
+from repro.tree.profile_tree import ProfileTree
+
+__all__ = ["SearchResult", "search_cs", "exact_search"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One candidate produced by ``Search_CS``.
+
+    Attributes:
+        state: The stored context state (covers the query state).
+        entries: The leaf payloads: ``{attribute clause: score}``.
+        hierarchy_distance: Def. 15 distance from the query state.
+        jaccard_distance: Def. 17 distance from the query state.
+    """
+
+    state: ContextState
+    entries: dict[AttributeClause, float]
+    hierarchy_distance: int
+    jaccard_distance: float
+
+    def distance(self, metric: str) -> float:
+        """The distance under the named metric."""
+        if metric == "hierarchy":
+            return float(self.hierarchy_distance)
+        if metric == "jaccard":
+            return self.jaccard_distance
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def is_exact(self) -> bool:
+        """True iff the stored state equals the query state."""
+        return self.hierarchy_distance == 0
+
+
+def search_cs(
+    tree: ProfileTree,
+    state: ContextState,
+    counter: AccessCounter | None = None,
+) -> list[SearchResult]:
+    """Algorithm 1: all stored states covering ``state``, with distances.
+
+    Results are ordered by (hierarchy distance, insertion order); the
+    exact match, if stored, comes first with both distances zero.
+    """
+    query = tree.project(state)
+    parameters = [tree.parameter_at_level(level) for level in range(len(query))]
+    results: list[SearchResult] = []
+
+    def descend(
+        node: InternalNode | LeafNode,
+        depth: int,
+        path: list,
+        hierarchy_distance: int,
+        jaccard_distance: float,
+    ) -> None:
+        if depth == len(query):
+            if not isinstance(node, LeafNode):  # pragma: no cover
+                raise AssertionError("malformed tree: internal node at leaf depth")
+            results.append(
+                SearchResult(
+                    state=tree.unproject(path),
+                    entries=dict(node.entries),
+                    hierarchy_distance=hierarchy_distance,
+                    jaccard_distance=jaccard_distance,
+                )
+            )
+            return
+        if not isinstance(node, InternalNode):  # pragma: no cover
+            raise AssertionError("malformed tree: leaf reached too early")
+        hierarchy = parameters[depth].hierarchy
+        query_value = query[depth]
+        query_level = hierarchy.level_of(query_value)
+        for key, child in node.scan(counter):
+            if key == query_value:
+                extra_h, extra_j = 0, 0.0
+            elif hierarchy.is_ancestor(key, query_value):
+                extra_h = hierarchy.level_of(key).index - query_level.index
+                key_leaves = hierarchy.leaves(key)
+                value_leaves = hierarchy.leaves(query_value)
+                union = key_leaves | value_leaves
+                extra_j = 1.0 - len(key_leaves & value_leaves) / len(union)
+            else:
+                continue
+            path.append(key)
+            descend(
+                child,
+                depth + 1,
+                path,
+                hierarchy_distance + extra_h,
+                jaccard_distance + extra_j,
+            )
+            path.pop()
+
+    descend(tree.root, 0, [], 0, 0.0)
+    results.sort(key=lambda result: result.hierarchy_distance)
+    return results
+
+
+def exact_search(
+    tree: ProfileTree,
+    state: ContextState,
+    counter: AccessCounter | None = None,
+) -> SearchResult | None:
+    """The exact-match fast path: one root-to-leaf traversal.
+
+    Returns the stored result at exactly ``state`` or ``None``; the
+    traversal pays linear-scan cell accesses only (Sec. 4.4, case 1).
+    """
+    entries = tree.exact_lookup(state, counter)
+    if entries is None:
+        return None
+    return SearchResult(
+        state=state, entries=entries, hierarchy_distance=0, jaccard_distance=0.0
+    )

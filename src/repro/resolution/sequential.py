@@ -1,0 +1,127 @@
+"""Sequential-scan baseline for context resolution (Sec. 4.4).
+
+The paper compares the profile tree against storing the flattened
+``(state, clause, score)`` records in a flat list. Exact-match
+resolution scans until the matching state is found; covering
+resolution must scan the whole store. Cell accesses are charged per
+context-value comparison, with early exit within a record as soon as a
+parameter rules it out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.context.state import ContextState
+from repro.preferences.preference import AttributeClause
+from repro.preferences.profile import Profile
+from repro.resolution.distances import (
+    hierarchy_value_distance,
+    jaccard_value_distance,
+)
+from repro.resolution.search import SearchResult
+from repro.tree.counters import AccessCounter
+
+__all__ = ["SequentialStore"]
+
+
+class SequentialStore:
+    """Flat storage of a profile's ``(state, clause, score)`` records.
+
+    Example:
+        >>> store = SequentialStore.from_profile(profile)
+        >>> counter = AccessCounter()
+        >>> store.exact_scan(query_state, counter)
+    """
+
+    def __init__(
+        self,
+        records: Sequence[tuple[ContextState, AttributeClause, float]],
+    ) -> None:
+        self._records = list(records)
+
+    @classmethod
+    def from_profile(cls, profile: Profile) -> "SequentialStore":
+        """Flatten a profile into its sequential records."""
+        return cls(list(profile.entries()))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[tuple[ContextState, AttributeClause, float]]:
+        return iter(self._records)
+
+    def exact_scan(
+        self,
+        state: ContextState,
+        counter: AccessCounter | None = None,
+    ) -> SearchResult | None:
+        """Scan until the first record whose state equals ``state``.
+
+        Each examined context-value cell is charged to ``counter``;
+        within one record the comparison stops at the first mismatch.
+        Mirrors the paper: "the profile is scanned until the matching
+        state is found".
+        """
+        query = state.values
+        for stored, clause, score in self._records:
+            matched = True
+            for mine, theirs in zip(query, stored.values):
+                if counter is not None:
+                    counter.add(1)
+                if mine != theirs:
+                    matched = False
+                    break
+            if matched:
+                return SearchResult(
+                    state=stored,
+                    entries={clause: score},
+                    hierarchy_distance=0,
+                    jaccard_distance=0.0,
+                )
+        return None
+
+    def cover_scan(
+        self,
+        state: ContextState,
+        counter: AccessCounter | None = None,
+    ) -> list[SearchResult]:
+        """All records whose state covers ``state``, with distances.
+
+        The whole store is scanned (non-exact matches cannot stop
+        early); within one record the per-parameter cover check stops at
+        the first parameter that rules the record out. Records sharing a
+        covering state are merged into one result (the tree's leaf view).
+        """
+        environment = state.environment
+        merged: dict[ContextState, SearchResult] = {}
+        for stored, clause, score in self._records:
+            hierarchy_distance = 0
+            jaccard_distance = 0.0
+            covered = True
+            for parameter, mine, theirs in zip(
+                environment, state.values, stored.values
+            ):
+                if counter is not None:
+                    counter.add(1)
+                hierarchy = parameter.hierarchy
+                if not hierarchy.covers_value(theirs, mine):
+                    covered = False
+                    break
+                hierarchy_distance += hierarchy_value_distance(hierarchy, theirs, mine)
+                jaccard_distance += jaccard_value_distance(hierarchy, theirs, mine)
+            if not covered:
+                continue
+            existing = merged.get(stored)
+            if existing is None:
+                merged[stored] = SearchResult(
+                    state=stored,
+                    entries={clause: score},
+                    hierarchy_distance=hierarchy_distance,
+                    jaccard_distance=jaccard_distance,
+                )
+            else:
+                existing.entries[clause] = score
+        results = list(merged.values())
+        results.sort(key=lambda result: result.hierarchy_distance)
+        return results

@@ -1,0 +1,5 @@
+"""Multi-user personalization service (the paper's prototype system)."""
+
+from repro.service.personalization import PersonalizationService, UserAccount
+
+__all__ = ["PersonalizationService", "UserAccount"]

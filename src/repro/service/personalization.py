@@ -1,0 +1,242 @@
+"""A multi-user personalization service (the paper's prototype, Sec. 5.1).
+
+The usability study describes the system around the algorithms: users
+register and are assigned one of 12 **default profiles** "based on the
+(a) age, (b) sex and (c) taste"; they then modify their profile by
+adding, deleting or updating preferences; their contextual queries run
+against their own profile tree, optionally through a per-user result
+cache; and traceability lets them inspect why a result was returned.
+
+:class:`PersonalizationService` packages exactly that surface on top of
+the library: registration with demographic default-profile assignment,
+profile editing (delegating to :class:`PreferenceRepository`), query
+execution, and per-user cache management.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError, ReproError
+from repro.context.environment import ContextEnvironment
+from repro.context.state import ContextState
+from repro.db.relation import Relation
+from repro.preferences.preference import ContextualPreference
+from repro.preferences.repository import PreferenceRepository
+from repro.query.contextual_query import ContextualQuery
+from repro.query.executor import ContextualQueryExecutor, QueryResult
+from repro.tree.query_tree import ContextQueryTree
+from repro.workloads.users import Persona, default_profile
+
+__all__ = ["UserAccount", "PersonalizationService"]
+
+
+@dataclass
+class UserAccount:
+    """One registered user: persona, repository and statistics."""
+
+    user_id: str
+    persona: Persona
+    repository: PreferenceRepository
+    cache: ContextQueryTree | None = None
+    modifications: int = 0
+    queries_executed: int = 0
+    _executor: ContextualQueryExecutor | None = field(default=None, repr=False)
+
+
+class PersonalizationService:
+    """Registration, profile editing and contextual querying per user.
+
+    Args:
+        environment: The application's context environment. Must be the
+            study environment (or a superset-compatible one) because
+            default profiles are expressed over it.
+        relation: The relation queries run against.
+        metric: Resolution metric used for every user.
+        cache_capacity: Per-user result-cache size; ``None`` disables
+            caching, ``0`` is invalid.
+
+    Example:
+        >>> service = PersonalizationService(study_environment(), relation)
+        >>> service.register("alice", Persona("below30", "female", "offbeat"))
+        >>> service.query("alice", ContextualQuery.at_state(state))
+    """
+
+    def __init__(
+        self,
+        environment: ContextEnvironment,
+        relation: Relation,
+        metric: str = "jaccard",
+        cache_capacity: int | None = 128,
+    ) -> None:
+        self._environment = environment
+        self._relation = relation
+        self._metric = metric
+        self._cache_capacity = cache_capacity
+        self._accounts: dict[str, UserAccount] = {}
+
+    @property
+    def environment(self) -> ContextEnvironment:
+        """The application's context environment."""
+        return self._environment
+
+    @property
+    def relation(self) -> Relation:
+        """The queried relation."""
+        return self._relation
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self._accounts
+
+    def __iter__(self) -> Iterator[UserAccount]:
+        return iter(self._accounts.values())
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, user_id: str, persona: Persona) -> UserAccount:
+        """Register a user; they receive their persona's default profile.
+
+        Raises:
+            ReproError: On empty/duplicate user ids.
+        """
+        if not user_id:
+            raise ReproError("user id must be non-empty")
+        if user_id in self._accounts:
+            raise ReproError(f"user {user_id!r} is already registered")
+        profile = default_profile(persona, self._environment)
+        repository = PreferenceRepository(self._environment, profile)
+        cache = (
+            ContextQueryTree(self._environment, capacity=self._cache_capacity)
+            if self._cache_capacity is not None
+            else None
+        )
+        account = UserAccount(
+            user_id=user_id, persona=persona, repository=repository, cache=cache
+        )
+        self._accounts[user_id] = account
+        return account
+
+    def unregister(self, user_id: str) -> None:
+        """Drop a user and their profile.
+
+        Raises:
+            ReproError: If the user is unknown.
+        """
+        self.account(user_id)
+        del self._accounts[user_id]
+
+    def account(self, user_id: str) -> UserAccount:
+        """Look up a registered user's account."""
+        try:
+            return self._accounts[user_id]
+        except KeyError:
+            raise ReproError(f"unknown user {user_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Profile editing (the study's "modifications")
+    # ------------------------------------------------------------------
+    def add_preference(self, user_id: str, preference: ContextualPreference) -> None:
+        """Insert one preference into the user's profile."""
+        account = self.account(user_id)
+        account.repository.add(preference)
+        self._after_edit(account, preference)
+
+    def delete_preference(self, user_id: str, preference: ContextualPreference) -> None:
+        """Delete one preference from the user's profile."""
+        account = self.account(user_id)
+        account.repository.remove(preference)
+        self._after_edit(account, preference)
+
+    def update_preference(
+        self, user_id: str, preference: ContextualPreference, new_score: float
+    ) -> ContextualPreference:
+        """Change a stored preference's score; returns the replacement."""
+        account = self.account(user_id)
+        replacement = account.repository.update_score(preference, new_score)
+        self._after_edit(account, preference)
+        return replacement
+
+    def _after_edit(
+        self,
+        account: UserAccount,
+        preference: ContextualPreference | None = None,
+    ) -> None:
+        account.modifications += 1
+        account._executor = None  # the tree changed; rebuild lazily
+        if account.cache is None:
+            return
+        if preference is None:
+            account.cache.clear()
+            return
+        # Precise invalidation: only queries resolved at states covered
+        # by one of the edited preference's context states are stale.
+        for state in preference.descriptor.states(self._environment):
+            account.cache.invalidate_covered(state)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def _executor_for(self, account: UserAccount) -> ContextualQueryExecutor:
+        if account._executor is None:
+            account._executor = ContextualQueryExecutor(
+                account.repository.tree,
+                self._relation,
+                metric=self._metric,
+                cache=account.cache,
+            )
+        return account._executor
+
+    def query(self, user_id: str, query: ContextualQuery) -> QueryResult:
+        """Execute a contextual query as ``user_id``.
+
+        Raises:
+            QueryError: If the query's environment differs.
+        """
+        if query.environment.names != self._environment.names:
+            raise QueryError("query environment does not match the service's")
+        account = self.account(user_id)
+        account.queries_executed += 1
+        return self._executor_for(account).execute(query)
+
+    def query_at(
+        self,
+        user_id: str,
+        state: ContextState,
+        top_k: int | None = 20,
+    ) -> QueryResult:
+        """Convenience: query at an implicit current context state."""
+        return self.query(user_id, ContextualQuery.at_state(state, top_k=top_k))
+
+    # ------------------------------------------------------------------
+    # Persistence & statistics
+    # ------------------------------------------------------------------
+    def export_profile(self, user_id: str) -> str:
+        """The user's profile as JSON (see :mod:`repro.io`)."""
+        return self.account(user_id).repository.to_json()
+
+    def import_profile(self, user_id: str, text: str) -> None:
+        """Replace the user's profile from :meth:`export_profile` output."""
+        account = self.account(user_id)
+        account.repository = PreferenceRepository.from_json(text)
+        self._after_edit(account)
+
+    def statistics(self) -> list[dict[str, object]]:
+        """Per-user usage statistics, sorted by user id."""
+        return [
+            {
+                "user_id": account.user_id,
+                "persona_key": account.persona.key,
+                "preferences": len(account.repository),
+                "modifications": account.modifications,
+                "queries": account.queries_executed,
+                "cache_hit_rate": (
+                    account.cache.hit_rate() if account.cache is not None else None
+                ),
+            }
+            for account in sorted(self._accounts.values(), key=lambda a: a.user_id)
+        ]

@@ -1,0 +1,34 @@
+"""Indexing structures: profile tree, query tree, orderings, cost model."""
+
+from repro.tree.advisor import OrderingAdvice, active_domain_sizes, recommend_ordering
+from repro.tree.cost import SerialSize, StorageCostModel, TreeSize
+from repro.tree.counters import AccessCounter
+from repro.tree.node import InternalNode, LeafNode
+from repro.tree.ordering import (
+    all_orderings,
+    optimal_ordering,
+    validate_ordering,
+    worst_case_cells,
+)
+from repro.tree.profile_tree import ProfileTree
+from repro.tree.query_tree import ContextQueryTree
+from repro.tree.visualize import render_tree
+
+__all__ = [
+    "AccessCounter",
+    "ContextQueryTree",
+    "InternalNode",
+    "LeafNode",
+    "OrderingAdvice",
+    "ProfileTree",
+    "SerialSize",
+    "StorageCostModel",
+    "TreeSize",
+    "active_domain_sizes",
+    "all_orderings",
+    "optimal_ordering",
+    "recommend_ordering",
+    "render_tree",
+    "validate_ordering",
+    "worst_case_cells",
+]

@@ -1,0 +1,108 @@
+"""Ordering advisor: pick the parameter-to-level assignment for a profile.
+
+Sec. 3.3's rule of thumb - larger domains lower in the tree - minimises
+the *worst-case* cell count, but the paper's own skew experiment
+(Fig. 6 right) shows the rule can invert: "if a parameter has a very
+skewed data distribution, it may be more space efficient to map it
+higher in the tree, even if its domain is large", because what matters
+is how many *distinct* values actually reach each tree level.
+
+The advisor offers three strategies:
+
+* ``domain``  - the static heuristic: ascending extended-domain size;
+* ``active``  - ascending number of distinct values *observed in the
+  profile* (captures skew without building any tree);
+* ``exact``   - build every candidate tree and measure (n! trees; only
+  sensible for the paper-sized n <= ~5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.exceptions import OrderingError
+from repro.preferences.profile import Profile
+from repro.tree.cost import StorageCostModel
+from repro.tree.ordering import optimal_ordering
+from repro.tree.profile_tree import ProfileTree
+
+__all__ = ["OrderingAdvice", "active_domain_sizes", "recommend_ordering"]
+
+_STRATEGIES = ("domain", "active", "exact")
+
+
+@dataclass(frozen=True)
+class OrderingAdvice:
+    """The advisor's output.
+
+    Attributes:
+        ordering: Recommended parameter names, root level first.
+        strategy: The strategy that produced it.
+        cells: Measured cell count of the tree under the recommended
+            ordering (always measured, whatever the strategy).
+    """
+
+    ordering: tuple[str, ...]
+    strategy: str
+    cells: int
+
+
+def active_domain_sizes(profile: Profile) -> dict[str, int]:
+    """Distinct values of each parameter across the profile's states.
+
+    This is the "active domain" the paper's skew experiment implicitly
+    ranks by: a heavily skewed parameter has a small active domain even
+    when its declared domain is large.
+    """
+    environment = profile.environment
+    seen: dict[str, set] = {name: set() for name in environment.names}
+    for state in profile.states():
+        for name, value in zip(environment.names, state.values):
+            seen[name].add(value)
+    return {name: len(values) for name, values in seen.items()}
+
+
+def _measure(profile: Profile, ordering: tuple[str, ...]) -> int:
+    tree = ProfileTree.from_profile(profile, ordering)
+    return StorageCostModel().tree_size(tree).cells
+
+
+def recommend_ordering(
+    profile: Profile, strategy: str = "active"
+) -> OrderingAdvice:
+    """Recommend a parameter-to-level ordering for ``profile``.
+
+    Args:
+        profile: The profile to index.
+        strategy: ``"domain"``, ``"active"`` (default) or ``"exact"``.
+
+    Raises:
+        OrderingError: On unknown strategies, or ``"exact"`` with more
+            than six parameters (6! = 720 candidate trees is the cap).
+    """
+    if strategy not in _STRATEGIES:
+        raise OrderingError(
+            f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
+        )
+    environment = profile.environment
+    if strategy == "domain":
+        ordering = optimal_ordering(environment)
+    elif strategy == "active":
+        sizes = active_domain_sizes(profile)
+        ordering = tuple(
+            sorted(environment.names, key=lambda name: (sizes[name], name))
+        )
+    else:
+        if len(environment) > 6:
+            raise OrderingError(
+                "exact strategy enumerates n! trees; use 'active' for "
+                f"{len(environment)} parameters"
+            )
+        ordering = min(
+            itertools.permutations(environment.names),
+            key=lambda candidate: _measure(profile, candidate),
+        )
+    return OrderingAdvice(
+        ordering=ordering, strategy=strategy, cells=_measure(profile, ordering)
+    )

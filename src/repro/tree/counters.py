@@ -1,0 +1,40 @@
+"""Cell-access accounting.
+
+The paper's performance study (Sec. 5.2, Fig. 7) measures *cell
+accesses* - how many ``[key, pointer]`` cells (or sequential-record
+cells) an algorithm touches - rather than wall-clock time. Every
+search-path operation in this library threads an optional
+:class:`AccessCounter` so experiments can observe exactly that metric
+without perturbing the algorithms.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AccessCounter"]
+
+
+class AccessCounter:
+    """Counts cell accesses; shared by tree and sequential searches.
+
+    Example:
+        >>> counter = AccessCounter()
+        >>> counter.add(3)
+        >>> counter.cells
+        3
+    """
+
+    __slots__ = ("cells",)
+
+    def __init__(self) -> None:
+        self.cells = 0
+
+    def add(self, count: int = 1) -> None:
+        """Record ``count`` additional cell accesses."""
+        self.cells += count
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.cells = 0
+
+    def __repr__(self) -> str:
+        return f"AccessCounter(cells={self.cells})"

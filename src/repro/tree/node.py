@@ -1,0 +1,99 @@
+"""Profile-tree nodes (Sec. 3.3, Fig. 3).
+
+Internal nodes hold cells of the form ``[key, pointer]`` where the key
+is a value of the level's context parameter (or ``'all'``) and the
+pointer leads one level down. Leaf nodes hold the
+``attribute = value, score`` payloads of the context state reached by
+the root-to-leaf path. Cell lookups optionally charge an
+:class:`~repro.tree.counters.AccessCounter` with linear-scan costs,
+matching the paper's complexity accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.hierarchy import Value
+from repro.preferences.preference import AttributeClause
+from repro.tree.counters import AccessCounter
+
+__all__ = ["InternalNode", "LeafNode"]
+
+
+class LeafNode:
+    """A leaf: the set of ``(attribute clause, score)`` payloads of one
+    context state.
+
+    The paper draws one payload per leaf; a leaf here holds a mapping so
+    several non-conflicting preferences (different clauses) can share a
+    state. Under the paper's workloads each leaf has exactly one entry.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: dict[AttributeClause, float] = {}
+
+    def num_entries(self) -> int:
+        """Number of stored payloads."""
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"LeafNode({len(self.entries)} entries)"
+
+
+class InternalNode:
+    """An internal node: an ordered collection of ``[key, pointer]`` cells.
+
+    Keys are unique within a node; insertion order is preserved, which
+    fixes the deterministic linear-scan access costs.
+    """
+
+    __slots__ = ("cells",)
+
+    def __init__(self) -> None:
+        self.cells: dict[Value, "InternalNode | LeafNode"] = {}
+
+    def find(
+        self, key: Value, counter: AccessCounter | None = None
+    ) -> "InternalNode | LeafNode | None":
+        """Locate the child under ``key``, charging linear-scan accesses.
+
+        When a counter is supplied it is charged with the number of
+        cells a linear scan would examine: the key's position + 1 on a
+        hit, or the full cell count on a miss.
+        """
+        child = self.cells.get(key)
+        if counter is not None:
+            if child is None:
+                counter.add(len(self.cells))
+            else:
+                position = next(
+                    index for index, cell_key in enumerate(self.cells) if cell_key == key
+                )
+                counter.add(position + 1)
+        return child
+
+    def scan(
+        self, counter: AccessCounter | None = None
+    ) -> Iterator[tuple[Value, "InternalNode | LeafNode"]]:
+        """Iterate over every cell, charging one access per cell."""
+        for key, child in self.cells.items():
+            if counter is not None:
+                counter.add(1)
+            yield key, child
+
+    def child(self, key: Value) -> "InternalNode | LeafNode | None":
+        """Uncounted child lookup (used by insertion and stats)."""
+        return self.cells.get(key)
+
+    def add_cell(self, key: Value, child: "InternalNode | LeafNode") -> None:
+        """Append a ``[key, pointer]`` cell."""
+        self.cells[key] = child
+
+    def num_cells(self) -> int:
+        """Number of cells in this node."""
+        return len(self.cells)
+
+    def __repr__(self) -> str:
+        return f"InternalNode(keys={list(self.cells)})"

@@ -1,0 +1,83 @@
+"""Parameter-to-level orderings for the profile tree (Sec. 3.3).
+
+The assignment of context parameters to tree levels determines the
+tree's size: the paper's worst-case cell count
+``m1 * (1 + m2 * (1 + ... (1 + mn)))`` is minimised when domains grow
+from root to leaves, i.e. parameters with larger domains sit lower.
+This module validates orderings, enumerates them, computes the paper's
+bound, and derives the size-optimal ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+
+from repro.exceptions import OrderingError
+from repro.context.environment import ContextEnvironment
+
+__all__ = [
+    "validate_ordering",
+    "all_orderings",
+    "optimal_ordering",
+    "worst_case_cells",
+]
+
+
+def validate_ordering(
+    environment: ContextEnvironment, ordering: Sequence[str] | None
+) -> tuple[str, ...]:
+    """Check that ``ordering`` is a permutation of the environment's
+    parameter names; ``None`` means declaration order.
+
+    Returns:
+        The ordering as a tuple of parameter names, root level first.
+
+    Raises:
+        OrderingError: If the ordering is not a permutation.
+    """
+    if ordering is None:
+        return environment.names
+    ordering = tuple(ordering)
+    if sorted(ordering) != sorted(environment.names):
+        raise OrderingError(
+            f"ordering {list(ordering)} is not a permutation of the "
+            f"environment parameters {list(environment.names)}"
+        )
+    return ordering
+
+
+def all_orderings(environment: ContextEnvironment) -> Iterator[tuple[str, ...]]:
+    """Every permutation of the environment's parameter names."""
+    yield from itertools.permutations(environment.names)
+
+
+def optimal_ordering(environment: ContextEnvironment, extended: bool = True) -> tuple[str, ...]:
+    """The size-optimal ordering: domains ascending from root to leaves.
+
+    Args:
+        extended: Rank parameters by extended-domain size (default),
+            which is what the tree actually stores; ``False`` ranks by
+            detailed-domain size.
+    """
+    def cardinality(name: str) -> int:
+        parameter = environment[name]
+        return len(parameter.edom) if extended else len(parameter.dom)
+
+    return tuple(sorted(environment.names, key=lambda name: (cardinality(name), name)))
+
+
+def worst_case_cells(cardinalities: Sequence[int]) -> int:
+    """The paper's bound ``m1 * (1 + m2 * (1 + ... (1 + mn)))``.
+
+    ``cardinalities`` lists the per-level domain sizes from the root
+    level down.
+    """
+    if not cardinalities:
+        raise OrderingError("need at least one cardinality")
+    if any(m <= 0 for m in cardinalities):
+        raise OrderingError(f"cardinalities must be positive: {list(cardinalities)}")
+    total = cardinalities[-1]
+    for m in reversed(cardinalities[:-1]):
+        total = m * (1 + total)
+    return total

@@ -1,0 +1,249 @@
+"""The context query tree: a context-keyed cache of query results.
+
+The paper introduces (Secs. 1 and 7) a second index "for caching the
+results of queries based on their context"; the section describing it
+was elided from the camera-ready, so we implement the natural design:
+the same trie layout as the profile tree - one level per context
+parameter, one root-to-leaf path per context state - whose leaves hold
+cached, ranked result sets. A capacity bound with least-recently-used
+eviction keeps the cache finite; lookups charge the same cell-access
+counters as the profile tree, making the cache directly comparable in
+the experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import TreeError
+from repro.context.environment import ContextEnvironment
+from repro.context.state import ContextState
+from repro.hierarchy import Value
+from repro.tree.counters import AccessCounter
+from repro.tree.node import InternalNode
+from repro.tree.ordering import validate_ordering
+
+__all__ = ["ContextQueryTree"]
+
+
+class _ResultLeaf:
+    """A cached result set for one context state."""
+
+    __slots__ = ("result", "stamp")
+
+    def __init__(self, result: object, stamp: int) -> None:
+        self.result = result
+        self.stamp = stamp
+
+
+class ContextQueryTree:
+    """Cache of contextual-query results, indexed by context state.
+
+    Args:
+        environment: The context environment.
+        ordering: Parameter-to-level assignment, as for the profile tree.
+        capacity: Maximum number of cached states; ``None`` disables
+            eviction. The least recently *used* (read or written) state
+            is evicted first.
+
+    Example:
+        >>> cache = ContextQueryTree(env, capacity=100)
+        >>> cache.put(state, ranked_results)
+        >>> cache.get(state) is ranked_results
+        True
+    """
+
+    def __init__(
+        self,
+        environment: ContextEnvironment,
+        ordering: Sequence[str] | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise TreeError(f"capacity must be positive or None, got {capacity}")
+        self._environment = environment
+        self._ordering = validate_ordering(environment, ordering)
+        self._positions = tuple(environment.index_of(name) for name in self._ordering)
+        self._root = InternalNode()
+        self._capacity = capacity
+        self._clock = 0
+        # state -> leaf, for O(1) recency updates and eviction.
+        self._leaves: dict[ContextState, _ResultLeaf] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def environment(self) -> ContextEnvironment:
+        """The context environment the cache indexes."""
+        return self._environment
+
+    @property
+    def ordering(self) -> tuple[str, ...]:
+        """Parameter names from the root level down."""
+        return self._ordering
+
+    @property
+    def capacity(self) -> int | None:
+        """Maximum number of cached states (``None`` = unbounded)."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __contains__(self, state: object) -> bool:
+        return state in self._leaves
+
+    def _project(self, state: ContextState) -> tuple[Value, ...]:
+        return tuple(state.values[position] for position in self._positions)
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Cache operations
+    # ------------------------------------------------------------------
+    def get(
+        self, state: ContextState, counter: AccessCounter | None = None
+    ) -> object | None:
+        """The cached result for ``state``, or ``None`` on a miss.
+
+        A hit refreshes the state's recency. Cell accesses along the
+        root-to-leaf traversal are charged to ``counter``.
+        """
+        path = self._project(state)
+        node = self._root
+        for key in path[:-1]:
+            found = node.find(key, counter)
+            if found is None:
+                self.misses += 1
+                return None
+            if not isinstance(found, InternalNode):  # pragma: no cover
+                raise TreeError("malformed query tree")
+            node = found
+        if node.find(path[-1], counter) is None:
+            self.misses += 1
+            return None
+        leaf = self._leaves.get(state)
+        if leaf is None:  # pragma: no cover - trie and dict stay in sync
+            self.misses += 1
+            return None
+        leaf.stamp = self._tick()
+        self.hits += 1
+        return leaf.result
+
+    def put(self, state: ContextState, result: object) -> None:
+        """Cache ``result`` for ``state``, evicting the LRU state if full."""
+        existing = self._leaves.get(state)
+        if existing is not None:
+            existing.result = result
+            existing.stamp = self._tick()
+            return
+        if self._capacity is not None and len(self._leaves) >= self._capacity:
+            self._evict_lru()
+        leaf = _ResultLeaf(result, self._tick())
+        node = self._root
+        path = self._project(state)
+        for key in path[:-1]:
+            child = node.child(key)
+            if child is None:
+                child = InternalNode()
+                node.add_cell(key, child)
+            if not isinstance(child, InternalNode):  # pragma: no cover
+                raise TreeError("malformed query tree")
+            node = child
+        node.add_cell(path[-1], leaf)  # type: ignore[arg-type]
+        self._leaves[state] = leaf
+
+    def invalidate(self, state: ContextState) -> bool:
+        """Drop the cached result for ``state``; True if one existed."""
+        if state not in self._leaves:
+            return False
+        self._remove(state)
+        return True
+
+    def invalidate_covered(self, covering: ContextState) -> int:
+        """Drop every cached state that ``covering`` covers (Def. 10).
+
+        This is the precise invalidation rule for preference edits: a
+        preference whose descriptor produces state ``s`` only affects
+        queries resolved at states covered by ``s``. Returns the number
+        of entries dropped.
+
+        The trie is walked top-down following only the cells whose key
+        equals the covering value or descends from it, so the cost is
+        bounded by the affected subtrees rather than the cache size.
+        """
+        if covering.environment.names != self._environment.names:
+            raise TreeError(
+                "covering state belongs to a different context environment"
+            )
+        projected = self._project(covering)
+        parameters = [
+            self._environment[name] for name in self._ordering
+        ]
+        victims: list[ContextState] = []
+
+        def walk(node: InternalNode, depth: int, path: list[Value]) -> None:
+            cover_value = projected[depth]
+            hierarchy = parameters[depth].hierarchy
+            for key, child in node.cells.items():
+                if key != cover_value and not hierarchy.is_ancestor(cover_value, key):
+                    continue
+                path.append(key)
+                if depth == len(projected) - 1:
+                    # child is a result leaf; rebuild the state key.
+                    values: list[Value] = [None] * len(path)  # type: ignore[list-item]
+                    for value, name in zip(path, self._ordering):
+                        values[self._environment.index_of(name)] = value
+                    victims.append(ContextState(self._environment, values))
+                else:
+                    walk(child, depth + 1, path)  # type: ignore[arg-type]
+                path.pop()
+
+        walk(self._root, 0, [])
+        for victim in victims:
+            self._remove(victim)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Empty the cache (statistics are preserved)."""
+        self._root = InternalNode()
+        self._leaves.clear()
+
+    def _evict_lru(self) -> None:
+        victim = min(self._leaves, key=lambda state: self._leaves[state].stamp)
+        self._remove(victim)
+        self.evictions += 1
+
+    def _remove(self, state: ContextState) -> None:
+        del self._leaves[state]
+        path = self._project(state)
+        # Walk down recording the spine, then prune empty nodes upward.
+        spine: list[tuple[InternalNode, Value]] = []
+        node = self._root
+        for key in path[:-1]:
+            spine.append((node, key))
+            child = node.child(key)
+            if not isinstance(child, InternalNode):  # pragma: no cover
+                raise TreeError("malformed query tree")
+            node = child
+        spine.append((node, path[-1]))
+        # Remove the leaf cell, then any interior node left empty.
+        parent, key = spine.pop()
+        del parent.cells[key]
+        while spine and parent.num_cells() == 0:
+            parent, key = spine.pop()
+            del parent.cells[key]
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when no lookups yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ContextQueryTree(states={len(self._leaves)}, "
+            f"capacity={self._capacity}, hit_rate={self.hit_rate():.2f})"
+        )

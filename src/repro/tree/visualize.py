@@ -1,0 +1,65 @@
+"""ASCII rendering of profile trees (Fig. 4, in text form).
+
+``render_tree`` draws the tree one root-to-leaf branch per visual
+block: internal cells as ``[key]`` boxes labelled by their parameter,
+leaves as the stored ``(clause, score)`` payloads - handy in the REPL,
+in docs, and when debugging orderings.
+"""
+
+from __future__ import annotations
+
+from repro.tree.node import InternalNode, LeafNode
+from repro.tree.profile_tree import ProfileTree
+
+__all__ = ["render_tree"]
+
+
+def render_tree(tree: ProfileTree, max_branches: int | None = None) -> str:
+    """Render a profile tree as indented ASCII.
+
+    Args:
+        tree: The tree to draw.
+        max_branches: Truncate after this many root-to-leaf branches
+            (``None`` = draw everything).
+
+    Example output for the paper's Fig. 4 instance::
+
+        profile tree (order: accompanying_people > temperature > location)
+        [friends]
+          [warm]
+            [Kifisia] -> (type = 'cafeteria'): 0.9
+          [all]
+            [all] -> (type = 'brewery'): 0.9
+        [all]
+          [warm]
+            [Plaka] -> (name = 'Acropolis'): 0.8
+          [hot]
+            [Plaka] -> (name = 'Acropolis'): 0.8
+    """
+    lines = [f"profile tree (order: {' > '.join(tree.ordering)})"]
+    branches_drawn = 0
+
+    def walk(node: InternalNode | LeafNode, depth: int) -> None:
+        nonlocal branches_drawn
+        if isinstance(node, LeafNode):  # pragma: no cover - handled inline below
+            return
+        for key, child in node.cells.items():
+            if max_branches is not None and branches_drawn >= max_branches:
+                return
+            indent = "  " * (depth + 1)
+            if isinstance(child, LeafNode):
+                payload = ", ".join(
+                    f"{clause}: {score}" for clause, score in child.entries.items()
+                )
+                lines.append(f"{indent}[{key}] -> {payload}")
+                branches_drawn += 1
+            else:
+                lines.append(f"{indent}[{key}]")
+                walk(child, depth + 1)
+
+    walk(tree.root, -1)
+    if max_branches is not None and branches_drawn >= max_branches:
+        remaining = tree.num_states - branches_drawn
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more branch(es)")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Workload generators: synthetic/real profiles, queries, users (Sec. 5)."""
+
+from repro.workloads.mobility import mobility_trace
+from repro.workloads.queries import exact_match_states, random_states
+from repro.workloads.streams import query_stream
+from repro.workloads.real_profile import (
+    REAL_PROFILE_SIZE,
+    generate_real_profile,
+    real_accompanying_hierarchy,
+    real_environment,
+    real_location_hierarchy,
+    real_time_hierarchy,
+)
+from repro.workloads.synthetic import (
+    ProfileSpec,
+    deterministic_score,
+    generate_profile,
+    synthetic_environment,
+    synthetic_parameter,
+)
+from repro.workloads.users import (
+    AGE_GROUPS,
+    SEXES,
+    TASTES,
+    CustomizationResult,
+    Persona,
+    SimulatedUser,
+    all_personas,
+    default_profile,
+    study_environment,
+)
+from repro.workloads.zipf import ZipfSampler, zipf_probabilities
+
+__all__ = [
+    "AGE_GROUPS",
+    "CustomizationResult",
+    "Persona",
+    "ProfileSpec",
+    "REAL_PROFILE_SIZE",
+    "SEXES",
+    "SimulatedUser",
+    "TASTES",
+    "ZipfSampler",
+    "all_personas",
+    "default_profile",
+    "deterministic_score",
+    "exact_match_states",
+    "generate_profile",
+    "generate_real_profile",
+    "mobility_trace",
+    "query_stream",
+    "random_states",
+    "real_accompanying_hierarchy",
+    "real_environment",
+    "real_location_hierarchy",
+    "real_time_hierarchy",
+    "study_environment",
+    "synthetic_environment",
+    "synthetic_parameter",
+    "zipf_probabilities",
+]

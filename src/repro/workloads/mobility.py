@@ -1,0 +1,110 @@
+"""Mobility traces: realistic streams of *current* context states.
+
+A user's context does not jump around uniformly: locations follow a
+random walk that mostly stays within the current city (moves to a
+sibling region), occasionally changes city or country; weather drifts
+between adjacent conditions; company changes rarely. This generator
+produces such a trace over any environment whose parameters expose the
+needed structure - giving cache and acquisition experiments a workload
+with genuine temporal and spatial locality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.context.environment import ContextEnvironment
+from repro.context.state import ContextState
+from repro.hierarchy import Hierarchy, Value
+
+__all__ = ["mobility_trace"]
+
+
+def _neighbour_step(
+    hierarchy: Hierarchy, value: Value, rng: np.random.Generator, jump: float
+) -> Value:
+    """One random-walk step over a hierarchy's detailed level.
+
+    With probability ``1 - jump`` move to a sibling (same parent);
+    otherwise jump to a uniform random detailed value (possibly far).
+    Single-child parents force the jump branch.
+    """
+    if rng.random() < jump:
+        domain = hierarchy.dom
+        return domain[int(rng.integers(len(domain)))]
+    parent = hierarchy.parent(value)
+    siblings = [v for v in hierarchy.children(parent) if v != value] or [value]
+    return siblings[int(rng.integers(len(siblings)))]
+
+
+def _drift_step(
+    hierarchy: Hierarchy, value: Value, rng: np.random.Generator
+) -> Value:
+    """Move to an adjacent value in the detailed level's declared order
+    (weather-style drift), staying put at the ends half the time."""
+    domain = hierarchy.dom
+    index = hierarchy.rank(value)
+    delta = int(rng.integers(-1, 2))  # -1, 0, +1
+    return domain[max(0, min(len(domain) - 1, index + delta))]
+
+
+def mobility_trace(
+    environment: ContextEnvironment,
+    num_steps: int,
+    seed: int = 0,
+    move_probability: float = 0.5,
+    jump_probability: float = 0.1,
+    walk_parameters: tuple[str, ...] = ("location",),
+    drift_parameters: tuple[str, ...] = ("temperature",),
+) -> Iterator[ContextState]:
+    """Yield ``num_steps`` detailed context states along a user's day.
+
+    Args:
+        environment: The context environment.
+        num_steps: Trace length.
+        seed: Generator seed.
+        move_probability: Chance per step that each parameter changes at
+            all (otherwise the previous value persists - locality).
+        jump_probability: For walk parameters, chance that a change is a
+            far jump instead of a sibling move.
+        walk_parameters: Parameters following the sibling random walk.
+        drift_parameters: Parameters drifting along their value order.
+            Everything else changes to a uniform random value when it
+            changes (company-style).
+
+    Raises:
+        ReproError: On unknown parameter names or bad probabilities.
+    """
+    if num_steps < 0:
+        raise ReproError("num_steps must be >= 0")
+    for probability in (move_probability, jump_probability):
+        if not 0.0 <= probability <= 1.0:
+            raise ReproError(f"probabilities must be in [0, 1], got {probability}")
+    for name in (*walk_parameters, *drift_parameters):
+        if name not in environment:
+            raise ReproError(f"unknown parameter {name!r} in mobility config")
+    rng = np.random.default_rng(seed)
+
+    values: list[Value] = []
+    for parameter in environment:
+        domain = parameter.hierarchy.dom
+        values.append(domain[int(rng.integers(len(domain)))])
+
+    for _ in range(num_steps):
+        yield ContextState(environment, tuple(values))
+        for position, parameter in enumerate(environment):
+            if rng.random() >= move_probability:
+                continue
+            hierarchy = parameter.hierarchy
+            if parameter.name in walk_parameters:
+                values[position] = _neighbour_step(
+                    hierarchy, values[position], rng, jump_probability
+                )
+            elif parameter.name in drift_parameters:
+                values[position] = _drift_step(hierarchy, values[position], rng)
+            else:
+                domain = hierarchy.dom
+                values[position] = domain[int(rng.integers(len(domain)))]

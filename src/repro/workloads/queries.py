@@ -1,0 +1,79 @@
+"""Query workloads for the performance experiments (Sec. 5.2, Fig. 7).
+
+Two kinds of query context states are needed: states that *exactly*
+match a stored preference (exact-match resolution is a single
+root-to-leaf traversal) and free states "where the context parameters
+have values from different hierarchy levels" (covering resolution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.context.environment import ContextEnvironment
+from repro.context.state import ContextState
+from repro.hierarchy import Value
+from repro.preferences.profile import Profile
+
+__all__ = ["exact_match_states", "random_states"]
+
+
+def exact_match_states(
+    profile: Profile,
+    num_queries: int,
+    seed: int = 5,
+) -> list[ContextState]:
+    """Query states sampled from the profile's own context states.
+
+    Every returned state is guaranteed to have an exact match in any
+    profile tree built over ``profile`` (sampling is with replacement,
+    so ``num_queries`` may exceed the number of distinct states).
+    """
+    if num_queries < 0:
+        raise ReproError("num_queries must be >= 0")
+    states = profile.states()
+    if not states:
+        raise ReproError("cannot sample query states from an empty profile")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(states), size=num_queries)
+    return [states[int(index)] for index in indices]
+
+
+def random_states(
+    environment: ContextEnvironment,
+    num_queries: int,
+    seed: int = 5,
+    level_weights: tuple[float, ...] = (0.7, 0.2, 0.1),
+) -> list[ContextState]:
+    """Free query states with values drawn from mixed hierarchy levels.
+
+    Args:
+        environment: The context environment.
+        num_queries: Number of states.
+        seed: Generator seed.
+        level_weights: Probability of drawing each parameter's value
+            from each hierarchy level, detailed level first; weights
+            beyond a parameter's level count are renormalised away.
+            The default mix (70% detailed / 20% one level up / 10% two
+            levels up) realises the paper's "values from different
+            hierarchy levels".
+    """
+    if num_queries < 0:
+        raise ReproError("num_queries must be >= 0")
+    weights = np.asarray(level_weights, dtype=float)
+    if weights.ndim != 1 or weights.size == 0 or (weights < 0).any() or weights.sum() == 0:
+        raise ReproError(f"bad level_weights {level_weights!r}")
+    rng = np.random.default_rng(seed)
+    states: list[ContextState] = []
+    for _ in range(num_queries):
+        values: list[Value] = []
+        for parameter in environment:
+            hierarchy = parameter.hierarchy
+            usable = min(weights.size, hierarchy.num_levels - 1)
+            level_p = weights[:usable] / weights[:usable].sum()
+            level_index = int(rng.choice(usable, p=level_p))
+            pool = hierarchy.domain(hierarchy.levels[level_index])
+            values.append(pool[int(rng.integers(len(pool)))])
+        states.append(ContextState(environment, values))
+    return states

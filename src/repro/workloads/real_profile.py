@@ -1,0 +1,182 @@
+"""Emulation of the paper's "real profile" (Sec. 5.2).
+
+The authors' real profile - 522 preferences whose context parameters
+``accompanying_people``, ``time`` and ``location`` have active domains
+of 4, 17 and 100 values - is not published. This module rebuilds a
+profile with exactly those statistics deterministically: the tree-size
+and access-count experiments of Figs. 5 and 7 depend only on the
+preference count, the domain cardinalities and the value skew, all of
+which are preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.context.descriptor import ContextDescriptor, ParameterDescriptor
+from repro.context.environment import ContextEnvironment
+from repro.context.parameter import ContextParameter
+from repro.db.poi import POI_TYPES
+from repro.hierarchy import Hierarchy
+from repro.preferences.preference import AttributeClause, ContextualPreference
+from repro.preferences.profile import Profile
+from repro.workloads.synthetic import deterministic_score
+from repro.workloads.zipf import zipf_probabilities
+
+__all__ = [
+    "REAL_PROFILE_SIZE",
+    "real_time_hierarchy",
+    "real_location_hierarchy",
+    "real_accompanying_hierarchy",
+    "real_environment",
+    "generate_real_profile",
+]
+
+#: Number of preferences in the paper's real profile.
+REAL_PROFILE_SIZE = 522
+
+_RELATIONSHIPS = ("friends", "family", "alone", "colleagues")
+
+_PERIOD_OF_SLOT = {
+    # 17 time slots grouped into 5 day periods (slot and period names
+    # are disjoint: hierarchy values are unique across levels).
+    "early_morning": "morning",
+    "mid_morning": "morning",
+    "late_morning": "morning",
+    "noon": "midday",
+    "early_afternoon": "midday",
+    "afternoon": "midday",
+    "late_afternoon": "midday",
+    "early_evening": "evening",
+    "mid_evening": "evening",
+    "late_evening": "evening",
+    "early_night": "night",
+    "late_night": "night",
+    "midnight": "night",
+    "weekend_morning": "weekend",
+    "weekend_afternoon": "weekend",
+    "weekend_evening": "weekend",
+    "holiday": "weekend",
+}
+
+
+def real_accompanying_hierarchy() -> Hierarchy:
+    """``accompanying_people``: 4 detailed values, 2 levels (incl. ALL)."""
+    return Hierarchy(
+        "accompanying_people",
+        levels=["Relationship"],
+        members={"Relationship": list(_RELATIONSHIPS)},
+    )
+
+
+def real_time_hierarchy() -> Hierarchy:
+    """``time``: 17 detailed slots < 5 day periods < ALL (3 levels)."""
+    slots = list(_PERIOD_OF_SLOT)
+    periods = list(dict.fromkeys(_PERIOD_OF_SLOT.values()))
+    return Hierarchy(
+        "time",
+        levels=["Slot", "Period"],
+        members={"Slot": slots, "Period": periods},
+        parent_of=dict(_PERIOD_OF_SLOT),
+    )
+
+
+def real_location_hierarchy() -> Hierarchy:
+    """``location``: 100 regions < 20 cities < 2 countries < ALL (4 levels).
+
+    Regions split evenly across 20 cities; the first 10 cities belong
+    to ``Greece``, the rest to ``Cyprus`` - the exact grouping is
+    immaterial to the experiments, only the cardinalities matter.
+    """
+    regions = [f"region_{index:02d}" for index in range(100)]
+    cities = [f"city_{index:02d}" for index in range(20)]
+    countries = ["Greece", "Cyprus"]
+    parent_of: dict[str, str] = {}
+    for index, region in enumerate(regions):
+        parent_of[region] = cities[index // 5]
+    for index, city in enumerate(cities):
+        parent_of[city] = countries[0] if index < 10 else countries[1]
+    return Hierarchy(
+        "location",
+        levels=["Region", "City", "Country"],
+        members={"Region": regions, "City": cities, "Country": countries},
+        parent_of=parent_of,
+    )
+
+
+def real_environment() -> ContextEnvironment:
+    """The real profile's context environment (A, T, L order)."""
+    return ContextEnvironment(
+        [
+            ContextParameter(real_accompanying_hierarchy()),
+            ContextParameter(real_time_hierarchy()),
+            ContextParameter(real_location_hierarchy()),
+        ]
+    )
+
+
+def generate_real_profile(
+    num_preferences: int = REAL_PROFILE_SIZE,
+    seed: int = 42,
+    zipf_a: float = 1.5,
+    higher_level_fraction: float = 0.15,
+) -> tuple[ContextEnvironment, Profile]:
+    """Deterministically rebuild the 522-preference real profile.
+
+    Args:
+        num_preferences: Profile size (522 in the paper).
+        seed: Generator seed.
+        zipf_a: Mild skew of the context-value popularity - real users
+            concentrate on favourite places and times.
+        higher_level_fraction: Probability that a context value is
+            expressed one hierarchy level up (users do write
+            "weekends" or "Athens", not only detailed values).
+
+    Returns:
+        ``(environment, profile)``.
+    """
+    environment = real_environment()
+    rng = np.random.default_rng(seed)
+    attributes = [
+        ("type", list(POI_TYPES)),
+        ("open_air", [True, False]),
+        ("name", [f"poi_{index}" for index in range(40)]),
+    ]
+    attribute_weights = np.array([0.6, 0.15, 0.25])
+
+    per_parameter: list[tuple[tuple, np.ndarray, tuple, np.ndarray]] = []
+    for parameter in environment:
+        hierarchy = parameter.hierarchy
+        detailed = hierarchy.dom
+        detailed_p = zipf_probabilities(len(detailed), zipf_a)
+        upper = hierarchy.domain(hierarchy.levels[1]) if hierarchy.num_levels > 2 else detailed
+        upper_p = zipf_probabilities(len(upper), zipf_a)
+        per_parameter.append((detailed, detailed_p, upper, upper_p))
+
+    profile = Profile(environment)
+    while len(profile) < num_preferences:
+        values = []
+        for parameter, (detailed, detailed_p, upper, upper_p) in zip(
+            environment, per_parameter
+        ):
+            use_upper = (
+                parameter.hierarchy.num_levels > 2
+                and rng.random() < higher_level_fraction
+            )
+            pool, probabilities = (upper, upper_p) if use_upper else (detailed, detailed_p)
+            values.append(pool[int(rng.choice(len(pool), p=probabilities))])
+        attribute_index = int(rng.choice(len(attributes), p=attribute_weights))
+        attribute, pool = attributes[attribute_index]
+        attribute_value = pool[int(rng.integers(len(pool)))]
+        clause = AttributeClause(attribute, attribute_value)
+        score = deterministic_score(tuple(values), attribute, attribute_value)
+        descriptor = ContextDescriptor(
+            [
+                ParameterDescriptor.equals(parameter.name, value)
+                for parameter, value in zip(environment, values)
+            ]
+        )
+        preference = ContextualPreference(descriptor, clause, score)
+        if preference not in profile:
+            profile.add(preference)
+    return environment, profile

@@ -1,0 +1,58 @@
+"""Query streams: sequences of context states with popularity and locality.
+
+Caching only pays off when query contexts repeat; this module models
+the two reasons they do: **popularity** (some contexts are globally
+hot - zipf over the state set) and **temporal locality** (a user stays
+in the same context for a while - with probability ``locality``, a
+query repeats the previous state). Used by the result-caching example
+and the cache ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.context.state import ContextState
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["query_stream"]
+
+
+def query_stream(
+    states: Sequence[ContextState],
+    num_queries: int,
+    seed: int = 0,
+    zipf_a: float = 1.0,
+    locality: float = 0.0,
+) -> Iterator[ContextState]:
+    """Yield ``num_queries`` states drawn from ``states``.
+
+    Args:
+        states: The candidate context states (popularity rank = position).
+        num_queries: Stream length.
+        seed: Generator seed; equal seeds give equal streams.
+        zipf_a: Popularity skew over ``states`` (0 = uniform).
+        locality: Probability in ``[0, 1]`` that a query repeats the
+            immediately preceding state.
+
+    Raises:
+        ReproError: On empty state sets or parameters out of range.
+    """
+    if not states:
+        raise ReproError("query_stream needs at least one candidate state")
+    if num_queries < 0:
+        raise ReproError("num_queries must be >= 0")
+    if not 0.0 <= locality <= 1.0:
+        raise ReproError(f"locality must be in [0, 1], got {locality}")
+    rng = np.random.default_rng(seed)
+    sampler = ZipfSampler(len(states), zipf_a, rng)
+    previous: ContextState | None = None
+    for _ in range(num_queries):
+        if previous is not None and rng.random() < locality:
+            yield previous
+            continue
+        previous = states[sampler.sample()]
+        yield previous

@@ -1,0 +1,188 @@
+"""Synthetic profile workloads (Sec. 5.2).
+
+The performance study uses profiles over three synthetic context
+parameters with domains of 50, 100 and 1000 values (and a 50/100/200
+variant for the skew sweep), having 2, 3 and 3 hierarchy levels
+respectively. Context values are drawn uniformly or zipf-distributed;
+interest scores are a deterministic hash of the preference's identity
+so regeneration never produces Def. 6 conflicts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.context.descriptor import ContextDescriptor, ParameterDescriptor
+from repro.context.environment import ContextEnvironment
+from repro.context.parameter import ContextParameter
+from repro.hierarchy import Hierarchy, Value
+from repro.hierarchy.builders import balanced_hierarchy, synthetic_level_sizes
+from repro.preferences.preference import AttributeClause, ContextualPreference
+from repro.preferences.profile import Profile
+from repro.workloads.zipf import zipf_probabilities
+
+__all__ = [
+    "deterministic_score",
+    "synthetic_parameter",
+    "synthetic_environment",
+    "ProfileSpec",
+    "generate_profile",
+]
+
+
+def deterministic_score(*parts: object) -> float:
+    """A stable score in ``[0, 1]`` derived from the preference identity.
+
+    Using a checksum of the (state values, clause) identity guarantees
+    that re-generating the same logical preference always yields the
+    same score, so synthetic profiles are conflict-free by construction.
+    """
+    digest = zlib.crc32(repr(parts).encode("utf-8"))
+    return (digest % 101) / 100.0
+
+
+def synthetic_parameter(
+    name: str,
+    domain_size: int,
+    num_levels: int,
+    fanout: int = 10,
+) -> ContextParameter:
+    """A context parameter over a balanced synthetic hierarchy.
+
+    ``num_levels`` counts all levels including ``ALL``, following the
+    paper's phrasing ("the parameter with 50 values has 2 hierarchy
+    levels").
+    """
+    sizes = synthetic_level_sizes(domain_size, num_levels, fanout)
+    return ContextParameter(balanced_hierarchy(name, sizes))
+
+
+def synthetic_environment(
+    domain_sizes: Sequence[int] = (50, 100, 1000),
+    num_levels: Sequence[int] = (2, 3, 3),
+    names: Sequence[str] | None = None,
+    fanout: int = 10,
+) -> ContextEnvironment:
+    """The paper's synthetic context environment.
+
+    Defaults reproduce Sec. 5.2: domains of 50/100/1000 values with
+    2/3/3 hierarchy levels. Parameter names default to ``p50``, ``p100``,
+    ``p1000`` (by domain size).
+    """
+    if len(domain_sizes) != len(num_levels):
+        raise ReproError("domain_sizes and num_levels must have the same length")
+    if names is None:
+        names = [f"p{size}" for size in domain_sizes]
+    if len(names) != len(domain_sizes):
+        raise ReproError("names must match domain_sizes in length")
+    return ContextEnvironment(
+        [
+            synthetic_parameter(name, size, levels, fanout)
+            for name, size, levels in zip(names, domain_sizes, num_levels)
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """Recipe for one synthetic profile.
+
+    Attributes:
+        num_preferences: Profile size (the paper sweeps 500..10000).
+        zipf_a: Skew of the context-value distribution; 0 = uniform,
+            the paper's skewed setting is 1.5. May also be given per
+            parameter via ``zipf_a_per_parameter``.
+        zipf_a_per_parameter: Optional per-parameter skew overriding
+            ``zipf_a`` (used by the Fig. 6 right sweep, where only the
+            200-value domain is skewed).
+        level_weights: Probability of drawing a context value from each
+            hierarchy level (detailed first). The default puts all mass
+            on the detailed level, like the paper's profiles; the query
+            workloads use mixed levels.
+        num_attributes: Size of the non-context attribute pool.
+        num_attribute_values: Values per non-context attribute.
+        seed: Generator seed.
+    """
+
+    num_preferences: int
+    zipf_a: float = 0.0
+    zipf_a_per_parameter: tuple[float, ...] | None = None
+    level_weights: tuple[float, ...] = (1.0,)
+    num_attributes: int = 5
+    num_attribute_values: int = 50
+    seed: int = 17
+
+
+def _value_distribution(
+    hierarchy: Hierarchy, level_index: int, zipf_a: float
+) -> tuple[tuple[Value, ...], np.ndarray]:
+    values = hierarchy.domain(hierarchy.levels[level_index])
+    return values, zipf_probabilities(len(values), zipf_a)
+
+
+def generate_profile(
+    environment: ContextEnvironment,
+    spec: ProfileSpec,
+) -> Profile:
+    """Generate a conflict-free synthetic profile.
+
+    Every preference constrains *all* context parameters with equality
+    descriptors ("each preference consists of three context values"),
+    carries a single-attribute equality clause, and a deterministic
+    score, so the same spec always yields the same profile.
+    """
+    if spec.num_preferences < 0:
+        raise ReproError("num_preferences must be >= 0")
+    weights = np.asarray(spec.level_weights, dtype=float)
+    if weights.ndim != 1 or weights.size == 0 or (weights < 0).any() or weights.sum() == 0:
+        raise ReproError(f"bad level_weights {spec.level_weights!r}")
+    weights = weights / weights.sum()
+    per_parameter_a = spec.zipf_a_per_parameter
+    if per_parameter_a is not None and len(per_parameter_a) != len(environment):
+        raise ReproError(
+            "zipf_a_per_parameter must have one entry per context parameter"
+        )
+
+    rng = np.random.default_rng(spec.seed)
+    # Pre-compute the per-(parameter, level) value distributions.
+    distributions: list[list[tuple[tuple[Value, ...], np.ndarray]]] = []
+    for position, parameter in enumerate(environment):
+        hierarchy = parameter.hierarchy
+        zipf_a = per_parameter_a[position] if per_parameter_a is not None else spec.zipf_a
+        usable_levels = min(len(weights), hierarchy.num_levels - 1)
+        distributions.append(
+            [
+                _value_distribution(hierarchy, level_index, zipf_a)
+                for level_index in range(usable_levels)
+            ]
+        )
+
+    profile = Profile(environment)
+    attempts_left = max(100, spec.num_preferences * 20)
+    while len(profile) < spec.num_preferences and attempts_left > 0:
+        attempts_left -= 1
+        values: list[Value] = []
+        descriptors: list[ParameterDescriptor] = []
+        for parameter, per_level in zip(environment, distributions):
+            level_weights = weights[: len(per_level)]
+            level_weights = level_weights / level_weights.sum()
+            level_index = int(rng.choice(len(per_level), p=level_weights))
+            level_values, probabilities = per_level[level_index]
+            value = level_values[int(rng.choice(len(level_values), p=probabilities))]
+            values.append(value)
+            descriptors.append(ParameterDescriptor.equals(parameter.name, value))
+        attribute = f"attr{int(rng.integers(spec.num_attributes))}"
+        attribute_value = f"v{int(rng.integers(spec.num_attribute_values))}"
+        clause = AttributeClause(attribute, attribute_value)
+        score = deterministic_score(tuple(values), attribute, attribute_value)
+        preference = ContextualPreference(
+            ContextDescriptor(descriptors), clause, score
+        )
+        if preference not in profile:
+            profile.add(preference)
+    return profile

@@ -1,0 +1,62 @@
+"""Bounded zipf sampling for workload generation (Sec. 5.2).
+
+The paper draws context values "either using a uniform data
+distribution, or a zipf data distribution with a = 1.5". This module
+implements the bounded zipf law ``p(rank) ~ 1 / rank^a`` over ``n``
+values; ``a = 0`` degenerates to uniform, larger ``a`` concentrates
+mass on the first ("hot") ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = ["zipf_probabilities", "ZipfSampler"]
+
+
+def zipf_probabilities(n: int, a: float) -> np.ndarray:
+    """Probabilities of the bounded zipf(``a``) law over ranks ``1..n``."""
+    if n <= 0:
+        raise ReproError(f"need a positive number of values, got {n}")
+    if a < 0:
+        raise ReproError(f"zipf exponent must be >= 0, got {a}")
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float), a)
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Samples ranks ``0..n-1`` with zipf(``a``) probabilities.
+
+    Example:
+        >>> sampler = ZipfSampler(100, a=1.5, rng=np.random.default_rng(0))
+        >>> 0 <= sampler.sample() < 100
+        True
+    """
+
+    def __init__(self, n: int, a: float, rng: np.random.Generator) -> None:
+        self._n = n
+        self._a = a
+        self._probabilities = zipf_probabilities(n, a)
+        self._rng = rng
+
+    @property
+    def n(self) -> int:
+        """Number of ranks."""
+        return self._n
+
+    @property
+    def a(self) -> float:
+        """The zipf exponent (0 = uniform)."""
+        return self._a
+
+    def sample(self) -> int:
+        """One rank in ``[0, n)``."""
+        return int(self._rng.choice(self._n, p=self._probabilities))
+
+    def sample_many(self, k: int) -> np.ndarray:
+        """``k`` i.i.d. ranks in ``[0, n)``."""
+        if k < 0:
+            raise ReproError(f"sample count must be >= 0, got {k}")
+        return self._rng.choice(self._n, size=k, p=self._probabilities)

@@ -1,0 +1,95 @@
+"""Shared fixtures: the paper's running example and Fig. 4 profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextEnvironment,
+    ContextParameter,
+    ContextState,
+    ContextualPreference,
+    Profile,
+    ProfileTree,
+)
+from repro.hierarchy import (
+    accompanying_people_hierarchy,
+    location_hierarchy,
+    temperature_hierarchy,
+)
+
+
+@pytest.fixture
+def location():
+    return location_hierarchy()
+
+
+@pytest.fixture
+def temperature():
+    return temperature_hierarchy()
+
+
+@pytest.fixture
+def accompanying():
+    return accompanying_people_hierarchy()
+
+
+@pytest.fixture
+def env(accompanying, temperature, location):
+    """The running example's environment, in the paper's (A, T, L) order."""
+    return ContextEnvironment(
+        [
+            ContextParameter(accompanying),
+            ContextParameter(temperature),
+            ContextParameter(location),
+        ]
+    )
+
+
+@pytest.fixture
+def fig4_preferences(env):
+    """The three contextual preferences of the paper's Fig. 4 example."""
+    pref1 = ContextualPreference(
+        ContextDescriptor.from_mapping(
+            {
+                "location": "Kifisia",
+                "temperature": "warm",
+                "accompanying_people": "friends",
+            }
+        ),
+        AttributeClause("type", "cafeteria"),
+        0.9,
+    )
+    pref2 = ContextualPreference(
+        ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+        AttributeClause("type", "brewery"),
+        0.9,
+    )
+    pref3 = ContextualPreference(
+        ContextDescriptor.from_mapping(
+            {"location": "Plaka", "temperature": ["warm", "hot"]}
+        ),
+        AttributeClause("name", "Acropolis"),
+        0.8,
+    )
+    return [pref1, pref2, pref3]
+
+
+@pytest.fixture
+def fig4_profile(env, fig4_preferences):
+    return Profile(env, fig4_preferences)
+
+
+@pytest.fixture
+def fig4_tree(fig4_profile):
+    """The Fig. 4 profile tree: A at level 1, T at level 2, L at level 3."""
+    return ProfileTree.from_profile(
+        fig4_profile, ordering=("accompanying_people", "temperature", "location")
+    )
+
+
+def state(env: ContextEnvironment, **mapping) -> ContextState:
+    """Terse state builder used across the test suite."""
+    return ContextState.from_mapping(env, mapping)

@@ -1,0 +1,117 @@
+"""Tests for current-context acquisition (rough sensor values)."""
+
+import pytest
+
+from repro import ContextState
+from repro.context.acquisition import ContextSource, CurrentContext
+from repro.exceptions import ContextError
+
+
+class TestContextSource:
+    def test_unreported_source_is_all(self):
+        source = ContextSource("location")
+        assert source.current(now=0.0) == ("all",)
+
+    def test_single_reading(self):
+        source = ContextSource("location")
+        source.report("Plaka", timestamp=5.0)
+        assert source.current(now=6.0) == ("Plaka",)
+
+    def test_multi_value_reading(self):
+        source = ContextSource("location")
+        source.report(["Plaka", "Syntagma"], timestamp=5.0)
+        assert source.current(now=6.0) == ("Plaka", "Syntagma")
+
+    def test_stale_reading_degrades_to_all(self):
+        source = ContextSource("location", max_age=10.0)
+        source.report("Plaka", timestamp=0.0)
+        assert source.current(now=5.0) == ("Plaka",)
+        assert source.current(now=11.0) == ("all",)
+
+    def test_no_expiry_without_max_age(self):
+        source = ContextSource("location")
+        source.report("Plaka", timestamp=0.0)
+        assert source.current(now=1e9) == ("Plaka",)
+
+    def test_empty_reading_rejected(self):
+        with pytest.raises(ContextError):
+            ContextSource("location").report([], timestamp=0.0)
+
+    def test_backwards_timestamp_rejected(self):
+        source = ContextSource("location")
+        source.report("Plaka", timestamp=5.0)
+        with pytest.raises(ContextError):
+            source.report("Kifisia", timestamp=4.0)
+
+    def test_invalid_max_age(self):
+        with pytest.raises(ContextError):
+            ContextSource("location", max_age=0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ContextError):
+            ContextSource("")
+
+
+class TestCurrentContext:
+    @pytest.fixture
+    def current(self, env):
+        return CurrentContext(env, max_age=60.0)
+
+    def test_all_unknown_yields_all_state(self, env, current):
+        assert current.state(now=0.0) == ContextState.all_state(env)
+        assert current.descriptor(now=0.0).is_empty()
+
+    def test_single_values_yield_state(self, env, current):
+        current.report("location", "Plaka", timestamp=0.0)
+        current.report("temperature", "warm", timestamp=0.0)
+        current.report("accompanying_people", "friends", timestamp=0.0)
+        state = current.state(now=1.0)
+        assert state.values == ("friends", "warm", "Plaka")
+
+    def test_rough_value_from_higher_level(self, env, current):
+        # A cell-tower fix: city-level location.
+        current.report("location", "Athens", timestamp=0.0)
+        state = current.state(now=1.0)
+        assert state["location"] == "Athens"
+        assert not state.is_detailed()
+
+    def test_ambiguous_reading_blocks_state(self, env, current):
+        current.report("temperature", ["warm", "hot"], timestamp=0.0)
+        assert current.is_ambiguous(now=1.0)
+        with pytest.raises(ContextError):
+            current.state(now=1.0)
+
+    def test_ambiguous_reading_yields_descriptor(self, env, current):
+        current.report("temperature", ["warm", "hot"], timestamp=0.0)
+        current.report("location", "Plaka", timestamp=0.0)
+        descriptor = current.descriptor(now=1.0)
+        states = descriptor.states(env)
+        assert len(states) == 2
+        assert {state["temperature"] for state in states} == {"warm", "hot"}
+        assert all(state["accompanying_people"] == "all" for state in states)
+
+    def test_staleness_drops_parameter(self, env, current):
+        current.report("location", "Plaka", timestamp=0.0)
+        current.report("temperature", "warm", timestamp=100.0)
+        descriptor = current.descriptor(now=120.0)  # location is stale
+        (state,) = descriptor.states(env)
+        assert state["location"] == "all"
+        assert state["temperature"] == "warm"
+
+    def test_unknown_parameter_rejected(self, current):
+        with pytest.raises(ContextError):
+            current.report("humidity", "high", timestamp=0.0)
+
+    def test_descriptor_feeds_contextual_query(self, env, current, fig4_tree):
+        from repro import ContextualQuery, ContextResolver
+
+        current.report("accompanying_people", "friends", timestamp=0.0)
+        current.report("temperature", ["warm", "hot"], timestamp=0.0)
+        current.report("location", "Plaka", timestamp=0.0)
+        query = ContextualQuery(env, descriptor=current.descriptor(now=1.0))
+        resolver = ContextResolver(fig4_tree)
+        resolutions = [
+            resolver.resolve_state(state) for state in query.states()
+        ]
+        assert len(resolutions) == 2
+        assert all(resolution.matched for resolution in resolutions)

@@ -1,0 +1,196 @@
+"""Tests for context descriptors (Defs. 1-4, 8)."""
+
+import pytest
+
+from repro import (
+    ContextDescriptor,
+    ContextState,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+)
+from repro.exceptions import DescriptorError
+
+
+class TestParameterDescriptor:
+    def test_equals_context(self, env):
+        descriptor = ParameterDescriptor.equals("location", "Plaka")
+        assert descriptor.context(env) == ("Plaka",)
+
+    def test_one_of_context_preserves_order_dedups(self, env):
+        descriptor = ParameterDescriptor.one_of(
+            "location", ["Plaka", "Kifisia", "Plaka"]
+        )
+        assert descriptor.context(env) == ("Plaka", "Kifisia")
+
+    def test_between_expands_range(self, env):
+        # Paper: temperature in [mild, hot] means {mild, warm, hot}.
+        descriptor = ParameterDescriptor.between("temperature", "mild", "hot")
+        assert descriptor.context(env) == ("mild", "warm", "hot")
+
+    def test_between_on_upper_level(self, env):
+        descriptor = ParameterDescriptor.between("temperature", "bad", "good")
+        assert descriptor.context(env) == ("bad", "good")
+
+    def test_between_cross_level_rejected(self, env):
+        descriptor = ParameterDescriptor.between("temperature", "mild", "good")
+        with pytest.raises(DescriptorError):
+            descriptor.context(env)
+
+    def test_between_empty_range_rejected(self, env):
+        descriptor = ParameterDescriptor.between("temperature", "hot", "mild")
+        with pytest.raises(DescriptorError):
+            descriptor.context(env)
+
+    def test_unknown_value_rejected(self, env):
+        descriptor = ParameterDescriptor.equals("location", "Paris")
+        with pytest.raises(DescriptorError):
+            descriptor.context(env)
+
+    def test_extended_domain_values_allowed(self, env):
+        descriptor = ParameterDescriptor.equals("location", "Greece")
+        assert descriptor.context(env) == ("Greece",)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DescriptorError):
+            ParameterDescriptor("location", "matches", ("Plaka",))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(DescriptorError):
+            ParameterDescriptor.one_of("location", [])
+
+    def test_equality_and_hash(self):
+        a = ParameterDescriptor.equals("location", "Plaka")
+        b = ParameterDescriptor.equals("location", "Plaka")
+        assert a == b and hash(a) == hash(b)
+        assert a != ParameterDescriptor.one_of("location", ["Plaka"])
+
+    def test_repr_forms(self):
+        assert "=" in repr(ParameterDescriptor.equals("l", "x"))
+        assert "in {" in repr(ParameterDescriptor.one_of("l", ["x", "y"]))
+        assert "in [" in repr(ParameterDescriptor.between("l", "x", "y"))
+
+
+class TestContextDescriptor:
+    def test_paper_example_two_states(self, env):
+        # (location = Plaka AND temperature in {warm, hot} AND
+        #  accompanying_people = friends) -> two states (Sec. 3.1).
+        descriptor = ContextDescriptor(
+            [
+                ParameterDescriptor.equals("location", "Plaka"),
+                ParameterDescriptor.one_of("temperature", ["warm", "hot"]),
+                ParameterDescriptor.equals("accompanying_people", "friends"),
+            ]
+        )
+        states = descriptor.states(env)
+        assert set(states) == {
+            ContextState(env, ("friends", "warm", "Plaka")),
+            ContextState(env, ("friends", "hot", "Plaka")),
+        }
+
+    def test_missing_parameters_take_all(self, env):
+        descriptor = ContextDescriptor.from_mapping({"location": "Plaka"})
+        (only,) = descriptor.states(env)
+        assert only.values == ("all", "all", "Plaka")
+
+    def test_empty_descriptor_denotes_all_state(self, env):
+        (only,) = ContextDescriptor.empty().states(env)
+        assert only.is_all()
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(DescriptorError):
+            ContextDescriptor(
+                [
+                    ParameterDescriptor.equals("location", "Plaka"),
+                    ParameterDescriptor.equals("location", "Kifisia"),
+                ]
+            )
+
+    def test_unknown_parameter_rejected_at_state_time(self, env):
+        descriptor = ContextDescriptor([ParameterDescriptor.equals("weather", "warm")])
+        with pytest.raises(DescriptorError):
+            descriptor.states(env)
+
+    def test_from_mapping_kinds(self, env):
+        descriptor = ContextDescriptor.from_mapping(
+            {
+                "location": "Plaka",
+                "temperature": ("mild", "hot"),
+                "accompanying_people": ["friends", "family"],
+            }
+        )
+        assert len(descriptor.states(env)) == 1 * 3 * 2
+
+    def test_from_mapping_set_condition_sorted(self, env):
+        descriptor = ContextDescriptor.from_mapping(
+            {"accompanying_people": {"friends", "family"}}
+        )
+        assert len(descriptor.states(env)) == 2
+
+    def test_descriptor_for(self):
+        inner = ParameterDescriptor.equals("location", "Plaka")
+        descriptor = ContextDescriptor([inner])
+        assert descriptor.descriptor_for("location") is inner
+        assert descriptor.descriptor_for("temperature") is None
+
+    def test_is_empty(self):
+        assert ContextDescriptor.empty().is_empty()
+        assert not ContextDescriptor.from_mapping({"location": "Plaka"}).is_empty()
+
+    def test_equality_ignores_order(self):
+        a = ContextDescriptor(
+            [
+                ParameterDescriptor.equals("location", "Plaka"),
+                ParameterDescriptor.equals("temperature", "warm"),
+            ]
+        )
+        b = ContextDescriptor(
+            [
+                ParameterDescriptor.equals("temperature", "warm"),
+                ParameterDescriptor.equals("location", "Plaka"),
+            ]
+        )
+        assert a == b and hash(a) == hash(b)
+
+    def test_states_cartesian_count(self, env):
+        descriptor = ContextDescriptor.from_mapping(
+            {
+                "location": ["Plaka", "Kifisia", "Perama"],
+                "temperature": ["warm", "hot"],
+            }
+        )
+        assert len(descriptor.states(env)) == 6
+
+
+class TestExtendedContextDescriptor:
+    def test_union_of_disjuncts(self, env):
+        extended = ExtendedContextDescriptor(
+            [
+                ContextDescriptor.from_mapping({"location": "Plaka"}),
+                ContextDescriptor.from_mapping({"location": "Kifisia"}),
+            ]
+        )
+        assert len(extended.states(env)) == 2
+
+    def test_duplicates_across_disjuncts_removed(self, env):
+        duplicate = ContextDescriptor.from_mapping({"location": "Plaka"})
+        extended = ExtendedContextDescriptor([duplicate, duplicate])
+        assert len(extended.states(env)) == 1
+
+    def test_single_wrapper(self, env):
+        extended = ExtendedContextDescriptor.single(
+            ContextDescriptor.from_mapping({"location": "Plaka"})
+        )
+        assert len(extended.disjuncts) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(DescriptorError):
+            ExtendedContextDescriptor([])
+
+    def test_equality(self):
+        a = ExtendedContextDescriptor.single(
+            ContextDescriptor.from_mapping({"location": "Plaka"})
+        )
+        b = ExtendedContextDescriptor.single(
+            ContextDescriptor.from_mapping({"location": "Plaka"})
+        )
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,57 @@
+"""Tests for context environments."""
+
+import pytest
+
+from repro import ContextEnvironment, ContextParameter
+from repro.exceptions import ContextError, UnknownParameterError
+from repro.hierarchy import flat_hierarchy, location_hierarchy
+
+
+class TestEnvironment:
+    def test_names_in_order(self, env):
+        assert env.names == ("accompanying_people", "temperature", "location")
+
+    def test_len_and_iter(self, env):
+        assert len(env) == 3
+        assert [parameter.name for parameter in env] == list(env.names)
+
+    def test_getitem_by_index_and_name(self, env):
+        assert env[0].name == "accompanying_people"
+        assert env["location"].name == "location"
+
+    def test_index_of(self, env):
+        assert env.index_of("temperature") == 1
+
+    def test_unknown_parameter_raises(self, env):
+        with pytest.raises(UnknownParameterError):
+            env.index_of("weather")
+
+    def test_contains(self, env):
+        assert "location" in env
+        assert "weather" not in env
+
+    def test_duplicate_names_rejected(self, location):
+        with pytest.raises(ContextError):
+            ContextEnvironment([ContextParameter(location), ContextParameter(location)])
+
+    def test_empty_environment_rejected(self):
+        with pytest.raises(ContextError):
+            ContextEnvironment([])
+
+    def test_world_size(self, env):
+        # 3 relationships x 5 conditions x 7 regions.
+        assert env.world_size() == 3 * 5 * 7
+
+    def test_extended_world_size(self, env):
+        # edom sizes: (3+1) x (5+2+1) x (7+4+2+1).
+        assert env.extended_world_size() == 4 * 8 * 14
+
+    def test_equality(self, env):
+        other = ContextEnvironment(list(env.parameters))
+        assert env == other
+        assert hash(env) == hash(other)
+
+    def test_single_parameter_environment(self):
+        env = ContextEnvironment([ContextParameter(flat_hierarchy("x", ["a"]))])
+        assert env.world_size() == 1
+        assert env.extended_world_size() == 2

@@ -1,0 +1,43 @@
+"""Tests for context parameters."""
+
+import pytest
+
+from repro import ContextParameter
+from repro.exceptions import ContextError
+from repro.hierarchy import location_hierarchy
+
+
+class TestContextParameter:
+    def test_name_defaults_to_hierarchy_name(self, location):
+        assert ContextParameter(location).name == "location"
+
+    def test_explicit_name(self, location):
+        assert ContextParameter(location, name="place").name == "place"
+
+    def test_dom_and_edom_delegate(self, location):
+        parameter = ContextParameter(location)
+        assert parameter.dom == location.dom
+        assert parameter.edom == location.edom
+
+    def test_contains(self, location):
+        parameter = ContextParameter(location)
+        assert "Athens" in parameter
+        assert "Paris" not in parameter
+
+    def test_requires_hierarchy(self):
+        with pytest.raises(ContextError):
+            ContextParameter("not a hierarchy")
+
+    def test_empty_name_rejected(self, location):
+        with pytest.raises(ContextError):
+            ContextParameter(location, name="")
+
+    def test_equality(self, location):
+        assert ContextParameter(location) == ContextParameter(location_hierarchy())
+        assert ContextParameter(location) != ContextParameter(location, name="other")
+
+    def test_hashable(self, location):
+        assert len({ContextParameter(location), ContextParameter(location)}) == 1
+
+    def test_repr(self, location):
+        assert "location" in repr(ContextParameter(location))

@@ -1,0 +1,168 @@
+"""Tests for context states and the covers relation (Defs. 10-11)."""
+
+import pytest
+
+from repro import ContextState, covers_set
+from repro.exceptions import InvalidStateError
+from tests.conftest import state
+
+
+class TestConstruction:
+    def test_values_in_order(self, env):
+        s = ContextState(env, ("friends", "warm", "Plaka"))
+        assert s.values == ("friends", "warm", "Plaka")
+
+    def test_wrong_arity_rejected(self, env):
+        with pytest.raises(InvalidStateError):
+            ContextState(env, ("friends", "warm"))
+
+    def test_value_outside_edom_rejected(self, env):
+        with pytest.raises(InvalidStateError):
+            ContextState(env, ("friends", "sunny", "Plaka"))
+
+    def test_from_mapping_fills_all(self, env):
+        s = state(env, location="Plaka")
+        assert s.values == ("all", "all", "Plaka")
+
+    def test_from_mapping_unknown_parameter_rejected(self, env):
+        with pytest.raises(InvalidStateError):
+            ContextState.from_mapping(env, {"weather": "warm"})
+
+    def test_all_state(self, env):
+        s = ContextState.all_state(env)
+        assert s.is_all()
+        assert not state(env, location="Plaka").is_all()
+
+    def test_extended_values_allowed(self, env):
+        # (Greece, good, all) is a valid extended state (Sec. 3.1).
+        s = ContextState(env, ("all", "good", "Greece"))
+        assert s["location"] == "Greece"
+
+
+class TestAccessors:
+    def test_getitem_by_name_and_index(self, env):
+        s = state(env, accompanying_people="friends", temperature="warm", location="Plaka")
+        assert s["location"] == "Plaka"
+        assert s[0] == "friends"
+
+    def test_iteration_and_len(self, env):
+        s = state(env, location="Plaka")
+        assert len(s) == 3
+        assert list(s) == ["all", "all", "Plaka"]
+
+    def test_levels_def13(self, env):
+        s = ContextState(env, ("friends", "good", "Greece"))
+        names = [level.name for level in s.levels()]
+        assert names == ["Relationship", "Weather Characterization", "Country"]
+
+    def test_is_detailed(self, env):
+        assert state(
+            env, accompanying_people="friends", temperature="warm", location="Plaka"
+        ).is_detailed()
+        assert not state(env, temperature="good").is_detailed()
+
+    def test_equality_and_hash(self, env):
+        a = state(env, location="Plaka")
+        b = state(env, location="Plaka")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != state(env, location="Kifisia")
+
+
+class TestCovers:
+    def test_reflexive(self, env):
+        s = state(env, location="Plaka", temperature="warm")
+        assert s.covers(s)
+
+    def test_ancestor_covers_descendant(self, env):
+        lower = state(env, location="Plaka")
+        upper = state(env, location="Athens")
+        assert upper.covers(lower)
+        assert not lower.covers(upper)
+
+    def test_all_covers_everything(self, env):
+        top = ContextState.all_state(env)
+        detailed = state(
+            env, accompanying_people="friends", temperature="warm", location="Plaka"
+        )
+        assert top.covers(detailed)
+
+    def test_mixed_parameters(self, env):
+        # (Greece, good, all accompaniment) covers (Plaka..., warm, friends)?
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        candidate = ContextState(env, ("all", "good", "Greece"))
+        assert candidate.covers(query)
+
+    def test_sibling_does_not_cover(self, env):
+        assert not state(env, location="Kifisia").covers(state(env, location="Plaka"))
+
+    def test_unrelated_branch_does_not_cover(self, env):
+        # Ioannina is not an ancestor of Plaka.
+        assert not state(env, location="Ioannina").covers(state(env, location="Plaka"))
+
+    def test_incomparable_pair(self, env):
+        # Paper Sec. 4.2: (Greece, warm) and (Athens, good) are both covers
+        # of (Athens, warm)... adapted: neither covers the other.
+        first = state(env, temperature="warm", location="Greece")
+        second = state(env, temperature="good", location="Athens")
+        assert not first.covers(second)
+        assert not second.covers(first)
+
+    def test_antisymmetry(self, env):
+        first = state(env, location="Athens")
+        second = state(env, location="Plaka")
+        assert first.covers(second)
+        assert not (second.covers(first) and first != second)
+
+    def test_transitivity_example(self, env):
+        bottom = state(env, location="Plaka")
+        middle = state(env, location="Athens")
+        top = state(env, location="Greece")
+        assert top.covers(middle) and middle.covers(bottom)
+        assert top.covers(bottom)
+
+    def test_strictly_covers(self, env):
+        s = state(env, location="Plaka")
+        assert state(env, location="Athens").strictly_covers(s)
+        assert not s.strictly_covers(s)
+
+    def test_cross_environment_rejected(self, env):
+        from repro import ContextEnvironment
+
+        other = ContextEnvironment([env.parameters[0]])
+        with pytest.raises(InvalidStateError):
+            ContextState(other, ("friends",)).covers(state(env, location="Plaka"))
+
+
+class TestGeneralisations:
+    def test_count_is_product_of_chain_lengths(self, env):
+        s = ContextState(env, ("friends", "warm", "Plaka"))
+        # ancestors+self per parameter: A: 2, T: 3, L: 4.
+        assert sum(1 for _ in s.generalisations()) == 2 * 3 * 4
+
+    def test_all_generalisations_cover(self, env):
+        s = ContextState(env, ("friends", "warm", "Plaka"))
+        for upper in s.generalisations():
+            assert upper.covers(s)
+
+    def test_includes_self_and_top(self, env):
+        s = ContextState(env, ("friends", "warm", "Plaka"))
+        generalisations = set(s.generalisations())
+        assert s in generalisations
+        assert ContextState.all_state(env) in generalisations
+
+
+class TestCoversSet:
+    def test_def11(self, env):
+        covered = [state(env, location="Plaka"), state(env, location="Kifisia")]
+        covering = [state(env, location="Athens")]
+        assert covers_set(covering, covered)
+
+    def test_partial_coverage_fails(self, env):
+        covered = [state(env, location="Plaka"), state(env, location="Perama")]
+        covering = [state(env, location="Athens")]  # Perama is in Ioannina
+        assert not covers_set(covering, covered)
+
+    def test_empty_covered_is_trivially_covered(self, env):
+        assert covers_set([], [])
+        assert covers_set([state(env, location="Athens")], [])

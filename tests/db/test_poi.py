@@ -1,0 +1,93 @@
+"""Tests for the Points_of_Interest generator."""
+
+import pytest
+
+from repro.db import (
+    POI_TYPES,
+    generate_poi_relation,
+    landmark_rows,
+    points_of_interest_schema,
+)
+from repro.hierarchy import location_hierarchy
+
+
+class TestSchema:
+    def test_paper_schema_attributes(self):
+        schema = points_of_interest_schema()
+        assert schema.names == (
+            "pid",
+            "name",
+            "type",
+            "location",
+            "open_air",
+            "hours_of_operation",
+            "admission_cost",
+        )
+
+
+class TestLandmarks:
+    def test_acropolis_is_in_plaka(self):
+        rows = {row["name"]: row for row in landmark_rows()}
+        assert rows["Acropolis"]["location"] == "Plaka"
+        assert rows["Acropolis"]["type"] == "archaeological_site"
+
+    def test_landmarks_validate_against_schema(self):
+        schema = points_of_interest_schema()
+        for row in landmark_rows():
+            schema.validate(row)
+
+    def test_landmark_locations_are_detailed_regions(self):
+        regions = set(location_hierarchy().dom)
+        assert all(row["location"] in regions for row in landmark_rows())
+
+
+class TestGenerator:
+    def test_requested_size(self):
+        assert len(generate_poi_relation(50)) == 50
+
+    def test_deterministic_for_equal_seeds(self):
+        first = generate_poi_relation(30, seed=3)
+        second = generate_poi_relation(30, seed=3)
+        assert [dict(row) for row in first] == [dict(row) for row in second]
+
+    def test_different_seeds_differ(self):
+        first = generate_poi_relation(30, seed=3)
+        second = generate_poi_relation(30, seed=4)
+        assert [dict(row) for row in first] != [dict(row) for row in second]
+
+    def test_unique_pids(self):
+        relation = generate_poi_relation(100)
+        pids = [row["pid"] for row in relation]
+        assert len(set(pids)) == len(pids)
+
+    def test_types_from_pool(self):
+        relation = generate_poi_relation(100)
+        assert {row["type"] for row in relation} <= set(POI_TYPES)
+
+    def test_locations_are_regions(self):
+        regions = set(location_hierarchy().dom)
+        relation = generate_poi_relation(100)
+        assert {row["location"] for row in relation} <= regions
+
+    def test_landmarks_included_by_default(self):
+        relation = generate_poi_relation(10)
+        assert any(row["name"] == "Acropolis" for row in relation)
+
+    def test_landmarks_can_be_excluded(self):
+        relation = generate_poi_relation(10, include_landmarks=False)
+        assert not any(row["name"] == "Acropolis" for row in relation)
+
+    def test_size_smaller_than_landmark_count(self):
+        relation = generate_poi_relation(2)
+        assert len(relation) == 2
+
+    def test_custom_hierarchy(self):
+        from repro.hierarchy import flat_hierarchy
+
+        hierarchy = flat_hierarchy("loc", ["here", "there"])
+        relation = generate_poi_relation(20, hierarchy=hierarchy, include_landmarks=False)
+        assert {row["location"] for row in relation} <= {"here", "there"}
+
+    def test_costs_non_negative(self):
+        relation = generate_poi_relation(100)
+        assert all(row["admission_cost"] >= 0 for row in relation)

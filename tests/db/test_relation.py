@@ -1,0 +1,107 @@
+"""Tests for in-memory relations and selection."""
+
+import pytest
+
+from repro import Attribute, AttributeClause, Relation, Schema
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Attribute("pid", "int"),
+            Attribute("type", "str"),
+            Attribute("cost", "float"),
+        ]
+    )
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation(
+        "pois",
+        schema,
+        [
+            {"pid": 1, "type": "museum", "cost": 10.0},
+            {"pid": 2, "type": "brewery", "cost": 0.0},
+            {"pid": 3, "type": "museum", "cost": 5.0},
+        ],
+    )
+
+
+class TestConstruction:
+    def test_len_iter_getitem(self, relation):
+        assert len(relation) == 3
+        assert relation[0]["pid"] == 1
+        assert [row["pid"] for row in relation] == [1, 2, 3]
+
+    def test_insert_validates(self, relation):
+        with pytest.raises(SchemaError):
+            relation.insert({"pid": "four", "type": "zoo", "cost": 1.0})
+
+    def test_rows_are_read_only(self, relation):
+        with pytest.raises(TypeError):
+            relation[0]["pid"] = 99
+
+    def test_empty_name_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Relation("", schema)
+
+    def test_extend(self, relation):
+        relation.extend([{"pid": 4, "type": "zoo", "cost": 1.0}])
+        assert len(relation) == 4
+
+    def test_insert_copies_row(self, schema):
+        relation = Relation("pois", schema)
+        row = {"pid": 1, "type": "museum", "cost": 10.0}
+        relation.insert(row)
+        row["pid"] = 99
+        assert relation[0]["pid"] == 1
+
+
+class TestSelect:
+    def test_equality_selection(self, relation):
+        rows = relation.select(AttributeClause("type", "museum"))
+        assert [row["pid"] for row in rows] == [1, 3]
+
+    def test_comparison_selection(self, relation):
+        rows = relation.select(AttributeClause("cost", 5.0, ">="))
+        assert [row["pid"] for row in rows] == [1, 3]
+
+    def test_no_match(self, relation):
+        assert relation.select(AttributeClause("type", "zoo")) == []
+
+    def test_unknown_attribute_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            relation.select(AttributeClause("name", "x"))
+
+    def test_select_all_conjunction(self, relation):
+        rows = relation.select_all(
+            [AttributeClause("type", "museum"), AttributeClause("cost", 6.0, "<")]
+        )
+        assert [row["pid"] for row in rows] == [3]
+
+    def test_select_all_empty_clauses_returns_everything(self, relation):
+        assert len(relation.select_all([])) == 3
+
+    def test_select_all_validates_attributes(self, relation):
+        with pytest.raises(SchemaError):
+            relation.select_all([AttributeClause("name", "x")])
+
+
+class TestProjectAndDistinct:
+    def test_project(self, relation):
+        rows = relation.project(["pid"])
+        assert rows == [{"pid": 1}, {"pid": 2}, {"pid": 3}]
+
+    def test_project_unknown_attribute(self, relation):
+        with pytest.raises(SchemaError):
+            relation.project(["name"])
+
+    def test_distinct_values(self, relation):
+        assert relation.distinct_values("type") == ["museum", "brewery"]
+
+    def test_distinct_values_unknown_attribute(self, relation):
+        with pytest.raises(SchemaError):
+            relation.distinct_values("name")

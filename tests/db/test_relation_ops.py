@@ -1,0 +1,125 @@
+"""Tests for order_by and join on relations."""
+
+import pytest
+
+from repro import Attribute, Relation, Schema
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def pois():
+    schema = Schema(
+        [
+            Attribute("pid", "int"),
+            Attribute("type", "str"),
+            Attribute("cost", "float"),
+        ]
+    )
+    return Relation(
+        "pois",
+        schema,
+        [
+            {"pid": 1, "type": "museum", "cost": 10.0},
+            {"pid": 2, "type": "brewery", "cost": 0.0},
+            {"pid": 3, "type": "museum", "cost": 5.0},
+        ],
+    )
+
+
+@pytest.fixture
+def reviews():
+    schema = Schema(
+        [
+            Attribute("pid", "int"),
+            Attribute("stars", "int"),
+        ]
+    )
+    return Relation(
+        "reviews",
+        schema,
+        [
+            {"pid": 1, "stars": 5},
+            {"pid": 1, "stars": 3},
+            {"pid": 3, "stars": 4},
+            {"pid": 9, "stars": 1},  # dangling: no matching POI
+        ],
+    )
+
+
+class TestOrderBy:
+    def test_ascending(self, pois):
+        ordered = pois.order_by("cost")
+        assert [row["pid"] for row in ordered] == [2, 3, 1]
+
+    def test_descending(self, pois):
+        ordered = pois.order_by("cost", descending=True)
+        assert [row["pid"] for row in ordered] == [1, 3, 2]
+
+    def test_none_values_sort_last(self):
+        schema = Schema([Attribute("pid", "int"), Attribute("note", "str", nullable=True)])
+        relation = Relation(
+            "r",
+            schema,
+            [
+                {"pid": 1, "note": None},
+                {"pid": 2, "note": "a"},
+            ],
+        )
+        assert [row["pid"] for row in relation.order_by("note")] == [2, 1]
+
+    def test_unknown_attribute(self, pois):
+        with pytest.raises(SchemaError):
+            pois.order_by("stars")
+
+    def test_original_order_untouched(self, pois):
+        pois.order_by("cost")
+        assert [row["pid"] for row in pois] == [1, 2, 3]
+
+
+class TestJoin:
+    def test_basic_equi_join(self, pois, reviews):
+        joined = pois.join(reviews, "pid")
+        assert len(joined) == 3  # (1,5), (1,3), (3,4)
+        assert {(row["pid"], row["stars"]) for row in joined} == {
+            (1, 5),
+            (1, 3),
+            (3, 4),
+        }
+
+    def test_overlapping_attribute_renamed(self, pois, reviews):
+        joined = pois.join(reviews, "pid")
+        assert "reviews_pid" in joined.schema
+        assert all(row["pid"] == row["reviews_pid"] for row in joined)
+
+    def test_dangling_rows_dropped(self, pois, reviews):
+        joined = pois.join(reviews, "pid")
+        assert all(row["pid"] != 9 for row in joined)
+
+    def test_different_attribute_names(self, pois):
+        schema = Schema([Attribute("poi", "int"), Attribute("tag", "str")])
+        tags = Relation("tags", schema, [{"poi": 2, "tag": "nightlife"}])
+        joined = pois.join(tags, "pid", "poi")
+        assert len(joined) == 1
+        assert joined[0]["tag"] == "nightlife"
+
+    def test_join_name(self, pois, reviews):
+        assert pois.join(reviews, "pid").name == "pois_join_reviews"
+        assert pois.join(reviews, "pid", name="pr").name == "pr"
+
+    def test_missing_attributes(self, pois, reviews):
+        with pytest.raises(SchemaError):
+            pois.join(reviews, "missing")
+        with pytest.raises(SchemaError):
+            pois.join(reviews, "pid", "missing")
+
+    def test_join_result_supports_selection(self, pois, reviews):
+        from repro import AttributeClause
+
+        joined = pois.join(reviews, "pid")
+        high = joined.select(AttributeClause("stars", 4, ">="))
+        assert {row["stars"] for row in high} == {5, 4}
+
+    def test_empty_join(self, pois):
+        schema = Schema([Attribute("pid", "int"), Attribute("x", "str")])
+        empty = Relation("empty", schema)
+        assert len(pois.join(empty, "pid")) == 0

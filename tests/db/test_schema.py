@@ -1,0 +1,82 @@
+"""Tests for relation schemas."""
+
+import pytest
+
+from repro import Attribute, Schema
+from repro.exceptions import SchemaError
+
+
+class TestAttribute:
+    def test_accepts_matching_type(self):
+        assert Attribute("pid", "int").accepts(3)
+        assert Attribute("name", "str").accepts("x")
+        assert Attribute("open", "bool").accepts(True)
+        assert Attribute("cost", "float").accepts(2.5)
+
+    def test_float_accepts_int(self):
+        assert Attribute("cost", "float").accepts(2)
+
+    def test_int_rejects_bool(self):
+        assert not Attribute("pid", "int").accepts(True)
+        assert not Attribute("cost", "float").accepts(False)
+
+    def test_rejects_wrong_type(self):
+        assert not Attribute("pid", "int").accepts("3")
+
+    def test_nullable(self):
+        assert Attribute("note", "str", nullable=True).accepts(None)
+        assert not Attribute("note", "str").accepts(None)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "decimal")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", "int")
+
+
+class TestSchema:
+    @pytest.fixture
+    def schema(self):
+        return Schema([Attribute("pid", "int"), Attribute("name", "str")])
+
+    def test_names_in_order(self, schema):
+        assert schema.names == ("pid", "name")
+
+    def test_len_iter_contains(self, schema):
+        assert len(schema) == 2
+        assert [attribute.name for attribute in schema] == ["pid", "name"]
+        assert "pid" in schema and "cost" not in schema
+
+    def test_getitem(self, schema):
+        assert schema["pid"].type_name == "int"
+        with pytest.raises(SchemaError):
+            schema["cost"]
+
+    def test_validate_accepts_good_row(self, schema):
+        schema.validate({"pid": 1, "name": "Acropolis"})
+
+    def test_validate_missing_attribute(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            schema.validate({"pid": 1})
+
+    def test_validate_extra_attribute(self, schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.validate({"pid": 1, "name": "x", "cost": 2.0})
+
+    def test_validate_type_mismatch(self, schema):
+        with pytest.raises(SchemaError, match="does not fit"):
+            schema.validate({"pid": "one", "name": "x"})
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("pid", "int"), Attribute("pid", "str")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_equality(self, schema):
+        assert schema == Schema([Attribute("pid", "int"), Attribute("name", "str")])
+        assert schema != Schema([Attribute("pid", "int")])

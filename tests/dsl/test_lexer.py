@@ -1,0 +1,65 @@
+"""Tests for the DSL tokenizer."""
+
+import pytest
+
+from repro.dsl import DslSyntaxError, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)][:-1]  # drop EOF
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert values("prefer PREFER Prefer") == ["PREFER", "PREFER", "PREFER"]
+        assert kinds("when")[:-1] == ["KEYWORD"]
+
+    def test_identifiers(self):
+        assert kinds("accompanying_people")[:-1] == ["IDENT"]
+        assert values("open_air") == ["open_air"]
+
+    def test_strings(self):
+        assert values("'Plaka'") == ["Plaka"]
+        assert values("'with space'") == ["with space"]
+
+    def test_string_escapes(self):
+        assert values(r"'O\'Neill'") == ["O'Neill"]
+        assert values(r"'back\\slash'") == ["back\\slash"]
+
+    def test_numbers(self):
+        assert values("0.9 5 -2 -0.5") == [0.9, 5, -2, -0.5]
+        assert isinstance(values("5")[0], int)
+        assert isinstance(values("5.0")[0], float)
+
+    def test_scientific_notation(self):
+        assert values("1e3 1.5e-2 2E+1") == [1000.0, 0.015, 20.0]
+        assert all(isinstance(value, float) for value in values("1e3 2E-1"))
+
+    def test_operators(self):
+        assert values("= != < > <= >=") == ["=", "!=", "<", ">", "<=", ">="]
+
+    def test_punctuation(self):
+        assert kinds("( , )")[:-1] == ["LPAREN", "COMMA", "RPAREN"]
+
+    def test_eof_always_present(self):
+        assert kinds("")[-1] == "EOF"
+        assert kinds("x")[-1] == "EOF"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a = 'b'")
+        assert [token.position for token in tokens] == [0, 2, 4, 7]
+
+    def test_booleans_are_keywords(self):
+        assert values("TRUE false") == ["TRUE", "FALSE"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(DslSyntaxError, match="position 2"):
+            tokenize("a ; b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize("'oops")

@@ -1,0 +1,189 @@
+"""Tests for the DSL parser."""
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextualPreference,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+)
+from repro.dsl import (
+    DslSyntaxError,
+    parse_clause,
+    parse_descriptor,
+    parse_extended_descriptor,
+    parse_preference,
+    parse_query,
+    to_query,
+)
+
+
+class TestParseClause:
+    def test_equality(self):
+        assert parse_clause("type = 'brewery'") == AttributeClause("type", "brewery")
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", ">", "<=", ">="])
+    def test_all_operators(self, op):
+        clause = parse_clause(f"cost {op} 5")
+        assert clause.op == op and clause.value == 5
+
+    def test_boolean_literal(self):
+        assert parse_clause("open_air = TRUE") == AttributeClause("open_air", True)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_clause("type = 'brewery' extra")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(DslSyntaxError, match="expected a literal"):
+            parse_clause("type =")
+
+
+class TestParseDescriptor:
+    def test_single_equality(self):
+        descriptor = parse_descriptor("location = 'Plaka'")
+        assert descriptor == ContextDescriptor.from_mapping({"location": "Plaka"})
+
+    def test_in_set(self):
+        descriptor = parse_descriptor("temperature IN ('warm', 'hot')")
+        assert descriptor.descriptor_for("temperature") == (
+            ParameterDescriptor.one_of("temperature", ["warm", "hot"])
+        )
+
+    def test_between_range(self):
+        descriptor = parse_descriptor("temperature BETWEEN 'mild' AND 'hot'")
+        assert descriptor.descriptor_for("temperature") == (
+            ParameterDescriptor.between("temperature", "mild", "hot")
+        )
+
+    def test_conjunction(self):
+        descriptor = parse_descriptor(
+            "location = 'Plaka' AND temperature = 'warm'"
+        )
+        assert len(descriptor.descriptors) == 2
+
+    def test_between_and_conjunction_disambiguated(self):
+        descriptor = parse_descriptor(
+            "temperature BETWEEN 'mild' AND 'hot' AND location = 'Plaka'"
+        )
+        assert len(descriptor.descriptors) == 2
+        assert descriptor.descriptor_for("temperature").kind == "between"
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(Exception):
+            parse_descriptor("x = 'a' AND x = 'b'")
+
+    def test_missing_operator(self):
+        with pytest.raises(DslSyntaxError, match="expected '=', IN or BETWEEN"):
+            parse_descriptor("location 'Plaka'")
+
+
+class TestParseExtended:
+    def test_disjunction(self):
+        extended = parse_extended_descriptor(
+            "location = 'Plaka' OR location = 'Kifisia'"
+        )
+        assert isinstance(extended, ExtendedContextDescriptor)
+        assert len(extended.disjuncts) == 2
+
+    def test_single_disjunct(self):
+        extended = parse_extended_descriptor("location = 'Plaka'")
+        assert len(extended.disjuncts) == 1
+
+
+class TestParsePreference:
+    def test_paper_preference1(self):
+        preference = parse_preference(
+            "PREFER name = 'Acropolis' SCORE 0.8 "
+            "WHEN location = 'Plaka' AND temperature = 'warm'"
+        )
+        assert preference == ContextualPreference(
+            ContextDescriptor.from_mapping(
+                {"location": "Plaka", "temperature": "warm"}
+            ),
+            AttributeClause("name", "Acropolis"),
+            0.8,
+        )
+
+    def test_without_when_is_non_contextual(self):
+        preference = parse_preference("PREFER type = 'park' SCORE 0.5")
+        assert preference.descriptor.is_empty()
+
+    def test_set_condition(self, env):
+        preference = parse_preference(
+            "PREFER name = 'Acropolis' SCORE 0.8 "
+            "WHEN location = 'Plaka' AND temperature IN ('warm', 'hot')"
+        )
+        assert len(preference.descriptor.states(env)) == 2
+
+    def test_keywords_case_insensitive(self):
+        preference = parse_preference("prefer type = 'zoo' score 0.7 when x = 1")
+        assert preference.score == 0.7
+
+    def test_score_out_of_range_propagates(self):
+        with pytest.raises(Exception):
+            parse_preference("PREFER type = 'zoo' SCORE 1.5")
+
+    def test_missing_score_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_preference("PREFER type = 'zoo'")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(DslSyntaxError, match="trailing"):
+            parse_preference("PREFER type = 'zoo' SCORE 0.5 nonsense")
+
+
+class TestParseQuery:
+    def test_full_form(self):
+        parsed = parse_query(
+            "TOP 20 WHERE open_air = TRUE AND cost <= 10 "
+            "IN CONTEXT location = 'Athens' AND accompanying_people = 'family' "
+            "OR location = 'Thessaloniki'"
+        )
+        assert parsed.top_k == 20
+        assert len(parsed.clauses) == 2
+        assert len(parsed.descriptor.disjuncts) == 2
+
+    def test_empty_query(self):
+        parsed = parse_query("")
+        assert parsed.top_k is None
+        assert parsed.clauses == ()
+        assert parsed.descriptor is None
+
+    def test_context_only(self):
+        parsed = parse_query("IN CONTEXT temperature = 'warm'")
+        assert parsed.descriptor is not None
+        assert parsed.clauses == ()
+
+    def test_where_only(self):
+        parsed = parse_query("WHERE type = 'museum'")
+        assert parsed.clauses == (AttributeClause("type", "museum"),)
+
+    def test_top_requires_number(self):
+        with pytest.raises(DslSyntaxError):
+            parse_query("TOP many")
+
+    def test_in_requires_context_keyword(self):
+        with pytest.raises(DslSyntaxError, match="CONTEXT"):
+            parse_query("IN location = 'Plaka'")
+
+
+class TestToQuery:
+    def test_executable_end_to_end(self, env, fig4_tree):
+        from repro import ContextualQueryExecutor, generate_poi_relation
+
+        parsed = parse_query(
+            "TOP 5 IN CONTEXT accompanying_people = 'friends' "
+            "AND temperature = 'warm' AND location = 'Kifisia'"
+        )
+        query = to_query(parsed, env)
+        executor = ContextualQueryExecutor(fig4_tree, generate_poi_relation(40))
+        result = executor.execute(query)
+        assert result.contextual
+        assert all(item.row["type"] == "cafeteria" for item in result.results)
+
+    def test_non_contextual(self, env):
+        query = to_query(parse_query("WHERE type = 'museum'"), env)
+        assert not query.is_contextual()

@@ -1,0 +1,122 @@
+"""Tests for DSL rendering and script parsing."""
+
+import pytest
+
+from repro import AttributeClause, ContextDescriptor, ContextualPreference, ParameterDescriptor
+from repro.dsl import (
+    parse_clause,
+    parse_descriptor,
+    parse_preference,
+    parse_profile,
+    render_clause,
+    render_descriptor,
+    render_preference,
+    render_profile,
+)
+from repro.exceptions import ConflictError, ReproError
+
+
+class TestRenderClause:
+    def test_string_value(self):
+        assert render_clause(AttributeClause("type", "brewery")) == "type = 'brewery'"
+
+    def test_numeric_and_boolean(self):
+        assert render_clause(AttributeClause("cost", 5, "<=")) == "cost <= 5"
+        assert render_clause(AttributeClause("open_air", True)) == "open_air = TRUE"
+
+    def test_quote_escaping_round_trips(self):
+        clause = AttributeClause("name", "O'Neill's")
+        assert parse_clause(render_clause(clause)) == clause
+
+    def test_backslash_round_trips(self):
+        clause = AttributeClause("name", "a\\b")
+        assert parse_clause(render_clause(clause)) == clause
+
+
+class TestRenderDescriptor:
+    @pytest.mark.parametrize(
+        "descriptor",
+        [
+            ContextDescriptor.from_mapping({"location": "Plaka"}),
+            ContextDescriptor(
+                [ParameterDescriptor.one_of("temperature", ["warm", "hot"])]
+            ),
+            ContextDescriptor(
+                [ParameterDescriptor.between("temperature", "mild", "hot")]
+            ),
+            ContextDescriptor(
+                [
+                    ParameterDescriptor.equals("location", "Plaka"),
+                    ParameterDescriptor.one_of("temperature", ["warm"]),
+                ]
+            ),
+        ],
+    )
+    def test_round_trip(self, descriptor):
+        assert parse_descriptor(render_descriptor(descriptor)) == descriptor
+
+    def test_empty_descriptor_renders_empty(self):
+        assert render_descriptor(ContextDescriptor.empty()) == ""
+
+
+class TestRenderPreference:
+    def test_round_trip_with_context(self, fig4_preferences):
+        for preference in fig4_preferences:
+            assert parse_preference(render_preference(preference)) == preference
+
+    def test_round_trip_without_context(self):
+        preference = ContextualPreference(
+            ContextDescriptor.empty(), AttributeClause("type", "park"), 0.5
+        )
+        assert parse_preference(render_preference(preference)) == preference
+
+    def test_text_shape(self):
+        preference = ContextualPreference(
+            ContextDescriptor.from_mapping({"location": "Plaka"}),
+            AttributeClause("type", "brewery"),
+            0.9,
+        )
+        assert render_preference(preference) == (
+            "PREFER type = 'brewery' SCORE 0.9 WHEN location = 'Plaka'"
+        )
+
+
+class TestProfileScripts:
+    def test_round_trip(self, env, fig4_profile):
+        script = render_profile(fig4_profile)
+        rebuilt = parse_profile(script, env)
+        assert list(rebuilt) == list(fig4_profile)
+
+    def test_comments_and_blank_lines_skipped(self, env):
+        script = """
+        -- my profile
+
+        PREFER type = 'brewery' SCORE 0.9 WHEN accompanying_people = 'friends'
+        """
+        profile = parse_profile(script, env)
+        assert len(profile) == 1
+
+    def test_error_carries_line_number(self, env):
+        script = "PREFER type = 'zoo' SCORE 0.5\nPREFER oops\n"
+        with pytest.raises(ReproError, match="line 2"):
+            parse_profile(script, env)
+
+    def test_conflicts_detected(self, env):
+        script = (
+            "PREFER type = 'zoo' SCORE 0.5 WHEN location = 'Plaka'\n"
+            "PREFER type = 'zoo' SCORE 0.9 WHEN location = 'Plaka'\n"
+        )
+        with pytest.raises(ConflictError, match="line 2"):
+            parse_profile(script, env)
+
+    def test_header_comment_emitted(self, fig4_profile):
+        assert render_profile(fig4_profile).startswith("-- profile: 3 preferences")
+
+    def test_real_profile_round_trips(self):
+        from repro.dsl import parse_profile as parse
+        from repro.dsl import render_profile as render
+        from repro.workloads import generate_real_profile
+
+        environment, profile = generate_real_profile(num_preferences=50)
+        rebuilt = parse(render(profile), environment)
+        assert list(rebuilt) == list(profile)

@@ -1,0 +1,94 @@
+"""Tests for the Fig. 7 access-count drivers."""
+
+import pytest
+
+from repro.eval import fig7_real_profile, fig7_synthetic, measure_accesses
+from repro.workloads import (
+    ProfileSpec,
+    exact_match_states,
+    generate_profile,
+    random_states,
+    synthetic_environment,
+)
+
+
+class TestMeasureAccesses:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        environment = synthetic_environment(
+            domain_sizes=(10, 20, 40), num_levels=(2, 3, 3)
+        )
+        profile = generate_profile(
+            environment,
+            ProfileSpec(num_preferences=120, level_weights=(0.7, 0.2, 0.1), seed=3),
+        )
+        exact = exact_match_states(profile, 20, seed=4)
+        cover = random_states(environment, 20, seed=5, level_weights=(1.0,))
+        return measure_accesses(profile, exact, cover)
+
+    def test_all_four_measurements(self, setup):
+        assert set(setup) == {
+            "tree_exact",
+            "serial_exact",
+            "tree_cover",
+            "serial_cover",
+        }
+
+    def test_tree_beats_serial(self, setup):
+        assert setup["tree_exact"].mean_cells < setup["serial_exact"].mean_cells
+        assert setup["tree_cover"].mean_cells < setup["serial_cover"].mean_cells
+
+    def test_cover_costs_more_than_exact_on_tree(self, setup):
+        assert setup["tree_cover"].mean_cells >= setup["tree_exact"].mean_cells
+
+    def test_totals_consistent(self, setup):
+        for measurement in setup.values():
+            assert measurement.total_cells == pytest.approx(
+                measurement.mean_cells * measurement.num_queries
+            )
+            assert measurement.num_queries == 20
+
+
+class TestFig7Real:
+    @pytest.fixture(scope="class")
+    def real(self):
+        return fig7_real_profile(num_queries=20)
+
+    def test_tree_orders_of_magnitude_below_serial(self, real):
+        assert real["tree_exact"].mean_cells * 5 < real["serial_exact"].mean_cells
+        assert real["tree_cover"].mean_cells * 5 < real["serial_cover"].mean_cells
+
+    def test_query_counts(self, real):
+        assert all(measurement.num_queries == 20 for measurement in real.values())
+
+
+class TestFig7Synthetic:
+    def test_series_shapes(self):
+        sizes = (100, 400)
+        series = fig7_synthetic("uniform", profile_sizes=sizes, num_queries=15)
+        assert set(series) == {
+            "tree_exact",
+            "serial_exact",
+            "tree_cover",
+            "serial_cover",
+        }
+        for values in series.values():
+            assert len(values) == 2
+
+    def test_serial_grows_linearly_tree_stays_flat(self):
+        sizes = (100, 400)
+        series = fig7_synthetic("uniform", profile_sizes=sizes, num_queries=15)
+        serial_growth = series["serial_exact"][1] / series["serial_exact"][0]
+        tree_growth = series["tree_exact"][1] / max(series["tree_exact"][0], 1)
+        assert serial_growth > 2.5
+        assert tree_growth < serial_growth
+
+    def test_zipf_tree_cheaper_than_uniform(self):
+        sizes = (400,)
+        uniform = fig7_synthetic("uniform", profile_sizes=sizes, num_queries=15)
+        zipf = fig7_synthetic("zipf", profile_sizes=sizes, num_queries=15)
+        assert zipf["tree_exact"][0] <= uniform["tree_exact"][0]
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            fig7_synthetic("gaussian")

@@ -1,0 +1,43 @@
+"""Tests for the traceability-driven feedback loop."""
+
+import pytest
+
+from repro.eval.feedback import FeedbackRound, run_feedback_loop
+from repro.workloads import Persona
+
+
+@pytest.fixture(scope="module")
+def history():
+    return run_feedback_loop(rounds=6)
+
+
+class TestFeedbackLoop:
+    def test_one_entry_per_round(self, history):
+        assert len(history) == 6
+        assert [entry.round_index for entry in history] == list(range(6))
+
+    def test_agreement_improves_end_to_end(self, history):
+        assert history[-1].agreement_pct >= history[0].agreement_pct
+
+    def test_converges_to_high_agreement(self, history):
+        assert history[-1].agreement_pct >= 95.0
+
+    def test_fixes_dry_up_once_converged(self, history):
+        # Once every disputed preference is repaired, nothing remains.
+        assert history[-1].fixes_applied == 0
+
+    def test_fixes_bounded_per_round(self, history):
+        assert all(entry.fixes_applied <= 3 for entry in history)
+
+    def test_deterministic(self):
+        assert run_feedback_loop(rounds=3) == run_feedback_loop(rounds=3)
+
+    def test_other_persona(self):
+        history = run_feedback_loop(
+            persona=Persona("below30", "male", "offbeat"), rounds=4
+        )
+        assert len(history) == 4
+        assert all(isinstance(entry, FeedbackRound) for entry in history)
+
+    def test_zero_rounds(self):
+        assert run_feedback_loop(rounds=0) == []

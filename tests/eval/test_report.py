@@ -1,0 +1,55 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.eval.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(quick=True)
+
+
+class TestReport:
+    def test_all_sections_present(self, report):
+        for heading in (
+            "# Evaluation report",
+            "## Table 1",
+            "## Fig. 5",
+            "## Fig. 6",
+            "## Fig. 7",
+        ):
+            assert heading in report
+
+    def test_all_shape_checks_pass(self, report):
+        assert "FAIL" not in report
+        assert report.count("PASS") == 8
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_quick_mode_flagged(self, report):
+        assert "mode: quick" in report
+
+    def test_deterministic(self):
+        assert generate_report(quick=True) == generate_report(quick=True)
+
+
+class TestReportCli:
+    def test_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "## Table 1" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "report.md"
+        assert main(["report", "--quick", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "## Fig. 7" in target.read_text()
+        assert "report written" in capsys.readouterr().out

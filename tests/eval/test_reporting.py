@@ -1,0 +1,41 @@
+"""Tests for table/series rendering."""
+
+from repro.eval import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "a   bb"
+        assert lines[1] == "--  --"
+        assert lines[2] == "1   2"
+        assert lines[3] == "33  4"
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_column_width_grows_with_values(self):
+        text = format_table(["x"], [["longvalue"]])
+        assert "longvalue" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series(
+            "Fig", "size", [500, 1000], {"tree": [1, 2], "serial": [10, 20]}
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig"
+        assert "size" in lines[1] and "tree" in lines[1] and "serial" in lines[1]
+        assert len(lines) == 5
+
+    def test_values_aligned_to_x(self):
+        text = format_series("t", "x", [1, 2], {"y": [10, 20]})
+        assert "1  10" in text
+        assert "2  20" in text

@@ -1,0 +1,115 @@
+"""Tests for the Fig. 5/6 size-experiment drivers.
+
+These tests assert the *shapes* the paper reports, on reduced problem
+sizes where needed to keep the suite fast.
+"""
+
+import pytest
+
+from repro.eval import fig5_real_profile, fig6_size_sweep, fig6_skew_sweep, measure_orderings
+from repro.tree import StorageCostModel
+from repro.workloads import ProfileSpec, generate_profile, synthetic_environment
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_real_profile()
+
+
+class TestFig5:
+    def test_six_orderings_measured(self, fig5):
+        assert [entry.label for entry in fig5.orderings] == [
+            f"order{index}" for index in range(1, 7)
+        ]
+
+    def test_order1_is_ascending_domains(self, fig5):
+        assert fig5.orderings[0].ordering == (
+            "accompanying_people",
+            "time",
+            "location",
+        )
+
+    def test_every_tree_smaller_than_serial_in_cells(self, fig5):
+        for entry in fig5.orderings:
+            assert entry.cells < fig5.serial_cells
+
+    def test_every_tree_smaller_than_serial_in_bytes(self, fig5):
+        for entry in fig5.orderings:
+            assert entry.num_bytes < fig5.serial_bytes
+
+    def test_large_domains_lower_is_smaller(self, fig5):
+        cells = fig5.cells_by_label()
+        assert cells["order1"] < cells["order6"]
+        assert cells["order1"] == min(
+            cells[label] for label in cells if label != "serial"
+        )
+
+    def test_serial_cells_are_records_times_n_plus_1(self, fig5):
+        assert fig5.serial_cells == 522 * 4
+
+    def test_accessors_include_serial(self, fig5):
+        assert "serial" in fig5.cells_by_label()
+        assert "serial" in fig5.bytes_by_label()
+
+
+class TestFig6Sweep:
+    @pytest.fixture(scope="class")
+    def small_sizes(self):
+        return (100, 300)
+
+    def test_uniform_series_shapes(self, small_sizes):
+        series = fig6_size_sweep("uniform", profile_sizes=small_sizes)
+        assert set(series) == {f"order{i}" for i in range(1, 7)} | {"serial"}
+        for values in series.values():
+            assert len(values) == len(small_sizes)
+            assert values[0] <= values[-1]  # growing with profile size
+
+    def test_trees_below_serial(self, small_sizes):
+        series = fig6_size_sweep("uniform", profile_sizes=small_sizes)
+        for label, values in series.items():
+            if label == "serial":
+                continue
+            assert all(
+                tree <= serial for tree, serial in zip(values, series["serial"])
+            )
+
+    def test_zipf_smaller_than_uniform(self, small_sizes):
+        uniform = fig6_size_sweep("uniform", profile_sizes=small_sizes)
+        zipf = fig6_size_sweep("zipf", profile_sizes=small_sizes)
+        assert zipf["order1"][-1] < uniform["order1"][-1]
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            fig6_size_sweep("gaussian")
+
+
+class TestFig6SkewSweep:
+    def test_crossover_with_skew(self):
+        series = fig6_skew_sweep(a_values=(0.0, 3.0), num_preferences=1500)
+        # Unskewed: order1 (200-domain lowest) is best.
+        assert series["order1"][0] <= series["order3"][0]
+        # Heavily skewed 200-domain: placing it at the root wins.
+        assert series["order3"][1] < series["order1"][1]
+
+    def test_skewed_orderings_shrink_with_a(self):
+        series = fig6_skew_sweep(a_values=(0.0, 1.5, 3.0), num_preferences=1500)
+        assert series["order3"][0] > series["order3"][-1]
+
+    def test_serial_constant(self):
+        series = fig6_skew_sweep(a_values=(0.0, 2.0), num_preferences=800)
+        assert series["serial"][0] == series["serial"][1]
+
+
+class TestMeasureOrderings:
+    def test_custom_cost_model_scales_bytes(self):
+        environment = synthetic_environment(
+            domain_sizes=(5, 10, 20), num_levels=(2, 2, 2)
+        )
+        profile = generate_profile(environment, ProfileSpec(num_preferences=30))
+        orderings = {"default": environment.names}
+        small = measure_orderings(profile, orderings, StorageCostModel())
+        big = measure_orderings(
+            profile, orderings, StorageCostModel(key_bytes=8, pointer_bytes=8)
+        )
+        assert big.orderings[0].num_bytes > small.orderings[0].num_bytes
+        assert big.orderings[0].cells == small.orderings[0].cells

@@ -1,0 +1,87 @@
+"""Tests for the simulated usability study (Table 1)."""
+
+import pytest
+
+from repro import ProfileTree
+from repro.eval import classify_states, run_usability_study
+from repro.workloads import Persona, default_profile, study_environment
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_usability_study(num_users=4, queries_per_mode=3)
+
+
+class TestClassifyStates:
+    @pytest.fixture(scope="class")
+    def buckets(self):
+        environment = study_environment()
+        profile = default_profile(
+            Persona("below30", "female", "mainstream"), environment
+        )
+        return classify_states(ProfileTree.from_profile(profile))
+
+    def test_all_three_classes_present(self, buckets):
+        assert buckets["exact"]
+        assert buckets["one_cover"]
+        assert buckets["multi_cover"]
+
+    def test_classes_are_disjoint(self, buckets):
+        exact = set(buckets["exact"])
+        one = set(buckets["one_cover"])
+        multi = set(buckets["multi_cover"])
+        assert not (exact & one) and not (exact & multi) and not (one & multi)
+
+    def test_exact_states_are_stored(self, buckets):
+        environment = study_environment()
+        profile = default_profile(
+            Persona("below30", "female", "mainstream"), environment
+        )
+        tree = ProfileTree.from_profile(profile)
+        for state in buckets["exact"]:
+            assert tree.contains_state(state)
+
+    def test_states_are_detailed(self, buckets):
+        for states in buckets.values():
+            assert all(state.is_detailed() for state in states)
+
+
+class TestStudy:
+    def test_one_row_per_user(self, study):
+        assert len(study.rows) == 4
+        assert [row.user_id for row in study.rows] == [1, 2, 3, 4]
+
+    def test_modifications_in_paper_range(self, study):
+        for row in study.rows:
+            assert 10 <= row.num_updates <= 38
+            assert 10 <= row.update_time_minutes <= 60
+
+    def test_percentages_are_valid(self, study):
+        for row in study.rows:
+            for field in (
+                "exact_match_pct",
+                "one_cover_pct",
+                "multi_cover_hierarchy_pct",
+                "multi_cover_jaccard_pct",
+            ):
+                value = getattr(row, field)
+                assert 0.0 <= value <= 100.0
+                assert value % 5 == 0  # rounded like the paper
+
+    def test_agreement_generally_high(self, study):
+        assert study.mean("exact_match_pct") >= 70.0
+
+    def test_jaccard_at_least_hierarchy_on_average(self, study):
+        assert study.mean("multi_cover_jaccard_pct") >= study.mean(
+            "multi_cover_hierarchy_pct"
+        )
+
+    def test_deterministic(self):
+        first = run_usability_study(num_users=2, queries_per_mode=2, seed=5)
+        second = run_usability_study(num_users=2, queries_per_mode=2, seed=5)
+        assert first.rows == second.rows
+
+    def test_mean_empty_safe(self):
+        from repro.eval import UsabilityStudy
+
+        assert UsabilityStudy(rows=()).mean("exact_match_pct") == 0.0

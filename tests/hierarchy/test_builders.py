@@ -1,0 +1,126 @@
+"""Tests for hierarchy builders: reference and synthetic."""
+
+import pytest
+
+from repro.exceptions import HierarchyError
+from repro.hierarchy import (
+    ALL_VALUE,
+    accompanying_people_hierarchy,
+    balanced_hierarchy,
+    flat_hierarchy,
+    location_hierarchy,
+    synthetic_level_sizes,
+    temperature_hierarchy,
+)
+
+
+class TestReferenceHierarchies:
+    def test_location_levels_follow_fig1(self):
+        h = location_hierarchy()
+        assert [level.name for level in h.levels] == [
+            "Region",
+            "City",
+            "Country",
+            "ALL",
+        ]
+
+    def test_location_anc_examples_from_paper(self):
+        h = location_hierarchy()
+        assert h.anc("Plaka", "City") == "Athens"  # anc^City_Region(Plaka)
+        assert h.anc("Athens", "Country") == "Greece"
+
+    def test_location_desc_examples_from_paper(self):
+        h = location_hierarchy()
+        # desc^City_Region(Athens) includes Plaka and Kifisia (Fig. 1).
+        assert {"Plaka", "Kifisia"} <= set(h.desc("Athens", "Region"))
+        assert {"Athens", "Ioannina"} <= set(h.desc("Greece", "City"))
+
+    def test_temperature_grouping_follows_fig2(self):
+        h = temperature_hierarchy()
+        assert h.desc("good", "Conditions") == frozenset({"mild", "warm", "hot"})
+        assert h.desc("bad", "Conditions") == frozenset({"freezing", "cold"})
+
+    def test_temperature_range_mild_to_hot(self):
+        h = temperature_hierarchy()
+        assert h.values_between("mild", "hot") == ("mild", "warm", "hot")
+
+    def test_accompanying_people_two_levels(self):
+        h = accompanying_people_hierarchy()
+        assert h.num_levels == 2
+        assert set(h.dom) == {"friends", "family", "alone"}
+
+    def test_all_reference_hierarchies_are_monotone(self):
+        assert location_hierarchy().is_monotone()
+        assert temperature_hierarchy().is_monotone()
+        assert accompanying_people_hierarchy().is_monotone()
+
+
+class TestFlatHierarchy:
+    def test_two_levels(self):
+        h = flat_hierarchy("x", ["a", "b", "c"])
+        assert h.num_levels == 2
+        assert h.dom == ("a", "b", "c")
+        assert h.anc("a", "ALL") == ALL_VALUE
+
+
+class TestBalancedHierarchy:
+    def test_level_sizes(self):
+        h = balanced_hierarchy("h", [100, 10])
+        assert len(h.dom) == 100
+        assert len(h.domain("L2")) == 10
+        assert h.num_levels == 3
+
+    def test_every_parent_has_children(self):
+        h = balanced_hierarchy("h", [100, 10])
+        for parent in h.domain("L2"):
+            assert len(h.desc(parent, "L1")) == 10
+
+    def test_uneven_split_distributes_all_values(self):
+        h = balanced_hierarchy("h", [10, 3])
+        covered = set()
+        for parent in h.domain("L2"):
+            covered |= h.desc(parent, "L1")
+        assert covered == set(h.dom)
+
+    def test_monotone_by_construction(self):
+        assert balanced_hierarchy("h", [97, 13, 3]).is_monotone()
+
+    def test_increasing_sizes_rejected(self):
+        with pytest.raises(HierarchyError):
+            balanced_hierarchy("h", [10, 20])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(HierarchyError):
+            balanced_hierarchy("h", [10, 0])
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(HierarchyError):
+            balanced_hierarchy("h", [])
+
+    def test_custom_level_names(self):
+        h = balanced_hierarchy("h", [4, 2], level_names=["Low", "High"])
+        assert [level.name for level in h.levels] == ["Low", "High", "ALL"]
+
+    def test_level_names_length_mismatch_rejected(self):
+        with pytest.raises(HierarchyError):
+            balanced_hierarchy("h", [4, 2], level_names=["OnlyOne"])
+
+    def test_value_prefix(self):
+        h = balanced_hierarchy("h", [2], value_prefix="v")
+        assert h.dom == ("v_0_0", "v_0_1")
+
+
+class TestSyntheticLevelSizes:
+    def test_two_levels_is_just_domain(self):
+        assert synthetic_level_sizes(50, 2) == [50]
+
+    def test_three_levels_adds_fanout_group(self):
+        assert synthetic_level_sizes(100, 3) == [100, 10]
+        assert synthetic_level_sizes(1000, 3) == [1000, 100]
+
+    def test_custom_fanout(self):
+        assert synthetic_level_sizes(100, 3, fanout=4) == [100, 25]
+
+    def test_too_few_levels_rejected(self):
+        with pytest.raises(HierarchyError):
+            synthetic_level_sizes(100, 1)

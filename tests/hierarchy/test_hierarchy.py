@@ -1,0 +1,247 @@
+"""Tests for the Hierarchy class: construction, anc/desc, ordering."""
+
+import pytest
+
+from repro.exceptions import HierarchyError, UnknownLevelError, UnknownValueError
+from repro.hierarchy import ALL_LEVEL, ALL_VALUE, Hierarchy
+
+
+@pytest.fixture
+def tiny():
+    """Two regions under one city, city under 'all'."""
+    return Hierarchy(
+        "loc",
+        levels=["Region", "City"],
+        members={"Region": ["Plaka", "Kifisia"], "City": ["Athens"]},
+        parent_of={"Plaka": "Athens", "Kifisia": "Athens"},
+    )
+
+
+class TestConstruction:
+    def test_all_level_appended(self, tiny):
+        assert [level.name for level in tiny.levels] == ["Region", "City", ALL_LEVEL]
+        assert tiny.num_levels == 3
+
+    def test_explicit_all_level_accepted(self):
+        h = Hierarchy("x", levels=["Detail", "ALL"], members={"Detail": ["a"]})
+        assert h.num_levels == 2
+
+    def test_all_level_must_be_top(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", levels=["ALL", "Detail"], members={"Detail": ["a"]})
+
+    def test_duplicate_level_names_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", levels=["L", "L"], members={"L": ["a"]})
+
+    def test_no_levels_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", levels=[], members={})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("", levels=["L"], members={"L": ["a"]})
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", levels=["A", "B"], members={"A": ["a"], "B": []})
+
+    def test_duplicate_value_across_levels_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy(
+                "x",
+                levels=["A", "B"],
+                members={"A": ["v"], "B": ["v"]},
+                parent_of={"v": "v"},
+            )
+
+    def test_value_all_reserved(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", levels=["A"], members={"A": ["all"]})
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy(
+                "x",
+                levels=["A", "B"],
+                members={"A": ["a1", "a2"], "B": ["b"]},
+                parent_of={"a1": "b"},  # a2 has no parent
+            )
+
+    def test_parent_must_be_one_level_up(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy(
+                "x",
+                levels=["A", "B", "C"],
+                members={"A": ["a"], "B": ["b"], "C": ["c"]},
+                parent_of={"a": "c", "b": "c"},  # a skips level B
+            )
+
+    def test_dangling_parent_of_entries_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy(
+                "x",
+                levels=["A"],
+                members={"A": ["a"]},
+                parent_of={"ghost": "all"},
+            )
+
+    def test_childless_intermediate_value_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy(
+                "x",
+                levels=["A", "B"],
+                members={"A": ["a"], "B": ["b1", "b2"]},
+                parent_of={"a": "b1"},  # b2 has no children
+            )
+
+    def test_members_for_unknown_level_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", levels=["A"], members={"A": ["a"], "Z": ["z"]})
+
+    def test_top_of_single_level_hierarchy_defaults_to_all(self):
+        h = Hierarchy("x", levels=["A"], members={"A": ["a", "b"]})
+        assert h.parent("a") == ALL_VALUE
+        assert h.parent("b") == ALL_VALUE
+
+
+class TestDomains:
+    def test_dom_is_detailed_level(self, tiny):
+        assert tiny.dom == ("Plaka", "Kifisia")
+
+    def test_domain_by_level(self, tiny):
+        assert tiny.domain("City") == ("Athens",)
+        assert tiny.domain(ALL_LEVEL) == (ALL_VALUE,)
+
+    def test_domain_default_is_detailed(self, tiny):
+        assert tiny.domain() == tiny.dom
+
+    def test_edom_unions_all_levels(self, tiny):
+        assert tiny.edom == ("Plaka", "Kifisia", "Athens", ALL_VALUE)
+
+    def test_contains(self, tiny):
+        assert "Plaka" in tiny
+        assert ALL_VALUE in tiny
+        assert "Paris" not in tiny
+
+    def test_unknown_level_raises(self, tiny):
+        with pytest.raises(UnknownLevelError):
+            tiny.level("Continent")
+
+    def test_unknown_value_raises(self, tiny):
+        with pytest.raises(UnknownValueError):
+            tiny.level_of("Paris")
+
+
+class TestAncDesc:
+    def test_anc_identity(self, tiny):
+        assert tiny.anc("Plaka", "Region") == "Plaka"
+
+    def test_anc_one_level(self, tiny):
+        assert tiny.anc("Plaka", "City") == "Athens"
+
+    def test_anc_to_all(self, tiny):
+        assert tiny.anc("Plaka", ALL_LEVEL) == ALL_VALUE
+
+    def test_anc_downward_rejected(self, tiny):
+        with pytest.raises(HierarchyError):
+            tiny.anc("Athens", "Region")
+
+    def test_ancestors_chain(self, tiny):
+        assert tiny.ancestors("Plaka") == ("Athens", ALL_VALUE)
+        assert tiny.ancestors(ALL_VALUE) == ()
+
+    def test_desc_identity(self, tiny):
+        assert tiny.desc("Athens", "City") == frozenset({"Athens"})
+
+    def test_desc_one_level(self, tiny):
+        assert tiny.desc("Athens", "Region") == frozenset({"Plaka", "Kifisia"})
+
+    def test_desc_from_all(self, tiny):
+        assert tiny.desc(ALL_VALUE, "Region") == frozenset({"Plaka", "Kifisia"})
+
+    def test_desc_upward_rejected(self, tiny):
+        with pytest.raises(HierarchyError):
+            tiny.desc("Plaka", "City")
+
+    def test_leaves(self, tiny):
+        assert tiny.leaves("Plaka") == frozenset({"Plaka"})
+        assert tiny.leaves(ALL_VALUE) == frozenset({"Plaka", "Kifisia"})
+
+    def test_is_ancestor_strict(self, tiny):
+        assert tiny.is_ancestor("Athens", "Plaka")
+        assert tiny.is_ancestor(ALL_VALUE, "Plaka")
+        assert not tiny.is_ancestor("Plaka", "Plaka")
+        assert not tiny.is_ancestor("Plaka", "Athens")
+
+    def test_covers_value_includes_equality(self, tiny):
+        assert tiny.covers_value("Plaka", "Plaka")
+        assert tiny.covers_value("Athens", "Plaka")
+        assert not tiny.covers_value("Plaka", "Athens")
+
+    def test_children(self, tiny):
+        assert set(tiny.children("Athens")) == {"Plaka", "Kifisia"}
+        assert tiny.children("Plaka") == ()
+
+    def test_anc_desc_round_trip(self, tiny):
+        for region in tiny.dom:
+            city = tiny.anc(region, "City")
+            assert region in tiny.desc(city, "Region")
+
+
+class TestOrderingAndEquality:
+    def test_values_between(self):
+        h = Hierarchy(
+            "temp",
+            levels=["Conditions"],
+            members={"Conditions": ["freezing", "cold", "mild", "warm", "hot"]},
+        )
+        assert h.values_between("mild", "hot") == ("mild", "warm", "hot")
+        assert h.values_between("cold", "cold") == ("cold",)
+        assert h.values_between("hot", "mild") == ()
+
+    def test_values_between_cross_level_rejected(self, tiny):
+        with pytest.raises(HierarchyError):
+            tiny.values_between("Plaka", "Athens")
+
+    def test_rank(self, tiny):
+        assert tiny.rank("Plaka") == 0
+        assert tiny.rank("Kifisia") == 1
+
+    def test_equality_by_content(self, tiny):
+        other = Hierarchy(
+            "loc",
+            levels=["Region", "City"],
+            members={"Region": ["Plaka", "Kifisia"], "City": ["Athens"]},
+            parent_of={"Plaka": "Athens", "Kifisia": "Athens"},
+        )
+        assert tiny == other
+        assert hash(tiny) == hash(other)
+
+    def test_inequality_on_different_parents(self):
+        base = dict(
+            levels=["Region", "City"],
+            members={"Region": ["r1", "r2"], "City": ["c1", "c2"]},
+        )
+        first = Hierarchy("h", parent_of={"r1": "c1", "r2": "c2"}, **base)
+        second = Hierarchy("h", parent_of={"r1": "c2", "r2": "c1"}, **base)
+        assert first != second
+
+    def test_monotone_detection(self):
+        monotone = Hierarchy(
+            "h",
+            levels=["A", "B"],
+            members={"A": ["a1", "a2", "a3"], "B": ["b1", "b2"]},
+            parent_of={"a1": "b1", "a2": "b1", "a3": "b2"},
+        )
+        crossed = Hierarchy(
+            "h",
+            levels=["A", "B"],
+            members={"A": ["a1", "a2", "a3"], "B": ["b1", "b2"]},
+            parent_of={"a1": "b2", "a2": "b1", "a3": "b2"},
+        )
+        assert monotone.is_monotone()
+        assert not crossed.is_monotone()
+
+    def test_repr_mentions_levels(self, tiny):
+        assert "Region < City < ALL" in repr(tiny)

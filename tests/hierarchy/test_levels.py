@@ -1,0 +1,38 @@
+"""Tests for hierarchy levels."""
+
+import pytest
+
+from repro.exceptions import HierarchyError
+from repro.hierarchy import ALL_LEVEL, ALL_VALUE, Level
+
+
+class TestLevel:
+    def test_constants(self):
+        assert ALL_LEVEL == "ALL"
+        assert ALL_VALUE == "all"
+
+    def test_ordering_follows_index(self):
+        detailed = Level(0, "Region")
+        upper = Level(1, "City")
+        assert detailed < upper
+        assert upper > detailed
+
+    def test_equality(self):
+        assert Level(0, "Region") == Level(0, "Region")
+        assert Level(0, "Region") != Level(1, "Region")
+        assert Level(0, "Region") != Level(0, "City")
+
+    def test_str_uses_one_based_index(self):
+        assert str(Level(0, "Region")) == "Region(L1)"
+        assert str(Level(2, "Country")) == "Country(L3)"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(HierarchyError):
+            Level(-1, "Region")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(HierarchyError):
+            Level(0, "")
+
+    def test_hashable(self):
+        assert len({Level(0, "Region"), Level(0, "Region"), Level(1, "City")}) == 2

@@ -1,0 +1,124 @@
+"""End-to-end integration: the full pipeline at realistic scale."""
+
+import pytest
+
+from repro import (
+    AccessCounter,
+    ContextQueryTree,
+    ContextResolver,
+    ContextualQuery,
+    ContextualQueryExecutor,
+    ProfileTree,
+    SequentialStore,
+    generate_poi_relation,
+    search_cs,
+)
+from repro.io import loads, dumps
+from repro.tree import optimal_ordering
+from repro.workloads import (
+    exact_match_states,
+    generate_real_profile,
+    random_states,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    environment, profile = generate_real_profile(num_preferences=200, seed=9)
+    tree = ProfileTree.from_profile(profile, optimal_ordering(environment))
+    store = SequentialStore.from_profile(profile)
+    return environment, profile, tree, store
+
+
+class TestTreeVsBaselineAgreement:
+    def test_exact_resolution_agrees(self, pipeline):
+        environment, profile, tree, store = pipeline
+        for state in exact_match_states(profile, 30, seed=2):
+            via_tree = tree.exact_lookup(state)
+            via_scan = store.exact_scan(state)
+            assert via_scan is not None
+            # The scan stops at the first matching record; its clause
+            # must be among the tree leaf's entries with the same score.
+            for clause, score in via_scan.entries.items():
+                assert via_tree[clause] == score
+
+    def test_covering_resolution_agrees(self, pipeline):
+        environment, profile, tree, store = pipeline
+        for state in random_states(environment, 30, seed=3):
+            via_tree = {
+                (result.state, result.hierarchy_distance)
+                for result in search_cs(tree, state)
+            }
+            via_scan = {
+                (result.state, result.hierarchy_distance)
+                for result in store.cover_scan(state)
+            }
+            assert via_tree == via_scan
+
+    def test_tree_always_cheaper(self, pipeline):
+        environment, profile, tree, store = pipeline
+        tree_counter, scan_counter = AccessCounter(), AccessCounter()
+        for state in random_states(environment, 30, seed=4):
+            search_cs(tree, state, tree_counter)
+            store.cover_scan(state, scan_counter)
+        assert tree_counter.cells < scan_counter.cells
+
+
+class TestSerializationPreservesSemantics:
+    def test_round_tripped_profile_resolves_identically(self, pipeline):
+        environment, profile, tree, _store = pipeline
+        rebuilt_profile = loads(dumps(profile))
+        rebuilt_tree = ProfileTree.from_profile(
+            rebuilt_profile, optimal_ordering(rebuilt_profile.environment)
+        )
+        for state in random_states(environment, 20, seed=5):
+            original = ContextResolver(tree).resolve_state(state)
+            # Re-express the query state against the rebuilt environment.
+            from repro import ContextState
+
+            mirrored = ContextState(rebuilt_profile.environment, state.values)
+            rebuilt = ContextResolver(rebuilt_tree).resolve_state(mirrored)
+            assert [tuple(c.state.values) for c in original.best] == [
+                tuple(c.state.values) for c in rebuilt.best
+            ]
+
+
+class TestExecutorAtScale:
+    def test_cached_stream_is_consistent_and_cheaper(self, pipeline):
+        environment, profile, tree, _store = pipeline
+        poi_hierarchy = environment["location"].hierarchy
+        relation = generate_poi_relation(
+            120, seed=4, hierarchy=poi_hierarchy, include_landmarks=False
+        )
+        states = random_states(environment, 10, seed=6)
+        stream = states * 4  # each query state repeats 4 times
+
+        plain = ContextualQueryExecutor(tree, relation)
+        cached = ContextualQueryExecutor(
+            tree, relation, cache=ContextQueryTree(environment)
+        )
+        plain_counter, cached_counter = AccessCounter(), AccessCounter()
+        for state in stream:
+            expected = plain.execute(
+                ContextualQuery.at_state(state, top_k=10), counter=plain_counter
+            )
+            got = cached.execute(
+                ContextualQuery.at_state(state, top_k=10), counter=cached_counter
+            )
+            assert [item.row.get("pid") for item in got.results] == [
+                item.row.get("pid") for item in expected.results
+            ]
+        assert cached.cache.hit_rate() >= 0.7
+        assert cached_counter.cells < plain_counter.cells
+
+    def test_metrics_agree_on_exact_queries(self, pipeline):
+        environment, profile, tree, _store = pipeline
+        relation = generate_poi_relation(60, seed=4)
+        hierarchy_exec = ContextualQueryExecutor(tree, relation, metric="hierarchy")
+        jaccard_exec = ContextualQueryExecutor(tree, relation, metric="jaccard")
+        for state in exact_match_states(profile, 10, seed=7):
+            via_h = hierarchy_exec.execute(ContextualQuery.at_state(state))
+            via_j = jaccard_exec.execute(ContextualQuery.at_state(state))
+            assert [item.row.get("pid") for item in via_h.results] == [
+                item.row.get("pid") for item in via_j.results
+            ]

@@ -1,0 +1,190 @@
+"""Integration tests: the paper's worked examples, end to end."""
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextResolver,
+    ContextState,
+    ContextualPreference,
+    ContextualQuery,
+    ContextualQueryExecutor,
+    Profile,
+    ProfileTree,
+    generate_poi_relation,
+)
+from tests.conftest import state
+
+
+class TestSection32Preferences:
+    """The three contextual preferences of Sec. 3.2."""
+
+    def test_preference1_fires_at_plaka_warm(self, env):
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.from_mapping(
+                        {"location": "Plaka", "temperature": "warm"}
+                    ),
+                    AttributeClause("name", "Acropolis"),
+                    0.8,
+                )
+            ],
+        )
+        tree = ProfileTree.from_profile(profile)
+        relation = generate_poi_relation(40)
+        executor = ContextualQueryExecutor(tree, relation)
+        current = ContextState(env, ("friends", "warm", "Plaka"))
+        result = executor.execute(ContextualQuery.at_state(current))
+        assert result.contextual
+        assert result.results[0].row["name"] == "Acropolis"
+        assert result.results[0].score == 0.8
+
+    def test_preference2_breweries_with_friends(self, env):
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+                    AttributeClause("type", "brewery"),
+                    0.9,
+                )
+            ],
+        )
+        tree = ProfileTree.from_profile(profile)
+        relation = generate_poi_relation(60)
+        executor = ContextualQueryExecutor(tree, relation)
+        current = ContextState(env, ("friends", "cold", "Perama"))
+        result = executor.execute(ContextualQuery.at_state(current))
+        assert result.contextual
+        assert all(item.row["type"] == "brewery" for item in result.results)
+        assert result.results  # the generator always seeds one brewery
+
+    def test_preference3_set_descriptor(self, env):
+        # cod = (location = Plaka AND temperature in {warm, hot}).
+        preference = ContextualPreference(
+            ContextDescriptor.from_mapping(
+                {"location": "Plaka", "temperature": ["warm", "hot"]}
+            ),
+            AttributeClause("name", "Acropolis"),
+            0.8,
+        )
+        assert len(preference.descriptor.states(env)) == 2
+
+
+class TestSection42Matching:
+    """The matching discussion of Sec. 4.2."""
+
+    def test_more_specific_descriptor_wins(self, env):
+        # Profile: (Greece, warm) and a hypothetical wider (all, warm).
+        # Query (Athens, warm) must use (Greece, warm), the more
+        # specific of the two covers.
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.from_mapping(
+                        {"location": "Greece", "temperature": "warm"}
+                    ),
+                    AttributeClause("type", "park"),
+                    0.6,
+                ),
+                ContextualPreference(
+                    ContextDescriptor.from_mapping({"temperature": "warm"}),
+                    AttributeClause("type", "museum"),
+                    0.4,
+                ),
+            ],
+        )
+        tree = ProfileTree.from_profile(profile)
+        for metric in ("hierarchy", "jaccard"):
+            resolver = ContextResolver(tree, metric)
+            resolution = resolver.resolve_state(
+                state(env, location="Athens", temperature="warm")
+            )
+            assert len(resolution.best) == 1
+            assert resolution.chosen().state["location"] == "Greece"
+
+    def test_no_match_falls_back_to_non_contextual(self, env):
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.from_mapping({"location": "Kifisia"}),
+                    AttributeClause("type", "cafeteria"),
+                    0.9,
+                )
+            ],
+        )
+        tree = ProfileTree.from_profile(profile)
+        relation = generate_poi_relation(30)
+        executor = ContextualQueryExecutor(tree, relation)
+        current = ContextState(env, ("alone", "cold", "Perama"))
+        result = executor.execute(ContextualQuery.at_state(current))
+        assert not result.contextual
+        assert len(result.results) == len(relation)
+
+    def test_empty_descriptor_defines_non_contextual_preference(self, env):
+        # Sec. 4.2: "the user can define non contextual preference
+        # queries, by using empty context descriptors which correspond
+        # to the (all, all, ..., all) state".
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.empty(), AttributeClause("type", "park"), 0.5
+                )
+            ],
+        )
+        tree = ProfileTree.from_profile(profile)
+        relation = generate_poi_relation(30)
+        executor = ContextualQueryExecutor(tree, relation)
+        current = ContextState(env, ("alone", "cold", "Perama"))
+        result = executor.execute(ContextualQuery.at_state(current))
+        assert result.contextual
+        assert all(item.row["type"] == "park" for item in result.results)
+
+
+class TestExploratoryQuery:
+    """Sec. 4.1: 'When I travel to Athens with my family this summer
+    (implying good weather), what places should I visit?'."""
+
+    def test_hypothetical_context(self, env):
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.from_mapping(
+                        {"accompanying_people": "family", "temperature": "good"}
+                    ),
+                    AttributeClause("type", "zoo"),
+                    0.9,
+                ),
+                ContextualPreference(
+                    ContextDescriptor.from_mapping(
+                        {"accompanying_people": "family", "temperature": "bad"}
+                    ),
+                    AttributeClause("type", "museum"),
+                    0.9,
+                ),
+            ],
+        )
+        tree = ProfileTree.from_profile(profile)
+        relation = generate_poi_relation(80)
+        executor = ContextualQueryExecutor(tree, relation)
+        query = ContextualQuery(
+            env,
+            descriptor=ContextDescriptor.from_mapping(
+                {
+                    "location": "Athens",
+                    "accompanying_people": "family",
+                    "temperature": "good",
+                }
+            ),
+        )
+        result = executor.execute(query)
+        assert result.contextual
+        types = {item.row["type"] for item in result.results}
+        assert types == {"zoo"}

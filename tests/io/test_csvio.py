@@ -1,0 +1,116 @@
+"""Tests for CSV import/export of relations."""
+
+import pytest
+
+from repro import Attribute, Relation, Schema, generate_poi_relation
+from repro.db.poi import points_of_interest_schema
+from repro.exceptions import SchemaError
+from repro.io.csvio import read_csv, relation_from_csv, relation_to_csv, write_csv
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Attribute("pid", "int"),
+            Attribute("name", "str"),
+            Attribute("open_air", "bool"),
+            Attribute("cost", "float"),
+            Attribute("note", "str", nullable=True),
+        ]
+    )
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation(
+        "pois",
+        schema,
+        [
+            {"pid": 1, "name": "Acropolis", "open_air": True, "cost": 20.0, "note": "x"},
+            {"pid": 2, "name": "Museum", "open_air": False, "cost": 12.5, "note": None},
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_rows(self, relation, schema):
+        text = relation_to_csv(relation)
+        rebuilt = relation_from_csv(text, "pois", schema)
+        assert len(rebuilt) == 2
+        assert dict(rebuilt[0]) == dict(relation[0])
+        assert dict(rebuilt[1]) == dict(relation[1])
+
+    def test_types_restored(self, relation, schema):
+        rebuilt = relation_from_csv(relation_to_csv(relation), "pois", schema)
+        row = rebuilt[0]
+        assert isinstance(row["pid"], int)
+        assert isinstance(row["open_air"], bool)
+        assert isinstance(row["cost"], float)
+
+    def test_nullable_none_round_trips(self, relation, schema):
+        rebuilt = relation_from_csv(relation_to_csv(relation), "pois", schema)
+        assert rebuilt[1]["note"] is None
+
+    def test_poi_relation_round_trips(self):
+        relation = generate_poi_relation(30, seed=2)
+        rebuilt = relation_from_csv(
+            relation_to_csv(relation), "pois", points_of_interest_schema()
+        )
+        assert [dict(row) for row in rebuilt] == [dict(row) for row in relation]
+
+    def test_file_round_trip(self, tmp_path, relation, schema):
+        path = tmp_path / "pois.csv"
+        write_csv(relation, path)
+        rebuilt = read_csv(path, "pois", schema)
+        assert len(rebuilt) == len(relation)
+
+
+class TestParsing:
+    def test_column_order_may_differ(self, schema):
+        text = "name,pid,cost,open_air,note\nAcropolis,1,5.0,true,\n"
+        relation = relation_from_csv(text, "pois", schema)
+        assert relation[0]["pid"] == 1
+
+    def test_bool_spellings(self, schema):
+        for spelling, expected in (
+            ("true", True), ("YES", True), ("1", True),
+            ("false", False), ("No", False), ("0", False),
+        ):
+            text = f"pid,name,open_air,cost,note\n1,x,{spelling},0.0,\n"
+            relation = relation_from_csv(text, "pois", schema)
+            assert relation[0]["open_air"] is expected
+
+    def test_bad_bool_rejected(self, schema):
+        text = "pid,name,open_air,cost,note\n1,x,maybe,0.0,\n"
+        with pytest.raises(SchemaError):
+            relation_from_csv(text, "pois", schema)
+
+    def test_bad_int_rejected(self, schema):
+        text = "pid,name,open_air,cost,note\none,x,true,0.0,\n"
+        with pytest.raises(SchemaError):
+            relation_from_csv(text, "pois", schema)
+
+    def test_header_mismatch_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            relation_from_csv("pid,name\n1,x\n", "pois", schema)
+
+    def test_empty_input_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            relation_from_csv("", "pois", schema)
+
+    def test_short_record_rejected(self, schema):
+        text = "pid,name,open_air,cost,note\n1,x\n"
+        with pytest.raises(SchemaError):
+            relation_from_csv(text, "pois", schema)
+
+    def test_blank_lines_skipped(self, schema):
+        text = "pid,name,open_air,cost,note\n1,x,true,0.0,\n\n2,y,false,1.0,\n"
+        relation = relation_from_csv(text, "pois", schema)
+        assert len(relation) == 2
+
+    def test_non_nullable_empty_string_is_empty_string(self, schema):
+        # An empty field in a non-nullable str column stays "".
+        text = "pid,name,open_air,cost,note\n1,,true,0.0,z\n"
+        relation = relation_from_csv(text, "pois", schema)
+        assert relation[0]["name"] == ""

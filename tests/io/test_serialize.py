@@ -1,0 +1,179 @@
+"""Tests for JSON (de)serialisation of the model."""
+
+import json
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ConflictError,
+    ContextDescriptor,
+    ContextualPreference,
+    ExtendedContextDescriptor,
+    ParameterDescriptor,
+    Profile,
+)
+from repro.exceptions import ReproError
+from repro.io import (
+    descriptor_from_dict,
+    descriptor_to_dict,
+    dumps,
+    environment_from_dict,
+    environment_to_dict,
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    loads,
+    preference_from_dict,
+    preference_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+)
+
+
+class TestHierarchyRoundTrip:
+    def test_reference_hierarchies(self, location, temperature, accompanying):
+        for hierarchy in (location, temperature, accompanying):
+            rebuilt = hierarchy_from_dict(hierarchy_to_dict(hierarchy))
+            assert rebuilt == hierarchy
+
+    def test_dict_is_json_compatible(self, location):
+        json.dumps(hierarchy_to_dict(location))
+
+    def test_kind_checked(self, location):
+        data = hierarchy_to_dict(location)
+        data["kind"] = "tree"
+        with pytest.raises(ReproError):
+            hierarchy_from_dict(data)
+
+    def test_two_level_hierarchy(self, accompanying):
+        data = hierarchy_to_dict(accompanying)
+        assert data["parent_of"] == {}
+        assert hierarchy_from_dict(data) == accompanying
+
+
+class TestEnvironmentRoundTrip:
+    def test_round_trip(self, env):
+        rebuilt = environment_from_dict(environment_to_dict(env))
+        assert rebuilt == env
+
+    def test_parameter_names_preserved(self, env):
+        rebuilt = environment_from_dict(environment_to_dict(env))
+        assert rebuilt.names == env.names
+
+
+class TestDescriptorRoundTrip:
+    @pytest.mark.parametrize(
+        "descriptor",
+        [
+            ContextDescriptor.empty(),
+            ContextDescriptor.from_mapping({"location": "Plaka"}),
+            ContextDescriptor(
+                [
+                    ParameterDescriptor.one_of("temperature", ["warm", "hot"]),
+                    ParameterDescriptor.equals("location", "Athens"),
+                ]
+            ),
+            ContextDescriptor(
+                [ParameterDescriptor.between("temperature", "mild", "hot")]
+            ),
+        ],
+    )
+    def test_round_trip(self, descriptor):
+        assert descriptor_from_dict(descriptor_to_dict(descriptor)) == descriptor
+
+    def test_extended_descriptor_round_trip(self):
+        extended = ExtendedContextDescriptor(
+            [
+                ContextDescriptor.from_mapping({"location": "Plaka"}),
+                ContextDescriptor.from_mapping({"temperature": "warm"}),
+            ]
+        )
+        assert descriptor_from_dict(descriptor_to_dict(extended)) == extended
+
+    def test_semantics_preserved(self, env):
+        descriptor = ContextDescriptor(
+            [ParameterDescriptor.between("temperature", "mild", "hot")]
+        )
+        rebuilt = descriptor_from_dict(descriptor_to_dict(descriptor))
+        assert rebuilt.states(env) == descriptor.states(env)
+
+    def test_unknown_op_rejected(self):
+        data = {
+            "kind": "descriptor",
+            "conditions": [{"parameter": "x", "op": "like", "values": ["a"]}],
+        }
+        with pytest.raises(ReproError):
+            descriptor_from_dict(data)
+
+
+class TestPreferenceRoundTrip:
+    def test_round_trip(self, fig4_preferences):
+        for preference in fig4_preferences:
+            rebuilt = preference_from_dict(preference_to_dict(preference))
+            assert rebuilt == preference
+
+    def test_non_equality_operator_preserved(self):
+        preference = ContextualPreference(
+            ContextDescriptor.empty(),
+            AttributeClause("admission_cost", 10.0, "<="),
+            0.7,
+        )
+        rebuilt = preference_from_dict(preference_to_dict(preference))
+        assert rebuilt.clause.op == "<="
+
+    def test_extended_descriptor_rejected_for_preferences(self):
+        data = {
+            "kind": "preference",
+            "descriptor": {"kind": "extended_descriptor", "disjuncts": []},
+            "clause": {"attribute": "a", "op": "=", "value": 1},
+            "score": 0.5,
+        }
+        with pytest.raises(ReproError):
+            preference_from_dict(data)
+
+
+class TestProfileRoundTrip:
+    def test_round_trip(self, fig4_profile):
+        rebuilt = profile_from_dict(profile_to_dict(fig4_profile))
+        assert list(rebuilt) == list(fig4_profile)
+        assert rebuilt.environment == fig4_profile.environment
+
+    def test_json_string_round_trip(self, fig4_profile):
+        rebuilt = loads(dumps(fig4_profile))
+        assert isinstance(rebuilt, Profile)
+        assert list(rebuilt) == list(fig4_profile)
+
+    def test_conflicting_payload_rejected(self, fig4_profile):
+        data = profile_to_dict(fig4_profile)
+        clash = dict(data["preferences"][0])
+        clash = json.loads(json.dumps(clash))
+        clash["score"] = 0.123
+        data["preferences"].append(clash)
+        with pytest.raises(ConflictError):
+            profile_from_dict(data)
+
+    def test_real_profile_round_trip(self):
+        from repro.workloads import generate_real_profile
+
+        _env, profile = generate_real_profile(num_preferences=60)
+        rebuilt = loads(dumps(profile))
+        assert len(rebuilt) == 60
+        assert set(rebuilt.states()) == set(profile.states())
+
+
+class TestDumpsLoads:
+    def test_all_kinds(self, env, location, fig4_preferences, fig4_profile):
+        for obj in (location, env, fig4_preferences[0].descriptor,
+                    fig4_preferences[0], fig4_profile):
+            rebuilt = loads(dumps(obj))
+            assert type(rebuilt).__name__ == type(obj).__name__
+
+    def test_unsupported_object(self):
+        with pytest.raises(ReproError):
+            dumps(42)
+
+    def test_bad_payloads(self):
+        with pytest.raises(ReproError):
+            loads("[1, 2, 3]")
+        with pytest.raises(ReproError):
+            loads('{"kind": "spaceship"}')

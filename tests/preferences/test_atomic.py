@@ -1,0 +1,167 @@
+"""Tests for contextual preferences over atomic query elements."""
+
+import pytest
+
+from repro import Attribute, AttributeClause, ContextDescriptor, ContextState, Relation, Schema
+from repro.exceptions import PreferenceError
+from repro.preferences.atomic import (
+    AtomicElement,
+    ContextualElementPreference,
+    ElementPreferenceStore,
+    personalize,
+)
+from tests.conftest import state
+
+OPEN_AIR = AtomicElement("is_open_air", AttributeClause("open_air", True))
+CHEAP = AtomicElement("is_cheap", AttributeClause("cost", 5.0, "<="))
+
+
+@pytest.fixture
+def store(env):
+    return ElementPreferenceStore(
+        env,
+        [
+            # Open-air matters a lot in good weather, little in bad.
+            ContextualElementPreference(
+                ContextDescriptor.from_mapping({"temperature": "good"}),
+                OPEN_AIR,
+                0.9,
+            ),
+            ContextualElementPreference(
+                ContextDescriptor.from_mapping({"temperature": "bad"}),
+                OPEN_AIR,
+                0.1,
+            ),
+            # Cheapness matters always, but more when alone.
+            ContextualElementPreference(
+                ContextDescriptor.empty(), CHEAP, 0.5
+            ),
+            ContextualElementPreference(
+                ContextDescriptor.from_mapping({"accompanying_people": "alone"}),
+                CHEAP,
+                0.8,
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(
+        [
+            Attribute("pid", "int"),
+            Attribute("open_air", "bool"),
+            Attribute("cost", "float"),
+        ]
+    )
+    return Relation(
+        "pois",
+        schema,
+        [
+            {"pid": 1, "open_air": True, "cost": 0.0},
+            {"pid": 2, "open_air": False, "cost": 2.0},
+            {"pid": 3, "open_air": True, "cost": 20.0},
+            {"pid": 4, "open_air": False, "cost": 30.0},
+        ],
+    )
+
+
+class TestAtomicElement:
+    def test_matches(self):
+        assert OPEN_AIR.matches({"open_air": True})
+        assert not OPEN_AIR.matches({"open_air": False})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PreferenceError):
+            AtomicElement("", AttributeClause("x", 1))
+
+
+class TestStore:
+    def test_degree_depends_on_context(self, env, store):
+        warm = ContextState(env, ("friends", "warm", "Plaka"))
+        freezing = ContextState(env, ("friends", "freezing", "Plaka"))
+        assert store.degree_of("is_open_air", warm) == 0.9
+        assert store.degree_of("is_open_air", freezing) == 0.1
+
+    def test_most_specific_context_wins(self, env, store):
+        alone = ContextState(env, ("alone", "warm", "Plaka"))
+        accompanied = ContextState(env, ("friends", "warm", "Plaka"))
+        assert store.degree_of("is_cheap", alone) == 0.8
+        assert store.degree_of("is_cheap", accompanied) == 0.5
+
+    def test_unknown_context_yields_none(self, env):
+        lone = ElementPreferenceStore(
+            env,
+            [
+                ContextualElementPreference(
+                    ContextDescriptor.from_mapping({"temperature": "good"}),
+                    OPEN_AIR,
+                    0.9,
+                )
+            ],
+        )
+        freezing = ContextState(env, ("friends", "freezing", "Plaka"))
+        assert lone.degree_of("is_open_air", freezing) is None
+
+    def test_degrees_collects_applicable_elements(self, env, store):
+        warm = ContextState(env, ("friends", "warm", "Plaka"))
+        assert store.degrees(warm) == {"is_open_air": 0.9, "is_cheap": 0.5}
+
+    def test_conflicting_degrees_rejected(self, env, store):
+        with pytest.raises(PreferenceError):
+            store.add(
+                ContextualElementPreference(
+                    ContextDescriptor.from_mapping({"temperature": "good"}),
+                    OPEN_AIR,
+                    0.2,
+                )
+            )
+
+    def test_rebinding_element_name_rejected(self, env, store):
+        other = AtomicElement("is_open_air", AttributeClause("open_air", False))
+        with pytest.raises(PreferenceError):
+            store.add(
+                ContextualElementPreference(ContextDescriptor.empty(), other, 0.5)
+            )
+
+    def test_unknown_element(self, store, env):
+        with pytest.raises(PreferenceError):
+            store.element("is_famous")
+
+    def test_degree_out_of_range_rejected(self):
+        with pytest.raises(PreferenceError):
+            ContextualElementPreference(ContextDescriptor.empty(), OPEN_AIR, 1.5)
+
+    def test_len_and_iter(self, store):
+        assert len(store) == 2
+        assert {element.name for element in store} == {"is_open_air", "is_cheap"}
+
+
+class TestPersonalize:
+    def test_warm_day_ranks_open_air_first(self, env, store, relation):
+        warm = ContextState(env, ("friends", "warm", "Plaka"))
+        ranked = personalize(relation, store, warm)
+        assert [row["pid"] for row, _score in ranked] == [1, 3, 2]
+        scores = dict((row["pid"], score) for row, score in ranked)
+        assert scores[1] == 0.9  # open-air AND cheap -> max(0.9, 0.5)
+        assert scores[2] == 0.5  # cheap only
+
+    def test_freezing_day_flips_the_ranking(self, env, store, relation):
+        freezing = ContextState(env, ("friends", "freezing", "Plaka"))
+        ranked = personalize(relation, store, freezing)
+        scores = dict((row["pid"], score) for row, score in ranked)
+        assert scores[1] == 0.5  # cheapness now dominates open-air (0.1)
+        assert scores[3] == 0.1
+
+    def test_unmatched_tuples_omitted(self, env, store, relation):
+        warm = ContextState(env, ("friends", "warm", "Plaka"))
+        ranked = personalize(relation, store, warm)
+        assert all(row["pid"] != 4 for row, _score in ranked)
+
+    def test_custom_combiner(self, env, store, relation):
+        from repro import combine_avg
+
+        warm = ContextState(env, ("friends", "warm", "Plaka"))
+        ranked = personalize(relation, store, warm, combine=combine_avg)
+        scores = dict((row["pid"], score) for row, score in ranked)
+        assert scores[1] == pytest.approx(0.7)  # avg(0.9, 0.5)

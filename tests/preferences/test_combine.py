@@ -1,0 +1,67 @@
+"""Tests for score-combining functions."""
+
+import pytest
+
+from repro.exceptions import PreferenceError
+from repro.preferences import (
+    combine_avg,
+    combine_max,
+    combine_min,
+    combiner,
+    weighted_average,
+)
+
+
+class TestNamedCombiners:
+    def test_max(self):
+        assert combine_max([0.2, 0.9, 0.5]) == 0.9
+
+    def test_min(self):
+        assert combine_min([0.2, 0.9, 0.5]) == 0.2
+
+    def test_avg(self):
+        assert combine_avg([0.0, 1.0]) == 0.5
+
+    def test_single_score_passthrough(self):
+        for combine in (combine_max, combine_min, combine_avg):
+            assert combine([0.7]) == 0.7
+
+    @pytest.mark.parametrize("combine", [combine_max, combine_min, combine_avg])
+    def test_empty_rejected(self, combine):
+        with pytest.raises(PreferenceError):
+            combine([])
+
+    def test_lookup_by_name(self):
+        assert combiner("max") is combine_max
+        assert combiner("min") is combine_min
+        assert combiner("avg") is combine_avg
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(PreferenceError):
+            combiner("median")
+
+
+class TestWeightedAverage:
+    def test_basic(self):
+        combine = weighted_average([3, 1])
+        assert combine([1.0, 0.0]) == 0.75
+
+    def test_weights_normalised(self):
+        assert weighted_average([2, 2])([1.0, 0.0]) == 0.5
+
+    def test_wrong_arity_rejected(self):
+        combine = weighted_average([1, 1])
+        with pytest.raises(PreferenceError):
+            combine([0.5])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(PreferenceError):
+            weighted_average([1, -1])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(PreferenceError):
+            weighted_average([0, 0])
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(PreferenceError):
+            weighted_average([])

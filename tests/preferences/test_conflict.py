@@ -1,0 +1,82 @@
+"""Tests for Def. 6 conflict detection."""
+
+from repro import AttributeClause, ContextDescriptor, ContextualPreference
+from repro.preferences import conflicts, find_conflicts
+
+
+def make(mapping, clause_value, score, attribute="type"):
+    return ContextualPreference(
+        ContextDescriptor.from_mapping(mapping),
+        AttributeClause(attribute, clause_value),
+        score,
+    )
+
+
+class TestConflicts:
+    def test_paper_example(self, env):
+        # Same context, same clause, different scores -> conflict.
+        first = make({"location": "Plaka", "temperature": "warm"}, "brewery", 0.8)
+        second = make({"location": "Plaka", "temperature": "warm"}, "brewery", 0.3)
+        assert conflicts(first, second, env)
+
+    def test_same_score_is_not_a_conflict(self, env):
+        first = make({"location": "Plaka"}, "brewery", 0.8)
+        second = make({"location": "Plaka"}, "brewery", 0.8)
+        assert not conflicts(first, second, env)
+
+    def test_different_clause_value_is_not_a_conflict(self, env):
+        first = make({"location": "Plaka"}, "brewery", 0.8)
+        second = make({"location": "Plaka"}, "museum", 0.3)
+        assert not conflicts(first, second, env)
+
+    def test_different_attribute_is_not_a_conflict(self, env):
+        first = make({"location": "Plaka"}, "brewery", 0.8)
+        second = make({"location": "Plaka"}, "brewery", 0.3, attribute="name")
+        assert not conflicts(first, second, env)
+
+    def test_disjoint_contexts_are_not_a_conflict(self, env):
+        first = make({"location": "Plaka"}, "brewery", 0.8)
+        second = make({"location": "Kifisia"}, "brewery", 0.3)
+        assert not conflicts(first, second, env)
+
+    def test_overlapping_multistate_descriptors_conflict(self, env):
+        first = make({"temperature": ["warm", "hot"]}, "brewery", 0.8)
+        second = make({"temperature": ["hot", "mild"]}, "brewery", 0.3)
+        assert conflicts(first, second, env)
+
+    def test_different_levels_do_not_intersect(self, env):
+        # States (all, all, Athens) and (all, all, Plaka) are different
+        # extended states even though Athens covers Plaka: Def. 6 uses
+        # set intersection, not coverage.
+        first = make({"location": "Athens"}, "brewery", 0.8)
+        second = make({"location": "Plaka"}, "brewery", 0.3)
+        assert not conflicts(first, second, env)
+
+    def test_symmetry(self, env):
+        first = make({"location": "Plaka"}, "brewery", 0.8)
+        second = make({"location": "Plaka"}, "brewery", 0.3)
+        assert conflicts(first, second, env) == conflicts(second, first, env)
+
+
+class TestFindConflicts:
+    def test_all_pairs_found(self, env):
+        a = make({"location": "Plaka"}, "brewery", 0.8)
+        b = make({"location": "Plaka"}, "brewery", 0.3)
+        c = make({"location": "Plaka"}, "brewery", 0.5)
+        pairs = find_conflicts([a, b, c], env)
+        assert len(pairs) == 3  # every pair differs in score
+
+    def test_no_conflicts(self, env):
+        a = make({"location": "Plaka"}, "brewery", 0.8)
+        b = make({"location": "Kifisia"}, "museum", 0.3)
+        assert find_conflicts([a, b], env) == []
+
+    def test_grouped_by_clause(self, env):
+        a = make({"location": "Plaka"}, "brewery", 0.8)
+        b = make({"location": "Plaka"}, "museum", 0.3)
+        c = make({"location": "Plaka"}, "museum", 0.4)
+        pairs = find_conflicts([a, b, c], env)
+        assert pairs == [(b, c)]
+
+    def test_empty_input(self, env):
+        assert find_conflicts([], env) == []

@@ -1,0 +1,108 @@
+"""Tests for attribute clauses and contextual preferences (Def. 5)."""
+
+import pytest
+
+from repro import AttributeClause, ContextDescriptor, ContextualPreference
+from repro.exceptions import PreferenceError
+
+
+class TestAttributeClause:
+    def test_default_operator_is_equality(self):
+        clause = AttributeClause("type", "brewery")
+        assert clause.op == "="
+        assert clause.matches({"type": "brewery"})
+        assert not clause.matches({"type": "museum"})
+
+    @pytest.mark.parametrize(
+        "op,value,row_value,expected",
+        [
+            ("=", 5, 5, True),
+            ("=", 5, 6, False),
+            ("!=", 5, 6, True),
+            ("!=", 5, 5, False),
+            ("<", 5, 4, True),
+            ("<", 5, 5, False),
+            (">", 5, 6, True),
+            (">", 5, 5, False),
+            ("<=", 5, 5, True),
+            ("<=", 5, 6, False),
+            (">=", 5, 5, True),
+            (">=", 5, 4, False),
+        ],
+    )
+    def test_all_def5_operators(self, op, value, row_value, expected):
+        clause = AttributeClause("cost", value, op)
+        assert clause.matches({"cost": row_value}) is expected
+
+    def test_missing_attribute_never_matches(self):
+        assert not AttributeClause("type", "brewery").matches({"name": "x"})
+
+    def test_incomparable_types_never_match(self):
+        assert not AttributeClause("cost", 5, "<").matches({"cost": "cheap"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PreferenceError):
+            AttributeClause("type", "brewery", "~")
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(PreferenceError):
+            AttributeClause("", "brewery")
+
+    def test_equality_and_hash(self):
+        a = AttributeClause("type", "brewery")
+        b = AttributeClause("type", "brewery")
+        assert a == b and hash(a) == hash(b)
+        assert a != AttributeClause("type", "brewery", "!=")
+
+    def test_repr(self):
+        assert repr(AttributeClause("type", "brewery")) == "(type = 'brewery')"
+
+
+class TestContextualPreference:
+    def test_paper_example_preference1(self):
+        # contextual_preference1 from Sec. 3.2.
+        preference = ContextualPreference(
+            ContextDescriptor.from_mapping(
+                {"location": "Plaka", "temperature": "warm"}
+            ),
+            AttributeClause("name", "Acropolis"),
+            0.8,
+        )
+        assert preference.score == 0.8
+        assert preference.clause.attribute == "name"
+
+    @pytest.mark.parametrize("score", [0.0, 0.5, 1.0])
+    def test_boundary_scores_accepted(self, score):
+        preference = ContextualPreference(
+            ContextDescriptor.empty(), AttributeClause("a", 1), score
+        )
+        assert preference.score == score
+
+    @pytest.mark.parametrize("score", [-0.1, 1.1, 2.0])
+    def test_out_of_range_scores_rejected(self, score):
+        with pytest.raises(PreferenceError):
+            ContextualPreference(ContextDescriptor.empty(), AttributeClause("a", 1), score)
+
+    def test_type_validation(self):
+        with pytest.raises(PreferenceError):
+            ContextualPreference("not a descriptor", AttributeClause("a", 1), 0.5)
+        with pytest.raises(PreferenceError):
+            ContextualPreference(ContextDescriptor.empty(), "not a clause", 0.5)
+
+    def test_equality_and_hash(self):
+        def make():
+            return ContextualPreference(
+                ContextDescriptor.from_mapping({"location": "Plaka"}),
+                AttributeClause("type", "brewery"),
+                0.9,
+            )
+
+        assert make() == make()
+        assert hash(make()) == hash(make())
+
+    def test_inequality_on_score(self):
+        descriptor = ContextDescriptor.empty()
+        clause = AttributeClause("a", 1)
+        assert ContextualPreference(descriptor, clause, 0.5) != ContextualPreference(
+            descriptor, clause, 0.6
+        )

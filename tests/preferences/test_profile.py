@@ -1,0 +1,123 @@
+"""Tests for profiles (Def. 7)."""
+
+import pytest
+
+from repro import AttributeClause, ConflictError, ContextDescriptor, ContextualPreference, Profile
+from tests.conftest import state
+
+
+def make(mapping, clause_value, score):
+    return ContextualPreference(
+        ContextDescriptor.from_mapping(mapping),
+        AttributeClause("type", clause_value),
+        score,
+    )
+
+
+class TestAdd:
+    def test_add_and_len(self, env):
+        profile = Profile(env)
+        profile.add(make({"location": "Plaka"}, "brewery", 0.9))
+        assert len(profile) == 1
+
+    def test_constructor_accepts_iterable(self, env, fig4_preferences):
+        profile = Profile(env, fig4_preferences)
+        assert len(profile) == 3
+
+    def test_conflicting_add_rejected_and_profile_unchanged(self, env):
+        profile = Profile(env, [make({"location": "Plaka"}, "brewery", 0.9)])
+        with pytest.raises(ConflictError):
+            profile.add(make({"location": "Plaka"}, "brewery", 0.3))
+        assert len(profile) == 1
+
+    def test_identical_re_add_is_noop(self, env):
+        preference = make({"location": "Plaka"}, "brewery", 0.9)
+        profile = Profile(env, [preference])
+        profile.add(preference)
+        assert len(profile) == 1
+
+    def test_partial_overlap_conflict_rejected(self, env):
+        profile = Profile(env, [make({"temperature": ["warm", "hot"]}, "brewery", 0.9)])
+        with pytest.raises(ConflictError):
+            profile.add(make({"temperature": ["hot", "mild"]}, "brewery", 0.2))
+        # The non-overlapping portion must not have been inserted either.
+        assert len(profile.states()) == 2
+
+    def test_same_state_different_clause_ok(self, env):
+        profile = Profile(env, [make({"location": "Plaka"}, "brewery", 0.9)])
+        profile.add(make({"location": "Plaka"}, "museum", 0.3))
+        assert len(profile) == 2
+
+    def test_contains(self, env):
+        preference = make({"location": "Plaka"}, "brewery", 0.9)
+        profile = Profile(env, [preference])
+        assert preference in profile
+        assert make({"location": "Plaka"}, "museum", 0.9) not in profile
+
+
+class TestRemoveReplace:
+    def test_remove(self, env):
+        preference = make({"location": "Plaka"}, "brewery", 0.9)
+        profile = Profile(env, [preference])
+        profile.remove(preference)
+        assert len(profile) == 0
+        # After removal, the conflicting score is insertable again.
+        profile.add(make({"location": "Plaka"}, "brewery", 0.3))
+
+    def test_remove_missing_raises(self, env):
+        profile = Profile(env)
+        with pytest.raises(ValueError):
+            profile.remove(make({"location": "Plaka"}, "brewery", 0.9))
+
+    def test_replace_updates_score(self, env):
+        old = make({"location": "Plaka"}, "brewery", 0.9)
+        new = make({"location": "Plaka"}, "brewery", 0.4)
+        profile = Profile(env, [old])
+        profile.replace(old, new)
+        assert new in profile and old not in profile
+
+    def test_replace_rolls_back_on_conflict(self, env):
+        keeper = make({"location": "Plaka"}, "brewery", 0.9)
+        old = make({"location": "Kifisia"}, "brewery", 0.7)
+        clash = make({"location": "Plaka"}, "brewery", 0.1)
+        profile = Profile(env, [keeper, old])
+        with pytest.raises(ConflictError):
+            profile.replace(old, clash)
+        assert old in profile and keeper in profile
+
+
+class TestQueries:
+    def test_would_conflict(self, env):
+        profile = Profile(env, [make({"location": "Plaka"}, "brewery", 0.9)])
+        assert profile.would_conflict(make({"location": "Plaka"}, "brewery", 0.2))
+        assert not profile.would_conflict(make({"location": "Plaka"}, "brewery", 0.9))
+        assert not profile.would_conflict(make({"location": "Kifisia"}, "brewery", 0.2))
+
+    def test_conflicts_with_lists_offenders(self, env):
+        stored = make({"location": "Plaka"}, "brewery", 0.9)
+        profile = Profile(env, [stored])
+        offenders = profile.conflicts_with(make({"location": "Plaka"}, "brewery", 0.2))
+        assert offenders == [stored]
+
+    def test_states_dedup(self, env):
+        profile = Profile(
+            env,
+            [
+                make({"location": "Plaka"}, "brewery", 0.9),
+                make({"location": "Plaka"}, "museum", 0.5),
+            ],
+        )
+        assert profile.states() == (state(env, location="Plaka"),)
+
+    def test_entries_flatten_multistate_descriptors(self, env):
+        profile = Profile(env, [make({"temperature": ["warm", "hot"]}, "brewery", 0.9)])
+        entries = list(profile.entries())
+        assert len(entries) == 2
+        assert {entry[0]["temperature"] for entry in entries} == {"warm", "hot"}
+
+    def test_iteration_order_is_insertion_order(self, env, fig4_preferences):
+        profile = Profile(env, fig4_preferences)
+        assert list(profile) == fig4_preferences
+
+    def test_repr(self, env):
+        assert "0 preferences" in repr(Profile(env))

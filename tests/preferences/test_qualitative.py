@@ -1,0 +1,182 @@
+"""Tests for the contextual qualitative preference extension."""
+
+import pytest
+
+from repro import AttributeClause, ContextDescriptor, ContextState
+from repro.exceptions import PreferenceError
+from repro.preferences.qualitative import (
+    PreferenceRelation,
+    QualitativePreference,
+    QualitativeProfile,
+    rank_by_strata,
+    winnow,
+)
+from tests.conftest import state
+
+MUSEUM = AttributeClause("type", "museum")
+BREWERY = AttributeClause("type", "brewery")
+ZOO = AttributeClause("type", "zoo")
+
+ROWS = [
+    {"pid": 1, "type": "museum"},
+    {"pid": 2, "type": "brewery"},
+    {"pid": 3, "type": "zoo"},
+]
+
+
+class TestPreferenceRelation:
+    def test_dominates(self):
+        relation = PreferenceRelation(MUSEUM, BREWERY)
+        assert relation.dominates(ROWS[0], ROWS[1])
+        assert not relation.dominates(ROWS[1], ROWS[0])
+        assert not relation.dominates(ROWS[0], ROWS[2])
+
+    def test_identical_sides_rejected(self):
+        with pytest.raises(PreferenceError):
+            PreferenceRelation(MUSEUM, MUSEUM)
+
+
+class TestQualitativeProfile:
+    @pytest.fixture
+    def profile(self, env):
+        return QualitativeProfile(
+            env,
+            [
+                # With family: museums over breweries.
+                QualitativePreference(
+                    ContextDescriptor.from_mapping({"accompanying_people": "family"}),
+                    PreferenceRelation(MUSEUM, BREWERY),
+                ),
+                # With friends: breweries over museums.
+                QualitativePreference(
+                    ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+                    PreferenceRelation(BREWERY, MUSEUM),
+                ),
+                # In bad weather, anywhere: museums over zoos.
+                QualitativePreference(
+                    ContextDescriptor.from_mapping({"temperature": "bad"}),
+                    PreferenceRelation(MUSEUM, ZOO),
+                ),
+            ],
+        )
+
+    def test_applicable_selects_minimum_distance_state(self, env, profile):
+        query = ContextState(env, ("family", "cold", "Plaka"))
+        # (family, all, all) at hierarchy distance 0+2+3=5;
+        # (all, bad, all) at 1+1+3=5 -> tie, relations unioned.
+        relations = profile.applicable(query)
+        assert set(relations) == {
+            PreferenceRelation(MUSEUM, BREWERY),
+            PreferenceRelation(MUSEUM, ZOO),
+        }
+
+    def test_applicable_jaccard_breaks_tie(self, env, profile):
+        query = ContextState(env, ("family", "cold", "Plaka"))
+        relations = profile.applicable(query, metric="jaccard")
+        # family/all/all: 0 + 1 + (1 - 1/7); all/bad/all: 2/3 + 3/5 + (1 - 1/7)
+        assert relations == [PreferenceRelation(MUSEUM, BREWERY)]
+
+    def test_no_match(self, env, profile):
+        query = ContextState(env, ("alone", "warm", "Plaka"))
+        assert profile.applicable(query) == []
+
+    def test_context_flips_the_relation(self, env, profile):
+        with_family = profile.applicable(
+            ContextState(env, ("family", "warm", "Plaka"))
+        )
+        with_friends = profile.applicable(
+            ContextState(env, ("friends", "warm", "Plaka"))
+        )
+        assert with_family == [PreferenceRelation(MUSEUM, BREWERY)]
+        assert with_friends == [PreferenceRelation(BREWERY, MUSEUM)]
+
+    def test_opposite_relation_in_same_context_rejected(self, env, profile):
+        with pytest.raises(PreferenceError):
+            profile.add(
+                QualitativePreference(
+                    ContextDescriptor.from_mapping({"accompanying_people": "family"}),
+                    PreferenceRelation(BREWERY, MUSEUM),
+                )
+            )
+
+    def test_duplicate_add_is_noop(self, env, profile):
+        before = len(profile)
+        profile.add(
+            QualitativePreference(
+                ContextDescriptor.from_mapping({"accompanying_people": "family"}),
+                PreferenceRelation(MUSEUM, BREWERY),
+            )
+        )
+        assert len(profile) == before
+
+    def test_states(self, profile):
+        assert len(profile.states()) == 3
+
+
+class TestWinnow:
+    def test_undominated_survive(self):
+        relations = [PreferenceRelation(MUSEUM, BREWERY)]
+        best = winnow(ROWS, relations)
+        assert {row["pid"] for row in best} == {1, 3}
+
+    def test_no_relations_everything_survives(self):
+        assert winnow(ROWS, []) == ROWS
+
+    def test_chain_of_relations(self):
+        relations = [
+            PreferenceRelation(MUSEUM, BREWERY),
+            PreferenceRelation(BREWERY, ZOO),
+        ]
+        best = winnow(ROWS, relations)
+        assert {row["pid"] for row in best} == {1}
+
+    def test_conflicting_relations_do_not_dominate(self):
+        # museum > brewery AND brewery > museum: neither dominates.
+        relations = [
+            PreferenceRelation(MUSEUM, BREWERY),
+            PreferenceRelation(BREWERY, MUSEUM),
+        ]
+        best = winnow(ROWS[:2], relations)
+        assert len(best) == 2
+
+    def test_empty_rows(self):
+        assert winnow([], [PreferenceRelation(MUSEUM, BREWERY)]) == []
+
+
+class TestRankByStrata:
+    def test_stratification(self):
+        relations = [
+            PreferenceRelation(MUSEUM, BREWERY),
+            PreferenceRelation(BREWERY, ZOO),
+        ]
+        strata = rank_by_strata(ROWS, relations)
+        assert [{row["pid"] for row in stratum} for stratum in strata] == [
+            {1},
+            {2},
+            {3},
+        ]
+
+    def test_all_rows_accounted_for(self):
+        relations = [PreferenceRelation(MUSEUM, BREWERY)]
+        strata = rank_by_strata(ROWS, relations)
+        flattened = [row["pid"] for stratum in strata for row in stratum]
+        assert sorted(flattened) == [1, 2, 3]
+
+    def test_no_relations_single_stratum(self):
+        assert rank_by_strata(ROWS, []) == [ROWS]
+
+    def test_end_to_end_with_profile(self, env):
+        profile = QualitativeProfile(
+            env,
+            [
+                QualitativePreference(
+                    ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+                    PreferenceRelation(BREWERY, MUSEUM),
+                )
+            ],
+        )
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        relations = profile.applicable(query)
+        strata = rank_by_strata(ROWS, relations)
+        assert strata[0][0]["pid"] in (2, 3)  # brewery and zoo undominated
+        assert all(row["pid"] != 1 for row in strata[0])

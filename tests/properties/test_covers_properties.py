@@ -1,0 +1,102 @@
+"""Property-based tests: the covers relation is a partial order (Thm. 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ContextEnvironment, ContextParameter, ContextState
+from repro.hierarchy import (
+    accompanying_people_hierarchy,
+    balanced_hierarchy,
+    location_hierarchy,
+    temperature_hierarchy,
+)
+
+ENV = ContextEnvironment(
+    [
+        ContextParameter(accompanying_people_hierarchy()),
+        ContextParameter(temperature_hierarchy()),
+        ContextParameter(location_hierarchy()),
+    ]
+)
+
+SYNTH_ENV = ContextEnvironment(
+    [
+        ContextParameter(balanced_hierarchy("a", [6, 2])),
+        ContextParameter(balanced_hierarchy("b", [8, 4, 2])),
+    ]
+)
+
+
+def states(environment):
+    return st.tuples(
+        *[st.sampled_from(parameter.edom) for parameter in environment]
+    ).map(lambda values: ContextState(environment, values))
+
+
+@st.composite
+def environment_and_state(draw):
+    environment = draw(st.sampled_from([ENV, SYNTH_ENV]))
+    return environment, draw(states(environment))
+
+
+@st.composite
+def environment_and_state_pair(draw):
+    environment = draw(st.sampled_from([ENV, SYNTH_ENV]))
+    return environment, draw(states(environment)), draw(states(environment))
+
+
+class TestPartialOrder:
+    @given(environment_and_state())
+    def test_reflexive(self, pair):
+        _environment, state = pair
+        assert state.covers(state)
+
+    @given(environment_and_state_pair())
+    def test_antisymmetric(self, triple):
+        _environment, first, second = triple
+        if first.covers(second) and second.covers(first):
+            assert first == second
+
+    @settings(max_examples=200)
+    @given(environment_and_state_pair(), st.data())
+    def test_transitive(self, triple, data):
+        environment, first, second = triple
+        third = data.draw(states(environment))
+        if first.covers(second) and second.covers(third):
+            assert first.covers(third)
+
+
+class TestCoversStructure:
+    @given(environment_and_state())
+    def test_all_state_covers_everything(self, pair):
+        environment, state = pair
+        assert ContextState.all_state(environment).covers(state)
+
+    @given(environment_and_state())
+    def test_generalisations_exactly_the_covering_states(self, pair):
+        """generalisations() enumerates exactly the states that cover s."""
+        environment, state = pair
+        generalisations = set(state.generalisations())
+        for candidate in generalisations:
+            assert candidate.covers(state)
+        # Spot-check the converse on the full extended world of the
+        # smaller environment only (the big one is too large).
+        if environment is SYNTH_ENV:
+            import itertools
+
+            for values in itertools.product(
+                *[parameter.edom for parameter in environment]
+            ):
+                candidate = ContextState(environment, values)
+                if candidate.covers(state):
+                    assert candidate in generalisations
+
+    @given(environment_and_state_pair())
+    def test_covering_implies_levels_dominate(self, triple):
+        """If s1 covers s2 then every level of s1 is >= that of s2
+        (the stepping stone of Property 2)."""
+        _environment, first, second = triple
+        if first.covers(second):
+            for upper, lower in zip(first.levels(), second.levels()):
+                assert upper.index >= lower.index

@@ -1,0 +1,86 @@
+"""Property-based round-trips for the DSL: parse(render(x)) == x."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextualPreference,
+    ParameterDescriptor,
+)
+from repro.dsl import (
+    parse_clause,
+    parse_descriptor,
+    parse_preference,
+    render_clause,
+    render_descriptor,
+    render_preference,
+)
+
+_NAMES = st.sampled_from(["location", "temperature", "company", "noise_level"])
+_ATTRS = st.sampled_from(["type", "name", "open_air", "cost"])
+# Strings exercise quoting/escaping; keep them printable but nasty.
+_STRINGS = st.text(
+    alphabet=st.characters(
+        codec="ascii", min_codepoint=32, max_codepoint=126
+    ),
+    max_size=12,
+)
+_VALUES = st.one_of(
+    _STRINGS,
+    st.integers(-1000, 1000),
+    st.booleans(),
+    st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-100, max_value=100
+    ),
+)
+_OPS = st.sampled_from(["=", "!=", "<", ">", "<=", ">="])
+
+
+@st.composite
+def clauses(draw):
+    return AttributeClause(draw(_ATTRS), draw(_VALUES), draw(_OPS))
+
+
+@st.composite
+def conditions(draw, name):
+    kind = draw(st.sampled_from(["equals", "one_of", "between"]))
+    if kind == "equals":
+        return ParameterDescriptor.equals(name, draw(_STRINGS))
+    if kind == "one_of":
+        values = draw(st.lists(_STRINGS, min_size=1, max_size=4, unique=True))
+        return ParameterDescriptor.one_of(name, values)
+    return ParameterDescriptor.between(name, draw(_STRINGS), draw(_STRINGS))
+
+
+@st.composite
+def descriptors(draw):
+    names = draw(
+        st.lists(_NAMES, min_size=1, max_size=3, unique=True)
+    )
+    return ContextDescriptor([draw(conditions(name)) for name in names])
+
+
+@st.composite
+def preferences(draw):
+    descriptor = draw(st.one_of(st.just(ContextDescriptor.empty()), descriptors()))
+    score = draw(st.integers(0, 100)) / 100
+    return ContextualPreference(descriptor, draw(clauses()), score)
+
+
+class TestDslRoundTrips:
+    @settings(max_examples=150)
+    @given(clauses())
+    def test_clause(self, clause):
+        assert parse_clause(render_clause(clause)) == clause
+
+    @settings(max_examples=150)
+    @given(descriptors())
+    def test_descriptor(self, descriptor):
+        assert parse_descriptor(render_descriptor(descriptor)) == descriptor
+
+    @settings(max_examples=150)
+    @given(preferences())
+    def test_preference(self, preference):
+        assert parse_preference(render_preference(preference)) == preference

@@ -1,0 +1,106 @@
+"""Model-based test: the context query tree behaves like an LRU dict.
+
+A reference model (plain dict + recency list) receives the same
+get/put/invalidate stream as the real trie-based cache; observable
+behaviour (lookup results, membership, size, eviction victims) must
+match at every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ContextEnvironment, ContextParameter, ContextQueryTree, ContextState
+from repro.hierarchy import balanced_hierarchy
+
+ENV = ContextEnvironment(
+    [
+        ContextParameter(balanced_hierarchy("a", [3])),
+        ContextParameter(balanced_hierarchy("b", [3])),
+    ]
+)
+
+STATES = [
+    ContextState(ENV, (first, second))
+    for first in ENV["a"].edom
+    for second in ENV["b"].edom
+]
+
+
+class _ModelLru:
+    """Reference LRU mapping."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.data = {}
+        self.order = []  # least recent first
+
+    def _touch(self, key):
+        if key in self.order:
+            self.order.remove(key)
+        self.order.append(key)
+
+    def get(self, key):
+        if key not in self.data:
+            return None
+        self._touch(key)
+        return self.data[key]
+
+    def put(self, key, value):
+        if key not in self.data and self.capacity is not None:
+            if len(self.data) >= self.capacity:
+                victim = self.order.pop(0)
+                del self.data[victim]
+        self.data[key] = value
+        self._touch(key)
+
+    def invalidate(self, key):
+        if key in self.data:
+            del self.data[key]
+            self.order.remove(key)
+            return True
+        return False
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "put", "invalidate"]),
+        st.integers(0, len(STATES) - 1),
+        st.integers(0, 9),
+    ),
+    max_size=60,
+)
+
+
+class TestAgainstModel:
+    @settings(max_examples=120)
+    @given(st.sampled_from([None, 1, 2, 5]), operations)
+    def test_cache_matches_model(self, capacity, ops):
+        cache = ContextQueryTree(ENV, capacity=capacity)
+        model = _ModelLru(capacity)
+        for op, index, value in ops:
+            state = STATES[index]
+            if op == "get":
+                assert cache.get(state) == model.get(state)
+            elif op == "put":
+                cache.put(state, value)
+                model.put(state, value)
+            else:
+                assert cache.invalidate(state) == model.invalidate(state)
+            assert len(cache) == len(model.data)
+            assert {s for s in STATES if s in cache} == set(model.data)
+
+    @settings(max_examples=60)
+    @given(operations)
+    def test_unbounded_cache_never_loses_entries(self, ops):
+        cache = ContextQueryTree(ENV)
+        stored = {}
+        for op, index, value in ops:
+            state = STATES[index]
+            if op == "put":
+                cache.put(state, value)
+                stored[state] = value
+            elif op == "invalidate":
+                cache.invalidate(state)
+                stored.pop(state, None)
+        for state, value in stored.items():
+            assert cache.get(state) == value

@@ -1,0 +1,108 @@
+"""Property-based tests for ranking and combining invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Attribute,
+    AttributeClause,
+    ContextEnvironment,
+    ContextParameter,
+    ContextState,
+    Relation,
+    Schema,
+    combine_avg,
+    combine_max,
+    combine_min,
+)
+from repro.hierarchy import flat_hierarchy
+from repro.query import Contribution, rank_rows
+
+ENV = ContextEnvironment([ContextParameter(flat_hierarchy("c", ["x", "y"]))])
+ALL_STATE = ContextState.all_state(ENV)
+
+SCHEMA = Schema([Attribute("pid", "int"), Attribute("kind", "str")])
+KINDS = ["a", "b", "c"]
+
+
+@st.composite
+def relations(draw):
+    n = draw(st.integers(0, 12))
+    relation = Relation("r", SCHEMA)
+    for pid in range(n):
+        relation.insert({"pid": pid, "kind": draw(st.sampled_from(KINDS))})
+    return relation
+
+
+@st.composite
+def contributions(draw):
+    result = []
+    for kind in draw(st.lists(st.sampled_from(KINDS), unique=True)):
+        score = draw(st.integers(0, 100)) / 100
+        result.append(
+            Contribution(ALL_STATE, AttributeClause("kind", kind), score)
+        )
+    return result
+
+
+class TestRankRows:
+    @settings(max_examples=100)
+    @given(relations(), contributions())
+    def test_scores_sorted_descending(self, relation, contribs):
+        ranked = rank_rows(relation, contribs)
+        scores = [item.score for item in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    @settings(max_examples=100)
+    @given(relations(), contributions())
+    def test_every_result_matches_a_contribution(self, relation, contribs):
+        ranked = rank_rows(relation, contribs)
+        for item in ranked:
+            assert any(
+                contribution.clause.matches(item.row)
+                for contribution in item.contributions
+            )
+            assert all(
+                contribution.clause.matches(item.row)
+                for contribution in item.contributions
+            )
+
+    @settings(max_examples=100)
+    @given(relations(), contributions())
+    def test_no_duplicates_and_no_misses(self, relation, contribs):
+        ranked = rank_rows(relation, contribs)
+        pids = [item.row["pid"] for item in ranked]
+        assert len(set(pids)) == len(pids)
+        matched = {
+            row["pid"]
+            for row in relation
+            if any(c.clause.matches(row) for c in contribs)
+        }
+        assert set(pids) == matched
+
+    @settings(max_examples=100)
+    @given(relations(), contributions())
+    def test_max_combiner_bounds(self, relation, contribs):
+        ranked = rank_rows(relation, contribs)
+        for item in ranked:
+            member_scores = [c.score for c in item.contributions]
+            assert item.score == max(member_scores)
+
+    @settings(max_examples=60)
+    @given(relations(), contributions())
+    def test_combiner_ordering(self, relation, contribs):
+        by_max = {i.row["pid"]: i.score for i in rank_rows(relation, contribs, combine_max)}
+        by_min = {i.row["pid"]: i.score for i in rank_rows(relation, contribs, combine_min)}
+        by_avg = {i.row["pid"]: i.score for i in rank_rows(relation, contribs, combine_avg)}
+        for pid in by_max:
+            assert by_min[pid] <= by_avg[pid] <= by_max[pid]
+
+
+class TestCsvRoundTripProperty:
+    @settings(max_examples=60)
+    @given(relations())
+    def test_round_trip(self, relation):
+        from repro.io import relation_from_csv, relation_to_csv
+
+        rebuilt = relation_from_csv(relation_to_csv(relation), "r", SCHEMA)
+        assert [dict(row) for row in rebuilt] == [dict(row) for row in relation]

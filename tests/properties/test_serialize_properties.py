@@ -1,0 +1,108 @@
+"""Property-based round-trip tests for serialisation.
+
+Hierarchies, environments and profiles are generated randomly; JSON
+round-trips must reproduce them exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextEnvironment,
+    ContextParameter,
+    ContextualPreference,
+    Profile,
+)
+from repro.hierarchy import Hierarchy
+from repro.io import dumps, loads
+
+_NAMES = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "kappa", "sigma", "omega", "zeta"]
+)
+
+
+@st.composite
+def hierarchies(draw):
+    """A random chain hierarchy with 1-3 levels below ALL."""
+    num_levels = draw(st.integers(1, 3))
+    level_sizes = []
+    for depth in range(num_levels):
+        upper_bound = 6 if depth == 0 else level_sizes[-1]
+        level_sizes.append(draw(st.integers(1, upper_bound)))
+    name = draw(_NAMES)
+    levels = [f"L{depth}" for depth in range(num_levels)]
+    members = {
+        level: [f"{name}_{depth}_{rank}" for rank in range(size)]
+        for depth, (level, size) in enumerate(zip(levels, level_sizes))
+    }
+    parent_of = {}
+    for depth in range(num_levels - 1):
+        lower, upper = members[levels[depth]], members[levels[depth + 1]]
+        for rank, value in enumerate(lower):
+            # Contiguous split keeps every parent non-childless.
+            index = min(rank * len(upper) // len(lower), len(upper) - 1)
+            parent_of[value] = upper[index]
+    return Hierarchy(name, levels=levels, members=members, parent_of=parent_of)
+
+
+@st.composite
+def environments(draw):
+    count = draw(st.integers(1, 3))
+    parameters = [
+        # Forced-unique parameter names avoid rejection loops.
+        ContextParameter(draw(hierarchies()), name=f"p{index}")
+        for index in range(count)
+    ]
+    return ContextEnvironment(parameters)
+
+
+@st.composite
+def profiles(draw):
+    environment = draw(environments())
+    profile = Profile(environment)
+    for _ in range(draw(st.integers(0, 6))):
+        conditions = {}
+        for parameter in environment:
+            if draw(st.booleans()):
+                conditions[parameter.name] = draw(
+                    st.sampled_from(parameter.edom)
+                )
+        clause = AttributeClause(
+            draw(_NAMES), draw(st.integers(0, 5)), draw(st.sampled_from(["=", "<", ">="]))
+        )
+        score = draw(st.integers(0, 100)) / 100
+        preference = ContextualPreference(
+            ContextDescriptor.from_mapping(conditions), clause, score
+        )
+        if not profile.would_conflict(preference):
+            profile.add(preference)
+    return profile
+
+
+class TestRoundTrips:
+    @settings(max_examples=60)
+    @given(hierarchies())
+    def test_hierarchy(self, hierarchy):
+        assert loads(dumps(hierarchy)) == hierarchy
+
+    @settings(max_examples=40)
+    @given(environments())
+    def test_environment(self, environment):
+        assert loads(dumps(environment)) == environment
+
+    @settings(max_examples=40)
+    @given(profiles())
+    def test_profile(self, profile):
+        rebuilt = loads(dumps(profile))
+        assert rebuilt.environment == profile.environment
+        assert list(rebuilt) == list(profile)
+
+    @settings(max_examples=40)
+    @given(profiles())
+    def test_profile_states_preserved(self, profile):
+        rebuilt = loads(dumps(profile))
+        assert set(
+            state.values for state in rebuilt.states()
+        ) == set(state.values for state in profile.states())

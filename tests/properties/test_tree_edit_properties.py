@@ -1,0 +1,108 @@
+"""Model-based test: insert/remove sequences keep the tree faithful.
+
+A reference model (plain dict keyed by (state, clause)) receives the
+same edit stream as the profile tree; after every operation the tree's
+contents, state count and exact lookups must match the model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextEnvironment,
+    ContextParameter,
+    ContextState,
+    ContextualPreference,
+    ProfileTree,
+)
+from repro.exceptions import ConflictError
+from repro.hierarchy import balanced_hierarchy
+
+ENV = ContextEnvironment(
+    [
+        ContextParameter(balanced_hierarchy("a", [3])),
+        ContextParameter(balanced_hierarchy("b", [4, 2])),
+    ]
+)
+
+_CLAUSES = [AttributeClause("attr", f"v{index}") for index in range(2)]
+
+
+@st.composite
+def preferences(draw):
+    values = tuple(draw(st.sampled_from(parameter.edom)) for parameter in ENV)
+    clause = draw(st.sampled_from(_CLAUSES))
+    score = draw(st.sampled_from([0.25, 0.5, 0.75]))
+    descriptor = ContextDescriptor.from_mapping(
+        {
+            parameter.name: value
+            for parameter, value in zip(ENV, values)
+            if value != "all"
+        }
+    )
+    return ContextualPreference(descriptor, clause, score)
+
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "remove"]), preferences()),
+    max_size=40,
+)
+
+
+def state_of(preference):
+    (only,) = preference.descriptor.states(ENV)
+    return only
+
+
+class TestEditStream:
+    @settings(max_examples=120)
+    @given(operations)
+    def test_tree_matches_reference_model(self, ops):
+        tree = ProfileTree(ENV)
+        model: dict[tuple[ContextState, AttributeClause], float] = {}
+        for op, preference in ops:
+            key = (state_of(preference), preference.clause)
+            if op == "insert":
+                existing = model.get(key)
+                if existing is not None and existing != preference.score:
+                    try:
+                        tree.insert(preference)
+                        raise AssertionError("conflict not detected")
+                    except ConflictError:
+                        pass
+                else:
+                    tree.insert(preference)
+                    model[key] = preference.score
+            else:
+                removed = tree.remove(preference)
+                should_remove = model.get(key) == preference.score
+                assert removed == should_remove
+                if should_remove:
+                    del model[key]
+
+            # Full-content agreement after every step.
+            from_tree = {
+                (item_state, clause): score
+                for item_state, clause, score in tree.items()
+            }
+            assert from_tree == model
+            assert tree.num_states == len({s for s, _c in model})
+
+    @settings(max_examples=60)
+    @given(st.lists(preferences(), max_size=15))
+    def test_insert_then_remove_everything_leaves_empty_tree(self, prefs):
+        tree = ProfileTree(ENV)
+        inserted = []
+        for preference in prefs:
+            try:
+                tree.insert(preference)
+                inserted.append(preference)
+            except ConflictError:
+                pass
+        for preference in inserted:
+            tree.remove(preference)
+        assert tree.num_states == 0
+        assert tree.num_internal_cells() == 0
+        assert list(tree.items()) == []

@@ -1,0 +1,151 @@
+"""Property-based tests for profile-tree invariants.
+
+Random profiles are generated as (state, clause, score) triples; the
+tree must faithfully store them, answer exact lookups, and - the key
+correctness claim of Algorithm 1 - ``Search_CS`` must return exactly
+the stored states that cover a query, with correct distances, under
+every parameter ordering.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextEnvironment,
+    ContextParameter,
+    ContextState,
+    ContextualPreference,
+    Profile,
+    ProfileTree,
+    SequentialStore,
+    hierarchy_state_distance,
+    search_cs,
+)
+from repro.hierarchy import balanced_hierarchy
+
+ENV = ContextEnvironment(
+    [
+        ContextParameter(balanced_hierarchy("a", [4, 2])),
+        ContextParameter(balanced_hierarchy("b", [6, 2])),
+    ]
+)
+
+_CLAUSES = [AttributeClause("attr", f"v{index}") for index in range(3)]
+
+
+@st.composite
+def profiles(draw):
+    """A conflict-free random profile over ENV."""
+    n = draw(st.integers(0, 12))
+    profile = Profile(ENV)
+    for _ in range(n):
+        values = tuple(
+            draw(st.sampled_from(parameter.edom)) for parameter in ENV
+        )
+        clause = draw(st.sampled_from(_CLAUSES))
+        # Deterministic per (state, clause) -> never conflicts.
+        score = (hash((values, clause.value)) % 100) / 100
+        descriptor = ContextDescriptor.from_mapping(
+            {
+                parameter.name: value
+                for parameter, value in zip(ENV, values)
+                if value != "all"
+            }
+        )
+        preference = ContextualPreference(descriptor, clause, score)
+        if not profile.would_conflict(preference):
+            profile.add(preference)
+    return profile
+
+
+def query_states():
+    return st.tuples(*[st.sampled_from(parameter.edom) for parameter in ENV]).map(
+        lambda values: ContextState(ENV, values)
+    )
+
+
+orderings = st.sampled_from(list(itertools.permutations(ENV.names)))
+
+
+class TestTreeFaithfulness:
+    @settings(max_examples=60)
+    @given(profiles(), orderings)
+    def test_items_round_trip(self, profile, ordering):
+        tree = ProfileTree.from_profile(profile, ordering)
+        from_tree = {
+            (item_state, clause, score) for item_state, clause, score in tree.items()
+        }
+        from_profile = set(profile.entries())
+        assert from_tree == from_profile
+
+    @settings(max_examples=60)
+    @given(profiles(), orderings)
+    def test_exact_lookup_agrees_with_profile(self, profile, ordering):
+        tree = ProfileTree.from_profile(profile, ordering)
+        stored = {}
+        for state, clause, score in profile.entries():
+            stored.setdefault(state, {})[clause] = score
+        for state, expected in stored.items():
+            assert tree.exact_lookup(state) == expected
+
+    @settings(max_examples=60)
+    @given(profiles())
+    def test_num_states_counts_distinct_states(self, profile):
+        tree = ProfileTree.from_profile(profile)
+        assert tree.num_states == len(set(profile.states()))
+
+
+class TestSearchCorrectness:
+    @settings(max_examples=80)
+    @given(profiles(), query_states(), orderings)
+    def test_search_returns_exactly_the_covering_states(
+        self, profile, query, ordering
+    ):
+        tree = ProfileTree.from_profile(profile, ordering)
+        found = {result.state for result in search_cs(tree, query)}
+        expected = {
+            state for state in set(profile.states()) if state.covers(query)
+        }
+        assert found == expected
+
+    @settings(max_examples=80)
+    @given(profiles(), query_states())
+    def test_search_distances_match_state_distance(self, profile, query):
+        tree = ProfileTree.from_profile(profile)
+        for result in search_cs(tree, query):
+            assert result.hierarchy_distance == hierarchy_state_distance(
+                query, result.state
+            )
+
+    @settings(max_examples=60)
+    @given(profiles(), query_states())
+    def test_search_agrees_with_sequential_scan(self, profile, query):
+        tree = ProfileTree.from_profile(profile)
+        store = SequentialStore.from_profile(profile)
+        via_tree = {
+            (result.state, frozenset(result.entries.items()))
+            for result in search_cs(tree, query)
+        }
+        via_scan = {
+            (result.state, frozenset(result.entries.items()))
+            for result in store.cover_scan(query)
+        }
+        assert via_tree == via_scan
+
+    @settings(max_examples=60)
+    @given(profiles(), query_states(), orderings)
+    def test_ordering_invariance(self, profile, query, ordering):
+        default_tree = ProfileTree.from_profile(profile)
+        reordered_tree = ProfileTree.from_profile(profile, ordering)
+        def key(results):
+            return sorted(
+                (result.state.values, result.hierarchy_distance)
+                for result in results
+            )
+        assert key(search_cs(default_tree, query)) == key(
+            search_cs(reordered_tree, query)
+        )

@@ -1,0 +1,104 @@
+"""Tests for contextual queries (Defs. 8-9)."""
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextState,
+    ContextualQuery,
+    ExtendedContextDescriptor,
+)
+from repro.exceptions import QueryError
+from tests.conftest import state
+
+
+class TestConstruction:
+    def test_non_contextual(self, env):
+        query = ContextualQuery(env)
+        assert not query.is_contextual()
+        assert query.states() == ()
+
+    def test_implicit_current_state(self, env):
+        current = state(env, location="Plaka")
+        query = ContextualQuery(env, current_state=current)
+        assert query.is_contextual()
+        assert query.states() == (current,)
+
+    def test_explicit_descriptor(self, env):
+        query = ContextualQuery(
+            env, descriptor=ContextDescriptor.from_mapping({"location": "Plaka"})
+        )
+        assert query.is_contextual()
+        assert len(query.states()) == 1
+
+    def test_plain_descriptor_wrapped_to_extended(self, env):
+        query = ContextualQuery(
+            env, descriptor=ContextDescriptor.from_mapping({"location": "Plaka"})
+        )
+        assert isinstance(query.descriptor, ExtendedContextDescriptor)
+
+    def test_both_descriptor_and_state_union(self, env):
+        current = state(env, location="Plaka")
+        query = ContextualQuery(
+            env,
+            descriptor=ContextDescriptor.from_mapping({"location": "Kifisia"}),
+            current_state=current,
+        )
+        assert len(query.states()) == 2
+
+    def test_duplicate_states_removed(self, env):
+        current = state(env, location="Plaka")
+        query = ContextualQuery(
+            env,
+            descriptor=ContextDescriptor.from_mapping({"location": "Plaka"}),
+            current_state=current,
+        )
+        assert query.states() == (current,)
+
+    def test_at_state_builder(self, env):
+        current = state(env, location="Plaka")
+        query = ContextualQuery.at_state(current, top_k=5)
+        assert query.current_state == current
+        assert query.top_k == 5
+
+    def test_invalid_top_k(self, env):
+        with pytest.raises(QueryError):
+            ContextualQuery(env, top_k=0)
+
+    def test_invalid_descriptor_type(self, env):
+        with pytest.raises(QueryError):
+            ContextualQuery(env, descriptor="location = Plaka")
+
+    def test_foreign_state_rejected(self, env):
+        from repro import ContextEnvironment
+
+        other = ContextEnvironment([env.parameters[0]])
+        foreign = ContextState(other, ("friends",))
+        with pytest.raises(QueryError):
+            ContextualQuery(env, current_state=foreign)
+
+    def test_base_clauses_stored(self, env):
+        clause = AttributeClause("open_air", True)
+        query = ContextualQuery(env, base_clauses=[clause])
+        assert query.base_clauses == (clause,)
+
+    def test_exploratory_query_dnf(self, env):
+        # "When I travel to Athens with my family this summer..."
+        extended = ExtendedContextDescriptor(
+            [
+                ContextDescriptor.from_mapping(
+                    {"location": "Athens", "accompanying_people": "family",
+                     "temperature": "good"}
+                ),
+            ]
+        )
+        query = ContextualQuery(env, descriptor=extended)
+        (only,) = query.states()
+        assert only.values == ("family", "good", "Athens")
+
+    def test_repr(self, env):
+        assert "non-contextual" in repr(ContextualQuery(env))
+        assert "current=" in repr(
+            ContextualQuery.at_state(state(env, location="Plaka"))
+        )

@@ -1,0 +1,176 @@
+"""Tests for end-to-end contextual query execution."""
+
+import pytest
+
+from repro import (
+    Attribute,
+    AttributeClause,
+    ContextDescriptor,
+    ContextQueryTree,
+    ContextState,
+    ContextualQuery,
+    ContextualQueryExecutor,
+    Relation,
+    Schema,
+)
+from repro.query import QueryResult, RankedTuple
+from tests.conftest import state
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(
+        [Attribute("pid", "int"), Attribute("type", "str"), Attribute("name", "str")]
+    )
+    return Relation(
+        "pois",
+        schema,
+        [
+            {"pid": 1, "type": "brewery", "name": "Craft"},
+            {"pid": 2, "type": "cafeteria", "name": "Cafe"},
+            {"pid": 3, "type": "brewery", "name": "Hops"},
+            {"pid": 4, "type": "museum", "name": "Acropolis"},
+        ],
+    )
+
+
+@pytest.fixture
+def executor(fig4_tree, relation):
+    return ContextualQueryExecutor(fig4_tree, relation)
+
+
+class TestExecution:
+    def test_contextual_query_ranks_matching_tuples(self, executor, env):
+        current = ContextState(env, ("friends", "warm", "Kifisia"))
+        result = executor.execute(ContextualQuery.at_state(current))
+        assert result.contextual
+        assert [item.row["pid"] for item in result.results] == [2]
+        assert result.results[0].score == 0.9
+
+    def test_non_contextual_query_returns_unranked(self, executor, env):
+        result = executor.execute(ContextualQuery(env))
+        assert not result.contextual
+        assert len(result.results) == 4
+        assert all(item.score == 0.0 for item in result.results)
+
+    def test_fallback_when_no_preference_matches(self, executor, env):
+        current = ContextState(env, ("alone", "cold", "Perama"))
+        result = executor.execute(ContextualQuery.at_state(current))
+        assert not result.contextual
+        assert len(result.results) == 4
+        assert len(result.resolutions) == 1
+
+    def test_base_clauses_filter_results(self, executor, env):
+        current = state(env, accompanying_people="friends")
+        query = ContextualQuery(
+            env,
+            current_state=current,
+            base_clauses=[AttributeClause("name", "Craft")],
+        )
+        result = executor.execute(query)
+        assert [item.row["pid"] for item in result.results] == [1]
+
+    def test_base_clauses_apply_to_fallback_too(self, executor, env):
+        query = ContextualQuery(env, base_clauses=[AttributeClause("type", "brewery")])
+        result = executor.execute(query)
+        assert [item.row["pid"] for item in result.results] == [1, 3]
+
+    def test_top_k_truncates(self, executor, env):
+        current = state(env, accompanying_people="friends")
+        result = executor.execute(ContextualQuery(env, current_state=current, top_k=1))
+        # Two breweries share the same score -> the tie is kept.
+        assert len(result.results) == 2
+
+    def test_provenance_recorded(self, executor, env):
+        current = ContextState(env, ("friends", "warm", "Kifisia"))
+        result = executor.execute(ContextualQuery.at_state(current))
+        (contribution,) = result.results[0].contributions
+        assert contribution.clause == AttributeClause("type", "cafeteria")
+        assert contribution.state.values == ("friends", "warm", "Kifisia")
+
+    def test_descriptor_query_unions_states(self, executor, env):
+        descriptor = ContextDescriptor.from_mapping(
+            {
+                "accompanying_people": "friends",
+                "temperature": ["warm", "hot"],
+                "location": "Plaka",
+            }
+        )
+        result = executor.execute(ContextualQuery(env, descriptor=descriptor))
+        names = {item.row["name"] for item in result.results}
+        assert "Acropolis" in names
+        assert len(result.resolutions) == 2
+
+
+class TestTopWithTies:
+    def make_result(self, scores):
+        results = [
+            RankedTuple(row={"pid": index}, score=score, contributions=())
+            for index, score in enumerate(scores)
+        ]
+        return QueryResult(results=results)
+
+    def test_ties_at_cut_kept(self):
+        result = self.make_result([0.9, 0.8, 0.8, 0.8, 0.1])
+        assert len(result.top(2)) == 4
+
+    def test_no_ties(self):
+        result = self.make_result([0.9, 0.8, 0.7])
+        assert len(result.top(2)) == 2
+
+    def test_k_larger_than_results(self):
+        result = self.make_result([0.9])
+        assert len(result.top(5)) == 1
+
+    def test_exclude_ties(self):
+        result = self.make_result([0.9, 0.8, 0.8, 0.8])
+        assert len(result.top(2, include_ties=False)) == 2
+
+    def test_nonpositive_k(self):
+        assert self.make_result([0.9]).top(0) == []
+
+
+class TestCaching:
+    def test_cache_populated_and_hit(self, fig4_tree, relation, env):
+        cache = ContextQueryTree(env)
+        executor = ContextualQueryExecutor(fig4_tree, relation, cache=cache)
+        current = ContextState(env, ("friends", "warm", "Kifisia"))
+        first = executor.execute(ContextualQuery.at_state(current))
+        assert first.cache_misses == 1 and first.cache_hits == 0
+        second = executor.execute(ContextualQuery.at_state(current))
+        assert second.cache_hits == 1 and second.cache_misses == 0
+        assert [item.row["pid"] for item in second.results] == [
+            item.row["pid"] for item in first.results
+        ]
+
+    def test_cached_execution_matches_uncached(self, fig4_tree, relation, env):
+        cache = ContextQueryTree(env)
+        cached = ContextualQueryExecutor(fig4_tree, relation, cache=cache)
+        plain = ContextualQueryExecutor(fig4_tree, relation)
+        current = ContextState(env, ("friends", "warm", "Plaka"))
+        cached.execute(ContextualQuery.at_state(current))
+        via_cache = cached.execute(ContextualQuery.at_state(current))
+        via_plain = plain.execute(ContextualQuery.at_state(current))
+        assert [item.row["pid"] for item in via_cache.results] == [
+            item.row["pid"] for item in via_plain.results
+        ]
+
+    def test_first_lookup_counts_as_miss_in_cache_stats(
+        self, fig4_tree, relation, env
+    ):
+        # Regression: an empty ContextQueryTree is falsy (len == 0), so a
+        # truthiness check used to skip the very first cache lookup and
+        # the tree's own miss counter stayed at zero.
+        cache = ContextQueryTree(env)
+        executor = ContextualQueryExecutor(fig4_tree, relation, cache=cache)
+        current = ContextState(env, ("friends", "warm", "Kifisia"))
+        executor.execute(ContextualQuery.at_state(current))
+        assert cache.misses == 1
+        executor.execute(ContextualQuery.at_state(current))
+        assert cache.hits == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_no_cache_no_statistics(self, executor, env):
+        current = ContextState(env, ("friends", "warm", "Kifisia"))
+        result = executor.execute(ContextualQuery.at_state(current))
+        assert result.cache_hits == 0 and result.cache_misses == 0

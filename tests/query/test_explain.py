@@ -1,0 +1,115 @@
+"""Tests for resolution/result explanations (traceability)."""
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextResolver,
+    ContextState,
+    ContextualPreference,
+    ContextualQuery,
+    ContextualQueryExecutor,
+    ContextQueryTree,
+    Profile,
+    ProfileTree,
+    generate_poi_relation,
+)
+from repro.query.explain import explain_resolution, explain_result
+from tests.conftest import state
+
+
+@pytest.fixture
+def executor(fig4_tree):
+    return ContextualQueryExecutor(fig4_tree, generate_poi_relation(40))
+
+
+class TestExplainResolution:
+    def test_exact_match_marked(self, fig4_tree, env):
+        resolution = ContextResolver(fig4_tree).resolve_state(
+            ContextState(env, ("friends", "warm", "Kifisia"))
+        )
+        text = explain_resolution(resolution)
+        assert "query state (friends, warm, Kifisia)" in text
+        assert "* exact (friends, warm, Kifisia)" in text
+        assert "(type = 'cafeteria'): 0.9" in text
+        assert "metric: hierarchy" in text
+
+    def test_cover_distances_shown(self, fig4_tree, env):
+        resolution = ContextResolver(fig4_tree).resolve_state(
+            ContextState(env, ("friends", "warm", "Plaka"))
+        )
+        text = explain_resolution(resolution)
+        assert "dist_H=1" in text
+        assert "dist_J=" in text
+        assert "* cover (all, warm, Plaka)" in text
+
+    def test_no_match_explained(self, fig4_tree, env):
+        resolution = ContextResolver(fig4_tree).resolve_state(
+            ContextState(env, ("alone", "cold", "Perama"))
+        )
+        text = explain_resolution(resolution)
+        assert "no stored context state covers" in text
+
+    def test_tie_note(self, env):
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.from_mapping(
+                        {"temperature": "warm", "location": "Greece"}
+                    ),
+                    AttributeClause("type", "park"),
+                    0.6,
+                ),
+                ContextualPreference(
+                    ContextDescriptor.from_mapping(
+                        {"temperature": "good", "location": "Athens"}
+                    ),
+                    AttributeClause("type", "museum"),
+                    0.7,
+                ),
+            ],
+        )
+        tree = ProfileTree.from_profile(profile)
+        resolution = ContextResolver(tree).resolve_state(
+            state(env, temperature="warm", location="Athens")
+        )
+        text = explain_resolution(resolution)
+        assert "2 candidates tie" in text
+
+
+class TestExplainResult:
+    def test_contextual_run(self, executor, env):
+        result = executor.execute(
+            ContextualQuery.at_state(ContextState(env, ("friends", "warm", "Plaka")))
+        )
+        text = explain_result(result)
+        assert "ranked results:" in text
+        assert "Acropolis" in text
+        assert "from (name = 'Acropolis')" in text
+
+    def test_fallback_run(self, executor, env):
+        result = executor.execute(
+            ContextualQuery.at_state(ContextState(env, ("alone", "cold", "Perama")))
+        )
+        text = explain_result(result)
+        assert "non-contextual execution" in text
+
+    def test_limit_and_ellipsis(self, executor, env):
+        result = executor.execute(
+            ContextualQuery.at_state(ContextState(env, ("friends", "cold", "Perama")))
+        )
+        text = explain_result(result, limit=1)
+        assert "... and" in text
+
+    def test_cache_statistics_shown(self, fig4_tree, env):
+        executor = ContextualQueryExecutor(
+            fig4_tree, generate_poi_relation(20), cache=ContextQueryTree(env)
+        )
+        query = ContextualQuery.at_state(
+            ContextState(env, ("friends", "warm", "Kifisia"))
+        )
+        executor.execute(query)
+        text = explain_result(executor.execute(query))
+        assert "cache: 1 hit(s)" in text

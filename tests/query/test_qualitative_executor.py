@@ -1,0 +1,98 @@
+"""Tests for the qualitative query executor."""
+
+import pytest
+
+from repro import (
+    Attribute,
+    AttributeClause,
+    ContextDescriptor,
+    ContextState,
+    PreferenceRelation,
+    QualitativePreference,
+    QualitativeProfile,
+    Relation,
+    Schema,
+)
+from repro.query.qualitative_executor import QualitativeQueryExecutor
+
+MUSEUM = AttributeClause("type", "museum")
+BREWERY = AttributeClause("type", "brewery")
+
+
+@pytest.fixture
+def relation():
+    schema = Schema([Attribute("pid", "int"), Attribute("type", "str")])
+    return Relation(
+        "pois",
+        schema,
+        [
+            {"pid": 1, "type": "museum"},
+            {"pid": 2, "type": "brewery"},
+            {"pid": 3, "type": "museum"},
+            {"pid": 4, "type": "park"},
+        ],
+    )
+
+
+@pytest.fixture
+def executor(env, relation):
+    profile = QualitativeProfile(
+        env,
+        [
+            QualitativePreference(
+                ContextDescriptor.from_mapping({"accompanying_people": "family"}),
+                PreferenceRelation(MUSEUM, BREWERY),
+            ),
+            QualitativePreference(
+                ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+                PreferenceRelation(BREWERY, MUSEUM),
+            ),
+        ],
+    )
+    return QualitativeQueryExecutor(profile, relation)
+
+
+class TestExecute:
+    def test_family_context_prefers_museums(self, env, executor):
+        result = executor.execute(ContextState(env, ("family", "warm", "Plaka")))
+        assert result.contextual
+        best_pids = {row["pid"] for row in result.best()}
+        assert best_pids == {1, 3, 4}  # museums and the unrelated park
+        assert {row["pid"] for row in result.strata[1]} == {2}
+
+    def test_friends_context_flips(self, env, executor):
+        result = executor.execute(ContextState(env, ("friends", "warm", "Plaka")))
+        assert {row["pid"] for row in result.best()} == {2, 4}
+
+    def test_no_applicable_relation_falls_back(self, env, executor):
+        result = executor.execute(ContextState(env, ("alone", "warm", "Plaka")))
+        assert not result.contextual
+        assert len(result.strata) == 1
+        assert len(result.best()) == 4
+
+    def test_base_clauses_filter_first(self, env, executor):
+        result = executor.execute(
+            ContextState(env, ("family", "warm", "Plaka")),
+            base_clauses=[AttributeClause("type", "park", "!=")],
+        )
+        assert all(row["type"] != "park" for stratum in result.strata for row in stratum)
+
+    def test_all_rows_appear_exactly_once(self, env, executor, relation):
+        result = executor.execute(ContextState(env, ("family", "warm", "Plaka")))
+        pids = [row["pid"] for stratum in result.strata for row in stratum]
+        assert sorted(pids) == [1, 2, 3, 4]
+
+    def test_position_of(self, env, executor, relation):
+        result = executor.execute(ContextState(env, ("family", "warm", "Plaka")))
+        assert result.position_of(relation[0]) == 0  # museum
+        assert result.position_of(relation[1]) == 1  # brewery
+        assert result.position_of({"pid": 99}) is None
+
+    def test_empty_relation(self, env):
+        schema = Schema([Attribute("pid", "int"), Attribute("type", "str")])
+        empty = Relation("empty", schema)
+        profile = QualitativeProfile(env)
+        executor = QualitativeQueryExecutor(profile, empty)
+        result = executor.execute(ContextState(env, ("family", "warm", "Plaka")))
+        assert result.strata == []
+        assert result.best() == []

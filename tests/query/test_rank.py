@@ -1,0 +1,129 @@
+"""Tests for Rank_CS (Algorithm 2) and the ranking helpers."""
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    Attribute,
+    ContextDescriptor,
+    ContextResolver,
+    ContextState,
+    Relation,
+    Schema,
+    combine_avg,
+    rank_cs,
+)
+from repro.query import Contribution, rank_rows
+from tests.conftest import state
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(
+        [Attribute("pid", "int"), Attribute("type", "str"), Attribute("name", "str")]
+    )
+    return Relation(
+        "pois",
+        schema,
+        [
+            {"pid": 1, "type": "brewery", "name": "Craft"},
+            {"pid": 2, "type": "cafeteria", "name": "Cafe"},
+            {"pid": 3, "type": "brewery", "name": "Hops"},
+            {"pid": 4, "type": "museum", "name": "Acropolis"},
+        ],
+    )
+
+
+class TestRankRows:
+    def test_selection_and_annotation(self, relation, env):
+        contribution = Contribution(
+            ContextState.all_state(env), AttributeClause("type", "brewery"), 0.9
+        )
+        ranked = rank_rows(relation, [contribution])
+        assert [item.row["pid"] for item in ranked] == [1, 3]
+        assert all(item.score == 0.9 for item in ranked)
+
+    def test_duplicates_combined_with_max_by_default(self, relation, env):
+        s = ContextState.all_state(env)
+        contributions = [
+            Contribution(s, AttributeClause("type", "brewery"), 0.5),
+            Contribution(s, AttributeClause("name", "Craft"), 0.8),
+        ]
+        ranked = rank_rows(relation, contributions)
+        by_pid = {item.row["pid"]: item for item in ranked}
+        assert by_pid[1].score == 0.8  # max of 0.5 and 0.8
+        assert by_pid[3].score == 0.5
+        assert len(by_pid[1].contributions) == 2
+
+    def test_custom_combiner(self, relation, env):
+        s = ContextState.all_state(env)
+        contributions = [
+            Contribution(s, AttributeClause("type", "brewery"), 0.4),
+            Contribution(s, AttributeClause("name", "Craft"), 0.8),
+        ]
+        ranked = rank_rows(relation, contributions, combine=combine_avg)
+        by_pid = {item.row["pid"]: item for item in ranked}
+        assert by_pid[1].score == pytest.approx(0.6)
+
+    def test_sorted_by_score_descending(self, relation, env):
+        s = ContextState.all_state(env)
+        contributions = [
+            Contribution(s, AttributeClause("type", "cafeteria"), 0.3),
+            Contribution(s, AttributeClause("type", "brewery"), 0.9),
+        ]
+        ranked = rank_rows(relation, contributions)
+        scores = [item.score for item in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_contributions(self, relation):
+        assert rank_rows(relation, []) == []
+
+
+class TestRankCS:
+    def test_end_to_end_on_fig4(self, fig4_tree, relation, env):
+        resolver = ContextResolver(fig4_tree)
+        descriptor = ContextDescriptor.from_mapping(
+            {"accompanying_people": "friends"}
+        )
+        ranked, resolutions = rank_cs(resolver, relation, descriptor)
+        # (friends, all, all) matches the brewery preference exactly.
+        assert [item.row["pid"] for item in ranked] == [1, 3]
+        assert len(resolutions) == 1
+        assert resolutions[0].is_exact
+
+    def test_multi_state_descriptor_unions_contributions(self, fig4_tree, relation, env):
+        resolver = ContextResolver(fig4_tree)
+        descriptor = ContextDescriptor.from_mapping(
+            {
+                "accompanying_people": "friends",
+                "temperature": ["warm", "hot"],
+                "location": "Plaka",
+            }
+        )
+        ranked, resolutions = rank_cs(resolver, relation, descriptor)
+        assert len(resolutions) == 2
+        names = {item.row["name"] for item in ranked}
+        assert "Acropolis" in names  # from the (all, warm/hot, Plaka) covers
+
+    def test_unmatched_descriptor_yields_empty(self, fig4_tree, relation, env):
+        resolver = ContextResolver(fig4_tree)
+        descriptor = ContextDescriptor.from_mapping(
+            {"accompanying_people": "alone", "temperature": "cold",
+             "location": "Perama"}
+        )
+        ranked, resolutions = rank_cs(resolver, relation, descriptor)
+        assert ranked == []
+        assert not resolutions[0].matched
+
+    def test_counter_is_threaded(self, fig4_tree, relation, env):
+        from repro.tree import AccessCounter
+
+        resolver = ContextResolver(fig4_tree)
+        counter = AccessCounter()
+        rank_cs(
+            resolver,
+            relation,
+            ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+            counter=counter,
+        )
+        assert counter.cells > 0

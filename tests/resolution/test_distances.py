@@ -1,0 +1,129 @@
+"""Tests for hierarchy and Jaccard distances (Defs. 13-17)."""
+
+import pytest
+
+from repro import ContextState, hierarchy_state_distance, jaccard_state_distance
+from repro.exceptions import ContextError, HierarchyError
+from repro.resolution import (
+    hierarchy_value_distance,
+    jaccard_value_distance,
+    level_distance,
+    state_distance,
+)
+from tests.conftest import state
+
+
+class TestLevelDistance:
+    def test_same_level(self, location):
+        assert level_distance(location, "Region", "Region") == 0
+
+    def test_adjacent_levels(self, location):
+        assert level_distance(location, "Region", "City") == 1
+
+    def test_symmetric(self, location):
+        assert level_distance(location, "Region", "ALL") == 3
+        assert level_distance(location, "ALL", "Region") == 3
+
+    def test_accepts_level_objects(self, location):
+        assert level_distance(location, location.levels[0], location.levels[2]) == 2
+
+    def test_unknown_level_rejected(self, location):
+        with pytest.raises(HierarchyError):
+            level_distance(location, "Region", "Continent")
+
+
+class TestHierarchyValueDistance:
+    def test_value_to_its_ancestor(self, location):
+        assert hierarchy_value_distance(location, "Plaka", "Athens") == 1
+        assert hierarchy_value_distance(location, "Plaka", "Greece") == 2
+        assert hierarchy_value_distance(location, "Plaka", "all") == 3
+
+    def test_same_level_values(self, location):
+        # Distance is between the *levels*, so siblings are at 0.
+        assert hierarchy_value_distance(location, "Plaka", "Kifisia") == 0
+
+
+class TestJaccardValueDistance:
+    def test_identical_value(self, location):
+        assert jaccard_value_distance(location, "Plaka", "Plaka") == 0.0
+
+    def test_value_to_parent(self, location):
+        # Athens has 3 regions; leaves(Plaka)={Plaka}.
+        assert jaccard_value_distance(location, "Plaka", "Athens") == pytest.approx(
+            1 - 1 / 3
+        )
+
+    def test_value_to_all(self, location):
+        assert jaccard_value_distance(location, "Plaka", "all") == pytest.approx(1 - 1 / 7)
+
+    def test_country_distinguishable_from_all(self, location):
+        assert jaccard_value_distance(location, "Plaka", "Greece") < (
+            jaccard_value_distance(location, "Plaka", "all")
+        )
+
+    def test_disjoint_values(self, location):
+        assert jaccard_value_distance(location, "Athens", "Ioannina") == 1.0
+
+    def test_symmetric(self, temperature):
+        forward = jaccard_value_distance(temperature, "warm", "good")
+        backward = jaccard_value_distance(temperature, "good", "warm")
+        assert forward == backward == pytest.approx(1 - 1 / 3)
+
+
+class TestStateDistances:
+    def test_hierarchy_state_distance_sums_per_parameter(self, env):
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        candidate = ContextState(env, ("all", "good", "Athens"))
+        # A: Relationship->ALL = 1; T: Conditions->Characterization = 1;
+        # L: Region->City = 1.
+        assert hierarchy_state_distance(query, candidate) == 3
+
+    def test_zero_for_identical_states(self, env):
+        s = ContextState(env, ("friends", "warm", "Plaka"))
+        assert hierarchy_state_distance(s, s) == 0
+        assert jaccard_state_distance(s, s) == 0.0
+
+    def test_jaccard_state_distance_sums_per_parameter(self, env):
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        candidate = ContextState(env, ("all", "good", "Athens"))
+        expected = (1 - 1 / 3) + (1 - 1 / 3) + (1 - 1 / 3)
+        assert jaccard_state_distance(query, candidate) == pytest.approx(expected)
+
+    def test_cross_environment_rejected(self, env):
+        from repro import ContextEnvironment
+
+        other = ContextEnvironment([env.parameters[0]])
+        with pytest.raises(ContextError):
+            hierarchy_state_distance(
+                ContextState(other, ("friends",)),
+                state(env, location="Plaka"),
+            )
+
+    def test_dispatch_by_name(self, env):
+        first = ContextState(env, ("friends", "warm", "Plaka"))
+        second = ContextState(env, ("all", "warm", "Plaka"))
+        assert state_distance(first, second, "hierarchy") == 1.0
+        assert state_distance(first, second, "jaccard") == pytest.approx(1 - 1 / 3)
+
+    def test_unknown_metric_rejected(self, env):
+        s = state(env, location="Plaka")
+        with pytest.raises(ContextError):
+            state_distance(s, s, "euclidean")
+
+
+class TestPaperScenario:
+    """The Sec. 4.2 tie example: two incomparable covers of the query."""
+
+    def test_both_cover_but_distances_differ(self, env):
+        query = state(env, temperature="warm", location="Plaka")
+        greece_warm = state(env, temperature="warm", location="Greece")
+        plaka_good = state(env, temperature="good", location="Plaka")
+        assert greece_warm.covers(query)
+        assert plaka_good.covers(query)
+        # Hierarchy: Greece/warm = 0+0+2; Plaka/good = 0+1+0.
+        assert hierarchy_state_distance(query, greece_warm) == 2
+        assert hierarchy_state_distance(query, plaka_good) == 1
+        # Jaccard prefers the smaller-cardinality state too.
+        assert jaccard_state_distance(query, plaka_good) < jaccard_state_distance(
+            query, greece_warm
+        )

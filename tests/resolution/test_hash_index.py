@@ -1,0 +1,91 @@
+"""Tests for the hash-index baseline."""
+
+import pytest
+
+from repro import AttributeClause, ConflictError, ContextState, search_cs
+from repro.resolution.hash_index import StateHashIndex
+from repro.tree import AccessCounter
+
+
+@pytest.fixture
+def index(fig4_profile):
+    return StateHashIndex.from_profile(fig4_profile)
+
+
+class TestExactLookup:
+    def test_hit(self, index, env):
+        entries = index.exact_lookup(ContextState(env, ("friends", "all", "all")))
+        assert entries == {AttributeClause("type", "brewery"): 0.9}
+
+    def test_miss(self, index, env):
+        assert index.exact_lookup(ContextState(env, ("alone", "all", "all"))) is None
+
+    def test_single_probe(self, index, env):
+        counter = AccessCounter()
+        index.exact_lookup(ContextState(env, ("friends", "all", "all")), counter)
+        assert counter.cells == 1
+
+    def test_len_counts_states(self, index):
+        assert len(index) == 4
+
+
+class TestCoverLookup:
+    def test_agrees_with_tree_search(self, index, fig4_tree, env):
+        for values in [
+            ("friends", "warm", "Kifisia"),
+            ("friends", "warm", "Plaka"),
+            ("friends", "hot", "Plaka"),
+            ("alone", "cold", "Perama"),
+        ]:
+            query = ContextState(env, values)
+            via_hash = {
+                (tuple(result.state.values), result.hierarchy_distance)
+                for result in index.cover_lookup(query)
+            }
+            via_tree = {
+                (tuple(result.state.values), result.hierarchy_distance)
+                for result in search_cs(fig4_tree, query)
+            }
+            assert via_hash == via_tree
+
+    def test_probe_count_is_lattice_size(self, index, env):
+        counter = AccessCounter()
+        # Ancestor chains: friends->all (2), warm->good->all (3),
+        # Kifisia->Athens->Greece->all (4): 24 probes, always.
+        index.cover_lookup(ContextState(env, ("friends", "warm", "Kifisia")), counter)
+        assert counter.cells == 2 * 3 * 4
+
+    def test_probe_count_independent_of_profile_size(self, env, fig4_profile):
+        small = StateHashIndex.from_profile(fig4_profile)
+        counter_small, counter_empty = AccessCounter(), AccessCounter()
+        query = ContextState(env, ("friends", "warm", "Kifisia"))
+        small.cover_lookup(query, counter_small)
+        StateHashIndex(env).cover_lookup(query, counter_empty)
+        assert counter_small.cells == counter_empty.cells
+
+    def test_results_sorted_by_distance(self, index, env):
+        results = index.cover_lookup(ContextState(env, ("friends", "warm", "Plaka")))
+        distances = [result.hierarchy_distance for result in results]
+        assert distances == sorted(distances)
+
+
+class TestConflicts:
+    def test_conflict_rejected(self, env):
+        from repro import ContextDescriptor, ContextualPreference
+
+        index = StateHashIndex(env)
+        index.insert(
+            ContextualPreference(
+                ContextDescriptor.from_mapping({"location": "Plaka"}),
+                AttributeClause("type", "brewery"),
+                0.9,
+            )
+        )
+        with pytest.raises(ConflictError):
+            index.insert(
+                ContextualPreference(
+                    ContextDescriptor.from_mapping({"location": "Plaka"}),
+                    AttributeClause("type", "brewery"),
+                    0.2,
+                )
+            )

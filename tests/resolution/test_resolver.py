@@ -1,0 +1,155 @@
+"""Tests for the context resolver (Def. 12 semantics)."""
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextResolver,
+    ContextState,
+    ContextualPreference,
+    ExtendedContextDescriptor,
+    Profile,
+    ProfileTree,
+)
+from repro.exceptions import ContextError
+from repro.resolution import minimal_covering, search_cs
+from tests.conftest import state
+
+
+@pytest.fixture
+def tie_tree(env):
+    """The Sec. 4.2 example: two incomparable covers of the query."""
+    profile = Profile(
+        env,
+        [
+            ContextualPreference(
+                ContextDescriptor.from_mapping(
+                    {"temperature": "warm", "location": "Greece"}
+                ),
+                AttributeClause("type", "park"),
+                0.6,
+            ),
+            ContextualPreference(
+                ContextDescriptor.from_mapping(
+                    {"temperature": "good", "location": "Athens"}
+                ),
+                AttributeClause("type", "museum"),
+                0.7,
+            ),
+        ],
+    )
+    return ProfileTree.from_profile(profile)
+
+
+class TestResolveState:
+    def test_exact_match_wins(self, fig4_tree, env):
+        resolver = ContextResolver(fig4_tree)
+        resolution = resolver.resolve_state(
+            ContextState(env, ("friends", "warm", "Kifisia"))
+        )
+        assert resolution.matched
+        assert resolution.is_exact
+        assert resolution.chosen().entries == {AttributeClause("type", "cafeteria"): 0.9}
+
+    def test_no_match(self, fig4_tree, env):
+        resolver = ContextResolver(fig4_tree)
+        resolution = resolver.resolve_state(
+            ContextState(env, ("alone", "cold", "Perama"))
+        )
+        assert not resolution.matched
+        assert resolution.chosen() is None
+        assert not resolution.is_exact
+
+    def test_best_is_minimal_under_covers(self, fig4_tree, env):
+        resolver = ContextResolver(fig4_tree)
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        resolution = resolver.resolve_state(query)
+        minimal_states = {
+            tuple(result.state.values)
+            for result in minimal_covering(search_cs(fig4_tree, query))
+        }
+        for best in resolution.best:
+            assert tuple(best.state.values) in minimal_states
+
+    def test_jaccard_breaks_hierarchy_ties_by_cardinality(self, tie_tree, env):
+        query = state(env, temperature="warm", location="Athens")
+        # Hierarchy: (warm, Greece)=0+1; (good, Athens)=1+0 -> tie.
+        hierarchy = ContextResolver(tie_tree, "hierarchy").resolve_state(query)
+        assert len(hierarchy.best) == 2
+        # Jaccard: warm->good = 2/3 vs Athens->Greece = 1/2, so
+        # (warm, Greece) - the smaller state (18 detailed states vs 27)
+        # - wins, matching Sec. 4.3's "smallest state in terms of
+        # cardinality".
+        jaccard = ContextResolver(tie_tree, "jaccard").resolve_state(query)
+        assert len(jaccard.best) == 1
+        assert jaccard.chosen().state.values[2] == "Greece"
+
+    def test_exact_only_mode(self, fig4_tree, env):
+        resolver = ContextResolver(fig4_tree)
+        hit = resolver.resolve_state(
+            ContextState(env, ("friends", "all", "all")), exact_only=True
+        )
+        assert hit.is_exact
+        miss = resolver.resolve_state(
+            ContextState(env, ("friends", "warm", "Plaka")), exact_only=True
+        )
+        assert not miss.matched  # covering candidates are ignored
+
+    def test_unknown_metric_rejected(self, fig4_tree):
+        with pytest.raises(ContextError):
+            ContextResolver(fig4_tree, "euclidean")
+
+    def test_candidates_sorted_by_metric(self, fig4_tree, env):
+        resolver = ContextResolver(fig4_tree, "jaccard")
+        resolution = resolver.resolve_state(
+            ContextState(env, ("friends", "warm", "Plaka"))
+        )
+        distances = [result.jaccard_distance for result in resolution.candidates]
+        assert distances == sorted(distances)
+
+
+class TestResolveDescriptor:
+    def test_one_resolution_per_state(self, fig4_tree, env):
+        resolver = ContextResolver(fig4_tree)
+        descriptor = ContextDescriptor.from_mapping(
+            {
+                "accompanying_people": "friends",
+                "temperature": ["warm", "hot"],
+                "location": "Plaka",
+            }
+        )
+        resolutions = resolver.resolve_descriptor(descriptor)
+        assert len(resolutions) == 2
+        assert all(resolution.matched for resolution in resolutions)
+
+    def test_extended_descriptor(self, fig4_tree, env):
+        resolver = ContextResolver(fig4_tree)
+        extended = ExtendedContextDescriptor(
+            [
+                ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+                ContextDescriptor.from_mapping({"accompanying_people": "alone"}),
+            ]
+        )
+        resolutions = resolver.resolve_descriptor(extended)
+        assert len(resolutions) == 2
+        assert resolutions[0].matched  # (friends, all, all) stored
+        assert not resolutions[1].matched
+
+
+class TestMinimalCovering:
+    def test_filters_dominated_candidates(self, fig4_tree, env):
+        query = ContextState(env, ("friends", "warm", "Kifisia"))
+        candidates = search_cs(fig4_tree, query)
+        minimal = minimal_covering(candidates)
+        values = {tuple(result.state.values) for result in minimal}
+        # The exact state dominates (friends, all, all).
+        assert values == {("friends", "warm", "Kifisia")}
+
+    def test_keeps_incomparable_candidates(self, tie_tree, env):
+        query = state(env, temperature="warm", location="Athens")
+        minimal = minimal_covering(search_cs(tie_tree, query))
+        assert len(minimal) == 2
+
+    def test_empty_input(self):
+        assert minimal_covering([]) == []

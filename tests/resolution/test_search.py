@@ -1,0 +1,165 @@
+"""Tests for the Search_CS algorithm (Algorithm 1)."""
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextState,
+    ContextualPreference,
+    Profile,
+    ProfileTree,
+    exact_search,
+    search_cs,
+)
+from repro.tree import AccessCounter
+from tests.conftest import state
+
+
+class TestSearchOnFig4Tree:
+    def test_exact_state_found_with_zero_distance(self, fig4_tree, env):
+        query = ContextState(env, ("friends", "warm", "Kifisia"))
+        results = search_cs(fig4_tree, query)
+        exact = [result for result in results if result.is_exact()]
+        assert len(exact) == 1
+        assert exact[0].entries == {AttributeClause("type", "cafeteria"): 0.9}
+        assert exact[0].jaccard_distance == 0.0
+
+    def test_all_covering_states_returned(self, fig4_tree, env):
+        query = ContextState(env, ("friends", "warm", "Kifisia"))
+        results = search_cs(fig4_tree, query)
+        found = {tuple(result.state.values) for result in results}
+        # (friends, warm, Kifisia) exactly and (friends, all, all).
+        assert found == {("friends", "warm", "Kifisia"), ("friends", "all", "all")}
+
+    def test_results_sorted_by_hierarchy_distance(self, fig4_tree, env):
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        results = search_cs(fig4_tree, query)
+        distances = [result.hierarchy_distance for result in results]
+        assert distances == sorted(distances)
+
+    def test_no_cover_returns_empty(self, fig4_tree, env):
+        query = ContextState(env, ("alone", "cold", "Perama"))
+        assert search_cs(fig4_tree, query) == []
+
+    def test_acropolis_preference_covers_plaka_query(self, fig4_tree, env):
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        results = search_cs(fig4_tree, query)
+        best = results[0]
+        assert best.state.values == ("all", "warm", "Plaka")
+        assert best.hierarchy_distance == 1  # friends -> all
+        assert AttributeClause("name", "Acropolis") in best.entries
+
+    def test_query_at_upper_level_only_matches_equal_or_higher(self, fig4_tree, env):
+        # Query at City level: stored Region-level states do not cover it.
+        query = state(env, accompanying_people="friends", temperature="warm",
+                      location="Athens")
+        results = search_cs(fig4_tree, query)
+        assert {tuple(result.state.values) for result in results} == {
+            ("friends", "all", "all")
+        }
+
+    def test_distances_are_consistent_with_state_distance(self, fig4_tree, env):
+        from repro import hierarchy_state_distance, jaccard_state_distance
+
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        for result in search_cs(fig4_tree, query):
+            assert result.hierarchy_distance == hierarchy_state_distance(
+                query, result.state
+            )
+            assert result.jaccard_distance == pytest.approx(
+                jaccard_state_distance(query, result.state)
+            )
+
+    def test_every_result_covers_the_query(self, fig4_tree, env):
+        query = ContextState(env, ("friends", "hot", "Plaka"))
+        for result in search_cs(fig4_tree, query):
+            assert result.state.covers(query)
+
+
+class TestCounting:
+    def test_search_scans_visited_nodes_fully(self, fig4_tree, env):
+        counter = AccessCounter()
+        search_cs(fig4_tree, ContextState(env, ("friends", "warm", "Kifisia")), counter)
+        # Root {friends, all}: 2. friends-branch level 2 {warm, all}: 2,
+        # its level-3 nodes {Kifisia} and {all}: 1 + 1. all-branch level 2
+        # {warm, hot}: 2, its level-3 node {Plaka}: 1. Total 9.
+        assert counter.cells == 9
+
+    def test_exact_search_charges_less_than_covering(self, fig4_tree, env):
+        query = ContextState(env, ("friends", "warm", "Kifisia"))
+        exact_counter, cover_counter = AccessCounter(), AccessCounter()
+        exact_search(fig4_tree, query, exact_counter)
+        search_cs(fig4_tree, query, cover_counter)
+        assert exact_counter.cells < cover_counter.cells
+
+
+class TestExactSearch:
+    def test_hit(self, fig4_tree, env):
+        query = ContextState(env, ("friends", "all", "all"))
+        result = exact_search(fig4_tree, query)
+        assert result is not None
+        assert result.is_exact()
+        assert result.entries == {AttributeClause("type", "brewery"): 0.9}
+
+    def test_miss(self, fig4_tree, env):
+        assert exact_search(fig4_tree, ContextState(env, ("alone", "all", "all"))) is None
+
+    def test_distance_metric_dispatch(self, fig4_tree, env):
+        result = exact_search(fig4_tree, ContextState(env, ("friends", "all", "all")))
+        assert result.distance("hierarchy") == 0.0
+        assert result.distance("jaccard") == 0.0
+        with pytest.raises(ValueError):
+            result.distance("euclidean")
+
+
+class TestSearchWithAllKeys:
+    def test_all_state_query_matches_only_all_paths(self, env):
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.empty(), AttributeClause("type", "park"), 0.5
+                ),
+                ContextualPreference(
+                    ContextDescriptor.from_mapping({"location": "Plaka"}),
+                    AttributeClause("type", "brewery"),
+                    0.9,
+                ),
+            ],
+        )
+        tree = ProfileTree.from_profile(profile)
+        results = search_cs(tree, ContextState.all_state(env))
+        assert len(results) == 1
+        assert results[0].state.is_all()
+
+    def test_non_contextual_fallback_preference_found_everywhere(self, env):
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.empty(), AttributeClause("type", "park"), 0.5
+                )
+            ],
+        )
+        tree = ProfileTree.from_profile(profile)
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        results = search_cs(tree, query)
+        assert len(results) == 1
+        assert results[0].state.is_all()
+        assert results[0].hierarchy_distance == 1 + 2 + 3
+
+    def test_ordering_does_not_change_result_set(self, env, fig4_profile):
+        import itertools
+
+        query = ContextState(env, ("friends", "warm", "Plaka"))
+        expected = None
+        for ordering in itertools.permutations(env.names):
+            tree = ProfileTree.from_profile(fig4_profile, ordering)
+            found = {
+                (tuple(result.state.values), result.hierarchy_distance)
+                for result in search_cs(tree, query)
+            }
+            if expected is None:
+                expected = found
+            assert found == expected

@@ -1,0 +1,110 @@
+"""Tests for the sequential-scan baseline."""
+
+from repro import AttributeClause, ContextState, SequentialStore
+from repro.tree import AccessCounter
+from tests.conftest import state
+
+
+class TestExactScan:
+    def test_hit(self, fig4_profile, env):
+        store = SequentialStore.from_profile(fig4_profile)
+        result = store.exact_scan(ContextState(env, ("friends", "all", "all")))
+        assert result is not None
+        assert result.entries == {AttributeClause("type", "brewery"): 0.9}
+        assert result.is_exact()
+
+    def test_miss(self, fig4_profile, env):
+        store = SequentialStore.from_profile(fig4_profile)
+        assert store.exact_scan(ContextState(env, ("alone", "cold", "Perama"))) is None
+
+    def test_scan_stops_at_first_match(self, fig4_profile, env):
+        store = SequentialStore.from_profile(fig4_profile)
+        counter = AccessCounter()
+        # First record is (friends, warm, Kifisia): 3 comparisons.
+        store.exact_scan(ContextState(env, ("friends", "warm", "Kifisia")), counter)
+        assert counter.cells == 3
+
+    def test_miss_scans_everything(self, fig4_profile, env):
+        store = SequentialStore.from_profile(fig4_profile)
+        counter = AccessCounter()
+        store.exact_scan(ContextState(env, ("alone", "cold", "Perama")), counter)
+        # 4 records, each mismatching on the first value -> 4 cells.
+        assert counter.cells == 4
+
+    def test_early_exit_within_record(self, fig4_profile, env):
+        store = SequentialStore.from_profile(fig4_profile)
+        counter = AccessCounter()
+        # (friends, hot, Plaka) is the 4th record; first record shares
+        # 'friends' and 'warm'... count: r1 friends,warm,Kifisia -> 3;
+        # r2 friends,all -> 2; r3 all -> 1; r4 full match -> 3.
+        store.exact_scan(ContextState(env, ("all", "hot", "Plaka")), counter)
+        assert counter.cells == 1 + 1 + 3 + 2
+
+
+class TestCoverScan:
+    def test_finds_all_covering_records(self, fig4_profile, env):
+        store = SequentialStore.from_profile(fig4_profile)
+        results = store.cover_scan(ContextState(env, ("friends", "warm", "Kifisia")))
+        found = {tuple(result.state.values) for result in results}
+        assert found == {("friends", "warm", "Kifisia"), ("friends", "all", "all")}
+
+    def test_agrees_with_tree_search(self, fig4_profile, fig4_tree, env):
+        from repro import search_cs
+
+        store = SequentialStore.from_profile(fig4_profile)
+        for values in [
+            ("friends", "warm", "Kifisia"),
+            ("friends", "warm", "Plaka"),
+            ("alone", "cold", "Perama"),
+            ("friends", "hot", "Plaka"),
+        ]:
+            query = ContextState(env, values)
+            via_scan = {
+                (tuple(result.state.values), result.hierarchy_distance)
+                for result in store.cover_scan(query)
+            }
+            via_tree = {
+                (tuple(result.state.values), result.hierarchy_distance)
+                for result in search_cs(fig4_tree, query)
+            }
+            assert via_scan == via_tree
+
+    def test_merges_clauses_of_shared_state(self, env):
+        from repro import ContextDescriptor, ContextualPreference, Profile
+
+        profile = Profile(
+            env,
+            [
+                ContextualPreference(
+                    ContextDescriptor.from_mapping({"location": "Plaka"}),
+                    AttributeClause("type", "brewery"),
+                    0.9,
+                ),
+                ContextualPreference(
+                    ContextDescriptor.from_mapping({"location": "Plaka"}),
+                    AttributeClause("type", "museum"),
+                    0.4,
+                ),
+            ],
+        )
+        store = SequentialStore.from_profile(profile)
+        results = store.cover_scan(state(env, location="Plaka"))
+        assert len(results) == 1
+        assert len(results[0].entries) == 2
+
+    def test_results_sorted_by_distance(self, fig4_profile, env):
+        store = SequentialStore.from_profile(fig4_profile)
+        results = store.cover_scan(ContextState(env, ("friends", "warm", "Kifisia")))
+        distances = [result.hierarchy_distance for result in results]
+        assert distances == sorted(distances)
+
+    def test_counter_charges_whole_store(self, fig4_profile, env):
+        store = SequentialStore.from_profile(fig4_profile)
+        counter = AccessCounter()
+        store.cover_scan(ContextState(env, ("alone", "cold", "Perama")), counter)
+        assert counter.cells >= len(store)  # at least one cell per record
+
+    def test_len_and_iter(self, fig4_profile):
+        store = SequentialStore.from_profile(fig4_profile)
+        assert len(store) == 4
+        assert len(list(store)) == 4

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_fig6_requires_panel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.users == 10 and args.seed == 11
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--users", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "User 1" in out and "User 2" in out
+        assert "Jaccard" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "order1" in out and "serial" in out
+
+    def test_fig6_left_small(self, capsys):
+        assert main(["fig6", "left", "--sizes", "100", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out
+        assert "100" in out and "200" in out
+
+    def test_fig7_real(self, capsys):
+        assert main(["fig7", "real", "--queries", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "tree_exact" in out and "serial_cover" in out
+
+    def test_fig7_synthetic_small(self, capsys):
+        assert main(["fig7", "synthetic", "--sizes", "100", "--queries", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cover_serial" in out
+
+    def test_custom_seed_changes_table1(self, capsys):
+        main(["table1", "--users", "2", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["table1", "--users", "2", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second

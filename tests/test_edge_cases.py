@@ -1,0 +1,142 @@
+"""Edge cases across modules that the main suites do not reach."""
+
+import pytest
+
+from repro import ContextState
+from repro.context.acquisition import ContextSource, CurrentContext
+from repro.exceptions import (
+    ContextError,
+    UnknownLevelError,
+    UnknownParameterError,
+    UnknownValueError,
+)
+from repro.hierarchy import Level, location_hierarchy
+
+
+class TestExceptionMessages:
+    def test_unknown_value_error_message_is_readable(self, location):
+        with pytest.raises(UnknownValueError) as excinfo:
+            location.level_of("Paris")
+        # KeyError would quote the whole message; our override keeps it plain.
+        assert str(excinfo.value).startswith("'Paris' is not a value")
+
+    def test_unknown_level_error_message(self, location):
+        with pytest.raises(UnknownLevelError) as excinfo:
+            location.level("Continent")
+        assert "no level" in str(excinfo.value)
+
+    def test_unknown_parameter_error_message(self, env):
+        with pytest.raises(UnknownParameterError) as excinfo:
+            env.index_of("humidity")
+        assert "no context parameter" in str(excinfo.value)
+
+    def test_exceptions_catchable_as_keyerror(self, location):
+        with pytest.raises(KeyError):
+            location.level_of("Paris")
+
+
+class TestHierarchyEdges:
+    def test_anc_with_foreign_level_object_rejected(self, location, temperature):
+        foreign = temperature.levels[1]  # "Weather Characterization"(L2)
+        with pytest.raises(UnknownLevelError):
+            location.anc("Plaka", foreign)
+
+    def test_anc_accepts_own_level_object(self, location):
+        assert location.anc("Plaka", location.levels[1]) == "Athens"
+
+    def test_level_comparison_across_hierarchies_is_structural(self):
+        # Levels are plain value objects; same index + name compare equal.
+        assert Level(0, "Region") == location_hierarchy().levels[0]
+
+
+class TestContextSourceFreshness:
+    def test_unreported_source_is_not_fresh(self):
+        source = ContextSource("location", max_age=10.0)
+        assert not source.is_fresh(now=0.0)
+
+    def test_fresh_within_max_age(self):
+        source = ContextSource("location", max_age=10.0)
+        source.report("Plaka", timestamp=0.0)
+        assert source.is_fresh(now=5.0)
+        assert not source.is_fresh(now=20.0)
+
+    def test_explicit_all_reading_counts_as_fresh(self):
+        source = ContextSource("location")
+        source.report("all", timestamp=0.0)
+        assert source.is_fresh(now=1.0)
+
+    def test_current_context_rejects_bad_max_age_mapping(self, env):
+        with pytest.raises(ContextError):
+            CurrentContext(env, max_age={"humidity": 5.0})
+
+    def test_per_parameter_max_age(self, env):
+        current = CurrentContext(env, max_age={"location": 10.0})
+        current.report("location", "Plaka", timestamp=0.0)
+        current.report("temperature", "warm", timestamp=0.0)
+        state = current.state(now=50.0)
+        assert state["location"] == "all"  # expired
+        assert state["temperature"] == "warm"  # no bound
+
+
+class TestTreeEdges:
+    def test_unproject_requires_full_path(self, fig4_tree, env):
+        full = fig4_tree.unproject(["friends", "warm", "Kifisia"])
+        assert isinstance(full, ContextState)
+
+    def test_query_tree_partial_prefix_is_a_miss(self, env):
+        from repro import ContextQueryTree
+
+        cache = ContextQueryTree(env)
+        cache.put(
+            ContextState.from_mapping(env, {"location": "Plaka",
+                                            "temperature": "warm"}),
+            "x",
+        )
+        # Same first two levels, different leaf: miss, not an error.
+        other = ContextState.from_mapping(env, {"location": "Kifisia",
+                                                "temperature": "warm"})
+        assert cache.get(other) is None
+
+    def test_profile_tree_repr(self, fig4_tree):
+        text = repr(fig4_tree)
+        assert "states=4" in text
+
+    def test_foreign_environment_state_rejected(self, fig4_tree, env):
+        from repro import ContextEnvironment
+        from repro.exceptions import TreeError
+
+        foreign_env = ContextEnvironment(list(reversed(env.parameters)))
+        foreign = ContextState(foreign_env, ("Plaka", "warm", "friends"))
+        with pytest.raises(TreeError):
+            fig4_tree.exact_lookup(foreign)
+
+
+class TestCliEdges:
+    def test_fig6_right_panel(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig6", "right"]) == 0
+        out = capsys.readouterr().out
+        assert "skew" in out
+        assert "order3" in out
+
+    def test_fig5_custom_seed(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig5", "--seed", "7"]) == 0
+        assert "serial" in capsys.readouterr().out
+
+
+class TestRelationOrderByDescendingNone:
+    def test_descending_puts_none_first(self):
+        # Documented behaviour: reverse=True flips the None-last rule.
+        from repro import Attribute, Relation, Schema
+
+        schema = Schema(
+            [Attribute("pid", "int"), Attribute("note", "str", nullable=True)]
+        )
+        relation = Relation(
+            "r", schema, [{"pid": 1, "note": None}, {"pid": 2, "note": "a"}]
+        )
+        ordered = relation.order_by("note", descending=True)
+        assert [row["pid"] for row in ordered] == [1, 2]

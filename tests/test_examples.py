@@ -1,0 +1,49 @@
+"""Regression guard: every example script runs cleanly.
+
+Each example is executed in a subprocess (like a user would run it) and
+must exit 0 and print its expected signature lines.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, snippets its stdout must contain)
+EXPECTATIONS = {
+    "quickstart.py": ["profile tree", "Acropolis", "top results:"],
+    "city_guide.py": ["default profile", "conflict rejected", "exact match"],
+    "exploratory_queries.py": ["family this summer", "metric=jaccard"],
+    "index_tuning.py": ["size per ordering", "advisor", "Resolution cost"],
+    "result_caching.py": ["hit rate", "mobility trace"],
+    "sensor_context.py": ["GPS fix", "ambiguous", "stale"],
+    "qualitative_preferences.py": ["applicable relations", "stratum 0"],
+    "multi_user_service.py": ["registered 3 users", "service statistics"],
+    "dsl_profiles.py": ["parsed 5 preferences", "TOP 3"],
+}
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTATIONS)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs(name):
+    stdout = run_example(name)
+    for snippet in EXPECTATIONS[name]:
+        assert snippet in stdout, f"{name} output missing {snippet!r}"

@@ -1,0 +1,78 @@
+"""Scale sanity: the system stays correct and fast at paper scale.
+
+The paper's largest workload is 10,000 preferences over a
+50/100/1000-value environment. These tests build that workload once and
+check construction, resolution correctness (spot-checked against the
+sequential baseline) and rough performance envelopes.
+"""
+
+import time
+
+import pytest
+
+from repro import ProfileTree, SequentialStore, search_cs
+from repro.tree import AccessCounter, StorageCostModel, optimal_ordering
+from repro.workloads import (
+    ProfileSpec,
+    exact_match_states,
+    generate_profile,
+    random_states,
+    synthetic_environment,
+)
+
+
+@pytest.fixture(scope="module")
+def big():
+    environment = synthetic_environment()
+    spec = ProfileSpec(
+        num_preferences=10_000, level_weights=(0.7, 0.2, 0.1), seed=99
+    )
+    profile = generate_profile(environment, spec)
+    tree = ProfileTree.from_profile(profile, optimal_ordering(environment))
+    return environment, profile, tree
+
+
+class TestAtPaperScale:
+    def test_profile_size(self, big):
+        _environment, profile, _tree = big
+        assert len(profile) == 10_000
+
+    def test_tree_indexes_every_state(self, big):
+        _environment, profile, tree = big
+        assert tree.num_states == len(set(profile.states()))
+
+    def test_tree_smaller_than_serial(self, big):
+        _environment, profile, tree = big
+        model = StorageCostModel()
+        assert model.tree_size(tree).cells < model.serial_size(profile).cells
+
+    def test_exact_lookups_all_hit(self, big):
+        _environment, profile, tree = big
+        for state in exact_match_states(profile, 200, seed=1):
+            assert tree.exact_lookup(state) is not None
+
+    def test_search_spot_checked_against_scan(self, big):
+        environment, profile, tree = big
+        store = SequentialStore.from_profile(profile)
+        for state in random_states(environment, 10, seed=2):
+            via_tree = {result.state for result in search_cs(tree, state)}
+            via_scan = {result.state for result in store.cover_scan(state)}
+            assert via_tree == via_scan
+
+    def test_resolution_latency_envelope(self, big):
+        environment, _profile, tree = big
+        states = random_states(environment, 300, seed=3)
+        start = time.perf_counter()
+        counter = AccessCounter()
+        for state in states:
+            search_cs(tree, state, counter)
+        elapsed = time.perf_counter() - start
+        # Covering over 10k preferences: well under 5ms/query in CPython.
+        assert elapsed / len(states) < 0.005
+        assert counter.cells / len(states) < 1000
+
+    def test_rebuild_latency_envelope(self, big):
+        _environment, profile, _tree = big
+        start = time.perf_counter()
+        ProfileTree.from_profile(profile)
+        assert time.perf_counter() - start < 10.0

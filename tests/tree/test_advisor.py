@@ -1,0 +1,82 @@
+"""Tests for the ordering advisor."""
+
+import pytest
+
+from repro.exceptions import OrderingError
+from repro.tree.advisor import OrderingAdvice, active_domain_sizes, recommend_ordering
+from repro.workloads import ProfileSpec, generate_profile, synthetic_environment
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return synthetic_environment(domain_sizes=(10, 20, 40), num_levels=(2, 3, 3))
+
+
+@pytest.fixture(scope="module")
+def uniform_profile(environment):
+    return generate_profile(environment, ProfileSpec(num_preferences=400, seed=4))
+
+
+@pytest.fixture(scope="module")
+def skewed_profile(environment):
+    # The 40-value parameter is extremely skewed: tiny active domain.
+    spec = ProfileSpec(
+        num_preferences=400, zipf_a_per_parameter=(0.0, 0.0, 4.0), seed=4
+    )
+    return generate_profile(environment, spec)
+
+
+class TestActiveDomainSizes:
+    def test_bounded_by_profile_and_domain(self, environment, uniform_profile):
+        sizes = active_domain_sizes(uniform_profile)
+        for parameter in environment:
+            assert 1 <= sizes[parameter.name] <= len(parameter.edom)
+
+    def test_skew_shrinks_active_domain(self, uniform_profile, skewed_profile):
+        uniform_sizes = active_domain_sizes(uniform_profile)
+        skewed_sizes = active_domain_sizes(skewed_profile)
+        assert skewed_sizes["p40"] < uniform_sizes["p40"]
+
+    def test_empty_profile(self, environment):
+        from repro import Profile
+
+        sizes = active_domain_sizes(Profile(environment))
+        assert all(size == 0 for size in sizes.values())
+
+
+class TestRecommendOrdering:
+    def test_domain_strategy_matches_static_heuristic(self, uniform_profile):
+        advice = recommend_ordering(uniform_profile, strategy="domain")
+        assert advice.ordering == ("p10", "p20", "p40")
+        assert advice.strategy == "domain"
+
+    def test_uniform_profile_active_agrees_with_domain(self, uniform_profile):
+        active = recommend_ordering(uniform_profile, strategy="active")
+        domain = recommend_ordering(uniform_profile, strategy="domain")
+        assert active.ordering == domain.ordering
+
+    def test_skewed_profile_moves_skewed_parameter_up(self, skewed_profile):
+        advice = recommend_ordering(skewed_profile, strategy="active")
+        # p40's active domain collapsed under zipf(4): it belongs higher
+        # than p20 despite its larger declared domain.
+        assert advice.ordering.index("p40") < advice.ordering.index("p20")
+
+    def test_active_beats_domain_on_skewed_profiles(self, skewed_profile):
+        active = recommend_ordering(skewed_profile, strategy="active")
+        domain = recommend_ordering(skewed_profile, strategy="domain")
+        assert active.cells <= domain.cells
+
+    def test_exact_is_at_least_as_good_as_everything(self, skewed_profile):
+        exact = recommend_ordering(skewed_profile, strategy="exact")
+        for strategy in ("domain", "active"):
+            assert exact.cells <= recommend_ordering(skewed_profile, strategy).cells
+
+    def test_unknown_strategy_rejected(self, uniform_profile):
+        with pytest.raises(OrderingError):
+            recommend_ordering(uniform_profile, strategy="oracle")
+
+    def test_cells_measured_for_every_strategy(self, uniform_profile):
+        for strategy in ("domain", "active", "exact"):
+            advice = recommend_ordering(uniform_profile, strategy)
+            assert isinstance(advice, OrderingAdvice)
+            assert advice.cells > 0

@@ -1,0 +1,53 @@
+"""Tests for the storage cost model."""
+
+from repro import Profile, ProfileTree, StorageCostModel
+
+
+class TestTreeSize:
+    def test_fig4_tree_cells(self, fig4_tree):
+        size = StorageCostModel().tree_size(fig4_tree)
+        assert size.internal_cells == 10
+        assert size.leaf_entries == 4
+        assert size.cells == 14
+
+    def test_fig4_tree_bytes_default_model(self, fig4_tree):
+        size = StorageCostModel().tree_size(fig4_tree)
+        # 10 cells * (4 + 4) + 4 entries * (4 + 4 + 4).
+        assert size.num_bytes == 10 * 8 + 4 * 12
+
+    def test_custom_byte_widths(self, fig4_tree):
+        model = StorageCostModel(key_bytes=8, pointer_bytes=8, score_bytes=8)
+        size = model.tree_size(fig4_tree)
+        assert size.num_bytes == 10 * 16 + 4 * (4 + 4 + 8)
+
+    def test_empty_tree(self, env):
+        size = StorageCostModel().tree_size(ProfileTree(env))
+        assert size.cells == 0
+        assert size.num_bytes == 0
+
+
+class TestSerialSize:
+    def test_records_count_states_not_preferences(self, fig4_profile):
+        size = StorageCostModel().serial_size(fig4_profile)
+        # 1 + 1 + 2 flattened (state, clause, score) records.
+        assert size.records == 4
+
+    def test_cells_are_n_plus_1_per_record(self, fig4_profile):
+        size = StorageCostModel().serial_size(fig4_profile)
+        assert size.cells == 4 * (3 + 1)
+
+    def test_bytes_per_record(self, fig4_profile):
+        size = StorageCostModel().serial_size(fig4_profile)
+        # n keys * 4 bytes + leaf entry 12 bytes.
+        assert size.num_bytes == 4 * (3 * 4 + 12)
+
+    def test_empty_profile(self, env):
+        size = StorageCostModel().serial_size(Profile(env))
+        assert size.records == 0
+        assert size.cells == 0
+
+
+class TestTreeVsSerial:
+    def test_tree_never_larger_in_cells_for_fig4(self, fig4_profile, fig4_tree):
+        model = StorageCostModel()
+        assert model.tree_size(fig4_tree).cells <= model.serial_size(fig4_profile).cells

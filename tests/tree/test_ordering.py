@@ -1,0 +1,78 @@
+"""Tests for parameter-to-level orderings and the size bound."""
+
+import pytest
+
+from repro import optimal_ordering, worst_case_cells
+from repro.exceptions import OrderingError
+from repro.tree import all_orderings, validate_ordering
+
+
+class TestValidateOrdering:
+    def test_none_means_declaration_order(self, env):
+        assert validate_ordering(env, None) == env.names
+
+    def test_valid_permutation_accepted(self, env):
+        ordering = ("location", "accompanying_people", "temperature")
+        assert validate_ordering(env, ordering) == ordering
+
+    def test_non_permutation_rejected(self, env):
+        with pytest.raises(OrderingError):
+            validate_ordering(env, ("location", "temperature"))
+        with pytest.raises(OrderingError):
+            validate_ordering(env, ("location", "location", "temperature"))
+        with pytest.raises(OrderingError):
+            validate_ordering(env, ("location", "temperature", "weather"))
+
+
+class TestAllOrderings:
+    def test_count_is_factorial(self, env):
+        assert len(list(all_orderings(env))) == 6
+
+    def test_each_is_a_permutation(self, env):
+        for ordering in all_orderings(env):
+            assert sorted(ordering) == sorted(env.names)
+
+
+class TestOptimalOrdering:
+    def test_ascending_extended_domains(self, env):
+        # edom sizes: A=4, T=8, L=11 -> (A, T, L).
+        assert optimal_ordering(env) == (
+            "accompanying_people",
+            "temperature",
+            "location",
+        )
+
+    def test_detailed_domain_variant(self, env):
+        # dom sizes: A=3, T=5, L=6 -> same order here.
+        assert optimal_ordering(env, extended=False) == (
+            "accompanying_people",
+            "temperature",
+            "location",
+        )
+
+
+class TestWorstCaseCells:
+    def test_single_parameter(self):
+        assert worst_case_cells([7]) == 7
+
+    def test_paper_formula_three_parameters(self):
+        # m1 * (1 + m2 * (1 + m3)).
+        assert worst_case_cells([2, 3, 4]) == 2 * (1 + 3 * (1 + 4))
+
+    def test_ascending_order_minimises(self):
+        import itertools
+
+        sizes = (4, 17, 100)
+        bounds = {
+            permutation: worst_case_cells(permutation)
+            for permutation in itertools.permutations(sizes)
+        }
+        assert min(bounds, key=bounds.get) == (4, 17, 100)
+
+    def test_empty_rejected(self):
+        with pytest.raises(OrderingError):
+            worst_case_cells([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(OrderingError):
+            worst_case_cells([3, 0])

@@ -1,0 +1,188 @@
+"""Tests for the profile tree (Sec. 3.3), including the Fig. 4 instance."""
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ConflictError,
+    ContextDescriptor,
+    ContextState,
+    ContextualPreference,
+    Profile,
+    ProfileTree,
+)
+from repro.exceptions import OrderingError
+from repro.tree import AccessCounter
+from tests.conftest import state
+
+
+def make(mapping, clause, score, attribute="type"):
+    return ContextualPreference(
+        ContextDescriptor.from_mapping(mapping),
+        AttributeClause(attribute, clause),
+        score,
+    )
+
+
+class TestFig4Instance:
+    """The worked example of Sec. 3.3 / Fig. 4."""
+
+    def test_height_is_n_plus_1(self, fig4_tree):
+        assert fig4_tree.height == 4
+
+    def test_number_of_paths(self, fig4_tree):
+        # pref1 -> 1 state, pref2 -> 1 state, pref3 -> 2 states.
+        assert fig4_tree.num_states == 4
+
+    def test_root_keys_match_fig4(self, fig4_tree):
+        # First level (accompanying_people): cells friends and all.
+        assert set(fig4_tree.root.cells) == {"friends", "all"}
+
+    def test_leaf_payloads_match_fig4(self, fig4_tree, env):
+        lookups = {
+            ("friends", "warm", "Kifisia"): ("type", "cafeteria", 0.9),
+            ("friends", "all", "all"): ("type", "brewery", 0.9),
+            ("all", "warm", "Plaka"): ("name", "Acropolis", 0.8),
+            ("all", "hot", "Plaka"): ("name", "Acropolis", 0.8),
+        }
+        for values, (attribute, value, score) in lookups.items():
+            entries = fig4_tree.exact_lookup(ContextState(env, values))
+            assert entries == {AttributeClause(attribute, value): score}
+
+    def test_missing_state_lookup_returns_none(self, fig4_tree, env):
+        assert fig4_tree.exact_lookup(ContextState(env, ("alone", "cold", "Perama"))) is None
+
+    def test_items_round_trip(self, fig4_tree, fig4_profile):
+        from_tree = {
+            (tuple(item_state.values), clause, score)
+            for item_state, clause, score in fig4_tree.items()
+        }
+        from_profile = {
+            (tuple(entry_state.values), clause, score)
+            for entry_state, clause, score in fig4_profile.entries()
+        }
+        assert from_tree == from_profile
+
+
+class TestInsertion:
+    def test_conflict_detected_on_insert(self, env):
+        tree = ProfileTree(env)
+        tree.insert(make({"location": "Plaka"}, "brewery", 0.9))
+        with pytest.raises(ConflictError):
+            tree.insert(make({"location": "Plaka"}, "brewery", 0.3))
+
+    def test_conflicting_insert_leaves_tree_untouched(self, env):
+        tree = ProfileTree(env)
+        tree.insert(make({"temperature": "warm"}, "brewery", 0.9))
+        before = tree.num_internal_cells()
+        with pytest.raises(ConflictError):
+            # Second state (hot) is new, first (warm) conflicts.
+            tree.insert(make({"temperature": ["warm", "hot"]}, "brewery", 0.3))
+        assert tree.num_internal_cells() == before
+        assert tree.num_states == 1
+
+    def test_identical_reinsert_is_noop(self, env):
+        tree = ProfileTree(env)
+        preference = make({"location": "Plaka"}, "brewery", 0.9)
+        tree.insert(preference)
+        tree.insert(preference)
+        assert tree.num_states == 1
+        assert tree.num_preferences == 1
+
+    def test_shared_state_multiple_clauses(self, env):
+        tree = ProfileTree(env)
+        tree.insert(make({"location": "Plaka"}, "brewery", 0.9))
+        tree.insert(make({"location": "Plaka"}, "museum", 0.4))
+        entries = tree.exact_lookup(state(env, location="Plaka"))
+        assert len(entries) == 2
+        assert tree.num_states == 1
+
+    def test_multi_state_descriptor_creates_one_path_per_state(self, env):
+        tree = ProfileTree(env)
+        tree.insert(make({"temperature": ["warm", "hot", "mild"]}, "park", 0.7))
+        assert tree.num_states == 3
+
+    def test_same_score_overlap_is_not_a_conflict(self, env):
+        tree = ProfileTree(env)
+        tree.insert(make({"temperature": "warm"}, "park", 0.7))
+        tree.insert(make({"temperature": ["warm", "hot"]}, "park", 0.7))
+        assert tree.num_states == 2
+
+
+class TestOrdering:
+    def test_default_ordering_is_environment_order(self, env):
+        assert ProfileTree(env).ordering == env.names
+
+    def test_invalid_ordering_rejected(self, env):
+        with pytest.raises(OrderingError):
+            ProfileTree(env, ordering=("location", "location", "temperature"))
+
+    def test_answers_independent_of_ordering(self, env, fig4_profile):
+        import itertools
+
+        query = ContextState(env, ("friends", "warm", "Kifisia"))
+        expected = {AttributeClause("type", "cafeteria"): 0.9}
+        for ordering in itertools.permutations(env.names):
+            tree = ProfileTree.from_profile(fig4_profile, ordering)
+            assert tree.exact_lookup(query) == expected
+
+    def test_sizes_depend_on_ordering(self, env, fig4_profile):
+        small = ProfileTree.from_profile(
+            fig4_profile, ("accompanying_people", "temperature", "location")
+        )
+        large = ProfileTree.from_profile(
+            fig4_profile, ("location", "temperature", "accompanying_people")
+        )
+        assert small.num_internal_cells() <= large.num_internal_cells()
+
+    def test_project_unproject_round_trip(self, env):
+        tree = ProfileTree(env, ordering=("location", "accompanying_people", "temperature"))
+        original = ContextState(env, ("friends", "warm", "Plaka"))
+        assert tree.unproject(tree.project(original)) == original
+
+    def test_parameter_at_level(self, env):
+        tree = ProfileTree(env, ordering=("location", "temperature", "accompanying_people"))
+        assert tree.parameter_at_level(0).name == "location"
+        assert tree.parameter_at_level(2).name == "accompanying_people"
+
+
+class TestCounting:
+    def test_exact_lookup_charges_linear_scan(self, fig4_tree, env):
+        counter = AccessCounter()
+        fig4_tree.exact_lookup(ContextState(env, ("friends", "warm", "Kifisia")), counter)
+        # Root: friends at position 0 -> 1; level2: warm at 0 -> 1;
+        # level3: Kifisia at 0 -> 1.
+        assert counter.cells == 3
+
+    def test_exact_lookup_miss_charges_full_node(self, fig4_tree, env):
+        counter = AccessCounter()
+        fig4_tree.exact_lookup(ContextState(env, ("alone", "warm", "Plaka")), counter)
+        # Root has 2 cells, neither is 'alone'.
+        assert counter.cells == 2
+
+    def test_cells_and_nodes(self, fig4_tree):
+        # Fig. 4: root{friends,all}, level2 {warm,all} and {warm,hot},
+        # level3 {Kifisia}, {all}, {Plaka}, {Plaka} -> internal cells 10.
+        assert fig4_tree.num_internal_cells() == 10
+        assert fig4_tree.num_leaf_entries() == 4
+        # 1 root + 2 level-2 + 4 level-3 + 4 leaves.
+        assert fig4_tree.num_nodes() == 11
+
+    def test_states_iterator(self, fig4_tree):
+        assert sum(1 for _ in fig4_tree.states()) == 4
+
+    def test_contains_state(self, fig4_tree, env):
+        assert fig4_tree.contains_state(ContextState(env, ("friends", "all", "all")))
+        assert not fig4_tree.contains_state(ContextState(env, ("alone", "all", "all")))
+
+
+class TestEmptyTree:
+    def test_empty_tree_properties(self, env):
+        tree = ProfileTree(env)
+        assert tree.num_states == 0
+        assert tree.num_internal_cells() == 0
+        assert tree.num_leaf_entries() == 0
+        assert list(tree.items()) == []
+
+    def test_lookup_on_empty_tree(self, env):
+        assert ProfileTree(env).exact_lookup(state(env, location="Plaka")) is None

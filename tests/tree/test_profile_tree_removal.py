@@ -1,0 +1,96 @@
+"""Tests for ProfileTree.remove (profile-editing support)."""
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ContextDescriptor,
+    ContextState,
+    ContextualPreference,
+    Profile,
+    ProfileTree,
+)
+from tests.conftest import state
+
+
+def make(mapping, clause_value, score):
+    return ContextualPreference(
+        ContextDescriptor.from_mapping(mapping),
+        AttributeClause("type", clause_value),
+        score,
+    )
+
+
+class TestRemove:
+    def test_remove_existing_preference(self, env, fig4_profile, fig4_preferences):
+        tree = ProfileTree.from_profile(
+            fig4_profile, ("accompanying_people", "temperature", "location")
+        )
+        assert tree.remove(fig4_preferences[1])  # the brewery preference
+        assert tree.exact_lookup(ContextState(env, ("friends", "all", "all"))) is None
+        assert tree.num_states == 3
+
+    def test_remove_missing_returns_false(self, env, fig4_tree):
+        assert not fig4_tree.remove(make({"location": "Perama"}, "zoo", 0.1))
+
+    def test_remove_requires_matching_score(self, env):
+        tree = ProfileTree(env)
+        tree.insert(make({"location": "Plaka"}, "brewery", 0.9))
+        assert not tree.remove(make({"location": "Plaka"}, "brewery", 0.4))
+        assert tree.exact_lookup(state(env, location="Plaka")) is not None
+
+    def test_remove_prunes_empty_paths(self, env):
+        tree = ProfileTree(env)
+        preference = make({"location": "Plaka"}, "brewery", 0.9)
+        tree.insert(preference)
+        assert tree.remove(preference)
+        assert tree.num_internal_cells() == 0
+        assert tree.num_states == 0
+
+    def test_remove_keeps_sibling_clauses(self, env):
+        tree = ProfileTree(env)
+        brewery = make({"location": "Plaka"}, "brewery", 0.9)
+        museum = make({"location": "Plaka"}, "museum", 0.4)
+        tree.insert(brewery)
+        tree.insert(museum)
+        assert tree.remove(brewery)
+        entries = tree.exact_lookup(state(env, location="Plaka"))
+        assert entries == {AttributeClause("type", "museum"): 0.4}
+        assert tree.num_states == 1
+
+    def test_remove_keeps_sibling_paths(self, env):
+        tree = ProfileTree(env)
+        plaka = make({"location": "Plaka"}, "brewery", 0.9)
+        kifisia = make({"location": "Kifisia"}, "brewery", 0.7)
+        tree.insert(plaka)
+        tree.insert(kifisia)
+        assert tree.remove(plaka)
+        assert tree.exact_lookup(state(env, location="Kifisia")) is not None
+
+    def test_remove_multi_state_descriptor(self, env):
+        tree = ProfileTree(env)
+        preference = make({"temperature": ["warm", "hot"]}, "park", 0.7)
+        tree.insert(preference)
+        assert tree.remove(preference)
+        assert tree.num_states == 0
+
+    def test_reinsert_after_remove_with_new_score(self, env):
+        tree = ProfileTree(env)
+        old = make({"location": "Plaka"}, "brewery", 0.9)
+        tree.insert(old)
+        tree.remove(old)
+        new = make({"location": "Plaka"}, "brewery", 0.2)
+        tree.insert(new)  # no conflict anymore
+        entries = tree.exact_lookup(state(env, location="Plaka"))
+        assert entries == {AttributeClause("type", "brewery"): 0.2}
+
+    def test_tree_stays_in_sync_with_profile_editing(self, env, fig4_preferences):
+        profile = Profile(env, fig4_preferences)
+        tree = ProfileTree.from_profile(profile)
+        victim = fig4_preferences[2]
+        profile.remove(victim)
+        tree.remove(victim)
+        assert tree.num_states == len(set(profile.states()))
+        from_tree = set(tree.items())
+        from_profile = set(profile.entries())
+        assert from_tree == from_profile

@@ -1,0 +1,141 @@
+"""Tests for the context query tree (result cache)."""
+
+import pytest
+
+from repro import ContextQueryTree, ContextState
+from repro.exceptions import TreeError
+from repro.tree import AccessCounter
+from tests.conftest import state
+
+
+@pytest.fixture
+def cache(env):
+    return ContextQueryTree(env, capacity=3)
+
+
+def s(env, location):
+    return state(env, location=location)
+
+
+class TestBasicCaching:
+    def test_miss_then_hit(self, env, cache):
+        key = s(env, "Plaka")
+        assert cache.get(key) is None
+        cache.put(key, ["result"])
+        assert cache.get(key) == ["result"]
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_put_overwrites(self, env, cache):
+        key = s(env, "Plaka")
+        cache.put(key, "old")
+        cache.put(key, "new")
+        assert cache.get(key) == "new"
+        assert len(cache) == 1
+
+    def test_contains_and_len(self, env, cache):
+        assert len(cache) == 0
+        key = s(env, "Plaka")
+        cache.put(key, 1)
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_distinct_states_distinct_entries(self, env, cache):
+        cache.put(s(env, "Plaka"), 1)
+        cache.put(s(env, "Kifisia"), 2)
+        assert cache.get(s(env, "Plaka")) == 1
+        assert cache.get(s(env, "Kifisia")) == 2
+
+    def test_extended_states_are_valid_keys(self, env, cache):
+        key = state(env, location="Greece", temperature="good")
+        cache.put(key, "coarse")
+        assert cache.get(key) == "coarse"
+
+    def test_get_charges_counter(self, env, cache):
+        key = s(env, "Plaka")
+        cache.put(key, 1)
+        counter = AccessCounter()
+        cache.get(key, counter)
+        assert counter.cells == 3  # one cell per level
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self, env, cache):
+        keys = [s(env, name) for name in ("Plaka", "Kifisia", "Perama")]
+        for index, key in enumerate(keys):
+            cache.put(key, index)
+        cache.get(keys[0])  # refresh Plaka; Kifisia is now LRU
+        cache.put(s(env, "Syntagma"), 3)
+        assert keys[0] in cache
+        assert keys[1] not in cache
+        assert cache.evictions == 1
+
+    def test_unbounded_cache_never_evicts(self, env):
+        cache = ContextQueryTree(env)
+        for name in ("Plaka", "Kifisia", "Perama", "Syntagma", "Ladadika"):
+            cache.put(s(env, name), name)
+        assert len(cache) == 5
+        assert cache.evictions == 0
+
+    def test_put_refreshes_recency(self, env, cache):
+        keys = [s(env, name) for name in ("Plaka", "Kifisia", "Perama")]
+        for index, key in enumerate(keys):
+            cache.put(key, index)
+        cache.put(keys[0], "updated")  # Plaka becomes most recent
+        cache.put(s(env, "Syntagma"), 3)
+        assert keys[0] in cache and keys[1] not in cache
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(TreeError):
+            ContextQueryTree(env, capacity=0)
+
+
+class TestInvalidation:
+    def test_invalidate_removes_state(self, env, cache):
+        key = s(env, "Plaka")
+        cache.put(key, 1)
+        assert cache.invalidate(key)
+        assert key not in cache
+        assert cache.get(key) is None
+
+    def test_invalidate_missing_returns_false(self, env, cache):
+        assert not cache.invalidate(s(env, "Plaka"))
+
+    def test_invalidate_prunes_empty_interior_nodes(self, env, cache):
+        key = s(env, "Plaka")
+        cache.put(key, 1)
+        cache.invalidate(key)
+        assert cache._root.num_cells() == 0
+
+    def test_sibling_paths_survive_invalidation(self, env, cache):
+        cache.put(s(env, "Plaka"), 1)
+        cache.put(s(env, "Kifisia"), 2)
+        cache.invalidate(s(env, "Plaka"))
+        assert cache.get(s(env, "Kifisia")) == 2
+
+    def test_clear(self, env, cache):
+        cache.put(s(env, "Plaka"), 1)
+        cache.get(s(env, "Plaka"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1  # statistics preserved
+
+
+class TestStatistics:
+    def test_hit_rate(self, env, cache):
+        key = s(env, "Plaka")
+        cache.get(key)
+        cache.put(key, 1)
+        cache.get(key)
+        assert cache.hit_rate() == 0.5
+
+    def test_hit_rate_no_lookups(self, env, cache):
+        assert cache.hit_rate() == 0.0
+
+    def test_custom_ordering(self, env):
+        cache = ContextQueryTree(
+            env, ordering=("location", "temperature", "accompanying_people")
+        )
+        key = state(env, location="Plaka", temperature="warm")
+        cache.put(key, 1)
+        assert cache.get(key) == 1

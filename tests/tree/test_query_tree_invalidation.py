@@ -1,0 +1,81 @@
+"""Tests for covered-state cache invalidation."""
+
+import pytest
+
+from repro import ContextQueryTree, ContextState
+from repro.exceptions import TreeError
+from tests.conftest import state
+
+
+@pytest.fixture
+def cache(env):
+    cache = ContextQueryTree(env)
+    for values in [
+        ("friends", "warm", "Plaka"),
+        ("friends", "hot", "Kifisia"),
+        ("family", "warm", "Plaka"),
+        ("friends", "cold", "Perama"),
+        ("alone", "freezing", "Ledra"),
+    ]:
+        cache.put(ContextState(env, values), values)
+    return cache
+
+
+class TestInvalidateCovered:
+    def test_city_level_edit_drops_that_city_only(self, env, cache):
+        # (all, all, Athens) covers the Plaka and Kifisia entries.
+        dropped = cache.invalidate_covered(state(env, location="Athens"))
+        assert dropped == 3
+        assert len(cache) == 2
+        assert ContextState(env, ("friends", "cold", "Perama")) in cache
+        assert ContextState(env, ("alone", "freezing", "Ledra")) in cache
+
+    def test_all_state_drops_everything(self, env, cache):
+        dropped = cache.invalidate_covered(ContextState.all_state(env))
+        assert dropped == 5
+        assert len(cache) == 0
+
+    def test_exact_state_drops_only_itself(self, env, cache):
+        target = ContextState(env, ("friends", "warm", "Plaka"))
+        dropped = cache.invalidate_covered(target)
+        assert dropped == 1
+        assert target not in cache
+        assert len(cache) == 4
+
+    def test_characterization_level_weather(self, env, cache):
+        # (all, good, all) covers warm and hot entries (3 of them).
+        dropped = cache.invalidate_covered(state(env, temperature="good"))
+        assert dropped == 3
+        assert len(cache) == 2
+
+    def test_no_matches_is_a_noop(self, env, cache):
+        dropped = cache.invalidate_covered(
+            state(env, accompanying_people="family", temperature="hot",
+                  location="Kastra")
+        )
+        assert dropped == 0
+        assert len(cache) == 5
+
+    def test_returns_consistent_lookups_afterwards(self, env, cache):
+        cache.invalidate_covered(state(env, location="Athens"))
+        survivor = ContextState(env, ("friends", "cold", "Perama"))
+        assert cache.get(survivor) == ("friends", "cold", "Perama")
+        dropped = ContextState(env, ("friends", "warm", "Plaka"))
+        assert cache.get(dropped) is None
+
+    def test_foreign_environment_rejected(self, env, cache):
+        from repro import ContextEnvironment
+
+        foreign_env = ContextEnvironment(list(reversed(env.parameters)))
+        foreign = ContextState.all_state(foreign_env)
+        with pytest.raises(TreeError):
+            cache.invalidate_covered(foreign)
+
+    def test_works_with_custom_ordering(self, env):
+        cache = ContextQueryTree(
+            env, ordering=("location", "temperature", "accompanying_people")
+        )
+        cache.put(ContextState(env, ("friends", "warm", "Plaka")), 1)
+        cache.put(ContextState(env, ("friends", "cold", "Perama")), 2)
+        assert cache.invalidate_covered(state(env, location="Athens")) == 1
+        assert len(cache) == 1

@@ -1,0 +1,56 @@
+"""Tests for the ASCII tree renderer."""
+
+from repro.tree.visualize import render_tree
+
+
+class TestRenderTree:
+    def test_fig4_structure(self, fig4_tree):
+        text = render_tree(fig4_tree)
+        lines = text.splitlines()
+        assert lines[0].startswith("profile tree (order: accompanying_people")
+        assert "[friends]" in text and "[all]" in text
+        assert "[Kifisia] -> (type = 'cafeteria'): 0.9" in text
+        assert "(name = 'Acropolis'): 0.8" in text
+
+    def test_indentation_tracks_levels(self, fig4_tree):
+        text = render_tree(fig4_tree)
+        # Level-1 keys flush left, level-2 at 2 spaces, leaves at 4.
+        assert "\n[friends]" in text
+        assert "\n  [warm]" in text
+        assert "\n    [Kifisia] ->" in text
+
+    def test_branch_count_matches_states(self, fig4_tree):
+        text = render_tree(fig4_tree)
+        assert text.count("->") == fig4_tree.num_states
+
+    def test_truncation(self, fig4_tree):
+        text = render_tree(fig4_tree, max_branches=2)
+        assert text.count("->") == 2
+        assert "more branch(es)" in text
+
+    def test_empty_tree(self, env):
+        from repro import ProfileTree
+
+        text = render_tree(ProfileTree(env))
+        assert text.splitlines()[0].startswith("profile tree")
+        assert "->" not in text
+
+    def test_shared_leaf_renders_all_payloads(self, env):
+        from repro import (
+            AttributeClause,
+            ContextDescriptor,
+            ContextualPreference,
+            ProfileTree,
+        )
+
+        tree = ProfileTree(env)
+        for value, score in (("brewery", 0.9), ("museum", 0.4)):
+            tree.insert(
+                ContextualPreference(
+                    ContextDescriptor.from_mapping({"location": "Plaka"}),
+                    AttributeClause("type", value),
+                    score,
+                )
+            )
+        text = render_tree(tree)
+        assert "(type = 'brewery'): 0.9, (type = 'museum'): 0.4" in text

@@ -1,0 +1,89 @@
+"""Tests for mobility traces."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.workloads import study_environment
+from repro.workloads.mobility import mobility_trace
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return study_environment()
+
+
+def trace(environment, **kwargs):
+    defaults = dict(num_steps=200, seed=3)
+    defaults.update(kwargs)
+    return list(mobility_trace(environment, **defaults))
+
+
+class TestMobilityTrace:
+    def test_length_and_validity(self, environment):
+        states = trace(environment)
+        assert len(states) == 200
+        assert all(state.is_detailed() for state in states)
+
+    def test_deterministic(self, environment):
+        assert trace(environment, seed=5) == trace(environment, seed=5)
+
+    def test_zero_steps(self, environment):
+        assert trace(environment, num_steps=0) == []
+
+    def test_locality_consecutive_repeats(self, environment):
+        states = trace(environment, move_probability=0.2)
+        repeats = sum(
+            1 for a, b in zip(states, states[1:]) if a == b
+        )
+        assert repeats > len(states) * 0.3
+
+    def test_move_probability_zero_freezes_trace(self, environment):
+        states = trace(environment, move_probability=0.0)
+        assert len(set(states)) == 1
+
+    def test_location_walk_prefers_same_city(self, environment):
+        location = environment["location"].hierarchy
+        states = trace(environment, num_steps=600, move_probability=1.0,
+                       jump_probability=0.0)
+        same_city = cross_city = 0
+        for a, b in zip(states, states[1:]):
+            before, after = a["location"], b["location"]
+            if before == after:
+                continue
+            if location.anc(before, "City") == location.anc(after, "City"):
+                same_city += 1
+            else:
+                cross_city += 1
+        assert same_city > cross_city
+
+    def test_jump_probability_one_roams_everywhere(self, environment):
+        states = trace(environment, num_steps=600, move_probability=1.0,
+                       jump_probability=1.0)
+        visited = {state["location"] for state in states}
+        assert len(visited) == len(environment["location"].hierarchy.dom)
+
+    def test_temperature_drifts_one_step(self, environment):
+        temperature = environment["temperature"].hierarchy
+        states = trace(environment, num_steps=400, move_probability=1.0)
+        for a, b in zip(states, states[1:]):
+            gap = abs(
+                temperature.rank(a["temperature"]) - temperature.rank(b["temperature"])
+            )
+            assert gap <= 1
+
+    def test_validation(self, environment):
+        with pytest.raises(ReproError):
+            trace(environment, num_steps=-1)
+        with pytest.raises(ReproError):
+            trace(environment, move_probability=1.5)
+        with pytest.raises(ReproError):
+            trace(environment, walk_parameters=("altitude",))
+
+    def test_cache_benefits_from_locality(self, environment):
+        from repro import ContextQueryTree
+
+        cache = ContextQueryTree(environment, capacity=20)
+        for state in trace(environment, num_steps=400, move_probability=0.3):
+            if cache.get(state) is None:
+                cache.put(state, "result")
+        assert cache.hit_rate() > 0.5

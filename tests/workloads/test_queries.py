@@ -1,0 +1,84 @@
+"""Tests for query-state workload generation."""
+
+import pytest
+
+from repro import Profile, ProfileTree
+from repro.exceptions import ReproError
+from repro.workloads import (
+    ProfileSpec,
+    exact_match_states,
+    generate_profile,
+    random_states,
+    synthetic_environment,
+)
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return synthetic_environment(domain_sizes=(10, 20, 30), num_levels=(2, 3, 3))
+
+
+@pytest.fixture(scope="module")
+def profile(environment):
+    return generate_profile(environment, ProfileSpec(num_preferences=40, seed=2))
+
+
+class TestExactMatchStates:
+    def test_every_state_hits_the_tree(self, environment, profile):
+        tree = ProfileTree.from_profile(profile)
+        for state in exact_match_states(profile, 25, seed=1):
+            assert tree.exact_lookup(state) is not None
+
+    def test_requested_count_with_replacement(self, profile):
+        assert len(exact_match_states(profile, 100, seed=1)) == 100
+
+    def test_deterministic(self, profile):
+        assert exact_match_states(profile, 10, seed=4) == exact_match_states(
+            profile, 10, seed=4
+        )
+
+    def test_empty_profile_rejected(self, environment):
+        with pytest.raises(ReproError):
+            exact_match_states(Profile(environment), 5)
+
+    def test_negative_count_rejected(self, profile):
+        with pytest.raises(ReproError):
+            exact_match_states(profile, -1)
+
+
+class TestRandomStates:
+    def test_count_and_environment(self, environment):
+        states = random_states(environment, 20, seed=3)
+        assert len(states) == 20
+        assert all(len(state) == len(environment) for state in states)
+
+    def test_deterministic(self, environment):
+        assert random_states(environment, 10, seed=3) == random_states(
+            environment, 10, seed=3
+        )
+
+    def test_detailed_only_mix(self, environment):
+        states = random_states(environment, 30, seed=3, level_weights=(1.0,))
+        assert all(state.is_detailed() for state in states)
+
+    def test_mixed_levels_present(self, environment):
+        states = random_states(environment, 50, seed=3, level_weights=(0.2, 0.4, 0.4))
+        assert any(not state.is_detailed() for state in states)
+
+    def test_weights_beyond_level_count_renormalised(self, environment):
+        # p10 has only 2 levels (detailed + ALL): a 3-entry weight vector
+        # must not crash and must only use the existing non-ALL levels.
+        states = random_states(environment, 20, seed=3, level_weights=(0.5, 0.3, 0.2))
+        for state in states:
+            level = environment["p10"].hierarchy.level_of(state["p10"])
+            assert level.index == 0
+
+    def test_bad_weights_rejected(self, environment):
+        with pytest.raises(ReproError):
+            random_states(environment, 5, level_weights=())
+        with pytest.raises(ReproError):
+            random_states(environment, 5, level_weights=(-1.0, 2.0))
+
+    def test_negative_count_rejected(self, environment):
+        with pytest.raises(ReproError):
+            random_states(environment, -2)

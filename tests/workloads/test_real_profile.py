@@ -1,0 +1,78 @@
+"""Tests for the real-profile emulation (Sec. 5.2 statistics)."""
+
+import pytest
+
+from repro.workloads import (
+    REAL_PROFILE_SIZE,
+    generate_real_profile,
+    real_accompanying_hierarchy,
+    real_environment,
+    real_location_hierarchy,
+    real_time_hierarchy,
+)
+
+
+class TestHierarchies:
+    def test_accompanying_cardinality_and_levels(self):
+        h = real_accompanying_hierarchy()
+        assert len(h.dom) == 4
+        assert h.num_levels == 2  # Relationship + ALL
+
+    def test_time_cardinality_and_levels(self):
+        h = real_time_hierarchy()
+        assert len(h.dom) == 17
+        assert h.num_levels == 3  # Slot, Period, ALL
+
+    def test_location_cardinality_and_levels(self):
+        h = real_location_hierarchy()
+        assert len(h.dom) == 100
+        assert h.num_levels == 4  # Region, City, Country, ALL
+
+    def test_location_regions_partition_into_cities(self):
+        h = real_location_hierarchy()
+        covered = set()
+        for city in h.domain("City"):
+            regions = h.desc(city, "Region")
+            assert len(regions) == 5
+            covered |= regions
+        assert covered == set(h.dom)
+
+    def test_environment_order_matches_paper(self):
+        assert real_environment().names == ("accompanying_people", "time", "location")
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        return generate_real_profile()
+
+    def test_paper_profile_size(self, generated):
+        _env, profile = generated
+        assert len(profile) == REAL_PROFILE_SIZE
+
+    def test_deterministic(self):
+        _env1, first = generate_real_profile(seed=1)
+        _env2, second = generate_real_profile(seed=1)
+        assert list(first) == list(second)
+
+    def test_seed_changes_profile(self):
+        _env1, first = generate_real_profile(seed=1)
+        _env2, second = generate_real_profile(seed=2)
+        assert list(first) != list(second)
+
+    def test_single_state_per_preference(self, generated):
+        env, profile = generated
+        for preference in profile:
+            assert len(preference.descriptor.states(env)) == 1
+
+    def test_higher_level_values_present(self, generated):
+        _env, profile = generated
+        assert any(not state.is_detailed() for state in profile.states())
+
+    def test_skew_makes_states_collide(self, generated):
+        _env, profile = generated
+        assert len(set(profile.states())) < REAL_PROFILE_SIZE
+
+    def test_custom_size(self):
+        _env, profile = generate_real_profile(num_preferences=50)
+        assert len(profile) == 50

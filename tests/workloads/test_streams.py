@@ -1,0 +1,64 @@
+"""Tests for query-stream generation."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.workloads import random_states, synthetic_environment
+from repro.workloads.streams import query_stream
+
+
+@pytest.fixture(scope="module")
+def states():
+    environment = synthetic_environment(domain_sizes=(4, 5, 6), num_levels=(2, 2, 2))
+    return random_states(environment, 20, seed=1)
+
+
+class TestQueryStream:
+    def test_length_and_membership(self, states):
+        stream = list(query_stream(states, 50, seed=2))
+        assert len(stream) == 50
+        assert all(state in states for state in stream)
+
+    def test_deterministic(self, states):
+        first = list(query_stream(states, 30, seed=3))
+        second = list(query_stream(states, 30, seed=3))
+        assert first == second
+
+    def test_zipf_concentrates_on_head(self, states):
+        stream = list(query_stream(states, 400, seed=4, zipf_a=2.0))
+        head_share = sum(1 for state in stream if state in states[:3]) / len(stream)
+        assert head_share > 0.5
+
+    def test_uniform_when_a_zero(self, states):
+        stream = list(query_stream(states, 2000, seed=5, zipf_a=0.0))
+        counts = {state: 0 for state in states}
+        for state in stream:
+            counts[state] += 1
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_locality_increases_repeats(self, states):
+        def repeat_fraction(locality):
+            stream = list(
+                query_stream(states, 500, seed=6, zipf_a=0.0, locality=locality)
+            )
+            repeats = sum(
+                1 for first, second in zip(stream, stream[1:]) if first == second
+            )
+            return repeats / (len(stream) - 1)
+
+        assert repeat_fraction(0.9) > repeat_fraction(0.0) + 0.4
+
+    def test_full_locality_repeats_forever(self, states):
+        stream = list(query_stream(states, 40, seed=7, locality=1.0))
+        assert len(set(stream)) == 1
+
+    def test_zero_queries(self, states):
+        assert list(query_stream(states, 0)) == []
+
+    def test_validation(self, states):
+        with pytest.raises(ReproError):
+            list(query_stream([], 5))
+        with pytest.raises(ReproError):
+            list(query_stream(states, -1))
+        with pytest.raises(ReproError):
+            list(query_stream(states, 5, locality=1.5))

@@ -1,0 +1,120 @@
+"""Tests for synthetic environments and profile generation."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.workloads import (
+    ProfileSpec,
+    deterministic_score,
+    generate_profile,
+    synthetic_environment,
+    synthetic_parameter,
+)
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return synthetic_environment()
+
+
+class TestDeterministicScore:
+    def test_in_unit_interval(self):
+        for parts in [("a",), ("a", "b"), (1, 2, 3)]:
+            assert 0.0 <= deterministic_score(*parts) <= 1.0
+
+    def test_stable(self):
+        assert deterministic_score("x", 1) == deterministic_score("x", 1)
+
+    def test_varies_with_input(self):
+        scores = {deterministic_score("x", index) for index in range(50)}
+        assert len(scores) > 10
+
+
+class TestSyntheticParameter:
+    def test_paper_domain_sizes(self, environment):
+        assert [len(parameter.dom) for parameter in environment] == [50, 100, 1000]
+
+    def test_paper_level_counts(self, environment):
+        assert [parameter.hierarchy.num_levels for parameter in environment] == [2, 3, 3]
+
+    def test_parameter_names(self, environment):
+        assert environment.names == ("p50", "p100", "p1000")
+
+    def test_custom_fanout(self):
+        parameter = synthetic_parameter("x", 100, 3, fanout=4)
+        assert len(parameter.hierarchy.domain("L2")) == 25
+
+    def test_mismatched_config_rejected(self):
+        with pytest.raises(ReproError):
+            synthetic_environment(domain_sizes=(50, 100), num_levels=(2,))
+        with pytest.raises(ReproError):
+            synthetic_environment(names=("a",))
+
+
+class TestGenerateProfile:
+    def test_requested_size(self, environment):
+        profile = generate_profile(environment, ProfileSpec(num_preferences=200))
+        assert len(profile) == 200
+
+    def test_deterministic(self, environment):
+        spec = ProfileSpec(num_preferences=50, seed=3)
+        first = generate_profile(environment, spec)
+        second = generate_profile(environment, spec)
+        assert list(first) == list(second)
+
+    def test_no_conflicts_by_construction(self, environment):
+        # Generation would raise ConflictError otherwise; also verify a
+        # zipf-heavy profile where state collisions are frequent.
+        spec = ProfileSpec(num_preferences=300, zipf_a=2.0, seed=5)
+        profile = generate_profile(environment, spec)
+        assert len(profile) == 300
+
+    def test_detailed_values_by_default(self, environment):
+        profile = generate_profile(environment, ProfileSpec(num_preferences=50))
+        for state in profile.states():
+            assert state.is_detailed()
+
+    def test_level_mix_produces_upper_values(self, environment):
+        spec = ProfileSpec(num_preferences=200, level_weights=(0.5, 0.5), seed=5)
+        profile = generate_profile(environment, spec)
+        assert any(not state.is_detailed() for state in profile.states())
+
+    def test_zipf_reduces_distinct_states(self, environment):
+        uniform = generate_profile(environment, ProfileSpec(num_preferences=500))
+        skewed = generate_profile(
+            environment, ProfileSpec(num_preferences=500, zipf_a=1.5)
+        )
+        assert len(set(skewed.states())) < len(set(uniform.states()))
+
+    def test_per_parameter_skew(self, environment):
+        spec = ProfileSpec(
+            num_preferences=300, zipf_a_per_parameter=(0.0, 0.0, 3.0), seed=5
+        )
+        profile = generate_profile(environment, spec)
+        # The heavily skewed parameter reuses few values.
+        distinct_large = {state["p1000"] for state in profile.states()}
+        distinct_small = {state["p50"] for state in profile.states()}
+        assert len(distinct_large) < len(distinct_small)
+
+    def test_per_parameter_skew_length_checked(self, environment):
+        with pytest.raises(ReproError):
+            generate_profile(
+                environment,
+                ProfileSpec(num_preferences=10, zipf_a_per_parameter=(1.0,)),
+            )
+
+    def test_bad_level_weights_rejected(self, environment):
+        with pytest.raises(ReproError):
+            generate_profile(
+                environment,
+                ProfileSpec(num_preferences=10, level_weights=(0.0,)),
+            )
+
+    def test_negative_size_rejected(self, environment):
+        with pytest.raises(ReproError):
+            generate_profile(environment, ProfileSpec(num_preferences=-1))
+
+    def test_every_preference_constrains_every_parameter(self, environment):
+        profile = generate_profile(environment, ProfileSpec(num_preferences=20))
+        for preference in profile:
+            assert len(preference.descriptor.descriptors) == len(environment)

@@ -1,0 +1,143 @@
+"""Tests for the simulated-user harness."""
+
+import pytest
+
+from repro import ProfileTree
+from repro.exceptions import ReproError
+from repro.workloads import (
+    Persona,
+    SimulatedUser,
+    all_personas,
+    default_profile,
+    study_environment,
+)
+from repro.workloads.users import base_affinity
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return study_environment()
+
+
+class TestPersona:
+    def test_twelve_personas(self):
+        personas = all_personas()
+        assert len(personas) == 12
+        assert len({persona.key for persona in personas}) == 12
+
+    def test_keys_in_range(self):
+        assert {persona.key for persona in all_personas()} == set(range(12))
+
+    def test_invalid_persona_rejected(self):
+        with pytest.raises(ReproError):
+            Persona("teen", "male", "mainstream")
+        with pytest.raises(ReproError):
+            Persona("below30", "other", "mainstream")
+        with pytest.raises(ReproError):
+            Persona("below30", "male", "eclectic")
+
+
+class TestBaseAffinity:
+    def test_in_score_range(self):
+        for persona in all_personas():
+            for poi_type in ("museum", "brewery", "zoo"):
+                assert 0.05 <= base_affinity(persona, poi_type) <= 0.95
+
+    def test_taste_differentiates(self):
+        mainstream = Persona("30to50", "male", "mainstream")
+        offbeat = Persona("30to50", "male", "offbeat")
+        assert base_affinity(mainstream, "museum") > base_affinity(offbeat, "museum")
+        assert base_affinity(offbeat, "gallery") > base_affinity(mainstream, "gallery")
+
+    def test_age_differentiates(self):
+        young = Persona("below30", "male", "mainstream")
+        older = Persona("above50", "male", "mainstream")
+        assert base_affinity(young, "brewery") > base_affinity(older, "brewery")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError):
+            base_affinity(Persona("below30", "male", "mainstream"), "casino")
+
+
+class TestDefaultProfile:
+    def test_builds_without_conflicts(self, environment):
+        for persona in all_personas():
+            profile = default_profile(persona, environment)
+            assert len(profile) > 30
+
+    def test_deterministic(self, environment):
+        persona = Persona("below30", "female", "offbeat")
+        first = default_profile(persona, environment)
+        second = default_profile(persona, environment)
+        assert list(first) == list(second)
+
+    def test_different_personas_different_profiles(self, environment):
+        first = default_profile(Persona("below30", "male", "mainstream"), environment)
+        second = default_profile(Persona("above50", "male", "mainstream"), environment)
+        assert list(first) != list(second)
+
+    def test_contains_multi_level_contexts(self, environment):
+        profile = default_profile(
+            Persona("below30", "male", "mainstream"), environment
+        )
+        detailed = [state for state in profile.states() if state.is_detailed()]
+        coarse = [state for state in profile.states() if not state.is_detailed()]
+        assert detailed and coarse
+
+    def test_indexable_by_profile_tree(self, environment):
+        profile = default_profile(Persona("30to50", "female", "offbeat"), environment)
+        tree = ProfileTree.from_profile(profile)
+        assert tree.num_states == len(profile.states())
+
+
+class TestSimulatedUser:
+    def make_user(self, environment, meticulousness=0.5, seed=1):
+        persona = Persona("below30", "female", "mainstream")
+        return SimulatedUser(
+            1, persona, environment, meticulousness=meticulousness, seed=seed
+        )
+
+    def test_customize_returns_valid_profiles(self, environment):
+        session = self.make_user(environment).customize()
+        assert len(session.profile) > 0
+        assert len(session.intrinsic_profile) >= len(session.profile)
+
+    def test_modification_count_scales_with_meticulousness(self, environment):
+        lazy = self.make_user(environment, meticulousness=0.0).customize()
+        keen = self.make_user(environment, meticulousness=1.0).customize()
+        assert keen.num_modifications > lazy.num_modifications
+        assert keen.update_time_minutes > lazy.update_time_minutes
+
+    def test_modification_range_matches_paper(self, environment):
+        # Table 1 reports 12..38 modifications.
+        for meticulousness in (0.0, 0.5, 1.0):
+            session = self.make_user(environment, meticulousness).customize()
+            assert 10 <= session.num_modifications <= 38
+
+    def test_deterministic_for_seed(self, environment):
+        first = self.make_user(environment, seed=9).customize()
+        second = self.make_user(environment, seed=9).customize()
+        assert list(first.profile) == list(second.profile)
+        assert first.num_modifications == second.num_modifications
+
+    def test_more_meticulous_users_closer_to_intrinsic(self, environment):
+        def gap(session):
+            served = {
+                (preference.descriptor, preference.clause): preference.score
+                for preference in session.profile
+            }
+            return sum(
+                abs(served[key] - preference.score)
+                for preference in session.intrinsic_profile
+                for key in [(preference.descriptor, preference.clause)]
+                if key in served
+            )
+
+        lazy = self.make_user(environment, meticulousness=0.0, seed=4).customize()
+        keen = self.make_user(environment, meticulousness=1.0, seed=4).customize()
+        assert gap(keen) < gap(lazy)
+
+    def test_invalid_meticulousness_rejected(self, environment):
+        persona = Persona("below30", "male", "mainstream")
+        with pytest.raises(ReproError):
+            SimulatedUser(1, persona, environment, meticulousness=1.5)

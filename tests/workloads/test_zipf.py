@@ -1,0 +1,68 @@
+"""Tests for the bounded zipf sampler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.workloads import ZipfSampler, zipf_probabilities
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        assert zipf_probabilities(100, 1.5).sum() == pytest.approx(1.0)
+
+    def test_uniform_when_a_zero(self):
+        probabilities = zipf_probabilities(10, 0.0)
+        assert np.allclose(probabilities, 0.1)
+
+    def test_monotonically_decreasing(self):
+        probabilities = zipf_probabilities(50, 1.5)
+        assert all(
+            first >= second for first, second in zip(probabilities, probabilities[1:])
+        )
+
+    def test_higher_skew_concentrates_head(self):
+        mild = zipf_probabilities(100, 0.5)
+        steep = zipf_probabilities(100, 2.5)
+        assert steep[0] > mild[0]
+
+    def test_ratio_follows_power_law(self):
+        probabilities = zipf_probabilities(10, 2.0)
+        assert probabilities[0] / probabilities[1] == pytest.approx(4.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ReproError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(20, 1.5, np.random.default_rng(0))
+        samples = sampler.sample_many(500)
+        assert samples.min() >= 0 and samples.max() < 20
+
+    def test_deterministic_with_seed(self):
+        first = ZipfSampler(20, 1.5, np.random.default_rng(7)).sample_many(100)
+        second = ZipfSampler(20, 1.5, np.random.default_rng(7)).sample_many(100)
+        assert np.array_equal(first, second)
+
+    def test_skew_visible_in_samples(self):
+        sampler = ZipfSampler(100, 1.5, np.random.default_rng(0))
+        samples = sampler.sample_many(2000)
+        head = np.count_nonzero(samples < 10)
+        assert head > 1000  # >half the mass in the top 10 ranks
+
+    def test_single_sample(self):
+        sampler = ZipfSampler(5, 1.0, np.random.default_rng(0))
+        assert 0 <= sampler.sample() < 5
+
+    def test_negative_count_rejected(self):
+        sampler = ZipfSampler(5, 1.0, np.random.default_rng(0))
+        with pytest.raises(ReproError):
+            sampler.sample_many(-1)
+
+    def test_properties(self):
+        sampler = ZipfSampler(5, 1.5, np.random.default_rng(0))
+        assert sampler.n == 5 and sampler.a == 1.5
