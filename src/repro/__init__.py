@@ -43,7 +43,7 @@ from repro.context import (
     ParameterDescriptor,
     covers_set,
 )
-from repro.db import Attribute, Relation, Schema, generate_poi_relation
+from repro.db import Attribute, AttributeIndex, Relation, Schema, generate_poi_relation
 from repro.exceptions import (
     ConflictError,
     ContextError,
@@ -76,11 +76,13 @@ from repro.preferences import (
     winnow,
 )
 from repro.query import (
+    BatchStats,
     ContextualQuery,
     ContextualQueryExecutor,
     QueryResult,
     RankedTuple,
     rank_cs,
+    rank_cs_batch,
 )
 from repro.resolution import (
     ContextResolver,
@@ -109,6 +111,8 @@ __all__ = [
     "AccessCounter",
     "Attribute",
     "AttributeClause",
+    "AttributeIndex",
+    "BatchStats",
     "ConflictError",
     "ContextDescriptor",
     "ContextEnvironment",
@@ -163,6 +167,7 @@ __all__ = [
     "optimal_ordering",
     "rank_by_strata",
     "rank_cs",
+    "rank_cs_batch",
     "search_cs",
     "winnow",
     "worst_case_cells",

@@ -6,11 +6,14 @@ from repro.db.poi import (
     landmark_rows,
     points_of_interest_schema,
 )
+from repro.db.index import INDEXABLE_OPS, AttributeIndex
 from repro.db.relation import Relation
 from repro.db.schema import Attribute, Schema
 
 __all__ = [
     "Attribute",
+    "AttributeIndex",
+    "INDEXABLE_OPS",
     "POI_TYPES",
     "Relation",
     "Schema",

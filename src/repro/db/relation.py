@@ -5,16 +5,27 @@ A :class:`Relation` is a schema plus an ordered bag of validated rows.
 used by Rank_CS (Algorithm 2), reusing the same
 :class:`~repro.preferences.AttributeClause` machinery preferences are
 written in, so every operator of Def. 5 works on both sides.
+
+Selections consult per-attribute indexes (:mod:`repro.db.index`)
+automatically whenever one exists: hash lookups for ``=`` and sorted
+``bisect`` ranges for the inequality operators, falling back to the
+sequential scan otherwise. Rows are addressed by **stable row ids** -
+their insertion positions - which ``select_ids`` exposes so ranking
+code can deduplicate tuples without relying on object identity.
+Mutations bump a version counter and notify registered listeners,
+which is how result caches learn to drop stale rankings.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from types import MappingProxyType
 
 from repro.exceptions import SchemaError
+from repro.db.index import INDEXABLE_OPS, AttributeIndex
 from repro.db.schema import Schema
 from repro.preferences.preference import AttributeClause
+from repro.tree.counters import AccessCounter
 
 __all__ = ["Relation"]
 
@@ -25,7 +36,17 @@ class Relation:
     """A named relation: a schema and its tuples.
 
     Rows are stored as read-only mappings; insertion validates against
-    the schema so downstream code never sees malformed tuples.
+    the schema so downstream code never sees malformed tuples. A row's
+    id is its insertion position (the relation is append-only), so ids
+    are stable for the relation's lifetime.
+
+    Args:
+        name: Relation name.
+        schema: The relation's schema.
+        rows: Initial tuples.
+        auto_index: When true, the first indexable selection on an
+            attribute builds that attribute's index on the fly; later
+            selections reuse it.
 
     Example:
         >>> relation = Relation("points_of_interest", schema)
@@ -34,12 +55,22 @@ class Relation:
         [...]
     """
 
-    def __init__(self, name: str, schema: Schema, rows: Iterable[Row] = ()) -> None:
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Row] = (),
+        auto_index: bool = False,
+    ) -> None:
         if not name:
             raise SchemaError("relation name must be non-empty")
         self._name = name
         self._schema = schema
         self._rows: list[Row] = []
+        self._indexes: dict[str, AttributeIndex] = {}
+        self._auto_index = auto_index
+        self._version = 0
+        self._listeners: list[Callable[["Relation"], None]] = []
         for row in rows:
             self.insert(row)
 
@@ -53,6 +84,20 @@ class Relation:
         """The relation's schema."""
         return self._schema
 
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every ``insert``."""
+        return self._version
+
+    @property
+    def auto_index(self) -> bool:
+        """Whether selections build missing attribute indexes on demand."""
+        return self._auto_index
+
+    @auto_index.setter
+    def auto_index(self, enabled: bool) -> None:
+        self._auto_index = bool(enabled)
+
     def __len__(self) -> int:
         return len(self._rows)
 
@@ -62,18 +107,95 @@ class Relation:
     def __getitem__(self, index: int) -> Row:
         return self._rows[index]
 
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
     def insert(self, row: Row) -> None:
-        """Validate and append one tuple."""
+        """Validate and append one tuple (indexes update incrementally)."""
         self._schema.validate(row)
-        self._rows.append(MappingProxyType(dict(row)))
+        stored = MappingProxyType(dict(row))
+        row_id = len(self._rows)
+        self._rows.append(stored)
+        for index in self._indexes.values():
+            index.add(row_id, stored)
+        self._version += 1
+        for listener in tuple(self._listeners):
+            listener(self)
 
     def extend(self, rows: Iterable[Row]) -> None:
         """Validate and append several tuples."""
         for row in rows:
             self.insert(row)
 
-    def select(self, clause: AttributeClause) -> list[Row]:
-        """``sigma_{A theta a}(R)``: rows satisfying the clause.
+    def add_mutation_listener(self, listener: Callable[["Relation"], None]) -> None:
+        """Call ``listener(relation)`` after every mutation.
+
+        Registering the same listener twice is a no-op, so caches can
+        re-attach defensively.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: Callable[["Relation"], None]) -> None:
+        """Stop notifying ``listener``; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(self, attribute: str) -> AttributeIndex:
+        """Build (or return the existing) index on ``attribute``.
+
+        Raises:
+            SchemaError: If the attribute is outside the schema.
+        """
+        if attribute not in self._schema:
+            raise SchemaError(
+                f"relation {self._name!r} has no attribute {attribute!r}"
+            )
+        index = self._indexes.get(attribute)
+        if index is None:
+            index = AttributeIndex(attribute, self._rows)
+            self._indexes[attribute] = index
+        return index
+
+    def drop_index(self, attribute: str) -> bool:
+        """Drop the index on ``attribute``; True if one existed."""
+        return self._indexes.pop(attribute, None) is not None
+
+    def has_index(self, attribute: str) -> bool:
+        """True iff ``attribute`` currently has an index."""
+        return attribute in self._indexes
+
+    @property
+    def indexed_attributes(self) -> tuple[str, ...]:
+        """Names of the currently indexed attributes."""
+        return tuple(self._indexes)
+
+    def _index_for(self, clause: AttributeClause) -> AttributeIndex | None:
+        """The index select should consult for ``clause``, if any."""
+        if clause.op not in INDEXABLE_OPS:
+            return None
+        index = self._indexes.get(clause.attribute)
+        if index is None and self._auto_index:
+            index = self.create_index(clause.attribute)
+        return index
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select_ids(
+        self, clause: AttributeClause, counter: AccessCounter | None = None
+    ) -> list[int]:
+        """Stable row ids satisfying the clause, in row order.
+
+        Uses the attribute's index when one exists (or ``auto_index``
+        is on) and the operator is indexable; otherwise scans. Index
+        probes charge ``counter`` with index cells, scans with one cell
+        per examined row.
 
         Raises:
             SchemaError: If the clause names an attribute outside the schema.
@@ -82,19 +204,68 @@ class Relation:
             raise SchemaError(
                 f"relation {self._name!r} has no attribute {clause.attribute!r}"
             )
-        return [row for row in self._rows if clause.matches(row)]
+        index = self._index_for(clause)
+        if index is not None:
+            ids = index.lookup(clause, counter)
+            if ids is not None:
+                return ids
+        if counter is not None:
+            counter.add_scan(len(self._rows))
+        return [
+            row_id for row_id, row in enumerate(self._rows) if clause.matches(row)
+        ]
 
-    def select_all(self, clauses: Iterable[AttributeClause]) -> list[Row]:
-        """Rows satisfying *every* clause (conjunction)."""
+    def select(
+        self, clause: AttributeClause, counter: AccessCounter | None = None
+    ) -> list[Row]:
+        """``sigma_{A theta a}(R)``: rows satisfying the clause.
+
+        Raises:
+            SchemaError: If the clause names an attribute outside the schema.
+        """
+        rows = self._rows
+        return [rows[row_id] for row_id in self.select_ids(clause, counter)]
+
+    def select_all(
+        self,
+        clauses: Iterable[AttributeClause],
+        counter: AccessCounter | None = None,
+    ) -> list[Row]:
+        """Rows satisfying *every* clause (conjunction).
+
+        When at least one clause has an index path, its id list seeds
+        the candidate set and the remaining clauses filter it, so the
+        conjunction costs O(|seed| x clauses) instead of a full scan.
+        """
         clauses = list(clauses)
         for clause in clauses:
             if clause.attribute not in self._schema:
                 raise SchemaError(
                     f"relation {self._name!r} has no attribute {clause.attribute!r}"
                 )
+        seed: AttributeClause | None = None
+        for clause in clauses:
+            if self._index_for(clause) is not None:
+                seed = clause
+                break
+        if seed is not None:
+            rest = [clause for clause in clauses if clause is not seed]
+            rows = self._rows
+            return [
+                rows[row_id]
+                for row_id in self.select_ids(seed, counter)
+                if all(clause.matches(rows[row_id]) for clause in rest)
+            ]
+        if counter is not None:
+            counter.add_scan(len(self._rows))
         return [
             row for row in self._rows if all(clause.matches(row) for clause in clauses)
         ]
+
+    def rows_by_ids(self, row_ids: Sequence[int]) -> list[Row]:
+        """The rows at the given stable ids, in the given order."""
+        rows = self._rows
+        return [rows[row_id] for row_id in row_ids]
 
     def project(self, names: Iterable[str]) -> list[dict[str, object]]:
         """``pi_{names}(R)`` preserving duplicates and row order."""
@@ -188,4 +359,5 @@ class Relation:
         return list(seen)
 
     def __repr__(self) -> str:
-        return f"Relation({self._name!r}, {len(self._rows)} rows)"
+        indexed = f", indexed={list(self._indexes)}" if self._indexes else ""
+        return f"Relation({self._name!r}, {len(self._rows)} rows{indexed})"

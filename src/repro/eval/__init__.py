@@ -6,6 +6,12 @@ from repro.eval.accesses import (
     fig7_synthetic,
     measure_accesses,
 )
+from repro.eval.rank_costs import (
+    SelectCost,
+    measure_select_costs,
+    rank_access_sweep,
+    run_rank_hotpath,
+)
 from repro.eval.reporting import format_series, format_table
 from repro.eval.sizes import (
     OrderingSize,
@@ -25,6 +31,7 @@ from repro.eval.usability import (
 __all__ = [
     "AccessMeasurement",
     "OrderingSize",
+    "SelectCost",
     "SizeExperiment",
     "UsabilityStudy",
     "UserStudyRow",
@@ -38,5 +45,8 @@ __all__ = [
     "format_table",
     "measure_accesses",
     "measure_orderings",
+    "measure_select_costs",
+    "rank_access_sweep",
+    "run_rank_hotpath",
     "run_usability_study",
 ]

@@ -7,9 +7,17 @@ from repro.query.qualitative_executor import (
     QualitativeQueryExecutor,
     QualitativeResult,
 )
-from repro.query.rank import Contribution, RankedTuple, rank_cs, rank_rows
+from repro.query.rank import (
+    BatchStats,
+    Contribution,
+    RankedTuple,
+    rank_cs,
+    rank_cs_batch,
+    rank_rows,
+)
 
 __all__ = [
+    "BatchStats",
     "ContextualQuery",
     "ContextualQueryExecutor",
     "Contribution",
@@ -20,5 +28,6 @@ __all__ = [
     "explain_resolution",
     "explain_result",
     "rank_cs",
+    "rank_cs_batch",
     "rank_rows",
 ]

@@ -14,11 +14,18 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
 from repro.context.state import ContextState
 from repro.db.relation import Relation
 from repro.preferences.combine import combine_max
 from repro.query.contextual_query import ContextualQuery
-from repro.query.rank import Contribution, RankedTuple, rank_rows
+from repro.query.rank import (
+    BatchStats,
+    Contribution,
+    RankedTuple,
+    rank_cs_batch,
+    rank_rows,
+)
 from repro.resolution.resolver import ContextResolver, Resolution
 from repro.tree.counters import AccessCounter
 from repro.tree.profile_tree import ProfileTree
@@ -94,6 +101,10 @@ class ContextualQueryExecutor:
         self._relation = relation
         self._combine = combine
         self._cache = cache
+        if cache is not None:
+            # Inserts into the relation invalidate cached results, so a
+            # cache filled before a mutation never serves stale rankings.
+            cache.watch(relation)
 
     @property
     def resolver(self) -> ContextResolver:
@@ -151,7 +162,7 @@ class ContextualQueryExecutor:
             plain.cache_misses = cache_misses
             return plain
 
-        ranked = rank_rows(self._relation, list(contributions), self._combine)
+        ranked = rank_rows(self._relation, list(contributions), self._combine, counter)
         if query.base_clauses:
             ranked = [
                 item
@@ -168,6 +179,30 @@ class ContextualQueryExecutor:
         if query.top_k is not None:
             result.results = result.top(query.top_k)
         return result
+
+    def rank_many(
+        self,
+        descriptors: Sequence[ContextDescriptor | ExtendedContextDescriptor],
+        counter: AccessCounter | None = None,
+    ) -> tuple[list[QueryResult], BatchStats]:
+        """Rank the relation for many descriptors in one batched pass.
+
+        Delegates to :func:`repro.query.rank.rank_cs_batch`, so
+        ``Search_CS`` resolutions are memoized per distinct context
+        state and each distinct winning clause is evaluated exactly
+        once across the whole batch. Each descriptor yields a
+        :class:`QueryResult` identical to executing it alone (without
+        base clauses or top-k).
+        """
+        descriptors = list(descriptors)
+        batched, stats = rank_cs_batch(
+            self._resolver, self._relation, descriptors, self._combine, counter
+        )
+        results = [
+            QueryResult(results=ranked, resolutions=resolutions, contextual=True)
+            for ranked, resolutions in batched
+        ]
+        return results, stats
 
     def _plain(self, query: ContextualQuery) -> QueryResult:
         """Non-contextual fallback: the ordinary query, unranked."""

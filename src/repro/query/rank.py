@@ -7,11 +7,21 @@ relation, and annotate the selected tuples with the expression's score.
 Tuples matched by several expressions are deduplicated by a combining
 function (``max`` by default, as the paper suggests; ``avg``/``min``/
 weighted averages are equally valid).
+
+Two things make the hot path sub-linear instead of
+O(|contributions| x |R|):
+
+* selections go through ``Relation.select_ids``, which consults the
+  relation's attribute indexes and returns **stable row ids** (so
+  deduplication never depends on object identity);
+* :func:`rank_cs_batch` ranks many descriptors in one pass, memoizing
+  ``Search_CS`` resolutions for identical context states and
+  evaluating each distinct clause exactly once across the batch.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, MutableMapping, Sequence
 from dataclasses import dataclass
 
 from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
@@ -22,9 +32,19 @@ from repro.preferences.preference import AttributeClause
 from repro.resolution.resolver import ContextResolver, Resolution
 from repro.tree.counters import AccessCounter
 
-__all__ = ["Contribution", "RankedTuple", "rank_cs", "rank_rows"]
+__all__ = [
+    "BatchStats",
+    "Contribution",
+    "RankedTuple",
+    "rank_cs",
+    "rank_cs_batch",
+    "rank_rows",
+]
 
 Row = Mapping[str, object]
+
+#: Shared cache mapping each evaluated clause to its matching row ids.
+ClauseCache = MutableMapping[AttributeClause, list[int]]
 
 
 @dataclass(frozen=True)
@@ -54,32 +74,60 @@ def rank_rows(
     relation: Relation,
     contributions: Sequence[Contribution],
     combine: Callable[[Sequence[float]], float] = combine_max,
+    counter: AccessCounter | None = None,
+    clause_cache: ClauseCache | None = None,
 ) -> list[RankedTuple]:
     """Evaluate expressions over ``relation`` and rank the results.
 
     Each contribution's clause is run as a selection; a tuple selected
     by several contributions gets their scores combined. The result is
-    sorted by descending score, with the relation's row order breaking
-    ties deterministically.
+    sorted by descending score, with the order contributions matched
+    tuples breaking ties deterministically.
+
+    Tuples are keyed by the relation's stable row ids, so ranking is
+    correct even if a relation implementation yields fresh row objects
+    per scan. A clause appearing in several contributions is evaluated
+    once; passing ``clause_cache`` extends that memoization across
+    calls (see :func:`rank_cs_batch`).
     """
-    per_row: dict[int, tuple[Row, list[Contribution]]] = {}
+    if clause_cache is None:
+        clause_cache = {}
+    per_row: dict[int, list[Contribution]] = {}
     for contribution in contributions:
-        for row in relation.select(contribution.clause):
-            key = id(row)
-            if key not in per_row:
-                per_row[key] = (row, [])
-            per_row[key][1].append(contribution)
+        row_ids = clause_cache.get(contribution.clause)
+        if row_ids is None:
+            row_ids = relation.select_ids(contribution.clause, counter)
+            clause_cache[contribution.clause] = row_ids
+        for row_id in row_ids:
+            bucket = per_row.get(row_id)
+            if bucket is None:
+                bucket = per_row[row_id] = []
+            bucket.append(contribution)
 
     ranked = [
         RankedTuple(
-            row=row,
+            row=relation[row_id],
             score=combine([contribution.score for contribution in row_contributions]),
             contributions=tuple(row_contributions),
         )
-        for row, row_contributions in per_row.values()
+        for row_id, row_contributions in per_row.items()
     ]
     ranked.sort(key=lambda item: -item.score)
     return ranked
+
+
+def _descriptor_contributions(
+    resolutions: Sequence[Resolution],
+) -> list[Contribution]:
+    """The deduplicated contributions of a descriptor's resolutions."""
+    contributions: dict[Contribution, None] = {}
+    for resolution in resolutions:
+        for candidate in resolution.best:
+            for clause, score in candidate.entries.items():
+                contributions.setdefault(
+                    Contribution(candidate.state, clause, score), None
+                )
+    return list(contributions)
 
 
 def rank_cs(
@@ -98,12 +146,84 @@ def rank_cs(
     should fall back to a non-contextual query (Sec. 4.2).
     """
     resolutions = resolver.resolve_descriptor(descriptor, counter)
-    contributions: dict[Contribution, None] = {}
-    for resolution in resolutions:
-        for candidate in resolution.best:
-            for clause, score in candidate.entries.items():
-                contributions.setdefault(
-                    Contribution(candidate.state, clause, score), None
-                )
-    ranked = rank_rows(relation, list(contributions), combine)
+    contributions = _descriptor_contributions(resolutions)
+    ranked = rank_rows(relation, contributions, combine, counter)
     return ranked, resolutions
+
+
+@dataclass
+class BatchStats:
+    """Work accounting for one :func:`rank_cs_batch` call.
+
+    Attributes:
+        descriptors: Number of descriptors ranked.
+        state_lookups: Context states resolved across all descriptors
+            (with repetition).
+        unique_states: Distinct states actually sent to ``Search_CS``.
+        clause_lookups: Clause selections requested (one per
+            contribution, with repetition).
+        unique_clauses: Distinct clauses actually evaluated over the
+            relation.
+    """
+
+    descriptors: int = 0
+    state_lookups: int = 0
+    unique_states: int = 0
+    clause_lookups: int = 0
+    unique_clauses: int = 0
+
+    @property
+    def state_memo_hits(self) -> int:
+        """Resolutions served from the batch memo."""
+        return self.state_lookups - self.unique_states
+
+    @property
+    def clause_memo_hits(self) -> int:
+        """Clause selections served from the batch memo."""
+        return self.clause_lookups - self.unique_clauses
+
+
+def rank_cs_batch(
+    resolver: ContextResolver,
+    relation: Relation,
+    descriptors: Sequence[ContextDescriptor | ExtendedContextDescriptor],
+    combine: Callable[[Sequence[float]], float] = combine_max,
+    counter: AccessCounter | None = None,
+) -> tuple[list[tuple[list[RankedTuple], list[Resolution]]], BatchStats]:
+    """Rank one relation for many descriptors in a single pass.
+
+    The per-descriptor output is exactly what :func:`rank_cs` returns
+    for that descriptor; the batch differs only in cost. Two memos are
+    shared across the whole batch:
+
+    * ``Search_CS`` resolutions, keyed by context state - descriptors
+      agreeing on a state (the common case under skewed real context
+      workloads) resolve it once;
+    * clause selections, keyed by :class:`AttributeClause` - each
+      distinct winning clause touches the relation exactly once, no
+      matter how many descriptors it serves.
+
+    Returns the per-descriptor ``(ranked, resolutions)`` pairs plus a
+    :class:`BatchStats` describing the memo effectiveness.
+    """
+    environment = resolver.tree.environment
+    state_memo: dict[ContextState, Resolution] = {}
+    clause_cache: ClauseCache = {}
+    stats = BatchStats(descriptors=len(descriptors))
+    outputs: list[tuple[list[RankedTuple], list[Resolution]]] = []
+    for descriptor in descriptors:
+        resolutions: list[Resolution] = []
+        for state in descriptor.states(environment):
+            stats.state_lookups += 1
+            resolution = state_memo.get(state)
+            if resolution is None:
+                resolution = resolver.resolve_state(state, counter)
+                state_memo[state] = resolution
+            resolutions.append(resolution)
+        contributions = _descriptor_contributions(resolutions)
+        stats.clause_lookups += len(contributions)
+        ranked = rank_rows(relation, contributions, combine, counter, clause_cache)
+        outputs.append((ranked, resolutions))
+    stats.unique_states = len(state_memo)
+    stats.unique_clauses = len(clause_cache)
+    return outputs, stats

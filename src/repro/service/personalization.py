@@ -19,6 +19,7 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import QueryError, ReproError
+from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
 from repro.db.relation import Relation
@@ -26,6 +27,7 @@ from repro.preferences.preference import ContextualPreference
 from repro.preferences.repository import PreferenceRepository
 from repro.query.contextual_query import ContextualQuery
 from repro.query.executor import ContextualQueryExecutor, QueryResult
+from repro.query.rank import BatchStats
 from repro.tree.query_tree import ContextQueryTree
 from repro.workloads.users import Persona, default_profile
 
@@ -56,6 +58,9 @@ class PersonalizationService:
         metric: Resolution metric used for every user.
         cache_capacity: Per-user result-cache size; ``None`` disables
             caching, ``0`` is invalid.
+        auto_index: Turn on on-demand attribute indexing for the
+            relation, so every user's selections take the indexed path
+            (the service is the multi-user hot path; default on).
 
     Example:
         >>> service = PersonalizationService(study_environment(), relation)
@@ -69,9 +74,12 @@ class PersonalizationService:
         relation: Relation,
         metric: str = "jaccard",
         cache_capacity: int | None = 128,
+        auto_index: bool = True,
     ) -> None:
         self._environment = environment
         self._relation = relation
+        if auto_index:
+            relation.auto_index = True
         self._metric = metric
         self._cache_capacity = cache_capacity
         self._accounts: dict[str, UserAccount] = {}
@@ -211,6 +219,26 @@ class PersonalizationService:
     ) -> QueryResult:
         """Convenience: query at an implicit current context state."""
         return self.query(user_id, ContextualQuery.at_state(state, top_k=top_k))
+
+    def rank_many(
+        self,
+        user_id: str,
+        descriptors: Sequence[ContextDescriptor | ExtendedContextDescriptor],
+    ) -> tuple[list[QueryResult], BatchStats]:
+        """Rank the relation for many context descriptors in one pass.
+
+        The batched entry point for high-throughput serving: context
+        resolution is memoized per distinct state and each distinct
+        winning clause touches the relation once across the whole
+        batch (see :func:`repro.query.rank.rank_cs_batch`). Returns
+        one :class:`QueryResult` per descriptor plus the batch's memo
+        statistics.
+        """
+        account = self.account(user_id)
+        descriptors = list(descriptors)
+        results, stats = self._executor_for(account).rank_many(descriptors)
+        account.queries_executed += len(descriptors)
+        return results, stats
 
     # ------------------------------------------------------------------
     # Persistence & statistics

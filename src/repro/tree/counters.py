@@ -6,6 +6,14 @@ cells) an algorithm touches - rather than wall-clock time. Every
 search-path operation in this library threads an optional
 :class:`AccessCounter` so experiments can observe exactly that metric
 without perturbing the algorithms.
+
+Selections over relations charge the same counter but keep two
+sub-tallies: ``scan_cells`` for tuple-at-a-time sequential scans and
+``index_cells`` for probes of an attribute index (hash buckets,
+``bisect`` comparisons and the ``[key, row-id]`` cells of the posting
+lists). ``cells`` always remains the grand total, so existing
+experiments keep their numbers while the ranking experiments can report
+indexed vs. sequential cost side by side.
 """
 
 from __future__ import annotations
@@ -14,27 +22,52 @@ __all__ = ["AccessCounter"]
 
 
 class AccessCounter:
-    """Counts cell accesses; shared by tree and sequential searches.
+    """Counts cell accesses; shared by tree, sequential and index paths.
+
+    Attributes:
+        cells: Total cell accesses (every category included).
+        scan_cells: Accesses charged by sequential relation scans.
+        index_cells: Accesses charged by attribute-index probes.
 
     Example:
         >>> counter = AccessCounter()
         >>> counter.add(3)
         >>> counter.cells
         3
+        >>> counter.add_indexed(2)
+        >>> (counter.cells, counter.index_cells)
+        (5, 2)
     """
 
-    __slots__ = ("cells",)
+    __slots__ = ("cells", "scan_cells", "index_cells")
 
     def __init__(self) -> None:
         self.cells = 0
+        self.scan_cells = 0
+        self.index_cells = 0
 
     def add(self, count: int = 1) -> None:
-        """Record ``count`` additional cell accesses."""
+        """Record ``count`` additional (uncategorised) cell accesses."""
         self.cells += count
 
+    def add_scan(self, count: int = 1) -> None:
+        """Record ``count`` sequential-scan cell accesses."""
+        self.cells += count
+        self.scan_cells += count
+
+    def add_indexed(self, count: int = 1) -> None:
+        """Record ``count`` index-probe cell accesses."""
+        self.cells += count
+        self.index_cells += count
+
     def reset(self) -> None:
-        """Zero the counter."""
+        """Zero the counter (all categories)."""
         self.cells = 0
+        self.scan_cells = 0
+        self.index_cells = 0
 
     def __repr__(self) -> str:
-        return f"AccessCounter(cells={self.cells})"
+        return (
+            f"AccessCounter(cells={self.cells}, scan={self.scan_cells}, "
+            f"indexed={self.index_cells})"
+        )

@@ -156,6 +156,26 @@ class ContextQueryTree:
         node.add_cell(path[-1], leaf)  # type: ignore[arg-type]
         self._leaves[state] = leaf
 
+    def watch(self, relation) -> None:
+        """Drop all cached results whenever ``relation`` is mutated.
+
+        Cached leaves hold ranked result sets computed *against* the
+        relation, so an insert after cache-fill would otherwise keep
+        serving stale rankings. The hook registers an idempotent
+        mutation listener on the relation (see
+        :meth:`repro.db.Relation.add_mutation_listener`); watching the
+        same relation twice is a no-op.
+        """
+        relation.add_mutation_listener(self._on_relation_mutated)
+
+    def unwatch(self, relation) -> None:
+        """Stop invalidating on ``relation``'s mutations."""
+        relation.remove_mutation_listener(self._on_relation_mutated)
+
+    def _on_relation_mutated(self, relation) -> None:
+        if self._leaves:
+            self.clear()
+
     def invalidate(self, state: ContextState) -> bool:
         """Drop the cached result for ``state``; True if one existed."""
         if state not in self._leaves:

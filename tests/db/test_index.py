@@ -1,0 +1,197 @@
+"""Tests for the attribute-index layer (hash + sorted access paths)."""
+
+import pytest
+
+from repro import Attribute, AttributeClause, Relation, Schema
+from repro.db.index import INDEXABLE_OPS, AttributeIndex
+from repro.tree import AccessCounter
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Attribute("pid", "int"),
+            Attribute("type", "str"),
+            Attribute("cost", "float", nullable=True),
+        ]
+    )
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"pid": 1, "type": "brewery", "cost": 5.0},
+        {"pid": 2, "type": "museum", "cost": 12.0},
+        {"pid": 3, "type": "brewery", "cost": None},
+        {"pid": 4, "type": "park", "cost": 0.0},
+        {"pid": 5, "type": "museum", "cost": 12.0},
+        {"pid": 6, "type": "brewery", "cost": 20.0},
+    ]
+
+
+@pytest.fixture
+def relation(schema, rows):
+    return Relation("pois", schema, rows)
+
+
+class TestAttributeIndex:
+    def test_eq_lookup_returns_row_ids_in_row_order(self, rows):
+        index = AttributeIndex("type", rows)
+        assert index.lookup(AttributeClause("type", "brewery")) == [0, 2, 5]
+        assert index.lookup(AttributeClause("type", "zoo")) == []
+
+    def test_range_lookups_match_sequential_semantics(self, rows):
+        index = AttributeIndex("cost", rows)
+        for op, expected in [
+            ("<", [3]),
+            ("<=", [0, 3]),
+            (">", [1, 4, 5]),
+            (">=", [0, 1, 4, 5]),
+        ]:
+            clause = AttributeClause("cost", 5.0, op)
+            sequential = [
+                row_id for row_id, row in enumerate(rows) if clause.matches(row)
+            ]
+            assert index.lookup(clause) == sequential == expected
+
+    def test_ne_has_no_index_path(self, rows):
+        index = AttributeIndex("type", rows)
+        assert index.lookup(AttributeClause("type", "brewery", "!=")) is None
+        assert "!=" not in INDEXABLE_OPS
+
+    def test_none_rows_match_equality_but_never_ranges(self, rows):
+        index = AttributeIndex("cost", rows)
+        assert index.lookup(AttributeClause("cost", None)) == [2]
+        # Ordered comparisons against None never match sequentially.
+        assert 2 not in index.lookup(AttributeClause("cost", 100.0, "<"))
+
+    def test_incomparable_constant_matches_nothing(self, rows):
+        index = AttributeIndex("cost", rows)
+        assert index.lookup(AttributeClause("cost", "cheap", "<")) == []
+        assert index.lookup(AttributeClause("cost", "cheap")) == []
+
+    def test_lookup_in_unions_and_sorts(self, rows):
+        index = AttributeIndex("type", rows)
+        assert index.lookup_in(["park", "brewery"]) == [0, 2, 3, 5]
+
+    def test_lookup_between_inclusive(self, rows):
+        index = AttributeIndex("cost", rows)
+        assert index.lookup_between(5.0, 12.0) == [0, 1, 4]
+
+    def test_incremental_add_matches_bulk_build(self, rows):
+        bulk = AttributeIndex("cost", rows)
+        incremental = AttributeIndex("cost")
+        for row_id, row in enumerate(rows):
+            incremental.add(row_id, row)
+        for clause in [
+            AttributeClause("cost", 12.0),
+            AttributeClause("cost", 12.0, "<="),
+            AttributeClause("cost", 5.0, ">"),
+        ]:
+            assert bulk.lookup(clause) == incremental.lookup(clause)
+
+    def test_counter_charges_index_cells(self, rows):
+        index = AttributeIndex("type", rows)
+        counter = AccessCounter()
+        index.lookup(AttributeClause("type", "brewery"), counter)
+        assert counter.index_cells == counter.cells > 0
+        assert counter.scan_cells == 0
+
+
+class TestRelationIndexing:
+    def test_create_index_and_select_equivalence(self, relation, rows):
+        relation.create_index("type")
+        assert relation.has_index("type")
+        assert relation.indexed_attributes == ("type",)
+        clause = AttributeClause("type", "brewery")
+        unindexed = Relation("pois", relation.schema, rows)
+        assert relation.select(clause) == unindexed.select(clause)
+
+    def test_select_ids_are_stable_positions(self, relation):
+        relation.create_index("type")
+        ids = relation.select_ids(AttributeClause("type", "museum"))
+        assert ids == [1, 4]
+        assert [relation[i]["pid"] for i in ids] == [2, 5]
+        assert relation.rows_by_ids(ids) == [relation[1], relation[4]]
+
+    def test_indexed_select_charges_index_cells_only(self, relation):
+        relation.create_index("type")
+        counter = AccessCounter()
+        relation.select(AttributeClause("type", "brewery"), counter)
+        assert counter.index_cells > 0
+        assert counter.scan_cells == 0
+
+    def test_unindexed_select_charges_one_cell_per_row(self, relation):
+        counter = AccessCounter()
+        relation.select(AttributeClause("type", "brewery"), counter)
+        assert counter.scan_cells == len(relation)
+        assert counter.index_cells == 0
+
+    def test_auto_index_builds_on_first_indexable_select(self, schema, rows):
+        relation = Relation("pois", schema, rows, auto_index=True)
+        assert not relation.has_index("type")
+        relation.select(AttributeClause("type", "park"))
+        assert relation.has_index("type")
+        # != never builds (no index path).
+        relation.select(AttributeClause("pid", 1, "!="))
+        assert not relation.has_index("pid")
+
+    def test_insert_updates_existing_indexes(self, relation, schema):
+        relation.create_index("type")
+        relation.insert({"pid": 7, "type": "brewery", "cost": 3.0})
+        ids = relation.select_ids(AttributeClause("type", "brewery"))
+        assert ids == [0, 2, 5, 6]
+
+    def test_drop_index_falls_back_to_scan(self, relation):
+        relation.create_index("type")
+        assert relation.drop_index("type")
+        assert not relation.drop_index("type")
+        counter = AccessCounter()
+        relation.select(AttributeClause("type", "brewery"), counter)
+        assert counter.scan_cells == len(relation)
+
+    def test_create_index_unknown_attribute_raises(self, relation):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            relation.create_index("nope")
+
+    def test_select_all_uses_indexed_seed_clause(self, relation):
+        relation.create_index("type")
+        counter = AccessCounter()
+        result = relation.select_all(
+            [AttributeClause("type", "brewery"), AttributeClause("cost", 4.0, ">")],
+            counter,
+        )
+        assert [row["pid"] for row in result] == [1, 6]
+        assert counter.scan_cells == 0
+
+    def test_select_all_order_matches_unindexed(self, relation, schema, rows):
+        relation.create_index("cost")
+        clauses = [AttributeClause("cost", 0.0, ">"), AttributeClause("type", "museum")]
+        unindexed = Relation("pois", schema, rows)
+        assert relation.select_all(clauses) == unindexed.select_all(clauses)
+
+
+class TestMutationNotifications:
+    def test_version_bumps_on_insert(self, relation):
+        before = relation.version
+        relation.insert({"pid": 9, "type": "zoo", "cost": 1.0})
+        assert relation.version == before + 1
+
+    def test_listeners_fire_once_per_insert_and_dedupe(self, relation):
+        calls = []
+
+        def listener(rel):
+            calls.append(rel.version)
+
+        relation.add_mutation_listener(listener)
+        relation.add_mutation_listener(listener)  # idempotent
+        relation.insert({"pid": 9, "type": "zoo", "cost": 1.0})
+        assert len(calls) == 1
+
+        relation.remove_mutation_listener(listener)
+        relation.remove_mutation_listener(listener)  # unknown is ignored
+        relation.insert({"pid": 10, "type": "zoo", "cost": 1.0})
+        assert len(calls) == 1

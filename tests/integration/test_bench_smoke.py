@@ -1,0 +1,74 @@
+"""Benchmark smoke: the rank-hotpath driver on a tiny workload.
+
+``benchmarks/bench_rank_hotpath.py`` runs the full 100k-row workload;
+this smoke test runs the same driver small enough for the ordinary test
+invocation, so a perf-path regression that crashes (or breaks ranking
+equivalence) is caught by plain ``pytest`` without the benchmark suite.
+"""
+
+import json
+from pathlib import Path
+
+from repro.eval import measure_select_costs, rank_access_sweep, run_rank_hotpath
+from repro import AttributeClause, generate_poi_relation
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestHotpathSmoke:
+    def test_tiny_workload_runs_and_paths_agree(self):
+        report = run_rank_hotpath(
+            num_rows=2000, num_queries=6, pool_size=4, num_buckets=50
+        )
+        assert report["identical_output"]
+        assert report["speedup"] > 0
+        assert report["workload"]["num_rows"] == 2000
+        stats = report["batch_stats"]
+        assert stats["descriptors"] == 6
+        assert stats["state_memo_hits"] == stats["state_lookups"] - stats["unique_states"]
+        assert stats["clause_memo_hits"] > 0
+        cells = report["cells"]
+        assert cells["sequential"]["scan"] > 0
+        assert cells["sequential"]["indexed"] == 0
+        assert cells["indexed"]["scan"] == 0
+        assert cells["indexed"]["indexed"] > 0
+        assert cells["sequential"]["scan"] > cells["indexed"]["indexed"]
+
+    def test_report_is_json_serialisable(self):
+        report = run_rank_hotpath(
+            num_rows=500, num_queries=3, pool_size=2, num_buckets=20
+        )
+        parsed = json.loads(json.dumps(report))
+        assert parsed["identical_output"] is True
+
+    def test_checked_in_baseline_shape(self):
+        baseline = json.loads((REPO_ROOT / "BENCH_rank.json").read_text())
+        assert baseline["identical_output"] is True
+        assert baseline["speedup"] >= 5.0
+        assert baseline["workload"]["num_rows"] == 100_000
+
+
+class TestAccessAccountingSmoke:
+    def test_sweep_series_shapes(self):
+        series = rank_access_sweep(relation_sizes=(200, 400))
+        assert set(series) == {"sequential", "indexed"}
+        assert len(series["sequential"]) == len(series["indexed"]) == 2
+        assert series["sequential"][1] > series["sequential"][0]
+        assert all(
+            indexed < sequential
+            for indexed, sequential in zip(series["indexed"], series["sequential"])
+        )
+
+    def test_measure_select_costs_categories(self):
+        relation = generate_poi_relation(100, seed=5)
+        clauses = [
+            AttributeClause("type", "brewery"),
+            AttributeClause("admission_cost", 10.0, "<="),
+        ]
+        costs = measure_select_costs(relation, clauses)
+        sequential, indexed = costs["sequential"], costs["indexed"]
+        assert sequential.scan_cells == len(clauses) * len(relation)
+        assert sequential.index_cells == 0
+        assert indexed.scan_cells == 0
+        assert indexed.index_cells == indexed.total_cells > 0
+        assert indexed.mean_cells < sequential.mean_cells

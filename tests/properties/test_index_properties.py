@@ -1,0 +1,131 @@
+"""Property tests: indexed selection is indistinguishable from the scan.
+
+For every operator of Def. 5 and arbitrary relations, the indexed
+access path must return exactly the rows the sequential scan returns,
+in the same order - and ranking through either path must produce
+identical scores and order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Attribute,
+    AttributeClause,
+    ContextState,
+    Relation,
+    Schema,
+)
+from repro.query import Contribution, rank_rows
+from repro.workloads.users import study_environment
+
+OPERATORS = ("=", "!=", "<", ">", "<=", ">=")
+
+_schema = Schema(
+    [
+        Attribute("pid", "int"),
+        Attribute("category", "str"),
+        Attribute("weight", "float", nullable=True),
+    ]
+)
+
+_categories = st.sampled_from(["a", "b", "c", "d", "e"])
+_weights = st.one_of(
+    st.none(),
+    st.integers(min_value=-5, max_value=5).map(float),
+    st.floats(min_value=-5, max_value=5, allow_nan=False, width=32).map(float),
+)
+
+_rows = st.lists(
+    st.builds(
+        lambda pid, category, weight: {
+            "pid": pid,
+            "category": category,
+            "weight": weight,
+        },
+        pid=st.integers(min_value=0, max_value=50),
+        category=_categories,
+        weight=_weights,
+    ),
+    max_size=40,
+)
+
+_clauses = st.one_of(
+    st.builds(
+        AttributeClause,
+        st.just("category"),
+        _categories,
+        st.sampled_from(OPERATORS),
+    ),
+    st.builds(
+        AttributeClause,
+        st.just("weight"),
+        _weights,
+        st.sampled_from(OPERATORS),
+    ),
+    st.builds(
+        AttributeClause,
+        st.just("pid"),
+        st.integers(min_value=-1, max_value=51),
+        st.sampled_from(OPERATORS),
+    ),
+)
+
+
+def _relations(rows):
+    sequential = Relation("r", _schema, rows)
+    indexed = Relation("r", _schema, rows, auto_index=True)
+    return sequential, indexed
+
+
+class TestIndexedSelectEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(rows=_rows, clause=_clauses)
+    def test_same_rows_same_order_for_every_operator(self, rows, clause):
+        sequential, indexed = _relations(rows)
+        assert indexed.select(clause) == sequential.select(clause)
+        assert indexed.select_ids(clause) == sequential.select_ids(clause)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rows=_rows, clauses=st.lists(_clauses, min_size=1, max_size=3))
+    def test_conjunction_equivalence(self, rows, clauses):
+        sequential, indexed = _relations(rows)
+        assert indexed.select_all(clauses) == sequential.select_all(clauses)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rows=_rows, clause=_clauses)
+    def test_explicit_index_equals_auto_index(self, rows, clause):
+        explicit = Relation("r", _schema, rows)
+        explicit.create_index(clause.attribute)
+        _, auto = _relations(rows)
+        assert explicit.select(clause) == auto.select(clause)
+
+
+class TestRankingPathIndependence:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        rows=_rows,
+        clauses=st.lists(_clauses, min_size=1, max_size=4),
+        scores=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=4,
+            max_size=4,
+        ),
+    )
+    def test_rank_rows_identical_through_either_path(self, rows, clauses, scores):
+        environment = study_environment()
+        state = ContextState.all_state(environment)
+        contributions = [
+            Contribution(state, clause, scores[index % len(scores)])
+            for index, clause in enumerate(clauses)
+        ]
+        sequential, indexed = _relations(rows)
+        ranked_sequential = rank_rows(sequential, contributions)
+        ranked_indexed = rank_rows(indexed, contributions)
+        assert [
+            (item.row["pid"], item.score, item.contributions)
+            for item in ranked_sequential
+        ] == [
+            (item.row["pid"], item.score, item.contributions)
+            for item in ranked_indexed
+        ]

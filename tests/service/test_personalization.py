@@ -195,3 +195,40 @@ class TestPersistenceAndStats:
         assert row["queries"] == 1
         assert row["preferences"] == len(alice.repository)
         assert row["cache_hit_rate"] is not None
+
+
+class TestRankMany:
+    def test_batched_results_match_individual_rank_cs(self, service, alice):
+        from repro import rank_cs
+
+        descriptors = [
+            ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+            ContextDescriptor.from_mapping({"location": "Plaka"}),
+            ContextDescriptor.from_mapping({"accompanying_people": "friends"}),
+        ]
+        results, stats = service.rank_many("alice", descriptors)
+        assert len(results) == 3
+        assert stats.descriptors == 3
+        assert stats.state_memo_hits >= 1  # the repeated descriptor
+        resolver = service.account("alice")._executor.resolver
+        for descriptor, result in zip(descriptors, results):
+            expected, _ = rank_cs(resolver, service.relation, descriptor)
+            assert [(item.row["pid"], item.score) for item in result.results] == [
+                (item.row["pid"], item.score) for item in expected
+            ]
+        assert alice.queries_executed == 3
+
+    def test_rank_many_unknown_user(self, service):
+        with pytest.raises(ReproError):
+            service.rank_many("nobody", [])
+
+    def test_service_enables_auto_index(self, relation):
+        relation.auto_index = False
+        PersonalizationService(study_environment(), relation)
+        assert relation.auto_index
+        service = PersonalizationService(
+            study_environment(),
+            generate_poi_relation(10, seed=3),
+            auto_index=False,
+        )
+        assert not service.relation.auto_index

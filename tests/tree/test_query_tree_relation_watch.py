@@ -1,0 +1,93 @@
+"""Tests: relation mutations invalidate the context query tree."""
+
+import pytest
+
+from repro import (
+    Attribute,
+    AttributeClause,
+    ContextQueryTree,
+    ContextState,
+    ContextualQuery,
+    Relation,
+    Schema,
+)
+from repro.query import ContextualQueryExecutor
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(
+        [Attribute("pid", "int"), Attribute("type", "str"), Attribute("name", "str")]
+    )
+    return Relation(
+        "pois",
+        schema,
+        [
+            {"pid": 1, "type": "brewery", "name": "Craft"},
+            {"pid": 2, "type": "museum", "name": "Acropolis"},
+        ],
+    )
+
+
+class TestWatch:
+    def test_insert_after_cache_fill_drops_entries(self, env, relation):
+        cache = ContextQueryTree(env)
+        cache.watch(relation)
+        state = ContextState(env, ("friends", "warm", "Plaka"))
+        cache.put(state, ["ranked", "results"])
+        assert len(cache) == 1
+        relation.insert({"pid": 3, "type": "brewery", "name": "Hops"})
+        assert len(cache) == 0
+        assert cache.get(state) is None
+
+    def test_watch_is_idempotent(self, env, relation):
+        cache = ContextQueryTree(env)
+        cache.watch(relation)
+        cache.watch(relation)
+        state = ContextState(env, ("friends", "warm", "Plaka"))
+        cache.put(state, "result")
+        relation.insert({"pid": 3, "type": "zoo", "name": "Zoo"})
+        assert len(cache) == 0
+
+    def test_unwatch_stops_invalidation(self, env, relation):
+        cache = ContextQueryTree(env)
+        cache.watch(relation)
+        cache.unwatch(relation)
+        state = ContextState(env, ("friends", "warm", "Plaka"))
+        cache.put(state, "result")
+        relation.insert({"pid": 3, "type": "zoo", "name": "Zoo"})
+        assert len(cache) == 1
+
+    def test_mutation_with_empty_cache_is_noop(self, env, relation):
+        cache = ContextQueryTree(env)
+        cache.watch(relation)
+        relation.insert({"pid": 3, "type": "zoo", "name": "Zoo"})
+        assert len(cache) == 0
+
+
+class TestExecutorWiring:
+    def test_executor_cache_invalidated_by_relation_insert(
+        self, fig4_tree, env, relation
+    ):
+        cache = ContextQueryTree(env)
+        executor = ContextualQueryExecutor(fig4_tree, relation, cache=cache)
+        # (friends, all, all) matches the brewery preference exactly.
+        state = ContextState(env, ("friends", "all", "all"))
+        query = ContextualQuery.at_state(state)
+
+        first = executor.execute(query)
+        assert first.cache_misses == 1
+        second = executor.execute(query)
+        assert second.cache_hits == 1
+
+        # A new brewery must appear in the very next execution.
+        relation.insert({"pid": 3, "type": "brewery", "name": "Hops"})
+        assert len(cache) == 0
+        third = executor.execute(query)
+        assert third.cache_misses == 1
+        brewery_pids = {
+            item.row["pid"]
+            for item in third.results
+            if item.row["type"] == "brewery"
+        }
+        assert 3 in brewery_pids
