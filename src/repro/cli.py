@@ -71,6 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=17)
     report.add_argument("--output", type=str, default=None,
                         help="write to a file instead of stdout")
+
+    stats = sub.add_parser(
+        "stats",
+        help="observability snapshot for a scripted multi-user workload",
+    )
+    stats.add_argument(
+        "--format",
+        choices=["table", "json", "prometheus"],
+        default="table",
+        help="table = headline numbers; json / prometheus = raw snapshot",
+    )
+    stats.add_argument("--users", type=int, default=4)
+    stats.add_argument("--queries", type=int, default=60)
+    stats.add_argument("--rows", type=int, default=2000)
+    stats.add_argument("--cache-capacity", type=int, default=8)
+    stats.add_argument("--seed", type=int, default=11)
     return parser
 
 
@@ -164,12 +180,62 @@ def _run_report(args: argparse.Namespace) -> str:
     return text
 
 
+def _run_stats(args: argparse.Namespace) -> str:
+    from repro.eval.observability import run_scripted_workload
+
+    report = run_scripted_workload(
+        num_users=args.users,
+        num_queries=args.queries,
+        num_rows=args.rows,
+        cache_capacity=args.cache_capacity,
+        seed=args.seed,
+    )
+    if args.format == "json":
+        import json
+
+        return json.dumps(
+            {"workload": report["workload"], "snapshot": report["snapshot"]}, indent=2
+        )
+    if args.format == "prometheus":
+        return str(report["prometheus"]).rstrip("\n")
+    summary = report["summary"]
+    rows: list[list[object]] = [
+        ["queries executed", int(summary["queries"])],
+        ["plain fallbacks", int(summary["plain_fallbacks"])],
+        ["states resolved", int(summary["states_resolved"])],
+        ["cache hits", int(summary["cache_hits"])],
+        ["cache misses", int(summary["cache_misses"])],
+        ["cache hit rate", f"{summary['cache_hit_rate']:.2%}"],
+        ["cache evictions", int(summary["cache_evictions"])],
+        ["cache invalidations", int(summary["cache_invalidations"])],
+        ["selections (indexed)", int(summary["selections_indexed"])],
+        ["selections (scan)", int(summary["selections_scan"])],
+        ["relation listeners", report["relation_listeners"]],
+    ]
+    for stage, latency in sorted(summary["stages"].items()):
+        rows.append(
+            [
+                f"{stage} p50/p95 (ms)",
+                f"{latency['p50'] * 1000:.3f} / {latency['p95'] * 1000:.3f}",
+            ]
+        )
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"Serving-path observability - {args.users} users, "
+            f"{args.queries} queries, {args.rows} rows"
+        ),
+    )
+
+
 _RUNNERS = {
     "table1": _run_table1,
     "fig5": _run_fig5,
     "fig6": _run_fig6,
     "fig7": _run_fig7,
     "report": _run_report,
+    "stats": _run_stats,
 }
 
 

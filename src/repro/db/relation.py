@@ -24,6 +24,7 @@ from types import MappingProxyType
 from repro.exceptions import SchemaError
 from repro.db.index import INDEXABLE_OPS, AttributeIndex
 from repro.db.schema import Schema
+from repro.obs.metrics import get_registry
 from repro.preferences.preference import AttributeClause
 from repro.tree.counters import AccessCounter
 
@@ -143,6 +144,16 @@ class Relation:
         except ValueError:
             pass
 
+    @property
+    def mutation_listener_count(self) -> int:
+        """Number of currently registered mutation listeners.
+
+        Lifecycle code uses this to prove that transient owners (e.g.
+        a per-user result cache) detach their listeners: the count must
+        return to its baseline after register -> query -> unregister.
+        """
+        return len(self._listeners)
+
     # ------------------------------------------------------------------
     # Indexes
     # ------------------------------------------------------------------
@@ -204,13 +215,18 @@ class Relation:
             raise SchemaError(
                 f"relation {self._name!r} has no attribute {clause.attribute!r}"
             )
+        registry = get_registry()
         index = self._index_for(clause)
         if index is not None:
             ids = index.lookup(clause, counter)
             if ids is not None:
+                if registry.enabled:
+                    registry.inc("relation.select.indexed")
                 return ids
         if counter is not None:
             counter.add_scan(len(self._rows))
+        if registry.enabled:
+            registry.inc("relation.select.scan")
         return [
             row_id for row_id, row in enumerate(self._rows) if clause.matches(row)
         ]
@@ -258,6 +274,9 @@ class Relation:
             ]
         if counter is not None:
             counter.add_scan(len(self._rows))
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("relation.select.scan")
         return [
             row for row in self._rows if all(clause.matches(row) for clause in clauses)
         ]

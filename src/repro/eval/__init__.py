@@ -6,6 +6,11 @@ from repro.eval.accesses import (
     fig7_synthetic,
     measure_accesses,
 )
+from repro.eval.observability import (
+    run_obs_overhead,
+    run_scripted_workload,
+    summarize_snapshot,
+)
 from repro.eval.rank_costs import (
     SelectCost,
     measure_select_costs,
@@ -47,6 +52,9 @@ __all__ = [
     "measure_orderings",
     "measure_select_costs",
     "rank_access_sweep",
+    "run_obs_overhead",
     "run_rank_hotpath",
+    "run_scripted_workload",
     "run_usability_study",
+    "summarize_snapshot",
 ]

@@ -1,0 +1,34 @@
+"""Observability: metrics, trace spans and snapshot rendering.
+
+The serving path (context resolution, ranking, caching, the
+personalization service) charges counters, gauges and latency
+histograms into a process-wide :class:`MetricsRegistry`; snapshots
+render as JSON or Prometheus text. Recording is off by default (set
+``REPRO_OBS=1`` or call :func:`enable`) and is engineered to cost one
+branch per call site while disabled — see
+``benchmarks/bench_obs_overhead.py`` for the measured bound.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    get_registry,
+    is_enabled,
+)
+from repro.obs.trace import span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "disable",
+    "enable",
+    "get_registry",
+    "is_enabled",
+    "span",
+]

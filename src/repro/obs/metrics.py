@@ -1,0 +1,443 @@
+"""Process-wide metrics: counters, gauges and latency histograms.
+
+The paper's experimental section treats hit rates and cell accesses as
+first-class outputs; a serving system needs the same numbers (plus
+latency) continuously, not just inside experiment drivers. This module
+provides a :class:`MetricsRegistry` that the library's operators charge
+through module-level hooks: cheap enough to leave compiled into every
+hot path, and a strict no-op while disabled.
+
+Design constraints, in order:
+
+* **Disabled is free.** Every recording call starts with one attribute
+  check (``registry.enabled``); instrumented code paths additionally
+  guard with the same check before building label mappings, so the
+  disabled cost is one branch per call site.
+* **Enabled is cheap.** Counters and gauges are dict updates;
+  histograms append to a fixed-size ring buffer. Nothing allocates
+  per-observation beyond the label key.
+* **Snapshots are structured.** :meth:`MetricsRegistry.snapshot`
+  returns plain dicts (JSON-ready); :meth:`MetricsRegistry.to_prometheus`
+  renders the text exposition format (counters/gauges as-is,
+  histograms as summaries with ``quantile`` labels).
+
+Metric names are dotted (``cache.hits``, ``latency.search_cs``);
+labels are free-form key/value pairs (``user="alice"``). The process
+default registry is returned by :func:`get_registry`; it starts
+disabled unless the ``REPRO_OBS`` environment variable is set to a
+truthy value.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections.abc import Mapping
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "disable",
+    "enable",
+    "get_registry",
+    "is_enabled",
+]
+
+#: Canonical label identity: sorted ``(key, value)`` string pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default number of retained observations per histogram series.
+DEFAULT_RESERVOIR = 1024
+
+
+def _label_key(labels: Mapping[str, object] | None) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing value, optionally per label set."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "_series")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, labels: Mapping[str, object] | None = None) -> None:
+        """Add ``value`` (must be non-negative) to one label series."""
+        if value < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease (got {value})")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + value
+
+    def value(self, labels: Mapping[str, object] | None = None) -> float:
+        """Current value of one label series (0.0 if never incremented)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label series."""
+        return sum(self._series.values())
+
+    def series(self) -> dict[LabelKey, float]:
+        """Every label series, as ``{label key: value}``."""
+        return dict(self._series)
+
+
+class Gauge:
+    """A value that can go up and down, optionally per label set."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "_series")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, float] = {}
+
+    def set(self, value: float, labels: Mapping[str, object] | None = None) -> None:
+        """Set one label series to ``value``."""
+        self._series[_label_key(labels)] = float(value)
+
+    def add(self, delta: float, labels: Mapping[str, object] | None = None) -> None:
+        """Adjust one label series by ``delta``."""
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + delta
+
+    def value(self, labels: Mapping[str, object] | None = None) -> float:
+        """Current value of one label series (0.0 if never set)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        """Every label series, as ``{label key: value}``."""
+        return dict(self._series)
+
+
+class _HistogramSeries:
+    """One label series: running aggregates + a bounded reservoir."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "reservoir", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.capacity = capacity
+        self.reservoir: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self.reservoir) < self.capacity:
+            self.reservoir.append(value)
+        else:
+            # Overwrite in ring order so the reservoir tracks the most
+            # recent ``capacity`` observations (serving metrics should
+            # reflect current latency, not the process's whole life).
+            self.reservoir[self.count % self.capacity] = value
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the retained observations."""
+        if not self.reservoir:
+            return 0.0
+        ordered = sorted(self.reservoir)
+        rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+class Histogram:
+    """Latency/size distribution: count, sum, min/max and percentiles.
+
+    Percentiles are computed from a bounded reservoir of the most
+    recent observations (default 1024), so memory stays constant no
+    matter how long the process runs.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "capacity", "_series")
+
+    def __init__(
+        self, name: str, help: str = "", capacity: int = DEFAULT_RESERVOIR
+    ) -> None:
+        if capacity <= 0:
+            raise ReproError(f"histogram capacity must be positive, got {capacity}")
+        self.name = name
+        self.help = help
+        self.capacity = capacity
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, labels: Mapping[str, object] | None = None) -> None:
+        """Record one observation into one label series."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(self.capacity)
+        series.observe(value)
+
+    def count(self, labels: Mapping[str, object] | None = None) -> int:
+        """Observations recorded into one label series."""
+        series = self._series.get(_label_key(labels))
+        return series.count if series is not None else 0
+
+    def sum(self, labels: Mapping[str, object] | None = None) -> float:
+        """Sum of all observations of one label series."""
+        series = self._series.get(_label_key(labels))
+        return series.total if series is not None else 0.0
+
+    def percentile(
+        self, fraction: float, labels: Mapping[str, object] | None = None
+    ) -> float:
+        """Nearest-rank percentile (``fraction`` in [0, 1]) of one series."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ReproError(f"percentile fraction must be in [0, 1], got {fraction}")
+        series = self._series.get(_label_key(labels))
+        return series.percentile(fraction) if series is not None else 0.0
+
+    def series(self) -> dict[LabelKey, _HistogramSeries]:
+        """Every label series (internal aggregates; treat as read-only)."""
+        return dict(self._series)
+
+
+class MetricsRegistry:
+    """Names metrics, records into them, and renders snapshots.
+
+    All recording methods are no-ops while the registry is disabled,
+    so instrumentation can stay permanently wired into hot paths.
+
+    Example:
+        >>> registry = MetricsRegistry(enabled=True)
+        >>> registry.inc("cache.hits")
+        >>> registry.observe("latency.search_cs", 0.0012)
+        >>> registry.snapshot()["counters"]["cache.hits"][""]
+        1.0
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Switching
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether recording calls do anything."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Turn recording on."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Turn recording off (metrics keep their recorded values)."""
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop every metric (the enabled flag is preserved)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Declaration (get-or-create)
+    # ------------------------------------------------------------------
+    def _declare(self, factory, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory(name, help, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, factory):
+            raise ReproError(
+                f"metric {name!r} is a {metric.kind}, not a {factory.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._declare(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._declare(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", capacity: int = DEFAULT_RESERVOIR
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._declare(Histogram, name, help, capacity=capacity)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric registered under ``name``, if any."""
+        return self._metrics.get(name)
+
+    # ------------------------------------------------------------------
+    # Recording (no-ops while disabled)
+    # ------------------------------------------------------------------
+    def inc(
+        self,
+        name: str,
+        value: float = 1.0,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        """Increment counter ``name`` (created on first use)."""
+        if not self._enabled:
+            return
+        self.counter(name).inc(value, labels)
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        """Set gauge ``name`` (created on first use)."""
+        if not self._enabled:
+            return
+        self.gauge(name).set(value, labels)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record one observation into histogram ``name``."""
+        if not self._enabled:
+            return
+        self.histogram(name).observe(value, labels)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Every metric's current state as a JSON-ready dict.
+
+        Label series are keyed by their Prometheus-style rendering
+        (``'user="alice"'``); the unlabeled series is keyed ``""``.
+        Histogram series carry count/sum/min/max/mean and the p50/p95
+        the acceptance experiments report.
+        """
+        counters: dict[str, dict[str, float]] = {}
+        gauges: dict[str, dict[str, float]] = {}
+        histograms: dict[str, dict[str, dict[str, float]]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = {
+                    _render_labels(key).strip("{}"): value
+                    for key, value in sorted(metric.series().items())
+                }
+            elif isinstance(metric, Gauge):
+                gauges[name] = {
+                    _render_labels(key).strip("{}"): value
+                    for key, value in sorted(metric.series().items())
+                }
+            else:
+                histograms[name] = {
+                    _render_labels(key).strip("{}"): {
+                        "count": series.count,
+                        "sum": series.total,
+                        "min": series.minimum if series.count else 0.0,
+                        "max": series.maximum if series.count else 0.0,
+                        "mean": series.total / series.count if series.count else 0.0,
+                        "p50": series.percentile(0.50),
+                        "p95": series.percentile(0.95),
+                    }
+                    for key, series in sorted(metric.series().items())
+                }
+        return {
+            "enabled": self._enabled,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot serialised as JSON."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """The snapshot in the Prometheus text exposition format.
+
+        Dotted metric names become underscored and prefixed
+        (``cache.hits`` -> ``repro_cache_hits``); histograms are
+        rendered as summaries with ``quantile`` labels plus ``_sum``
+        and ``_count`` series.
+        """
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            flat = f"{prefix}_{name.replace('.', '_').replace('-', '_')}"
+            if metric.help:
+                lines.append(f"# HELP {flat} {metric.help}")
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"# TYPE {flat} {metric.kind}")
+                for key, value in sorted(metric.series().items()):
+                    lines.append(f"{flat}{_render_labels(key)} {value}")
+            else:
+                lines.append(f"# TYPE {flat} summary")
+                for key, series in sorted(metric.series().items()):
+                    for fraction in (0.5, 0.95, 0.99):
+                        labelled = _render_labels(key + (("quantile", str(fraction)),))
+                        lines.append(f"{flat}{labelled} {series.percentile(fraction)}")
+                    lines.append(f"{flat}_sum{_render_labels(key)} {series.total}")
+                    lines.append(f"{flat}_count{_render_labels(key)} {series.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:
+        state = "enabled" if self._enabled else "disabled"
+        return f"MetricsRegistry({len(self._metrics)} metrics, {state})"
+
+
+def _env_truthy(value: str | None) -> bool:
+    return (value or "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+#: The process-wide default registry every library hook records into.
+_REGISTRY = MetricsRegistry(enabled=_env_truthy(os.environ.get("REPRO_OBS")))
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def enable() -> None:
+    """Enable recording on the default registry."""
+    _REGISTRY.enable()
+
+
+def disable() -> None:
+    """Disable recording on the default registry."""
+    _REGISTRY.disable()
+
+
+def is_enabled() -> bool:
+    """Whether the default registry is recording."""
+    return _REGISTRY.enabled

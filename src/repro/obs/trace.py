@@ -1,0 +1,61 @@
+"""Lightweight trace spans for the serving path.
+
+A span times one named stage (``search_cs``, ``rank_rows``,
+``execute``...) and records the elapsed seconds into the
+``latency.<name>`` histogram of a :class:`~repro.obs.MetricsRegistry`,
+plus a ``spans.<name>`` completion counter. Spans nest freely (each
+stage keeps its own histogram) and cost one clock read on entry and
+one on exit; while the registry is disabled they are pure no-ops.
+
+Example::
+
+    from repro.obs import span
+
+    with span("search_cs"):
+        resolution = resolver.resolve_state(state)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["span"]
+
+
+class span:
+    """Context manager timing one stage into the metrics registry.
+
+    Args:
+        name: Stage name; the latency lands in ``latency.<name>``.
+        registry: Registry to record into (default: the process one).
+
+    The elapsed seconds are available as ``.elapsed`` after exit (or
+    ``None`` when the registry was disabled at entry). Exceptions
+    propagate; the failed span is still recorded, with an
+    ``error="true"`` label on the completion counter so failure rates
+    are visible per stage.
+    """
+
+    __slots__ = ("name", "elapsed", "_registry", "_start")
+
+    def __init__(self, name: str, registry: MetricsRegistry | None = None) -> None:
+        self.name = name
+        self.elapsed: float | None = None
+        self._registry = registry if registry is not None else get_registry()
+        self._start: float | None = None
+
+    def __enter__(self) -> "span":
+        self._start = time.perf_counter() if self._registry.enabled else None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._registry.observe(f"latency.{self.name}", self.elapsed)
+            if exc_type is None:
+                self._registry.inc(f"spans.{self.name}")
+            else:
+                self._registry.inc(f"spans.{self.name}", labels={"error": "true"})
+        return False

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
 from repro.context.state import ContextState
 from repro.db.relation import Relation
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.preferences.combine import combine_max
 from repro.query.contextual_query import ContextualQuery
 from repro.query.rank import (
@@ -127,6 +129,20 @@ class ContextualQueryExecutor:
         counter: AccessCounter | None = None,
     ) -> QueryResult:
         """Run one contextual query end to end."""
+        with span("execute"):
+            result = self._execute(query, counter)
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("executor.queries")
+            if not result.contextual:
+                registry.inc("executor.plain_fallbacks")
+        return result
+
+    def _execute(
+        self,
+        query: ContextualQuery,
+        counter: AccessCounter | None = None,
+    ) -> QueryResult:
         if not query.is_contextual():
             return self._plain(query)
 
@@ -195,22 +211,34 @@ class ContextualQueryExecutor:
         base clauses or top-k).
         """
         descriptors = list(descriptors)
-        batched, stats = rank_cs_batch(
-            self._resolver, self._relation, descriptors, self._combine, counter
-        )
-        results = [
-            QueryResult(results=ranked, resolutions=resolutions, contextual=True)
-            for ranked, resolutions in batched
-        ]
+        with span("rank_many"):
+            batched, stats = rank_cs_batch(
+                self._resolver, self._relation, descriptors, self._combine, counter
+            )
+            results = [
+                QueryResult(results=ranked, resolutions=resolutions, contextual=True)
+                for ranked, resolutions in batched
+            ]
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("executor.queries", len(descriptors))
         return results, stats
 
     def _plain(self, query: ContextualQuery) -> QueryResult:
-        """Non-contextual fallback: the ordinary query, unranked."""
+        """Non-contextual fallback: the ordinary query, unranked.
+
+        Truncation applies the same Table 1 tie rule as the contextual
+        path (:meth:`QueryResult.top`): every tuple scoring the same as
+        the k-th is kept. Unranked tuples all score 0.0, so a ``top_k``
+        smaller than the result set keeps the whole tie group rather
+        than cutting it at an arbitrary row.
+        """
         if query.base_clauses:
             rows = self._relation.select_all(query.base_clauses)
         else:
             rows = list(self._relation)
         results = [RankedTuple(row=row, score=0.0, contributions=()) for row in rows]
+        result = QueryResult(results=results, contextual=False)
         if query.top_k is not None:
-            results = results[: query.top_k]
-        return QueryResult(results=results, contextual=False)
+            result.results = result.top(query.top_k)
+        return result

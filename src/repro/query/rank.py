@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
 from repro.context.state import ContextState
 from repro.db.relation import Relation
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.preferences.combine import combine_max
 from repro.preferences.preference import AttributeClause
 from repro.resolution.resolver import ContextResolver, Resolution
@@ -92,27 +94,36 @@ def rank_rows(
     """
     if clause_cache is None:
         clause_cache = {}
+    evaluated = 0
     per_row: dict[int, list[Contribution]] = {}
-    for contribution in contributions:
-        row_ids = clause_cache.get(contribution.clause)
-        if row_ids is None:
-            row_ids = relation.select_ids(contribution.clause, counter)
-            clause_cache[contribution.clause] = row_ids
-        for row_id in row_ids:
-            bucket = per_row.get(row_id)
-            if bucket is None:
-                bucket = per_row[row_id] = []
-            bucket.append(contribution)
+    with span("rank_rows"):
+        for contribution in contributions:
+            row_ids = clause_cache.get(contribution.clause)
+            if row_ids is None:
+                row_ids = relation.select_ids(contribution.clause, counter)
+                clause_cache[contribution.clause] = row_ids
+                evaluated += 1
+            for row_id in row_ids:
+                bucket = per_row.get(row_id)
+                if bucket is None:
+                    bucket = per_row[row_id] = []
+                bucket.append(contribution)
 
-    ranked = [
-        RankedTuple(
-            row=relation[row_id],
-            score=combine([contribution.score for contribution in row_contributions]),
-            contributions=tuple(row_contributions),
-        )
-        for row_id, row_contributions in per_row.items()
-    ]
-    ranked.sort(key=lambda item: -item.score)
+        ranked = [
+            RankedTuple(
+                row=relation[row_id],
+                score=combine(
+                    [contribution.score for contribution in row_contributions]
+                ),
+                contributions=tuple(row_contributions),
+            )
+            for row_id, row_contributions in per_row.items()
+        ]
+        ranked.sort(key=lambda item: -item.score)
+    registry = get_registry()
+    if registry.enabled and contributions:
+        registry.inc("rank.clause_lookups", len(contributions))
+        registry.inc("rank.clause_memo_hits", len(contributions) - evaluated)
     return ranked
 
 
@@ -211,19 +222,25 @@ def rank_cs_batch(
     clause_cache: ClauseCache = {}
     stats = BatchStats(descriptors=len(descriptors))
     outputs: list[tuple[list[RankedTuple], list[Resolution]]] = []
-    for descriptor in descriptors:
-        resolutions: list[Resolution] = []
-        for state in descriptor.states(environment):
-            stats.state_lookups += 1
-            resolution = state_memo.get(state)
-            if resolution is None:
-                resolution = resolver.resolve_state(state, counter)
-                state_memo[state] = resolution
-            resolutions.append(resolution)
-        contributions = _descriptor_contributions(resolutions)
-        stats.clause_lookups += len(contributions)
-        ranked = rank_rows(relation, contributions, combine, counter, clause_cache)
-        outputs.append((ranked, resolutions))
+    with span("rank_cs_batch"):
+        for descriptor in descriptors:
+            resolutions: list[Resolution] = []
+            for state in descriptor.states(environment):
+                stats.state_lookups += 1
+                resolution = state_memo.get(state)
+                if resolution is None:
+                    resolution = resolver.resolve_state(state, counter)
+                    state_memo[state] = resolution
+                resolutions.append(resolution)
+            contributions = _descriptor_contributions(resolutions)
+            stats.clause_lookups += len(contributions)
+            ranked = rank_rows(relation, contributions, combine, counter, clause_cache)
+            outputs.append((ranked, resolutions))
     stats.unique_states = len(state_memo)
     stats.unique_clauses = len(clause_cache)
+    registry = get_registry()
+    if registry.enabled:
+        registry.inc("batch.descriptors", stats.descriptors)
+        registry.inc("batch.state_lookups", stats.state_lookups)
+        registry.inc("batch.state_memo_hits", stats.state_memo_hits)
     return outputs, stats

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from repro.exceptions import ContextError
 from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
 from repro.context.state import ContextState
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.resolution.distances import METRICS
 from repro.resolution.search import SearchResult, exact_search, search_cs
 from repro.tree.counters import AccessCounter
@@ -117,6 +119,18 @@ class ContextResolver:
         With ``exact_only`` the search degrades to the single
         root-to-leaf traversal of the exact-match fast path.
         """
+        with span("search_cs"):
+            return self._resolve_state(state, counter, exact_only)
+
+    def _resolve_state(
+        self,
+        state: ContextState,
+        counter: AccessCounter | None,
+        exact_only: bool,
+    ) -> Resolution:
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("resolver.states_resolved")
         if exact_only:
             result = exact_search(self._tree, state, counter)
             candidates = [result] if result is not None else []
@@ -129,6 +143,8 @@ class ContextResolver:
                 )
             )
         if not candidates:
+            if registry.enabled:
+                registry.inc("resolver.unmatched")
             return Resolution(query_state=state, metric=self._metric)
         minimum = candidates[0].distance(self._metric)
         best = [

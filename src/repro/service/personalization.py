@@ -23,6 +23,8 @@ from repro.context.descriptor import ContextDescriptor, ExtendedContextDescripto
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
 from repro.db.relation import Relation
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.preferences.preference import ContextualPreference
 from repro.preferences.repository import PreferenceRepository
 from repro.query.contextual_query import ContextualQuery
@@ -127,16 +129,40 @@ class PersonalizationService:
             user_id=user_id, persona=persona, repository=repository, cache=cache
         )
         self._accounts[user_id] = account
+        self._record_population()
         return account
 
     def unregister(self, user_id: str) -> None:
         """Drop a user and their profile.
 
+        The user's result cache (if any) is detached from the relation:
+        building the executor wired the cache's mutation listener onto
+        the shared relation (``cache.watch``), and without the unwatch
+        every register/unregister cycle would leave a dead callback
+        firing on each insert.
+
         Raises:
             ReproError: If the user is unknown.
         """
-        self.account(user_id)
+        account = self.account(user_id)
+        self._retire_cache(account)
         del self._accounts[user_id]
+        self._record_population()
+
+    def _retire_cache(self, account: UserAccount) -> None:
+        """Detach ``account``'s cache from the relation and drop the
+        executor that wired it."""
+        if account.cache is not None:
+            account.cache.unwatch(self._relation)
+        account._executor = None
+
+    def _record_population(self) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.set_gauge("service.registered_users", len(self._accounts))
+            registry.set_gauge(
+                "service.relation_listeners", self._relation.mutation_listener_count
+            )
 
     def account(self, user_id: str) -> UserAccount:
         """Look up a registered user's account."""
@@ -176,6 +202,9 @@ class PersonalizationService:
     ) -> None:
         account.modifications += 1
         account._executor = None  # the tree changed; rebuild lazily
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("service.edits", labels={"user": account.user_id})
         if account.cache is None:
             return
         if preference is None:
@@ -197,6 +226,7 @@ class PersonalizationService:
                 metric=self._metric,
                 cache=account.cache,
             )
+            self._record_population()
         return account._executor
 
     def query(self, user_id: str, query: ContextualQuery) -> QueryResult:
@@ -209,7 +239,11 @@ class PersonalizationService:
             raise QueryError("query environment does not match the service's")
         account = self.account(user_id)
         account.queries_executed += 1
-        return self._executor_for(account).execute(query)
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("service.queries", labels={"user": user_id})
+        with span("service_query"):
+            return self._executor_for(account).execute(query)
 
     def query_at(
         self,
@@ -238,6 +272,11 @@ class PersonalizationService:
         descriptors = list(descriptors)
         results, stats = self._executor_for(account).rank_many(descriptors)
         account.queries_executed += len(descriptors)
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc(
+                "service.queries", len(descriptors), labels={"user": user_id}
+            )
         return results, stats
 
     # ------------------------------------------------------------------
@@ -248,9 +287,34 @@ class PersonalizationService:
         return self.account(user_id).repository.to_json()
 
     def import_profile(self, user_id: str, text: str) -> None:
-        """Replace the user's profile from :meth:`export_profile` output."""
+        """Replace the user's profile from :meth:`export_profile` output.
+
+        The imported profile must be expressed over the service's own
+        context environment; accepting a foreign one would corrupt
+        later queries and cache keys (states and descriptors are
+        positional over the environment's parameters). The user's
+        result cache is replaced wholesale - the old one is first
+        unwatched from the relation so its mutation listener does not
+        outlive it.
+
+        Raises:
+            ReproError: If the payload's environment differs from the
+                service's.
+        """
         account = self.account(user_id)
-        account.repository = PreferenceRepository.from_json(text)
+        repository = PreferenceRepository.from_json(text)
+        if repository.environment.names != self._environment.names:
+            raise ReproError(
+                "imported profile's context environment "
+                f"{list(repository.environment.names)!r} does not match the "
+                f"service's {list(self._environment.names)!r}"
+            )
+        account.repository = repository
+        if account.cache is not None:
+            account.cache.unwatch(self._relation)
+            account.cache = ContextQueryTree(
+                self._environment, capacity=self._cache_capacity
+            )
         self._after_edit(account)
 
     def statistics(self) -> list[dict[str, object]]:
@@ -264,6 +328,12 @@ class PersonalizationService:
                 "queries": account.queries_executed,
                 "cache_hit_rate": (
                     account.cache.hit_rate() if account.cache is not None else None
+                ),
+                "cache_evictions": (
+                    account.cache.evictions if account.cache is not None else None
+                ),
+                "cache_invalidations": (
+                    account.cache.invalidations if account.cache is not None else None
                 ),
             }
             for account in sorted(self._accounts.values(), key=lambda a: a.user_id)

@@ -9,16 +9,25 @@ cached, ranked result sets. A capacity bound with least-recently-used
 eviction keeps the cache finite; lookups charge the same cell-access
 counters as the profile tree, making the cache directly comparable in
 the experiments.
+
+Recency is tracked by insertion order of an ``OrderedDict`` (a hit or
+overwrite moves the state to the back, eviction pops the front), so
+eviction is O(depth) for the trie pruning rather than a scan over
+every cached state. Hits, misses, evictions and invalidations are kept
+as instance attributes and mirrored into the process metrics registry
+(:mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Sequence
 
 from repro.exceptions import TreeError
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
 from repro.hierarchy import Value
+from repro.obs.metrics import get_registry
 from repro.tree.counters import AccessCounter
 from repro.tree.node import InternalNode
 from repro.tree.ordering import validate_ordering
@@ -29,11 +38,10 @@ __all__ = ["ContextQueryTree"]
 class _ResultLeaf:
     """A cached result set for one context state."""
 
-    __slots__ = ("result", "stamp")
+    __slots__ = ("result",)
 
-    def __init__(self, result: object, stamp: int) -> None:
+    def __init__(self, result: object) -> None:
         self.result = result
-        self.stamp = stamp
 
 
 class ContextQueryTree:
@@ -66,12 +74,13 @@ class ContextQueryTree:
         self._positions = tuple(environment.index_of(name) for name in self._ordering)
         self._root = InternalNode()
         self._capacity = capacity
-        self._clock = 0
-        # state -> leaf, for O(1) recency updates and eviction.
-        self._leaves: dict[ContextState, _ResultLeaf] = {}
+        # state -> leaf; ordered least- to most-recently used, so the
+        # LRU victim is always the front entry (no stamp scans).
+        self._leaves: OrderedDict[ContextState, _ResultLeaf] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     @property
     def environment(self) -> ContextEnvironment:
@@ -97,10 +106,6 @@ class ContextQueryTree:
     def _project(self, state: ContextState) -> tuple[Value, ...]:
         return tuple(state.values[position] for position in self._positions)
 
-    def _tick(self) -> int:
-        self._clock += 1
-        return self._clock
-
     # ------------------------------------------------------------------
     # Cache operations
     # ------------------------------------------------------------------
@@ -117,32 +122,41 @@ class ContextQueryTree:
         for key in path[:-1]:
             found = node.find(key, counter)
             if found is None:
-                self.misses += 1
+                self._miss()
                 return None
             if not isinstance(found, InternalNode):  # pragma: no cover
                 raise TreeError("malformed query tree")
             node = found
         if node.find(path[-1], counter) is None:
-            self.misses += 1
+            self._miss()
             return None
         leaf = self._leaves.get(state)
         if leaf is None:  # pragma: no cover - trie and dict stay in sync
-            self.misses += 1
+            self._miss()
             return None
-        leaf.stamp = self._tick()
+        self._leaves.move_to_end(state)
         self.hits += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("cache.hits")
         return leaf.result
+
+    def _miss(self) -> None:
+        self.misses += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("cache.misses")
 
     def put(self, state: ContextState, result: object) -> None:
         """Cache ``result`` for ``state``, evicting the LRU state if full."""
         existing = self._leaves.get(state)
         if existing is not None:
             existing.result = result
-            existing.stamp = self._tick()
+            self._leaves.move_to_end(state)
             return
         if self._capacity is not None and len(self._leaves) >= self._capacity:
             self._evict_lru()
-        leaf = _ResultLeaf(result, self._tick())
+        leaf = _ResultLeaf(result)
         node = self._root
         path = self._project(state)
         for key in path[:-1]:
@@ -165,6 +179,11 @@ class ContextQueryTree:
         mutation listener on the relation (see
         :meth:`repro.db.Relation.add_mutation_listener`); watching the
         same relation twice is a no-op.
+
+        Every ``watch`` must be paired with :meth:`unwatch` when the
+        cache is retired (e.g. its owning user unregisters), or the
+        relation keeps a reference to the dead cache and notifies it on
+        every insert.
         """
         relation.add_mutation_listener(self._on_relation_mutated)
 
@@ -181,6 +200,7 @@ class ContextQueryTree:
         if state not in self._leaves:
             return False
         self._remove(state)
+        self._count_invalidations(1)
         return True
 
     def invalidate_covered(self, covering: ContextState) -> int:
@@ -225,17 +245,31 @@ class ContextQueryTree:
         walk(self._root, 0, [])
         for victim in victims:
             self._remove(victim)
+        self._count_invalidations(len(victims))
         return len(victims)
 
     def clear(self) -> None:
-        """Empty the cache (statistics are preserved)."""
+        """Empty the cache (statistics are preserved; the dropped
+        entries count as invalidations)."""
+        self._count_invalidations(len(self._leaves))
         self._root = InternalNode()
         self._leaves.clear()
 
+    def _count_invalidations(self, dropped: int) -> None:
+        if not dropped:
+            return
+        self.invalidations += dropped
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("cache.invalidations", dropped)
+
     def _evict_lru(self) -> None:
-        victim = min(self._leaves, key=lambda state: self._leaves[state].stamp)
+        victim = next(iter(self._leaves))
         self._remove(victim)
         self.evictions += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("cache.evictions")
 
     def _remove(self, state: ContextState) -> None:
         del self._leaves[state]

@@ -1,0 +1,104 @@
+"""Smoke tests for the observability experiment drivers.
+
+Tiny workloads only: these pin the report shapes and invariants, never
+wall-clock thresholds (the overhead bound itself lives in
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+import pytest
+
+from repro.eval import run_obs_overhead, run_scripted_workload, summarize_snapshot
+from repro.obs import get_registry
+
+
+@pytest.fixture(autouse=True)
+def preserve_registry():
+    registry = get_registry()
+    was_enabled = registry.enabled
+    yield
+    registry.reset()
+    if was_enabled:
+        registry.enable()
+    else:
+        registry.disable()
+
+
+class TestScriptedWorkload:
+    def test_report_shape_and_invariants(self):
+        report = run_scripted_workload(
+            num_users=2, num_queries=10, num_rows=150, cache_capacity=4, seed=7
+        )
+        summary = report["summary"]
+        # Every query resolves through the service path.
+        assert summary["queries"] >= 10
+        assert summary["cache_hits"] + summary["cache_misses"] == summary["queries"]
+        assert 0.0 <= summary["cache_hit_rate"] <= 1.0
+        assert summary["selections_scan"] == 0  # the service auto-indexes
+        assert "service_query" in summary["stages"]
+        assert report["prometheus"].startswith("# ")
+        # The transient register -> query -> unregister cycle must leave
+        # only the persistent users' cache listeners on the relation.
+        assert report["relation_listeners"] == 2
+
+    def test_workload_leaves_registry_state_as_found(self):
+        registry = get_registry()
+        registry.disable()
+        run_scripted_workload(num_users=1, num_queries=4, num_rows=100)
+        assert not registry.enabled
+
+    def test_deterministic_given_seed(self):
+        first = run_scripted_workload(num_users=2, num_queries=10, num_rows=150)
+        second = run_scripted_workload(num_users=2, num_queries=10, num_rows=150)
+        assert first["summary"]["cache_hits"] == second["summary"]["cache_hits"]
+        assert first["summary"]["cache_misses"] == second["summary"]["cache_misses"]
+
+
+class TestOverheadDriver:
+    def test_modes_produce_identical_rankings(self):
+        report = run_obs_overhead(
+            num_rows=400,
+            num_queries=4,
+            pool_size=3,
+            num_buckets=20,
+            repeats=2,
+        )
+        assert report["identical_output"]
+        assert report["disabled_seconds"] > 0
+        assert report["enabled_seconds"] > 0
+        assert report["overhead_ratio"] > 0
+        assert "enabled_vs_baseline_pct" not in report
+
+    def test_baseline_comparison_included_when_given(self):
+        report = run_obs_overhead(
+            num_rows=400,
+            num_queries=4,
+            pool_size=3,
+            num_buckets=20,
+            repeats=2,
+            baseline_indexed_seconds=1.0,
+        )
+        assert report["baseline_indexed_seconds"] == 1.0
+        assert "enabled_vs_baseline_pct" in report
+
+
+class TestSummarize:
+    def test_empty_snapshot(self):
+        summary = summarize_snapshot({"counters": {}, "histograms": {}})
+        assert summary["queries"] == 0.0
+        assert summary["cache_hit_rate"] == 0.0
+        assert summary["stages"] == {}
+
+    def test_label_series_are_summed(self):
+        snapshot = {
+            "counters": {"cache.hits": {'user="a"': 2.0, 'user="b"': 3.0},
+                         "cache.misses": {"": 5.0}},
+            "histograms": {
+                "latency.execute": {
+                    "": {"count": 4, "mean": 0.5, "p50": 0.4, "p95": 0.9}
+                }
+            },
+        }
+        summary = summarize_snapshot(snapshot)
+        assert summary["cache_hits"] == 5.0
+        assert summary["cache_hit_rate"] == 0.5
+        assert summary["stages"]["execute"]["p95"] == 0.9

@@ -1,0 +1,161 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs import MetricsRegistry, get_registry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("cache.hits")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value() == 3.0
+
+    def test_labels_are_independent_series(self):
+        counter = Counter("service.queries")
+        counter.inc(labels={"user": "alice"})
+        counter.inc(labels={"user": "bob"})
+        counter.inc(labels={"user": "alice"})
+        assert counter.value(labels={"user": "alice"}) == 2.0
+        assert counter.value(labels={"user": "bob"}) == 1.0
+        assert counter.total() == 3.0
+
+    def test_label_order_is_canonical(self):
+        counter = Counter("x")
+        counter.inc(labels={"a": 1, "b": 2})
+        counter.inc(labels={"b": 2, "a": 1})
+        assert counter.value(labels={"a": 1, "b": 2}) == 2.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ReproError):
+            Counter("x").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("listeners")
+        gauge.set(4)
+        gauge.add(-1)
+        assert gauge.value() == 3.0
+
+    def test_unset_series_reads_zero(self):
+        assert Gauge("x").value() == 0.0
+
+
+class TestHistogram:
+    def test_count_sum_and_extremes(self):
+        histogram = Histogram("latency.execute")
+        for value in (0.5, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.sum() == 3.5
+
+    def test_percentiles(self):
+        histogram = Histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(0.50) == pytest.approx(50.0, abs=1.0)
+        assert histogram.percentile(0.95) == pytest.approx(95.0, abs=1.0)
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 100.0
+
+    def test_reservoir_is_bounded(self):
+        histogram = Histogram("latency", capacity=8)
+        for value in range(1000):
+            histogram.observe(float(value))
+        (series,) = histogram.series().values()
+        assert len(series.reservoir) == 8
+        assert series.count == 1000
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            Histogram("x", capacity=0)
+
+    def test_bad_percentile_fraction_rejected(self):
+        with pytest.raises(ReproError):
+            Histogram("x").percentile(1.5)
+
+
+class TestRegistry:
+    def test_disabled_recording_is_a_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("cache.hits")
+        registry.observe("latency.x", 1.0)
+        registry.set_gauge("users", 5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["enabled"] is False
+
+    def test_enable_disable_roundtrip(self, registry):
+        registry.inc("a")
+        registry.disable()
+        registry.inc("a")
+        registry.enable()
+        registry.inc("a")
+        assert registry.counter("a").value() == 2.0
+
+    def test_metric_kind_collision_raises(self, registry):
+        registry.inc("x")
+        with pytest.raises(ReproError):
+            registry.observe("x", 1.0)
+
+    def test_reset_drops_metrics_keeps_enabled(self, registry):
+        registry.inc("a")
+        registry.reset()
+        assert registry.get("a") is None
+        assert registry.enabled
+
+    def test_snapshot_shape(self, registry):
+        registry.inc("cache.hits", 3)
+        registry.inc("service.queries", labels={"user": "alice"})
+        registry.set_gauge("users", 2)
+        registry.observe("latency.execute", 0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["cache.hits"][""] == 3.0
+        assert snapshot["counters"]["service.queries"]['user="alice"'] == 1.0
+        assert snapshot["gauges"]["users"][""] == 2.0
+        series = snapshot["histograms"]["latency.execute"][""]
+        assert series["count"] == 1
+        assert series["p50"] == 0.25
+        assert series["p95"] == 0.25
+        assert series["mean"] == 0.25
+
+    def test_to_json_parses(self, registry):
+        registry.inc("cache.hits")
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["cache.hits"][""] == 1.0
+
+    def test_prometheus_rendering(self, registry):
+        registry.counter("cache.hits", help="cache hits").inc(2)
+        registry.inc("service.queries", labels={"user": "alice"})
+        registry.observe("latency.execute", 0.5)
+        text = registry.to_prometheus()
+        assert "# HELP repro_cache_hits cache hits" in text
+        assert "# TYPE repro_cache_hits counter" in text
+        assert "repro_cache_hits 2.0" in text
+        assert 'repro_service_queries{user="alice"} 1.0' in text
+        assert "# TYPE repro_latency_execute summary" in text
+        assert 'repro_latency_execute{quantile="0.5"} 0.5' in text
+        assert "repro_latency_execute_count 1" in text
+
+    def test_empty_prometheus_is_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestProcessRegistry:
+    def test_default_registry_is_disabled_and_shared(self):
+        registry = get_registry()
+        assert registry is get_registry()
+        assert not registry.enabled

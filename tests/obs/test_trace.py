@@ -1,0 +1,44 @@
+"""Tests for trace spans."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, span
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+def test_span_records_latency_and_completion(registry):
+    with span("search_cs", registry=registry) as tracked:
+        pass
+    assert tracked.elapsed is not None
+    assert tracked.elapsed >= 0.0
+    assert registry.histogram("latency.search_cs").count() == 1
+    assert registry.counter("spans.search_cs").value() == 1.0
+
+
+def test_span_propagates_and_labels_errors(registry):
+    with pytest.raises(ValueError):
+        with span("execute", registry=registry):
+            raise ValueError("boom")
+    assert registry.histogram("latency.execute").count() == 1
+    assert registry.counter("spans.execute").value(labels={"error": "true"}) == 1.0
+    assert registry.counter("spans.execute").value() == 0.0
+
+
+def test_span_is_noop_while_disabled():
+    registry = MetricsRegistry(enabled=False)
+    with span("search_cs", registry=registry) as tracked:
+        pass
+    assert tracked.elapsed is None
+    assert registry.snapshot()["histograms"] == {}
+
+
+def test_spans_nest(registry):
+    with span("outer", registry=registry):
+        with span("inner", registry=registry):
+            pass
+    assert registry.histogram("latency.outer").count() == 1
+    assert registry.histogram("latency.inner").count() == 1

@@ -81,6 +81,18 @@ class TestExecution:
         # Two breweries share the same score -> the tie is kept.
         assert len(result.results) == 2
 
+    def test_plain_path_top_k_keeps_the_whole_tie(self, executor, env):
+        # Non-contextual results all score 0.0: one big tie, so Table 1's
+        # tie rule keeps every row regardless of top_k. A bare [:top_k]
+        # slice used to cut the tie arbitrarily on this path.
+        result = executor.execute(ContextualQuery(env, top_k=2))
+        assert not result.contextual
+        assert len(result.results) == 4
+
+    def test_plain_path_honours_exclude_ties(self, executor, env):
+        result = executor.execute(ContextualQuery(env, top_k=2))
+        assert len(result.top(2, include_ties=False)) == 2
+
     def test_provenance_recorded(self, executor, env):
         current = ContextState(env, ("friends", "warm", "Kifisia"))
         result = executor.execute(ContextualQuery.at_state(current))

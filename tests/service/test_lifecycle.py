@@ -1,0 +1,177 @@
+"""Account-lifecycle regressions: listener leaks, imports, metrics.
+
+Building a user's executor wires their result cache onto the shared
+relation as a mutation listener (``cache.watch``). These tests pin the
+fixes for the two ways that listener used to leak: ``unregister``
+leaving it behind, and ``import_profile`` replacing the cache without
+unwatching the old one.
+"""
+
+import pytest
+
+from repro import ContextState, ContextualQuery, generate_poi_relation
+from repro.exceptions import ReproError
+from repro.obs import get_registry
+from repro.service import PersonalizationService
+from repro.workloads import Persona, study_environment
+
+
+@pytest.fixture
+def relation():
+    # Function-scoped on purpose: listener counts must start from a
+    # clean baseline, and services attach listeners to the relation.
+    return generate_poi_relation(40, seed=21)
+
+
+@pytest.fixture
+def service(relation):
+    return PersonalizationService(study_environment(), relation, cache_capacity=4)
+
+
+@pytest.fixture
+def query(service):
+    state = ContextState.from_mapping(
+        service.environment,
+        {"accompanying_people": "friends", "temperature": "warm",
+         "location": "Plaka"},
+    )
+    return ContextualQuery.at_state(state, top_k=5)
+
+
+def persona():
+    return Persona("below30", "female", "offbeat")
+
+
+class TestListenerLifecycle:
+    def test_unregister_detaches_cache_listener(self, service, relation, query):
+        baseline = relation.mutation_listener_count
+        service.register("alice", persona())
+        service.query("alice", query)
+        assert relation.mutation_listener_count == baseline + 1
+        service.unregister("alice")
+        assert relation.mutation_listener_count == baseline
+
+    def test_repeated_cycles_do_not_accumulate_listeners(
+        self, service, relation, query
+    ):
+        baseline = relation.mutation_listener_count
+        for _ in range(5):
+            service.register("alice", persona())
+            service.query("alice", query)
+            service.unregister("alice")
+        assert relation.mutation_listener_count == baseline
+        # Re-registration after the churn still works end to end.
+        service.register("alice", persona())
+        assert service.query("alice", query).results
+
+    def test_unregister_before_any_query(self, service, relation):
+        # No query means no executor, hence no listener to detach.
+        baseline = relation.mutation_listener_count
+        service.register("alice", persona())
+        service.unregister("alice")
+        assert relation.mutation_listener_count == baseline
+
+    def test_cacheless_service_never_listens(self, relation, query):
+        service = PersonalizationService(
+            study_environment(), relation, cache_capacity=None
+        )
+        baseline = relation.mutation_listener_count
+        service.register("alice", persona())
+        service.query("alice", query)
+        service.unregister("alice")
+        assert relation.mutation_listener_count == baseline
+
+
+class TestImportProfile:
+    def test_import_replaces_cache_without_leaking_listener(
+        self, service, relation, query
+    ):
+        baseline = relation.mutation_listener_count
+        service.register("alice", persona())
+        service.query("alice", query)
+        old_cache = service.account("alice").cache
+        assert len(old_cache) == 1
+        payload = service.export_profile("alice")
+        service.import_profile("alice", payload)
+        new_cache = service.account("alice").cache
+        assert new_cache is not old_cache
+        assert len(new_cache) == 0
+        # The old cache's listener is gone; querying re-wires only the
+        # new cache, so the count stays at one above baseline.
+        service.query("alice", query)
+        assert relation.mutation_listener_count == baseline + 1
+        service.unregister("alice")
+        assert relation.mutation_listener_count == baseline
+
+    def test_import_rejects_foreign_environment(self, service):
+        service.register("alice", persona())
+        payload = service.export_profile("alice")
+        mangled = payload.replace("accompanying_people", "travel_group")
+        with pytest.raises(ReproError, match="environment"):
+            service.import_profile("alice", mangled)
+        # The rejected payload must not have touched the account.
+        assert len(service.account("alice").repository) > 0
+
+    def test_import_keeps_queries_working(self, service, query):
+        service.register("alice", persona())
+        before = service.query("alice", query)
+        service.import_profile("alice", service.export_profile("alice"))
+        after = service.query("alice", query)
+        assert [(item.row["pid"], item.score) for item in before.results] == [
+            (item.row["pid"], item.score) for item in after.results
+        ]
+
+
+class TestServiceMetrics:
+    @pytest.fixture
+    def registry(self):
+        registry = get_registry()
+        was_enabled = registry.enabled
+        registry.reset()
+        registry.enable()
+        yield registry
+        registry.reset()
+        if not was_enabled:
+            registry.disable()
+
+    def test_query_path_records_counters_and_latency(
+        self, service, query, registry
+    ):
+        service.register("alice", persona())
+        service.query("alice", query)
+        service.query("alice", query)  # second one is a cache hit
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["service.queries"]['user="alice"'] == 2.0
+        assert counters["executor.queries"][""] == 2.0
+        assert counters["cache.misses"][""] == 1.0
+        assert counters["cache.hits"][""] == 1.0
+        assert counters["resolver.states_resolved"][""] == 1.0
+        assert counters["relation.select.indexed"][""] >= 1.0
+        for stage in ("service_query", "execute", "search_cs", "rank_rows"):
+            series = snapshot["histograms"][f"latency.{stage}"][""]
+            assert series["count"] >= 1
+            assert series["p95"] >= series["p50"] >= 0.0
+
+    def test_population_gauges_track_lifecycle(
+        self, service, relation, query, registry
+    ):
+        service.register("alice", persona())
+        service.query("alice", query)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["service.registered_users"][""] == 1.0
+        assert gauges["service.relation_listeners"][""] == 1.0
+        service.unregister("alice")
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["service.registered_users"][""] == 0.0
+        assert gauges["service.relation_listeners"][""] == 0.0
+
+    def test_edits_counted_per_user(self, service, registry):
+        service.register("alice", persona())
+        repository = service.account("alice").repository
+        preference = next(iter(repository))
+        service.update_preference(
+            "alice", preference, round(min(1.0, preference.score + 0.05), 2)
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters["service.edits"]['user="alice"'] == 1.0

@@ -22,6 +22,16 @@ class TestParser:
         args = build_parser().parse_args(["table1"])
         assert args.users == 10 and args.seed == 11
 
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.format == "table"
+        assert args.users == 4 and args.queries == 60
+        assert args.rows == 2000 and args.cache_capacity == 8
+
+    def test_stats_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--format", "xml"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -52,6 +62,34 @@ class TestCommands:
         assert main(["fig7", "synthetic", "--sizes", "100", "--queries", "5"]) == 0
         out = capsys.readouterr().out
         assert "cover_serial" in out
+
+    def test_stats_table(self, capsys):
+        assert main(["stats", "--users", "2", "--queries", "8",
+                     "--rows", "120", "--cache-capacity", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving-path observability" in out
+        assert "cache hit rate" in out
+        assert "cache evictions" in out
+        assert "selections (indexed)" in out
+        assert "p50/p95 (ms)" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["stats", "--format", "json", "--users", "2",
+                     "--queries", "8", "--rows", "120"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"]["num_queries"] == 8
+        assert "cache.misses" in payload["snapshot"]["counters"]
+        assert "latency.service_query" in payload["snapshot"]["histograms"]
+
+    def test_stats_prometheus(self, capsys):
+        assert main(["stats", "--format", "prometheus", "--users", "2",
+                     "--queries", "8", "--rows", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_cache_misses counter" in out
+        assert "# TYPE repro_latency_service_query summary" in out
+        assert 'quantile="0.95"' in out
 
     def test_custom_seed_changes_table1(self, capsys):
         main(["table1", "--users", "2", "--seed", "1"])

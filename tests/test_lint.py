@@ -1,0 +1,57 @@
+"""Repository hygiene: every tracked module byte-compiles and lints.
+
+``compileall`` always runs (it only needs the stdlib); the ruff check
+runs when a ``ruff`` executable is on PATH and is skipped otherwise,
+so the suite stays green in environments without the dev extras.
+"""
+
+import compileall
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_TREES = ("src", "benchmarks", "examples", "tests")
+
+
+@pytest.mark.parametrize("tree", SOURCE_TREES)
+def test_compileall(tree):
+    target = REPO_ROOT / tree
+    if not target.exists():
+        pytest.skip(f"{tree}/ not present")
+    assert compileall.compile_dir(
+        str(target), quiet=2, force=False
+    ), f"{tree}/ contains modules that do not byte-compile"
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    completed = subprocess.run(
+        ["ruff", "check", *SOURCE_TREES],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_ruff_config_present():
+    # Even without the binary, the configuration must stay checked in so
+    # CI images that do have ruff enforce a consistent rule set.
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "[tool.ruff" in text
+
+
+def test_no_syntax_errors_via_import():
+    # Importing the package executes every __init__ re-export chain.
+    completed = subprocess.run(
+        [sys.executable, "-c", "import repro; import repro.obs; import repro.cli"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr

@@ -90,6 +90,30 @@ class TestEviction:
             ContextQueryTree(env, capacity=0)
 
 
+class TestEvictionOrder:
+    def test_victims_leave_in_insertion_order_without_touches(self, env, cache):
+        names = ["Plaka", "Kifisia", "Perama", "Syntagma", "Ladadika"]
+        for index, name in enumerate(names):
+            cache.put(s(env, name), index)
+        # Capacity 3: the two oldest entries were evicted, oldest first.
+        assert cache.evictions == 2
+        assert s(env, "Plaka") not in cache
+        assert s(env, "Kifisia") not in cache
+        assert all(s(env, name) in cache for name in names[2:])
+
+    def test_gets_reorder_the_queue(self, env, cache):
+        keys = [s(env, name) for name in ("Plaka", "Kifisia", "Perama")]
+        for index, key in enumerate(keys):
+            cache.put(key, index)
+        cache.get(keys[1])
+        cache.get(keys[0])  # recency is now Perama < Kifisia < Plaka
+        cache.put(s(env, "Syntagma"), 3)
+        assert keys[2] not in cache
+        cache.put(s(env, "Ladadika"), 4)
+        assert keys[1] not in cache
+        assert keys[0] in cache
+
+
 class TestInvalidation:
     def test_invalidate_removes_state(self, env, cache):
         key = s(env, "Plaka")
@@ -119,6 +143,29 @@ class TestInvalidation:
         cache.clear()
         assert len(cache) == 0
         assert cache.hits == 1  # statistics preserved
+
+    def test_invalidations_stat_counts_dropped_entries(self, env, cache):
+        cache.put(s(env, "Plaka"), 1)
+        cache.put(s(env, "Kifisia"), 2)
+        cache.invalidate(s(env, "Plaka"))
+        assert cache.invalidations == 1
+        cache.invalidate(s(env, "Plaka"))  # already gone: not counted
+        assert cache.invalidations == 1
+        cache.clear()
+        assert cache.invalidations == 2
+
+    def test_invalidate_covered_counts_every_victim(self, env, cache):
+        cache.put(s(env, "Plaka"), 1)
+        cache.put(s(env, "Kifisia"), 2)
+        dropped = cache.invalidate_covered(s(env, "Athens"))
+        assert dropped == 2
+        assert cache.invalidations == 2
+
+    def test_evictions_are_not_invalidations(self, env, cache):
+        for name in ("Plaka", "Kifisia", "Perama", "Syntagma"):
+            cache.put(s(env, name), name)
+        assert cache.evictions == 1
+        assert cache.invalidations == 0
 
 
 class TestStatistics:
