@@ -1,0 +1,76 @@
+"""Concurrent serving: read-query throughput scaling + churn safety.
+
+Replays one deterministic request set through the
+``ConcurrentQueryExecutor`` at 1/2/4 workers over a shared
+``PersonalizationService`` (see ``repro.eval.serving``). Each request
+is a short GIL-releasing I/O wait followed by the CPU-bound contextual
+query, so the measured scaling is exactly what the lock layer controls.
+
+Checks: every concurrent ranking is identical to the sequential
+baseline, at least 2x throughput at 4 workers vs. 1, and the churn
+phase (readers at full width vs. writer threads editing profiles
+through the same service) finishes with zero failed requests and zero
+lost updates. The full-mode report is written to
+``BENCH_concurrency.json`` at the repository root.
+
+Under ``--smoke`` the workload shrinks to CI scale: the correctness
+checks still run, but the throughput assertion is skipped (CI runners
+have unpredictable core counts) and the baseline is left untouched.
+"""
+
+import json
+from pathlib import Path
+
+from repro.eval import format_table, run_serve_bench
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_concurrency.json"
+
+
+def test_concurrent_serving(benchmark, once, smoke):
+    if smoke:
+        report = once(
+            benchmark,
+            run_serve_bench,
+            num_users=4,
+            num_rows=400,
+            num_queries=40,
+            thread_counts=(1, 2, 4),
+            io_wait_ms=2.0,
+            num_writers=2,
+            edits_per_writer=4,
+        )
+    else:
+        report = once(benchmark, run_serve_bench)
+        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    rows: list[list[object]] = [
+        [
+            f"{count} thread{'s' if int(count) != 1 else ''}",
+            f"{series['qps']:.0f} q/s",
+            f"{series['speedup']:.2f}x",
+        ]
+        for count, series in report["series"].items()
+    ]
+    churn = report["churn"]
+    rows.append(
+        [
+            "churn",
+            f"{churn['queries']} q vs {churn['num_writers']} writers",
+            f"{churn['failed_requests']} failed / {churn['lost_updates']} lost",
+        ]
+    )
+    print()
+    print(
+        format_table(
+            ["threads", "throughput", "speedup"],
+            rows,
+            title="Concurrent serving - throughput scaling",
+        )
+    )
+    assert report["identical_output"], "concurrent ranking diverged from sequential"
+    assert churn["failed_requests"] == 0, churn["errors"]
+    assert churn["lost_updates"] == 0, "writer edits were lost under churn"
+    if not smoke:
+        assert report["speedup_at_max"] >= 2.0, (
+            f"throughput at {report['workload']['thread_counts'][-1]} workers "
+            f"only {report['speedup_at_max']:.2f}x of 1 worker"
+        )

@@ -9,6 +9,10 @@ Checks: identical ranked output (scores and order) on both paths, and
 at least a 5x wall-clock speedup. The measured numbers are written to
 ``BENCH_rank.json`` at the repository root; the checked-in copy is the
 baseline to compare regressions against.
+
+Under ``--smoke`` the workload shrinks to CI scale: the identical-output
+check still runs, but the wall-clock assertion is skipped and the
+checked-in baseline is left untouched.
 """
 
 import json
@@ -20,9 +24,14 @@ BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_rank.json"
 SWEEP_SIZES = (1000, 5000, 10000)
 
 
-def test_rank_hotpath_speedup(benchmark, once):
-    report = once(benchmark, run_rank_hotpath)
-    BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+def test_rank_hotpath_speedup(benchmark, once, smoke):
+    if smoke:
+        report = once(
+            benchmark, run_rank_hotpath, num_rows=5000, num_queries=10
+        )
+    else:
+        report = once(benchmark, run_rank_hotpath)
+        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print()
     print(
         format_table(
@@ -48,17 +57,19 @@ def test_rank_hotpath_speedup(benchmark, once):
         )
     )
     assert report["identical_output"], "indexed path changed the ranking"
-    assert report["speedup"] >= 5.0, f"speedup {report['speedup']:.1f}x < 5x"
+    if not smoke:
+        assert report["speedup"] >= 5.0, f"speedup {report['speedup']:.1f}x < 5x"
 
 
-def test_rank_access_sweep(benchmark, once):
-    series = once(benchmark, rank_access_sweep, SWEEP_SIZES)
+def test_rank_access_sweep(benchmark, once, smoke):
+    sizes = (500, 1000) if smoke else SWEEP_SIZES
+    series = once(benchmark, rank_access_sweep, sizes)
     print()
     print(
         format_series(
             "Ranking selection cells vs. relation size",
             "|R|",
-            SWEEP_SIZES,
+            sizes,
             {label: [f"{v:.1f}" for v in values] for label, values in series.items()},
         )
     )

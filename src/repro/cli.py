@@ -87,6 +87,34 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--rows", type=int, default=2000)
     stats.add_argument("--cache-capacity", type=int, default=8)
     stats.add_argument("--seed", type=int, default=11)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="concurrent serving workload: throughput scaling + churn check",
+    )
+    serve.add_argument("--users", type=int, default=8)
+    serve.add_argument("--rows", type=int, default=1500)
+    serve.add_argument("--queries", type=int, default=160)
+    serve.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker counts to sweep (each replays the same request set)",
+    )
+    serve.add_argument(
+        "--io-wait-ms",
+        type=float,
+        default=6.0,
+        help="simulated per-request I/O wait; 0 shows the GIL-bound CPU curve",
+    )
+    serve.add_argument("--writers", type=int, default=4)
+    serve.add_argument("--edits-per-writer", type=int, default=10)
+    serve.add_argument("--cache-capacity", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=17)
+    serve.add_argument(
+        "--json", action="store_true", help="emit the raw report as JSON"
+    )
     return parser
 
 
@@ -229,6 +257,55 @@ def _run_stats(args: argparse.Namespace) -> str:
     )
 
 
+def _run_serve_bench(args: argparse.Namespace) -> str:
+    from repro.eval.serving import run_serve_bench
+
+    report = run_serve_bench(
+        num_users=args.users,
+        num_rows=args.rows,
+        num_queries=args.queries,
+        thread_counts=tuple(args.threads),
+        io_wait_ms=args.io_wait_ms,
+        num_writers=args.writers,
+        edits_per_writer=args.edits_per_writer,
+        cache_capacity=args.cache_capacity,
+        seed=args.seed,
+    )
+    if args.json:
+        import json
+
+        return json.dumps(report, indent=2)
+    rows: list[list[object]] = [
+        [
+            f"{count} thread{'s' if int(count) != 1 else ''}",
+            f"{series['qps']:.0f} q/s",
+            f"{series['speedup']:.2f}x",
+        ]
+        for count, series in report["series"].items()
+    ]
+    churn = report["churn"]
+    rows.extend(
+        [
+            ["identical output", "yes" if report["identical_output"] else "NO"],
+            [
+                "churn phase",
+                f"{churn['queries']} queries vs {churn['num_writers']} writers",
+                f"{churn['failed_requests']} failed / {churn['lost_updates']} lost",
+            ],
+        ]
+    )
+    workload = report["workload"]
+    return format_table(
+        ["threads", "throughput", "speedup"],
+        rows,
+        title=(
+            f"Concurrent serving - {workload['num_users']} users, "
+            f"{workload['num_rows']} rows, {workload['num_queries']} queries, "
+            f"io_wait {workload['io_wait_ms']:.1f} ms"
+        ),
+    )
+
+
 _RUNNERS = {
     "table1": _run_table1,
     "fig5": _run_fig5,
@@ -236,6 +313,7 @@ _RUNNERS = {
     "fig7": _run_fig7,
     "report": _run_report,
     "stats": _run_stats,
+    "serve-bench": _run_serve_bench,
 }
 
 

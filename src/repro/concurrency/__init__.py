@@ -1,0 +1,38 @@
+"""Concurrency primitives for the multi-user serving path.
+
+The paper's prototype served one user at a time; the serving system
+around it must answer interleaved reads while profiles are edited.
+This package provides the two building blocks the service layers share:
+
+* :mod:`repro.concurrency.locks` - a writer-preferring reader-writer
+  lock (:class:`RWLock`) and a striped per-key lock table
+  (:class:`StripedLockTable`) so per-user locking costs O(stripes)
+  memory no matter how many users register;
+* :mod:`repro.concurrency.executor` - a bounded thread-pool executor
+  (:class:`ConcurrentQueryExecutor`) with admission control and
+  per-request timeouts, driving :meth:`PersonalizationService.query_many`.
+
+The process-wide **lock order** (outermost first) is::
+
+    per-user lock  >  service registry lock  >  relation lock
+                   >  context-query-tree lock  >  metric-series locks
+
+Every acquisition follows this order, so the layers cannot deadlock:
+no code path acquires a lock to the left while holding one to the
+right.
+"""
+
+from repro.concurrency.executor import (
+    ConcurrentQueryExecutor,
+    ExecutorSaturated,
+    RequestOutcome,
+)
+from repro.concurrency.locks import RWLock, StripedLockTable
+
+__all__ = [
+    "ConcurrentQueryExecutor",
+    "ExecutorSaturated",
+    "RWLock",
+    "RequestOutcome",
+    "StripedLockTable",
+]

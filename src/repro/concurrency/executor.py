@@ -1,0 +1,262 @@
+"""A bounded thread-pool executor for concurrent query serving.
+
+``concurrent.futures.ThreadPoolExecutor`` alone is not a serving
+component: its queue is unbounded (a traffic spike buffers requests
+forever instead of shedding load) and a submitted callable cannot be
+abandoned once it is running. :class:`ConcurrentQueryExecutor` adds the
+two missing pieces:
+
+* **admission control** - at most ``max_workers + queue_depth``
+  requests may be in flight; beyond that, ``submit`` either blocks
+  (bulk mode, used by :meth:`PersonalizationService.query_many`) or
+  raises :class:`ExecutorSaturated` (online mode, letting the caller
+  return a 503-equivalent instead of buffering unboundedly);
+* **per-request timeout** - collection waits at most ``timeout``
+  seconds per request; a request still queued is cancelled, a request
+  already running is recorded as timed out and its result discarded.
+
+Outcomes are returned as :class:`RequestOutcome` records in submission
+order, so a batch's results line up with its requests regardless of
+completion order. Submission/completion/rejection/timeout counts are
+mirrored into the process metrics registry (``concurrency.*``) and
+per-request latency into ``latency.concurrent_query``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+from repro.obs.metrics import get_registry
+
+__all__ = ["ConcurrentQueryExecutor", "ExecutorSaturated", "RequestOutcome"]
+
+
+class ExecutorSaturated(ReproError):
+    """Raised by non-blocking ``submit`` when admission is exhausted."""
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one submitted request.
+
+    Attributes:
+        index: Position of the request in its batch (submission order).
+        status: ``"ok"``, ``"error"``, ``"timeout"`` or ``"cancelled"``.
+        result: The callable's return value (``None`` unless ``"ok"``).
+        error: The raised exception (``None`` unless ``"error"``).
+        seconds: Wall-clock from submission to collection.
+    """
+
+    index: int
+    status: str
+    result: object = None
+    error: BaseException | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff the request completed normally."""
+        return self.status == "ok"
+
+
+class ConcurrentQueryExecutor:
+    """Runs request callables on a bounded thread pool.
+
+    Args:
+        max_workers: Worker threads (the concurrency level).
+        queue_depth: Requests allowed to wait beyond the running ones;
+            ``None`` means ``2 * max_workers``. Admission capacity is
+            ``max_workers + queue_depth``.
+        timeout: Default per-request collection timeout in seconds
+            (``None`` = wait forever).
+
+    The executor is a context manager; leaving the block shuts the
+    pool down (waiting for running requests).
+
+    Example:
+        >>> with ConcurrentQueryExecutor(max_workers=4) as pool:
+        ...     outcomes = pool.run([lambda: 1, lambda: 2])
+        >>> [outcome.result for outcome in outcomes]
+        [1, 2]
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        queue_depth: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if max_workers <= 0:
+            raise ReproError(f"max_workers must be positive, got {max_workers}")
+        if queue_depth is None:
+            queue_depth = 2 * max_workers
+        if queue_depth < 0:
+            raise ReproError(f"queue_depth must be >= 0, got {queue_depth}")
+        self._max_workers = max_workers
+        self._capacity = max_workers + queue_depth
+        self._admission = threading.BoundedSemaphore(self._capacity)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._timeout = timeout
+        self._shutdown = False
+        self._stats_lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def max_workers(self) -> int:
+        """Worker-thread count."""
+        return self._max_workers
+
+    @property
+    def capacity(self) -> int:
+        """Maximum in-flight requests (running + queued)."""
+        return self._capacity
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters: submitted/completed/rejected/timeouts/errors."""
+        with self._stats_lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "errors": self.errors,
+            }
+
+    def _count(self, field: str, delta: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, field, getattr(self, field) + delta)
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc(f"concurrency.{field}", delta)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[[], object], block: bool = True):
+        """Submit one zero-argument callable; returns its future.
+
+        With ``block=True`` submission waits for admission capacity;
+        with ``block=False`` a saturated executor raises
+        :class:`ExecutorSaturated` immediately (shed the request
+        instead of queueing it).
+
+        Raises:
+            ExecutorSaturated: Non-blocking submit on a full executor.
+            ReproError: Submit after shutdown.
+        """
+        if self._shutdown:
+            raise ReproError("executor is shut down")
+        if not self._admission.acquire(blocking=block):
+            self._count("rejected")
+            raise ExecutorSaturated(
+                f"executor saturated ({self._capacity} requests in flight)"
+            )
+
+        def call():
+            try:
+                return fn()
+            finally:
+                self._admission.release()
+
+        try:
+            future = self._pool.submit(call)
+        except BaseException:
+            self._admission.release()
+            raise
+        self._count("submitted")
+
+        def on_cancel(f):
+            # A cancelled future never ran ``call``, so its admission
+            # permit must be returned here.
+            if f.cancelled():
+                self._admission.release()
+
+        future.add_done_callback(on_cancel)
+        return future
+
+    def run(
+        self,
+        requests: Sequence[Callable[[], object]],
+        timeout: float | None = None,
+    ) -> list[RequestOutcome]:
+        """Run a batch of callables; outcomes in submission order.
+
+        ``timeout`` (default: the constructor's) applies per request,
+        measured from batch start: a request not done ``timeout``
+        seconds after submission is cancelled if still queued and
+        recorded as ``"timeout"`` if already running (its eventual
+        result is discarded).
+        """
+        if timeout is None:
+            timeout = self._timeout
+        started = time.perf_counter()
+        futures = [self.submit(fn, block=True) for fn in requests]
+        outcomes: list[RequestOutcome] = []
+        registry = get_registry()
+        for index, future in enumerate(futures):
+            remaining: float | None = None
+            if timeout is not None:
+                remaining = max(0.0, timeout - (time.perf_counter() - started))
+            try:
+                result = future.result(timeout=remaining)
+            except (TimeoutError, FuturesTimeoutError):
+                future.cancel()
+                self._count("timeouts")
+                outcomes.append(
+                    RequestOutcome(index=index, status="timeout")
+                )
+                continue
+            except CancelledError:
+                outcomes.append(RequestOutcome(index=index, status="cancelled"))
+                continue
+            except BaseException as error:  # noqa: B036 - worker errors propagate here
+                self._count("errors")
+                outcomes.append(
+                    RequestOutcome(index=index, status="error", error=error)
+                )
+                continue
+            elapsed = time.perf_counter() - started
+            self._count("completed")
+            if registry.enabled:
+                registry.observe("latency.concurrent_query", elapsed)
+            outcomes.append(
+                RequestOutcome(
+                    index=index, status="ok", result=result, seconds=elapsed
+                )
+            )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for the pool."""
+        self._shutdown = True
+        self._pool.shutdown(wait=wait, cancel_futures=not wait)
+
+    def __enter__(self) -> "ConcurrentQueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConcurrentQueryExecutor(workers={self._max_workers}, "
+            f"capacity={self._capacity}, submitted={self.submitted})"
+        )

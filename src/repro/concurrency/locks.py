@@ -1,0 +1,247 @@
+"""Reader-writer locks and a striped per-key lock table.
+
+The serving stack's shared state (the relation, each user's profile
+tree and result cache) is read by many query threads and written by
+comparatively rare profile edits and row inserts. A plain mutex would
+serialise the read-heavy hot path; :class:`RWLock` lets any number of
+readers proceed together while giving writers exclusive access.
+
+The lock is **writer-preferring**: once a writer is waiting, new
+readers queue behind it, so a steady stream of queries cannot starve a
+profile edit indefinitely. It is **reentrant on both sides for the
+same thread** - a thread already holding the read side re-acquires it
+without queueing behind waiting writers (no self-deadlock when a
+read-locked method calls another read-locked method), and a thread
+holding the write side may re-acquire either side - which lets
+compound operations call the same public locked methods internal code
+uses.
+
+:class:`StripedLockTable` maps an unbounded key space (user ids) onto a
+fixed array of :class:`RWLock` stripes by hash. Two users rarely share
+a stripe (and sharing is only a performance, never a correctness,
+concern), while memory stays O(stripes) no matter how many users
+register.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.exceptions import ReproError
+
+__all__ = ["RWLock", "StripedLockTable"]
+
+
+class RWLock:
+    """A writer-preferring, writer-reentrant reader-writer lock.
+
+    Any number of threads may hold the read side at once; the write
+    side is exclusive against both readers and other writers. Waiting
+    writers block *new* readers (writer preference), so writes cannot
+    starve under a read-heavy load.
+
+    Example:
+        >>> lock = RWLock()
+        >>> with lock.read_locked():
+        ...     pass  # shared access
+        >>> with lock.write_locked():
+        ...     pass  # exclusive access
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_write_depth", "_waiting_writers")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        # thread id -> nesting depth of currently held read acquisitions
+        self._readers: dict[int, int] = {}
+        self._writer: int | None = None  # owning thread id
+        self._write_depth = 0
+        self._waiting_writers = 0
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Take the shared side; returns False on timeout.
+
+        Reentrant: a thread already holding the read side re-acquires
+        immediately (never queueing behind a waiting writer, which
+        would self-deadlock). A thread holding the write lock passes
+        straight through, counted as one more write depth, so write
+        sections may call read-locked helpers.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return True
+            if me in self._readers:
+                self._readers[me] += 1
+                return True
+            # Writer preference: park behind any waiting writer.
+            ok = self._cond.wait_for(
+                lambda: self._writer is None and self._waiting_writers == 0,
+                timeout,
+            )
+            if not ok:
+                return False
+            self._readers[me] = 1
+            return True
+
+    def release_read(self) -> None:
+        """Release the shared side (or one write depth for the owner)."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._release_write_locked()
+                return
+            depth = self._readers.get(me, 0)
+            if depth <= 0:
+                raise ReproError("release_read without a matching acquire_read")
+            if depth == 1:
+                del self._readers[me]
+                if not self._readers:
+                    self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Take the exclusive side; returns False on timeout.
+
+        Reentrant: the owning writer may acquire again (each acquire
+        needs a matching release).
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return True
+            if me in self._readers:
+                raise ReproError(
+                    "cannot upgrade a held read lock to the write lock"
+                )
+            self._waiting_writers += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: self._writer is None and not self._readers,
+                    timeout,
+                )
+                if not ok:
+                    return False
+                self._writer = me
+                self._write_depth = 1
+                return True
+            finally:
+                self._waiting_writers -= 1
+                if self._writer is None:
+                    # Timed out: unblock readers parked behind us.
+                    self._cond.notify_all()
+
+    def release_write(self) -> None:
+        """Release one level of the exclusive side."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise ReproError("release_write by a thread that does not hold it")
+            self._release_write_locked()
+
+    def _release_write_locked(self) -> None:
+        self._write_depth -= 1
+        if self._write_depth == 0:
+            self._writer = None
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Context managers & introspection
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked():`` - shared section."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked():`` - exclusive section."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    @property
+    def readers(self) -> int:
+        """Number of threads currently holding the read side."""
+        with self._cond:
+            return len(self._readers)
+
+    def write_held(self) -> bool:
+        """True iff the *calling* thread holds the write side."""
+        with self._cond:
+            return self._writer == threading.get_ident()
+
+    def __repr__(self) -> str:
+        with self._cond:
+            state = (
+                f"writer depth={self._write_depth}"
+                if self._writer is not None
+                else f"readers={len(self._readers)}"
+            )
+            return f"RWLock({state}, waiting_writers={self._waiting_writers})"
+
+
+class StripedLockTable:
+    """A fixed array of :class:`RWLock` stripes addressed by key hash.
+
+    Per-user locking must not grow a lock per registered user (the
+    north star is millions of users); hashing user ids onto a fixed
+    stripe count bounds memory while keeping collisions - two users
+    mapping to the same stripe - rare enough that contention stays
+    negligible. Collisions only ever *serialise* work that could have
+    run in parallel; they can never admit a race.
+
+    Args:
+        stripes: Number of locks; rounded up to a power of two so the
+            hash maps by mask rather than modulo.
+
+    Example:
+        >>> table = StripedLockTable(64)
+        >>> with table.write_locked("alice"):
+        ...     pass  # exclusive for every key on alice's stripe
+    """
+
+    __slots__ = ("_locks", "_mask")
+
+    def __init__(self, stripes: int = 64) -> None:
+        if stripes <= 0:
+            raise ReproError(f"stripe count must be positive, got {stripes}")
+        size = 1
+        while size < stripes:
+            size <<= 1
+        self._locks = tuple(RWLock() for _ in range(size))
+        self._mask = size - 1
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def lock_for(self, key: object) -> RWLock:
+        """The stripe ``key`` hashes to (stable for the table's life)."""
+        return self._locks[hash(key) & self._mask]
+
+    def read_locked(self, key: object):
+        """``with table.read_locked(key):`` - shared section for ``key``."""
+        return self.lock_for(key).read_locked()
+
+    def write_locked(self, key: object):
+        """``with table.write_locked(key):`` - exclusive section for ``key``."""
+        return self.lock_for(key).write_locked()
+
+    def __repr__(self) -> str:
+        return f"StripedLockTable({len(self._locks)} stripes)"

@@ -14,6 +14,21 @@ their insertion positions - which ``select_ids`` exposes so ranking
 code can deduplicate tuples without relying on object identity.
 Mutations bump a version counter and notify registered listeners,
 which is how result caches learn to drop stale rankings.
+
+**Thread safety.** The relation is guarded by one
+:class:`~repro.concurrency.RWLock`: selections, projections and joins
+take the read side (any number run together), while ``insert``,
+``create_index``/``drop_index`` and listener (de)registration take the
+exclusive write side. Listener dispatch happens *inside* the write
+section, so a selection observes either the pre-mutation relation or
+the post-mutation relation with every dependent cache already
+invalidated - never a half-applied state. An ``auto_index`` build
+triggered by a selection acquires the write lock *before* the
+selection's read section (an RWLock cannot upgrade), so a read never
+deadlocks waiting on its own index build. Listeners run under the
+write lock and therefore must not re-enter the relation's write side
+or acquire any lock that precedes the relation in the process lock
+order (see :mod:`repro.concurrency`).
 """
 
 from __future__ import annotations
@@ -22,6 +37,7 @@ from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from types import MappingProxyType
 
 from repro.exceptions import SchemaError
+from repro.concurrency.locks import RWLock
 from repro.db.index import INDEXABLE_OPS, AttributeIndex
 from repro.db.schema import Schema
 from repro.obs.metrics import get_registry
@@ -72,6 +88,7 @@ class Relation:
         self._auto_index = auto_index
         self._version = 0
         self._listeners: list[Callable[["Relation"], None]] = []
+        self._lock = RWLock()
         for row in rows:
             self.insert(row)
 
@@ -112,16 +129,23 @@ class Relation:
     # Mutation
     # ------------------------------------------------------------------
     def insert(self, row: Row) -> None:
-        """Validate and append one tuple (indexes update incrementally)."""
+        """Validate and append one tuple (indexes update incrementally).
+
+        The whole mutation - row append, incremental index updates,
+        version bump *and* listener dispatch - runs under the write
+        lock, so concurrent selections never observe a row without its
+        index postings or a mutated relation with stale caches.
+        """
         self._schema.validate(row)
         stored = MappingProxyType(dict(row))
-        row_id = len(self._rows)
-        self._rows.append(stored)
-        for index in self._indexes.values():
-            index.add(row_id, stored)
-        self._version += 1
-        for listener in tuple(self._listeners):
-            listener(self)
+        with self._lock.write_locked():
+            row_id = len(self._rows)
+            self._rows.append(stored)
+            for index in self._indexes.values():
+                index.add(row_id, stored)
+            self._version += 1
+            for listener in tuple(self._listeners):
+                listener(self)
 
     def extend(self, rows: Iterable[Row]) -> None:
         """Validate and append several tuples."""
@@ -134,15 +158,17 @@ class Relation:
         Registering the same listener twice is a no-op, so caches can
         re-attach defensively.
         """
-        if listener not in self._listeners:
-            self._listeners.append(listener)
+        with self._lock.write_locked():
+            if listener not in self._listeners:
+                self._listeners.append(listener)
 
     def remove_mutation_listener(self, listener: Callable[["Relation"], None]) -> None:
         """Stop notifying ``listener``; unknown listeners are ignored."""
-        try:
-            self._listeners.remove(listener)
-        except ValueError:
-            pass
+        with self._lock.write_locked():
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
 
     @property
     def mutation_listener_count(self) -> int:
@@ -167,15 +193,17 @@ class Relation:
             raise SchemaError(
                 f"relation {self._name!r} has no attribute {attribute!r}"
             )
-        index = self._indexes.get(attribute)
-        if index is None:
-            index = AttributeIndex(attribute, self._rows)
-            self._indexes[attribute] = index
-        return index
+        with self._lock.write_locked():
+            index = self._indexes.get(attribute)
+            if index is None:
+                index = AttributeIndex(attribute, self._rows)
+                self._indexes[attribute] = index
+            return index
 
     def drop_index(self, attribute: str) -> bool:
         """Drop the index on ``attribute``; True if one existed."""
-        return self._indexes.pop(attribute, None) is not None
+        with self._lock.write_locked():
+            return self._indexes.pop(attribute, None) is not None
 
     def has_index(self, attribute: str) -> bool:
         """True iff ``attribute`` currently has an index."""
@@ -187,7 +215,13 @@ class Relation:
         return tuple(self._indexes)
 
     def _index_for(self, clause: AttributeClause) -> AttributeIndex | None:
-        """The index select should consult for ``clause``, if any."""
+        """The index select should consult for ``clause``, if any.
+
+        May build a missing index (``auto_index``), which takes the
+        write lock - callers must therefore resolve indexes *before*
+        entering their read-locked section (the RWLock cannot upgrade
+        a held read side to the write side).
+        """
         if clause.op not in INDEXABLE_OPS:
             return None
         index = self._indexes.get(clause.attribute)
@@ -216,20 +250,23 @@ class Relation:
                 f"relation {self._name!r} has no attribute {clause.attribute!r}"
             )
         registry = get_registry()
+        # Resolve (and possibly build) the index before the read-locked
+        # section: an auto-index build takes the write lock.
         index = self._index_for(clause)
-        if index is not None:
-            ids = index.lookup(clause, counter)
-            if ids is not None:
-                if registry.enabled:
-                    registry.inc("relation.select.indexed")
-                return ids
-        if counter is not None:
-            counter.add_scan(len(self._rows))
-        if registry.enabled:
-            registry.inc("relation.select.scan")
-        return [
-            row_id for row_id, row in enumerate(self._rows) if clause.matches(row)
-        ]
+        with self._lock.read_locked():
+            if index is not None:
+                ids = index.lookup(clause, counter)
+                if ids is not None:
+                    if registry.enabled:
+                        registry.inc("relation.select.indexed")
+                    return ids
+            if counter is not None:
+                counter.add_scan(len(self._rows))
+            if registry.enabled:
+                registry.inc("relation.select.scan")
+            return [
+                row_id for row_id, row in enumerate(self._rows) if clause.matches(row)
+            ]
 
     def select(
         self, clause: AttributeClause, counter: AccessCounter | None = None
@@ -266,25 +303,31 @@ class Relation:
                 break
         if seed is not None:
             rest = [clause for clause in clauses if clause is not seed]
-            rows = self._rows
-            return [
-                rows[row_id]
-                for row_id in self.select_ids(seed, counter)
-                if all(clause.matches(rows[row_id]) for clause in rest)
-            ]
-        if counter is not None:
-            counter.add_scan(len(self._rows))
+            seed_ids = self.select_ids(seed, counter)
+            with self._lock.read_locked():
+                rows = self._rows
+                return [
+                    rows[row_id]
+                    for row_id in seed_ids
+                    if all(clause.matches(rows[row_id]) for clause in rest)
+                ]
         registry = get_registry()
-        if registry.enabled:
-            registry.inc("relation.select.scan")
-        return [
-            row for row in self._rows if all(clause.matches(row) for clause in clauses)
-        ]
+        with self._lock.read_locked():
+            if counter is not None:
+                counter.add_scan(len(self._rows))
+            if registry.enabled:
+                registry.inc("relation.select.scan")
+            return [
+                row
+                for row in self._rows
+                if all(clause.matches(row) for clause in clauses)
+            ]
 
     def rows_by_ids(self, row_ids: Sequence[int]) -> list[Row]:
         """The rows at the given stable ids, in the given order."""
-        rows = self._rows
-        return [rows[row_id] for row_id in row_ids]
+        with self._lock.read_locked():
+            rows = self._rows
+            return [rows[row_id] for row_id in row_ids]
 
     def project(self, names: Iterable[str]) -> list[dict[str, object]]:
         """``pi_{names}(R)`` preserving duplicates and row order."""
@@ -294,7 +337,8 @@ class Relation:
                 raise SchemaError(
                     f"relation {self._name!r} has no attribute {name!r}"
                 )
-        return [{name: row[name] for name in names} for row in self._rows]
+        with self._lock.read_locked():
+            return [{name: row[name] for name in names} for row in self._rows]
 
     def order_by(
         self, attribute: str, descending: bool = False
@@ -304,11 +348,12 @@ class Relation:
             raise SchemaError(
                 f"relation {self._name!r} has no attribute {attribute!r}"
             )
-        return sorted(
-            self._rows,
-            key=lambda row: (row[attribute] is None, row[attribute]),
-            reverse=descending,
-        )
+        with self._lock.read_locked():
+            return sorted(
+                self._rows,
+                key=lambda row: (row[attribute] is None, row[attribute]),
+                reverse=descending,
+            )
 
     def join(
         self,
@@ -372,10 +417,11 @@ class Relation:
             raise SchemaError(
                 f"relation {self._name!r} has no attribute {attribute!r}"
             )
-        seen: dict[object, None] = {}
-        for row in self._rows:
-            seen.setdefault(row[attribute], None)
-        return list(seen)
+        with self._lock.read_locked():
+            seen: dict[object, None] = {}
+            for row in self._rows:
+                seen.setdefault(row[attribute], None)
+            return list(seen)
 
     def __repr__(self) -> str:
         indexed = f", indexed={list(self._indexes)}" if self._indexes else ""

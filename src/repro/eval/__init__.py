@@ -18,6 +18,7 @@ from repro.eval.rank_costs import (
     run_rank_hotpath,
 )
 from repro.eval.reporting import format_series, format_table
+from repro.eval.serving import run_serve_bench
 from repro.eval.sizes import (
     OrderingSize,
     SizeExperiment,
@@ -55,6 +56,7 @@ __all__ = [
     "run_obs_overhead",
     "run_rank_hotpath",
     "run_scripted_workload",
+    "run_serve_bench",
     "run_usability_study",
     "summarize_snapshot",
 ]

@@ -16,6 +16,11 @@ Design constraints, in order:
 * **Enabled is cheap.** Counters and gauges are dict updates;
   histograms append to a fixed-size ring buffer. Nothing allocates
   per-observation beyond the label key.
+* **Recording is thread-safe.** Each metric serialises its updates
+  under its own lock (the concurrent serving path increments the same
+  counter from many threads; unlocked read-modify-write would lose
+  counts). Metric locks are leaves of the process lock order: no code
+  runs under them.
 * **Snapshots are structured.** :meth:`MetricsRegistry.snapshot`
   returns plain dicts (JSON-ready); :meth:`MetricsRegistry.to_prometheus`
   renders the text exposition format (counters/gauges as-is,
@@ -69,35 +74,45 @@ def _render_labels(key: LabelKey) -> str:
 
 
 class Counter:
-    """A monotonically increasing value, optionally per label set."""
+    """A monotonically increasing value, optionally per label set.
+
+    Increments run under a per-metric lock: a read-modify-write
+    without one silently loses counts when query threads race, and the
+    concurrency stress tests assert that counters sum exactly.
+    """
 
     kind = "counter"
 
-    __slots__ = ("name", "help", "_series")
+    __slots__ = ("name", "help", "_series", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self._series: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def inc(self, value: float = 1.0, labels: Mapping[str, object] | None = None) -> None:
         """Add ``value`` (must be non-negative) to one label series."""
         if value < 0:
             raise ReproError(f"counter {self.name!r} cannot decrease (got {value})")
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + value
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + value
 
     def value(self, labels: Mapping[str, object] | None = None) -> float:
         """Current value of one label series (0.0 if never incremented)."""
-        return self._series.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
 
     def total(self) -> float:
         """Sum over every label series."""
-        return sum(self._series.values())
+        with self._lock:
+            return sum(self._series.values())
 
     def series(self) -> dict[LabelKey, float]:
         """Every label series, as ``{label key: value}``."""
-        return dict(self._series)
+        with self._lock:
+            return dict(self._series)
 
 
 class Gauge:
@@ -105,29 +120,34 @@ class Gauge:
 
     kind = "gauge"
 
-    __slots__ = ("name", "help", "_series")
+    __slots__ = ("name", "help", "_series", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self._series: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def set(self, value: float, labels: Mapping[str, object] | None = None) -> None:
         """Set one label series to ``value``."""
-        self._series[_label_key(labels)] = float(value)
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
 
     def add(self, delta: float, labels: Mapping[str, object] | None = None) -> None:
         """Adjust one label series by ``delta``."""
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + delta
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + delta
 
     def value(self, labels: Mapping[str, object] | None = None) -> float:
         """Current value of one label series (0.0 if never set)."""
-        return self._series.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
 
     def series(self) -> dict[LabelKey, float]:
         """Every label series, as ``{label key: value}``."""
-        return dict(self._series)
+        with self._lock:
+            return dict(self._series)
 
 
 class _HistogramSeries:
@@ -177,7 +197,7 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("name", "help", "capacity", "_series")
+    __slots__ = ("name", "help", "capacity", "_series", "_lock")
 
     def __init__(
         self, name: str, help: str = "", capacity: int = DEFAULT_RESERVOIR
@@ -188,24 +208,28 @@ class Histogram:
         self.help = help
         self.capacity = capacity
         self._series: dict[LabelKey, _HistogramSeries] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float, labels: Mapping[str, object] | None = None) -> None:
         """Record one observation into one label series."""
         key = _label_key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = self._series[key] = _HistogramSeries(self.capacity)
-        series.observe(value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(self.capacity)
+            series.observe(value)
 
     def count(self, labels: Mapping[str, object] | None = None) -> int:
         """Observations recorded into one label series."""
-        series = self._series.get(_label_key(labels))
-        return series.count if series is not None else 0
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series is not None else 0
 
     def sum(self, labels: Mapping[str, object] | None = None) -> float:
         """Sum of all observations of one label series."""
-        series = self._series.get(_label_key(labels))
-        return series.total if series is not None else 0.0
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.total if series is not None else 0.0
 
     def percentile(
         self, fraction: float, labels: Mapping[str, object] | None = None
@@ -213,12 +237,14 @@ class Histogram:
         """Nearest-rank percentile (``fraction`` in [0, 1]) of one series."""
         if not 0.0 <= fraction <= 1.0:
             raise ReproError(f"percentile fraction must be in [0, 1], got {fraction}")
-        series = self._series.get(_label_key(labels))
-        return series.percentile(fraction) if series is not None else 0.0
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.percentile(fraction) if series is not None else 0.0
 
     def series(self) -> dict[LabelKey, _HistogramSeries]:
         """Every label series (internal aggregates; treat as read-only)."""
-        return dict(self._series)
+        with self._lock:
+            return dict(self._series)
 
 
 class MetricsRegistry:

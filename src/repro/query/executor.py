@@ -156,8 +156,14 @@ class ContextualQueryExecutor:
                 cache_hits += 1
                 state_contributions, resolution = cached
             else:
+                generation = 0
                 if self._cache is not None:
                     cache_misses += 1
+                    # Snapshot the invalidation epoch before computing:
+                    # if the relation or profile is invalidated while we
+                    # rank, the conditional put below discards the
+                    # now-stale entry instead of caching it.
+                    generation = self._cache.generation
                 resolution = self._resolver.resolve_state(state, counter)
                 state_contributions = tuple(
                     Contribution(candidate.state, clause, score)
@@ -165,7 +171,9 @@ class ContextualQueryExecutor:
                     for clause, score in candidate.entries.items()
                 )
                 if self._cache is not None:
-                    self._cache.put(state, (state_contributions, resolution))
+                    self._cache.put(
+                        state, (state_contributions, resolution), generation
+                    )
             resolutions.append(resolution)
             for contribution in state_contributions:
                 contributions.setdefault(contribution, None)

@@ -11,14 +11,32 @@ cache; and traceability lets them inspect why a result was returned.
 the library: registration with demographic default-profile assignment,
 profile editing (delegating to :class:`PreferenceRepository`), query
 execution, and per-user cache management.
+
+**Concurrency model.** The service serves interleaved requests from
+many threads. Mutating operations on one user (``register``,
+``unregister``, ``add/delete/update_preference``, ``import_profile``)
+take that user's **write lock** from a striped per-user lock table, so
+edits to a profile are serialised; ``query``/``rank_many`` take the
+user's **read lock**, so any number of queries for the same user run
+together but never interleave with that user's edits (read-your-writes
+per user). The accounts dict itself is guarded by a separate registry
+lock, under which ``statistics`` and the population gauges take
+consistent snapshots. The lock order is: per-user lock, then registry
+lock, then the relation's lock, then cache locks (see
+:mod:`repro.concurrency`). Bulk concurrent execution is available via
+:meth:`PersonalizationService.query_many`, which fans a request batch
+out over a bounded thread pool.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import QueryError, ReproError
+from repro.concurrency.executor import ConcurrentQueryExecutor, RequestOutcome
+from repro.concurrency.locks import StripedLockTable
 from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
@@ -38,7 +56,13 @@ __all__ = ["UserAccount", "PersonalizationService"]
 
 @dataclass
 class UserAccount:
-    """One registered user: persona, repository and statistics."""
+    """One registered user: persona, repository and statistics.
+
+    ``_stats_lock`` guards the usage counters and the lazy executor
+    build: counters are incremented from concurrent query threads
+    (which hold only the user's *read* lock, so they may race each
+    other), and two racing readers must not both wire a cache watch.
+    """
 
     user_id: str
     persona: Persona
@@ -47,6 +71,13 @@ class UserAccount:
     modifications: int = 0
     queries_executed: int = 0
     _executor: ContextualQueryExecutor | None = field(default=None, repr=False)
+    _stats_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def _count_queries(self, amount: int = 1) -> None:
+        with self._stats_lock:
+            self.queries_executed += amount
 
 
 class PersonalizationService:
@@ -63,6 +94,9 @@ class PersonalizationService:
         auto_index: Turn on on-demand attribute indexing for the
             relation, so every user's selections take the indexed path
             (the service is the multi-user hot path; default on).
+        lock_stripes: Stripe count of the per-user lock table (rounded
+            up to a power of two). More stripes = less false sharing
+            between users under heavy concurrency.
 
     Example:
         >>> service = PersonalizationService(study_environment(), relation)
@@ -77,6 +111,7 @@ class PersonalizationService:
         metric: str = "jaccard",
         cache_capacity: int | None = 128,
         auto_index: bool = True,
+        lock_stripes: int = 64,
     ) -> None:
         self._environment = environment
         self._relation = relation
@@ -85,6 +120,11 @@ class PersonalizationService:
         self._metric = metric
         self._cache_capacity = cache_capacity
         self._accounts: dict[str, UserAccount] = {}
+        # Per-user RW locks (striped) + one registry lock for the
+        # accounts dict and population gauges. Lock order: user lock
+        # before registry lock; never the reverse.
+        self._user_locks = StripedLockTable(lock_stripes)
+        self._registry_lock = threading.RLock()
 
     @property
     def environment(self) -> ContextEnvironment:
@@ -103,7 +143,8 @@ class PersonalizationService:
         return user_id in self._accounts
 
     def __iter__(self) -> Iterator[UserAccount]:
-        return iter(self._accounts.values())
+        with self._registry_lock:
+            return iter(list(self._accounts.values()))
 
     # ------------------------------------------------------------------
     # Registration
@@ -116,21 +157,28 @@ class PersonalizationService:
         """
         if not user_id:
             raise ReproError("user id must be non-empty")
-        if user_id in self._accounts:
-            raise ReproError(f"user {user_id!r} is already registered")
-        profile = default_profile(persona, self._environment)
-        repository = PreferenceRepository(self._environment, profile)
-        cache = (
-            ContextQueryTree(self._environment, capacity=self._cache_capacity)
-            if self._cache_capacity is not None
-            else None
-        )
-        account = UserAccount(
-            user_id=user_id, persona=persona, repository=repository, cache=cache
-        )
-        self._accounts[user_id] = account
-        self._record_population()
-        return account
+        with self._user_locks.write_locked(user_id):
+            with self._registry_lock:
+                if user_id in self._accounts:
+                    raise ReproError(f"user {user_id!r} is already registered")
+            # Build the profile outside the registry lock (it is the
+            # expensive part); the duplicate check is re-validated by
+            # the dict insert below, which the user write lock already
+            # serialises against concurrent registers of the same id.
+            profile = default_profile(persona, self._environment)
+            repository = PreferenceRepository(self._environment, profile)
+            cache = (
+                ContextQueryTree(self._environment, capacity=self._cache_capacity)
+                if self._cache_capacity is not None
+                else None
+            )
+            account = UserAccount(
+                user_id=user_id, persona=persona, repository=repository, cache=cache
+            )
+            with self._registry_lock:
+                self._accounts[user_id] = account
+                self._record_population()
+            return account
 
     def unregister(self, user_id: str) -> None:
         """Drop a user and their profile.
@@ -144,10 +192,12 @@ class PersonalizationService:
         Raises:
             ReproError: If the user is unknown.
         """
-        account = self.account(user_id)
-        self._retire_cache(account)
-        del self._accounts[user_id]
-        self._record_population()
+        with self._user_locks.write_locked(user_id):
+            account = self.account(user_id)
+            self._retire_cache(account)
+            with self._registry_lock:
+                del self._accounts[user_id]
+                self._record_population()
 
     def _retire_cache(self, account: UserAccount) -> None:
         """Detach ``account``'s cache from the relation and drop the
@@ -159,10 +209,12 @@ class PersonalizationService:
     def _record_population(self) -> None:
         registry = get_registry()
         if registry.enabled:
-            registry.set_gauge("service.registered_users", len(self._accounts))
-            registry.set_gauge(
-                "service.relation_listeners", self._relation.mutation_listener_count
-            )
+            with self._registry_lock:
+                registry.set_gauge("service.registered_users", len(self._accounts))
+                registry.set_gauge(
+                    "service.relation_listeners",
+                    self._relation.mutation_listener_count,
+                )
 
     def account(self, user_id: str) -> UserAccount:
         """Look up a registered user's account."""
@@ -176,24 +228,27 @@ class PersonalizationService:
     # ------------------------------------------------------------------
     def add_preference(self, user_id: str, preference: ContextualPreference) -> None:
         """Insert one preference into the user's profile."""
-        account = self.account(user_id)
-        account.repository.add(preference)
-        self._after_edit(account, preference)
+        with self._user_locks.write_locked(user_id):
+            account = self.account(user_id)
+            account.repository.add(preference)
+            self._after_edit(account, preference)
 
     def delete_preference(self, user_id: str, preference: ContextualPreference) -> None:
         """Delete one preference from the user's profile."""
-        account = self.account(user_id)
-        account.repository.remove(preference)
-        self._after_edit(account, preference)
+        with self._user_locks.write_locked(user_id):
+            account = self.account(user_id)
+            account.repository.remove(preference)
+            self._after_edit(account, preference)
 
     def update_preference(
         self, user_id: str, preference: ContextualPreference, new_score: float
     ) -> ContextualPreference:
         """Change a stored preference's score; returns the replacement."""
-        account = self.account(user_id)
-        replacement = account.repository.update_score(preference, new_score)
-        self._after_edit(account, preference)
-        return replacement
+        with self._user_locks.write_locked(user_id):
+            account = self.account(user_id)
+            replacement = account.repository.update_score(preference, new_score)
+            self._after_edit(account, preference)
+            return replacement
 
     def _after_edit(
         self,
@@ -219,15 +274,24 @@ class PersonalizationService:
     # Querying
     # ------------------------------------------------------------------
     def _executor_for(self, account: UserAccount) -> ContextualQueryExecutor:
-        if account._executor is None:
-            account._executor = ContextualQueryExecutor(
-                account.repository.tree,
-                self._relation,
-                metric=self._metric,
-                cache=account.cache,
-            )
+        # Query threads hold only the user's read lock, so two of them
+        # may race the lazy build; the account lock makes it
+        # build-once (the cache watch it wires is idempotent anyway,
+        # but a single executor keeps resolver state shared).
+        executor = account._executor
+        if executor is None:
+            with account._stats_lock:
+                executor = account._executor
+                if executor is None:
+                    executor = ContextualQueryExecutor(
+                        account.repository.tree,
+                        self._relation,
+                        metric=self._metric,
+                        cache=account.cache,
+                    )
+                    account._executor = executor
             self._record_population()
-        return account._executor
+        return executor
 
     def query(self, user_id: str, query: ContextualQuery) -> QueryResult:
         """Execute a contextual query as ``user_id``.
@@ -237,13 +301,14 @@ class PersonalizationService:
         """
         if query.environment.names != self._environment.names:
             raise QueryError("query environment does not match the service's")
-        account = self.account(user_id)
-        account.queries_executed += 1
-        registry = get_registry()
-        if registry.enabled:
-            registry.inc("service.queries", labels={"user": user_id})
-        with span("service_query"):
-            return self._executor_for(account).execute(query)
+        with self._user_locks.read_locked(user_id):
+            account = self.account(user_id)
+            account._count_queries()
+            registry = get_registry()
+            if registry.enabled:
+                registry.inc("service.queries", labels={"user": user_id})
+            with span("service_query"):
+                return self._executor_for(account).execute(query)
 
     def query_at(
         self,
@@ -268,23 +333,69 @@ class PersonalizationService:
         one :class:`QueryResult` per descriptor plus the batch's memo
         statistics.
         """
-        account = self.account(user_id)
-        descriptors = list(descriptors)
-        results, stats = self._executor_for(account).rank_many(descriptors)
-        account.queries_executed += len(descriptors)
-        registry = get_registry()
-        if registry.enabled:
-            registry.inc(
-                "service.queries", len(descriptors), labels={"user": user_id}
-            )
-        return results, stats
+        with self._user_locks.read_locked(user_id):
+            account = self.account(user_id)
+            descriptors = list(descriptors)
+            results, stats = self._executor_for(account).rank_many(descriptors)
+            account._count_queries(len(descriptors))
+            registry = get_registry()
+            if registry.enabled:
+                registry.inc(
+                    "service.queries", len(descriptors), labels={"user": user_id}
+                )
+            return results, stats
+
+    def query_many(
+        self,
+        requests: Sequence[tuple[str, ContextualQuery]],
+        max_workers: int = 4,
+        queue_depth: int | None = None,
+        timeout: float | None = None,
+        executor: ConcurrentQueryExecutor | None = None,
+    ) -> list[RequestOutcome]:
+        """Execute ``(user_id, query)`` requests on a bounded thread pool.
+
+        The concurrent counterpart of calling :meth:`query` in a loop:
+        requests fan out over a
+        :class:`~repro.concurrency.ConcurrentQueryExecutor` and the
+        per-user read/write locking guarantees each query sees a
+        consistent profile. Outcomes come back in request order; a
+        request whose query raised carries the exception instead of
+        failing the whole batch.
+
+        Args:
+            requests: ``(user_id, query)`` pairs.
+            max_workers / queue_depth / timeout: Pool parameters for a
+                temporary executor (see
+                :class:`~repro.concurrency.ConcurrentQueryExecutor`).
+            executor: Run on this executor instead of a temporary one
+                (it is left running; the caller owns its lifecycle).
+
+        Returns:
+            One :class:`~repro.concurrency.RequestOutcome` per request,
+            in request order; ``outcome.result`` is the
+            :class:`QueryResult` when ``outcome.ok``.
+        """
+        requests = list(requests)
+
+        def request_fn(user_id: str, query: ContextualQuery):
+            return lambda: self.query(user_id, query)
+
+        callables = [request_fn(user_id, query) for user_id, query in requests]
+        if executor is not None:
+            return executor.run(callables, timeout=timeout)
+        with ConcurrentQueryExecutor(
+            max_workers=max_workers, queue_depth=queue_depth, timeout=timeout
+        ) as pool:
+            return pool.run(callables)
 
     # ------------------------------------------------------------------
     # Persistence & statistics
     # ------------------------------------------------------------------
     def export_profile(self, user_id: str) -> str:
         """The user's profile as JSON (see :mod:`repro.io`)."""
-        return self.account(user_id).repository.to_json()
+        with self._user_locks.read_locked(user_id):
+            return self.account(user_id).repository.to_json()
 
     def import_profile(self, user_id: str, text: str) -> None:
         """Replace the user's profile from :meth:`export_profile` output.
@@ -301,7 +412,6 @@ class PersonalizationService:
             ReproError: If the payload's environment differs from the
                 service's.
         """
-        account = self.account(user_id)
         repository = PreferenceRepository.from_json(text)
         if repository.environment.names != self._environment.names:
             raise ReproError(
@@ -309,16 +419,26 @@ class PersonalizationService:
                 f"{list(repository.environment.names)!r} does not match the "
                 f"service's {list(self._environment.names)!r}"
             )
-        account.repository = repository
-        if account.cache is not None:
-            account.cache.unwatch(self._relation)
-            account.cache = ContextQueryTree(
-                self._environment, capacity=self._cache_capacity
-            )
-        self._after_edit(account)
+        with self._user_locks.write_locked(user_id):
+            account = self.account(user_id)
+            account.repository = repository
+            if account.cache is not None:
+                account.cache.unwatch(self._relation)
+                account.cache = ContextQueryTree(
+                    self._environment, capacity=self._cache_capacity
+                )
+            self._after_edit(account)
 
     def statistics(self) -> list[dict[str, object]]:
-        """Per-user usage statistics, sorted by user id."""
+        """Per-user usage statistics, sorted by user id.
+
+        The account list is snapshotted under the registry lock, so a
+        concurrent ``register``/``unregister`` cannot resize the dict
+        mid-iteration; each row then reads one account's counters
+        (monotonic ints - a row is at worst one event behind).
+        """
+        with self._registry_lock:
+            accounts = sorted(self._accounts.values(), key=lambda a: a.user_id)
         return [
             {
                 "user_id": account.user_id,
@@ -336,5 +456,5 @@ class PersonalizationService:
                     account.cache.invalidations if account.cache is not None else None
                 ),
             }
-            for account in sorted(self._accounts.values(), key=lambda a: a.user_id)
+            for account in accounts
         ]

@@ -16,10 +16,22 @@ eviction is O(depth) for the trie pruning rather than a scan over
 every cached state. Hits, misses, evictions and invalidations are kept
 as instance attributes and mirrored into the process metrics registry
 (:mod:`repro.obs`).
+
+**Thread safety.** Every cache operation (including ``get``, which
+mutates recency) runs under one reentrant lock, so concurrent readers
+and invalidators never corrupt the trie/dict pair. A monotonically
+increasing **generation** counter, bumped by every invalidation,
+closes the compute-then-put race: a caller snapshots ``generation``
+before computing a result against external state (the relation, the
+profile) and passes it to ``put``, which discards the entry if any
+invalidation landed in between - otherwise a ranking computed against
+the pre-mutation relation could be cached *after* the mutation's
+invalidation and served stale forever.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Sequence
 
@@ -77,6 +89,8 @@ class ContextQueryTree:
         # state -> leaf; ordered least- to most-recently used, so the
         # LRU victim is always the front entry (no stamp scans).
         self._leaves: OrderedDict[ContextState, _ResultLeaf] = OrderedDict()
+        self._lock = threading.RLock()
+        self._generation = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -96,6 +110,17 @@ class ContextQueryTree:
     def capacity(self) -> int | None:
         """Maximum number of cached states (``None`` = unbounded)."""
         return self._capacity
+
+    @property
+    def generation(self) -> int:
+        """Invalidation epoch: bumped by every invalidation/clear.
+
+        Snapshot it before computing a result and pass the snapshot to
+        :meth:`put` to make compute-then-cache safe against concurrent
+        invalidation.
+        """
+        with self._lock:
+            return self._generation
 
     def __len__(self) -> int:
         return len(self._leaves)
@@ -117,29 +142,30 @@ class ContextQueryTree:
         A hit refreshes the state's recency. Cell accesses along the
         root-to-leaf traversal are charged to ``counter``.
         """
-        path = self._project(state)
-        node = self._root
-        for key in path[:-1]:
-            found = node.find(key, counter)
-            if found is None:
+        with self._lock:
+            path = self._project(state)
+            node = self._root
+            for key in path[:-1]:
+                found = node.find(key, counter)
+                if found is None:
+                    self._miss()
+                    return None
+                if not isinstance(found, InternalNode):  # pragma: no cover
+                    raise TreeError("malformed query tree")
+                node = found
+            if node.find(path[-1], counter) is None:
                 self._miss()
                 return None
-            if not isinstance(found, InternalNode):  # pragma: no cover
-                raise TreeError("malformed query tree")
-            node = found
-        if node.find(path[-1], counter) is None:
-            self._miss()
-            return None
-        leaf = self._leaves.get(state)
-        if leaf is None:  # pragma: no cover - trie and dict stay in sync
-            self._miss()
-            return None
-        self._leaves.move_to_end(state)
-        self.hits += 1
-        registry = get_registry()
-        if registry.enabled:
-            registry.inc("cache.hits")
-        return leaf.result
+            leaf = self._leaves.get(state)
+            if leaf is None:  # pragma: no cover - trie and dict stay in sync
+                self._miss()
+                return None
+            self._leaves.move_to_end(state)
+            self.hits += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.inc("cache.hits")
+            return leaf.result
 
     def _miss(self) -> None:
         self.misses += 1
@@ -147,28 +173,42 @@ class ContextQueryTree:
         if registry.enabled:
             registry.inc("cache.misses")
 
-    def put(self, state: ContextState, result: object) -> None:
-        """Cache ``result`` for ``state``, evicting the LRU state if full."""
-        existing = self._leaves.get(state)
-        if existing is not None:
-            existing.result = result
-            self._leaves.move_to_end(state)
-            return
-        if self._capacity is not None and len(self._leaves) >= self._capacity:
-            self._evict_lru()
-        leaf = _ResultLeaf(result)
-        node = self._root
-        path = self._project(state)
-        for key in path[:-1]:
-            child = node.child(key)
-            if child is None:
-                child = InternalNode()
-                node.add_cell(key, child)
-            if not isinstance(child, InternalNode):  # pragma: no cover
-                raise TreeError("malformed query tree")
-            node = child
-        node.add_cell(path[-1], leaf)  # type: ignore[arg-type]
-        self._leaves[state] = leaf
+    def put(
+        self,
+        state: ContextState,
+        result: object,
+        generation: int | None = None,
+    ) -> None:
+        """Cache ``result`` for ``state``, evicting the LRU state if full.
+
+        ``generation`` (from :attr:`generation`, snapshotted before the
+        result was computed) makes the insert conditional: if any
+        invalidation happened since the snapshot, the entry is stale by
+        construction and silently discarded.
+        """
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                return
+            existing = self._leaves.get(state)
+            if existing is not None:
+                existing.result = result
+                self._leaves.move_to_end(state)
+                return
+            if self._capacity is not None and len(self._leaves) >= self._capacity:
+                self._evict_lru()
+            leaf = _ResultLeaf(result)
+            node = self._root
+            path = self._project(state)
+            for key in path[:-1]:
+                child = node.child(key)
+                if child is None:
+                    child = InternalNode()
+                    node.add_cell(key, child)
+                if not isinstance(child, InternalNode):  # pragma: no cover
+                    raise TreeError("malformed query tree")
+                node = child
+            node.add_cell(path[-1], leaf)  # type: ignore[arg-type]
+            self._leaves[state] = leaf
 
     def watch(self, relation) -> None:
         """Drop all cached results whenever ``relation`` is mutated.
@@ -197,11 +237,13 @@ class ContextQueryTree:
 
     def invalidate(self, state: ContextState) -> bool:
         """Drop the cached result for ``state``; True if one existed."""
-        if state not in self._leaves:
-            return False
-        self._remove(state)
-        self._count_invalidations(1)
-        return True
+        with self._lock:
+            self._generation += 1
+            if state not in self._leaves:
+                return False
+            self._remove(state)
+            self._count_invalidations(1)
+            return True
 
     def invalidate_covered(self, covering: ContextState) -> int:
         """Drop every cached state that ``covering`` covers (Def. 10).
@@ -219,6 +261,11 @@ class ContextQueryTree:
             raise TreeError(
                 "covering state belongs to a different context environment"
             )
+        with self._lock:
+            return self._invalidate_covered(covering)
+
+    def _invalidate_covered(self, covering: ContextState) -> int:
+        self._generation += 1
         projected = self._project(covering)
         parameters = [
             self._environment[name] for name in self._ordering
@@ -251,9 +298,11 @@ class ContextQueryTree:
     def clear(self) -> None:
         """Empty the cache (statistics are preserved; the dropped
         entries count as invalidations)."""
-        self._count_invalidations(len(self._leaves))
-        self._root = InternalNode()
-        self._leaves.clear()
+        with self._lock:
+            self._generation += 1
+            self._count_invalidations(len(self._leaves))
+            self._root = InternalNode()
+            self._leaves.clear()
 
     def _count_invalidations(self, dropped: int) -> None:
         if not dropped:
@@ -293,8 +342,9 @@ class ContextQueryTree:
 
     def hit_rate(self) -> float:
         """Fraction of lookups that hit (0.0 when no lookups yet)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,1 @@
+"""Tests for the concurrency layer (locks, executor, stress)."""

@@ -1,0 +1,117 @@
+"""Tests for the bounded concurrent query executor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import ConcurrentQueryExecutor, ExecutorSaturated
+from repro.exceptions import ReproError
+
+
+class TestRun:
+    def test_outcomes_in_submission_order(self):
+        # Later requests finish first; outcomes must still line up.
+        delays = [0.08, 0.04, 0.0]
+        with ConcurrentQueryExecutor(max_workers=3) as pool:
+            outcomes = pool.run(
+                [lambda d=d, i=i: (time.sleep(d), i)[1] for i, d in enumerate(delays)]
+            )
+        assert [outcome.index for outcome in outcomes] == [0, 1, 2]
+        assert [outcome.result for outcome in outcomes] == [0, 1, 2]
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_error_isolated_to_its_outcome(self):
+        def boom():
+            raise ValueError("bad request")
+
+        with ConcurrentQueryExecutor(max_workers=2) as pool:
+            outcomes = pool.run([lambda: 1, boom, lambda: 3])
+        assert [outcome.status for outcome in outcomes] == ["ok", "error", "ok"]
+        assert isinstance(outcomes[1].error, ValueError)
+        assert outcomes[1].result is None
+        assert not outcomes[1].ok
+
+    def test_per_request_timeout(self):
+        release = threading.Event()
+        with ConcurrentQueryExecutor(max_workers=1) as pool:
+            outcomes = pool.run(
+                [lambda: release.wait(5), lambda: "queued"], timeout=0.05
+            )
+            release.set()
+        # The running request times out; the queued one behind it is
+        # cancelled before a worker ever picks it up.
+        assert outcomes[0].status == "timeout"
+        assert outcomes[1].status in ("timeout", "cancelled")
+        stats = pool.stats()
+        assert stats["timeouts"] >= 1
+
+    def test_run_without_timeout_waits(self):
+        with ConcurrentQueryExecutor(max_workers=2, timeout=None) as pool:
+            outcomes = pool.run([lambda: time.sleep(0.02) or "slow"])
+        assert outcomes[0].ok
+        assert outcomes[0].result == "slow"
+        assert outcomes[0].seconds >= 0.02
+
+
+class TestAdmission:
+    def test_nonblocking_submit_sheds_load(self):
+        release = threading.Event()
+        pool = ConcurrentQueryExecutor(max_workers=1, queue_depth=1)
+        try:
+            futures = [
+                pool.submit(lambda: release.wait(5), block=False)
+                for _ in range(pool.capacity)
+            ]
+            with pytest.raises(ExecutorSaturated):
+                pool.submit(lambda: None, block=False)
+            assert pool.stats()["rejected"] == 1
+            release.set()
+            for future in futures:
+                future.result(timeout=5)
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_capacity_defaults_to_three_workers_worth(self):
+        pool = ConcurrentQueryExecutor(max_workers=4)
+        assert pool.capacity == 12  # workers + 2 * workers queued
+        pool.shutdown()
+
+    def test_permits_recycle_after_completion(self):
+        with ConcurrentQueryExecutor(max_workers=1, queue_depth=0) as pool:
+            for _ in range(5):  # capacity is 1; reuse proves release
+                pool.submit(lambda: None, block=False).result(timeout=5)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ReproError):
+            ConcurrentQueryExecutor(max_workers=0)
+        with pytest.raises(ReproError):
+            ConcurrentQueryExecutor(max_workers=1, queue_depth=-1)
+
+
+class TestLifecycle:
+    def test_submit_after_shutdown_raises(self):
+        pool = ConcurrentQueryExecutor(max_workers=1)
+        pool.shutdown()
+        with pytest.raises(ReproError):
+            pool.submit(lambda: 1)
+
+    def test_context_manager_shuts_down(self):
+        with ConcurrentQueryExecutor(max_workers=1) as pool:
+            assert pool.run([lambda: 1])[0].ok
+        with pytest.raises(ReproError):
+            pool.submit(lambda: 1)
+
+    def test_stats_account_for_every_request(self):
+        def boom():
+            raise RuntimeError("x")
+
+        with ConcurrentQueryExecutor(max_workers=2) as pool:
+            pool.run([lambda: 1, lambda: 2, boom])
+            stats = pool.stats()
+        assert stats["submitted"] == 3
+        assert stats["completed"] == 2
+        assert stats["errors"] == 1
+        assert stats["rejected"] == 0
+        assert stats["timeouts"] == 0

@@ -1,0 +1,247 @@
+"""Tests for the reader-writer lock and the striped lock table."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import RWLock, StripedLockTable
+from repro.exceptions import ReproError
+
+
+def run_in_thread(target):
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestReadSide:
+    def test_many_readers_hold_together(self):
+        lock = RWLock()
+        all_in = threading.Barrier(4, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                # Every reader reaches the barrier while still holding
+                # the lock, so all four must be inside at once.
+                all_in.wait()
+
+        threads = [run_in_thread(reader) for _ in range(4)]
+        for thread in threads:
+            thread.join(timeout=5)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_read_side_is_reentrant(self):
+        lock = RWLock()
+        with lock.read_locked():
+            with lock.read_locked():
+                assert lock.readers == 1
+            assert lock.readers == 1
+        assert lock.readers == 0
+
+    def test_reader_blocks_writer(self):
+        lock = RWLock()
+        lock.acquire_read()
+        blocked = []
+        thread = run_in_thread(
+            lambda: blocked.append(lock.acquire_write(timeout=0.05))
+        )
+        thread.join(timeout=5)
+        assert blocked == [False]
+        lock.release_read()
+        got = []
+        thread = run_in_thread(lambda: got.append(lock.acquire_write(timeout=1)))
+        thread.join(timeout=5)
+        assert got == [True]
+
+    def test_release_read_without_acquire_raises(self):
+        lock = RWLock()
+        with pytest.raises(ReproError):
+            lock.release_read()
+
+    def test_existing_reader_reacquires_past_waiting_writer(self):
+        # A read-locked thread calling another read-locked method must
+        # not deadlock behind a writer that is waiting on it.
+        lock = RWLock()
+        lock.acquire_read()
+        writer_waiting = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with lock.write_locked():
+                pass
+
+        thread = run_in_thread(writer)
+        writer_waiting.wait(timeout=5)
+        time.sleep(0.05)  # let the writer actually park on the condition
+        assert lock.acquire_read(timeout=1), "reentrant read deadlocked"
+        lock.release_read()
+        lock.release_read()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+
+class TestWriteSide:
+    def test_writer_excludes_writer(self):
+        lock = RWLock()
+        lock.acquire_write()
+        blocked = []
+
+        def second():
+            blocked.append(lock.acquire_write(timeout=0.05))
+
+        thread = run_in_thread(second)
+        thread.join(timeout=5)
+        assert blocked == [False]
+        lock.release_write()
+
+    def test_writer_excludes_reader(self):
+        lock = RWLock()
+        lock.acquire_write()
+        try:
+            blocked = []
+            thread = run_in_thread(
+                lambda: blocked.append(lock.acquire_read(timeout=0.05))
+            )
+            thread.join(timeout=5)
+            assert blocked == [False]
+        finally:
+            lock.release_write()
+
+    def test_write_side_is_reentrant(self):
+        lock = RWLock()
+        with lock.write_locked():
+            with lock.write_locked():
+                assert lock.write_held()
+            assert lock.write_held()
+        assert not lock.write_held()
+
+    def test_writer_may_take_read_side(self):
+        lock = RWLock()
+        with lock.write_locked():
+            with lock.read_locked():
+                assert lock.write_held()
+        assert not lock.write_held()
+
+    def test_read_to_write_upgrade_forbidden(self):
+        lock = RWLock()
+        with lock.read_locked():
+            with pytest.raises(ReproError, match="upgrade"):
+                lock.acquire_write()
+
+    def test_release_write_by_non_owner_raises(self):
+        lock = RWLock()
+        lock.acquire_write()
+        errors = []
+
+        def interloper():
+            try:
+                lock.release_write()
+            except ReproError as error:
+                errors.append(error)
+
+        thread = run_in_thread(interloper)
+        thread.join(timeout=5)
+        assert len(errors) == 1
+        lock.release_write()
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer_parked = threading.Event()
+        writer_done = threading.Event()
+
+        def writer():
+            writer_parked.set()
+            with lock.write_locked():
+                pass
+            writer_done.set()
+
+        writer_thread = run_in_thread(writer)
+        writer_parked.wait(timeout=5)
+        time.sleep(0.05)
+
+        new_reader_result = []
+        reader_thread = run_in_thread(
+            lambda: new_reader_result.append(lock.acquire_read(timeout=0.05))
+        )
+        reader_thread.join(timeout=5)
+        # A *new* reader queues behind the waiting writer...
+        assert new_reader_result == [False]
+        lock.release_read()
+        writer_thread.join(timeout=5)
+        # ...and once the original reader leaves, the writer gets in.
+        assert writer_done.is_set()
+
+    def test_timed_out_writer_unparks_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        timed_out = []
+        writer = run_in_thread(
+            lambda: timed_out.append(lock.acquire_write(timeout=0.05))
+        )
+        writer.join(timeout=5)
+        assert timed_out == [False]  # timed out behind the reader
+        # The failed writer must not leave later readers parked forever.
+        got = []
+        thread = run_in_thread(lambda: got.append(lock.acquire_read(timeout=1)))
+        thread.join(timeout=5)
+        assert got == [True]
+        lock.release_read()
+
+
+class TestMutualExclusionUnderLoad:
+    def test_counter_increments_are_exact(self):
+        lock = RWLock()
+        totals = {"value": 0}
+        per_thread, num_threads = 500, 8
+
+        def bump():
+            for _ in range(per_thread):
+                with lock.write_locked():
+                    current = totals["value"]
+                    totals["value"] = current + 1
+
+        threads = [run_in_thread(bump) for _ in range(num_threads)]
+        for thread in threads:
+            thread.join(timeout=30)
+        assert totals["value"] == per_thread * num_threads
+
+
+class TestStripedLockTable:
+    def test_rounds_up_to_power_of_two(self):
+        assert len(StripedLockTable(5)) == 8
+        assert len(StripedLockTable(64)) == 64
+        assert len(StripedLockTable(1)) == 1
+
+    def test_invalid_stripe_count_raises(self):
+        with pytest.raises(ReproError):
+            StripedLockTable(0)
+
+    def test_same_key_same_stripe(self):
+        table = StripedLockTable(16)
+        assert table.lock_for("alice") is table.lock_for("alice")
+
+    def test_keys_spread_over_stripes(self):
+        table = StripedLockTable(64)
+        stripes = {id(table.lock_for(f"user{i}")) for i in range(200)}
+        assert len(stripes) > 1
+
+    def test_locked_helpers_delegate_to_stripe(self):
+        table = StripedLockTable(4)
+        with table.write_locked("alice"):
+            assert table.lock_for("alice").write_held()
+        with table.read_locked("alice"):
+            assert table.lock_for("alice").readers == 1
+
+    def test_single_stripe_serialises_all_keys(self):
+        table = StripedLockTable(1)
+        with table.write_locked("alice"):
+            blocked = []
+            thread = run_in_thread(
+                lambda: blocked.append(
+                    table.lock_for("bob").acquire_write(timeout=0.05)
+                )
+            )
+            thread.join(timeout=5)
+            assert blocked == [False]
