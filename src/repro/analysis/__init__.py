@@ -1,0 +1,46 @@
+"""Project-native static analysis: invariants ruff/mypy cannot see.
+
+The serving stack's correctness rests on conventions that no generic
+linter checks: the documented lock hierarchy (user > registry >
+account > relation > cache > metrics), the package layering DAG
+(context/hierarchy below preferences below tree below db below query
+below service), and hot-path hygiene rules (no bare ``threading``
+locks outside :mod:`repro.concurrency`, no ``print`` in library code,
+no mutable default arguments, no un-gated metrics work inside the
+``search_cs``/``rank_rows`` hot paths). One refactor can silently
+break any of them - and a broken lock order is a deadlock waiting for
+production traffic, while a stale-cache write corrupts the Def. 10-12
+context-resolution results the paper's Theorem 1 depends on.
+
+This package walks the source tree's ASTs and machine-checks all
+three families:
+
+* :mod:`repro.analysis.lockorder` - extracts lock acquisitions per
+  function, propagates them over an intra-package call graph, and
+  flags hierarchy inversions and read->write upgrades;
+* :mod:`repro.analysis.layering` - enforces the package DAG on
+  module-level imports (deferred imports are exempt, except that
+  nothing below the service layer may import it, ever);
+* :mod:`repro.analysis.hygiene` - the hot-path rules above.
+
+Run it as ``python -m repro analyze`` (text or ``--format json``;
+non-zero exit on findings). The runtime counterpart - a per-thread
+held-lock stack asserting the same hierarchy on every acquire - lives
+in :mod:`repro.concurrency.locks` and runs inside the stress tests.
+"""
+
+from repro.analysis.findings import Finding, render_json, render_text
+from repro.analysis.modules import SourceModule, collect_modules, load_module
+from repro.analysis.runner import AnalysisReport, analyze, analyze_modules
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "SourceModule",
+    "analyze",
+    "analyze_modules",
+    "collect_modules",
+    "load_module",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,63 @@
+"""Finding records and report rendering for the static checkers."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "render_json", "render_text"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Stable rule id (``LOCK001``, ``LAYER001``, ``HYG003``...).
+        category: Checker family: ``lock-order``, ``layering`` or
+            ``hygiene``.
+        module: Dotted module name the finding is in.
+        path: File path (as collected; relative or absolute).
+        line: 1-based line number of the offending node.
+        message: Human-readable description of the violation.
+        function: Qualified function name, when the rule is scoped to
+            one (``Class.method`` or a bare function name).
+    """
+
+    rule: str
+    category: str
+    module: str
+    path: str
+    line: int
+    message: str
+    function: str | None = None
+
+    def location(self) -> str:
+        """``path:line`` - the clickable source location."""
+        return f"{self.path}:{self.line}"
+
+
+def _sort_key(finding: Finding) -> tuple[str, str, int, str]:
+    return (finding.category, finding.path, finding.line, finding.rule)
+
+
+def render_text(findings: list[Finding]) -> str:
+    """The findings as a line-per-finding human-readable report."""
+    if not findings:
+        return "analyze: 0 findings"
+    lines = [
+        f"{finding.location()}: {finding.rule} [{finding.category}] "
+        f"{finding.message}"
+        for finding in sorted(findings, key=_sort_key)
+    ]
+    lines.append(f"analyze: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """The findings as a JSON report (stable field order, sorted)."""
+    payload = {
+        "findings": [asdict(f) for f in sorted(findings, key=_sort_key)],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,170 @@
+"""Layering checker: the package import DAG, machine-enforced.
+
+The architecture (see ``docs/architecture.md``) stacks the packages
+so that every module-level import points *downward*::
+
+    exceptions < concurrency.locks < obs < concurrency
+               < hierarchy < context < preferences < tree < db
+               < resolution < io < query < dsl < workloads
+               < service < eval < analysis < (cli / __main__ / root)
+
+``obs`` and ``concurrency`` are utility layers: importable from
+anywhere, never importing upward themselves (``concurrency.locks``
+sits below ``obs`` because the metric locks are built from it; the
+executor above ``obs`` because it records metrics - its registry
+import is deferred for exactly that reason).
+
+Rules:
+
+* ``LAYER001`` - a module-level import names a module in a strictly
+  higher layer. Deferred (function-local) imports are exempt: they
+  are the documented pattern for upward-looking facades such as
+  :meth:`repro.preferences.repository.PreferenceRepository.to_json`,
+  and imports under ``if TYPE_CHECKING:`` never execute at all.
+* ``LAYER002`` - anything below the service layer imports
+  ``repro.service``, at *any* nesting depth. A deferred import is
+  still a runtime dependency; the storage engine calling up into the
+  serving layer is an architecture inversion no laziness excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.modules import SourceModule
+
+__all__ = ["LAYERS", "check_layering", "layer_of"]
+
+#: Package (or exact-module override) -> layer rank. Imports must not
+#: point from a lower rank to a strictly higher one.
+LAYERS: dict[str, int] = {
+    "repro.exceptions": 0,
+    "repro.concurrency.locks": 1,  # below obs: metric locks come from here
+    "repro.obs": 2,
+    "repro.concurrency": 3,  # executor records metrics (deferred import)
+    "repro.hierarchy": 4,
+    "repro.context": 5,
+    "repro.preferences": 6,
+    "repro.tree": 7,
+    "repro.db": 8,
+    "repro.resolution": 9,
+    "repro.io": 10,
+    "repro.query": 11,
+    "repro.dsl": 12,
+    "repro.workloads": 13,
+    "repro.service": 14,
+    "repro.eval": 15,
+    "repro.analysis": 16,
+    # CLI surface and the package root re-export everything.
+    "repro.cli": 17,
+    "repro.__main__": 17,
+    "repro": 17,
+}
+
+_SERVICE_RANK = LAYERS["repro.service"]
+
+
+def layer_of(module: str) -> int | None:
+    """The layer rank of a dotted module name (longest prefix wins)."""
+    parts = module.split(".")
+    while parts:
+        rank = LAYERS.get(".".join(parts))
+        if rank is not None:
+            return rank
+        parts.pop()
+    return None
+
+
+def _imported_modules(node: ast.Import | ast.ImportFrom) -> list[str]:
+    if isinstance(node, ast.ImportFrom):
+        if node.level:  # relative import; the project uses absolute only
+            return []
+        return [node.module] if node.module else []
+    return [alias.name for alias in node.names]
+
+
+def _is_type_checking_guard(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def _walk_imports(
+    body: list[ast.stmt], top_level: bool
+) -> list[tuple[ast.Import | ast.ImportFrom, bool]]:
+    """Yield ``(import node, is module-level)`` pairs, skipping
+    ``if TYPE_CHECKING:`` blocks entirely."""
+    found: list[tuple[ast.Import | ast.ImportFrom, bool]] = []
+    for statement in body:
+        if _is_type_checking_guard(statement):
+            continue
+        if isinstance(statement, (ast.Import, ast.ImportFrom)):
+            found.append((statement, top_level))
+            continue
+        # Imports in functions become deferred; imports inside if/try/
+        # with blocks (or class bodies) at module scope stay
+        # module-level - they still run at import time.
+        in_function = isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        child_top = top_level and not in_function
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(statement, attr, None)
+            if isinstance(inner, list) and inner and isinstance(inner[0], ast.stmt):
+                found.extend(_walk_imports(inner, child_top))
+        for handler in getattr(statement, "handlers", []):
+            found.extend(_walk_imports(handler.body, child_top))
+    return found
+
+
+def check_layering(modules: list[SourceModule]) -> list[Finding]:
+    """Run the layering rules over the collected modules."""
+    findings: list[Finding] = []
+    for module in modules:
+        importer_rank = layer_of(module.name)
+        if importer_rank is None:
+            continue
+        for node, top_level in _walk_imports(module.tree.body, True):
+            for target in _imported_modules(node):
+                if not target.startswith("repro"):
+                    continue
+                target_rank = layer_of(target)
+                if target_rank is None:
+                    continue
+                if top_level and target_rank > importer_rank:
+                    findings.append(
+                        Finding(
+                            rule="LAYER001",
+                            category="layering",
+                            module=module.name,
+                            path=str(module.path),
+                            line=node.lineno,
+                            message=(
+                                f"module-level import of {target} (layer "
+                                f"{target_rank}) from layer {importer_rank}: "
+                                "imports must point downward; defer it or "
+                                "move the dependency"
+                            ),
+                        )
+                    )
+                elif (
+                    target_rank == _SERVICE_RANK
+                    and importer_rank < _SERVICE_RANK
+                ):
+                    findings.append(
+                        Finding(
+                            rule="LAYER002",
+                            category="layering",
+                            module=module.name,
+                            path=str(module.path),
+                            line=node.lineno,
+                            message=(
+                                f"{module.name} imports {target}: nothing "
+                                "below the service layer may depend on it, "
+                                "even via a deferred import"
+                            ),
+                        )
+                    )
+    return findings

@@ -1,0 +1,219 @@
+"""Lock-order checker: the hierarchy, proved over the call graph.
+
+The process lock order (see :mod:`repro.concurrency` and
+``docs/architecture.md``) is: user(10) < registry(20) < account(25) <
+relation(30) < cache(40) < metrics(50) - a thread must acquire locks
+in strictly increasing level order, and an :class:`~repro.concurrency.RWLock`
+held on the read side must never be upgraded to the write side.
+
+The runtime sanitizer (:func:`repro.concurrency.enable_lock_sanitizer`)
+asserts this on the paths the tests happen to execute; this checker
+asserts it on *every* path the sources can express:
+
+1. :class:`~repro.analysis.callgraph.Program` extracts each function's
+   direct acquisitions with the locks lexically held around them, and
+   its call sites likewise.
+2. A fixed-point pass computes each function's **transitive acquire
+   set** - every ``(lock, mode)`` it may acquire directly or through
+   callees - with a provenance chain for messages.
+3. Every direct acquisition and every resolved call site is then
+   checked against the locks held there.
+
+Rules:
+
+* ``LOCK001`` - while holding a ranked lock, a path acquires a
+  *different* lock of equal or lower level (the same lock re-entering
+  is fine; the primitives are reentrant).
+* ``LOCK002`` - while holding a lock's read side, a path acquires its
+  write side (an RWLock cannot upgrade; this self-deadlocks under a
+  waiting writer).
+
+Listener dispatch is the one dynamic edge the call graph cannot see:
+``Relation.insert`` invokes registered callbacks under its write lock.
+``EXTRA_CALL_EDGES`` declares those callee pairs; each is anchored at
+the caller's *unresolved* call sites (the ``listener(self)`` dispatch
+itself), so the callback is checked against exactly the locks held at
+dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import Acquire, LockRef, Program, level_name
+from repro.analysis.findings import Finding
+from repro.analysis.modules import SourceModule
+
+__all__ = ["EXTRA_CALL_EDGES", "check_lock_order"]
+
+#: Dynamic-dispatch edges the static call graph cannot resolve:
+#: ``(caller qualname, callee qualname)``. Relation mutation listeners
+#: are registered by ContextQueryTree.watch and invoked - under the
+#: relation's write lock - from Relation.insert.
+EXTRA_CALL_EDGES: tuple[tuple[str, str], ...] = (
+    (
+        "repro.db.relation:Relation.insert",
+        "repro.tree.query_tree:ContextQueryTree._on_relation_mutated",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class _MayAcquire:
+    """One (lock, mode) a function may acquire, with provenance."""
+
+    lock: LockRef
+    mode: str
+    chain: tuple[str, ...]  # callee display names, outermost first
+
+
+def _innermost(held: tuple[Acquire, ...]) -> Acquire | None:
+    """The highest-level ranked lock currently held (runtime's rule)."""
+    ranked = [acquire for acquire in held if acquire.lock.level is not None]
+    return max(ranked, key=lambda acquire: acquire.lock.level) if ranked else None
+
+
+def _transitive_acquires(
+    program: Program, extra_edges: tuple[tuple[str, str], ...]
+) -> dict[str, dict[tuple[str, str], _MayAcquire]]:
+    """Fixed point of "may acquire" over the call graph."""
+    extra_by_caller: dict[str, list[str]] = {}
+    for caller, callee in extra_edges:
+        if caller in program.functions and callee in program.functions:
+            extra_by_caller.setdefault(caller, []).append(callee)
+
+    summary: dict[str, dict[tuple[str, str], _MayAcquire]] = {
+        name: {
+            (acquire.lock.key, acquire.mode): _MayAcquire(
+                lock=acquire.lock, mode=acquire.mode, chain=()
+            )
+            for acquire, _held in function.acquires
+        }
+        for name, function in program.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, function in program.functions.items():
+            mine = summary[name]
+            callees = [
+                call.callee
+                for call in function.calls
+                if call.callee is not None and call.callee in summary
+            ]
+            callees.extend(extra_by_caller.get(name, []))
+            for callee in callees:
+                callee_display = program.functions[callee].display
+                for key, entry in summary[callee].items():
+                    if key not in mine:
+                        mine[key] = _MayAcquire(
+                            lock=entry.lock,
+                            mode=entry.mode,
+                            chain=(callee_display, *entry.chain),
+                        )
+                        changed = True
+    return summary
+
+
+def _order_violation(
+    held: tuple[Acquire, ...], lock: LockRef, mode: str
+) -> tuple[str, Acquire] | None:
+    """The violated rule (and the held lock it clashes with), if any."""
+    for acquire in held:
+        if acquire.lock.key == lock.key:
+            if acquire.mode == "read" and mode == "write":
+                return ("LOCK002", acquire)
+            return None  # reentrant re-acquire of the same lock: fine
+    if lock.level is None:
+        return None  # unranked locks opt out of the hierarchy
+    innermost = _innermost(held)
+    if innermost is not None and lock.level <= innermost.lock.level:
+        return ("LOCK001", innermost)
+    return None
+
+
+def _describe(lock: LockRef, mode: str) -> str:
+    side = {"read": " (read side)", "write": " (write side)"}.get(mode, "")
+    return f"{lock.key}{side} at level {level_name(lock.level)}"
+
+
+def check_lock_order(
+    modules: list[SourceModule],
+    extra_edges: tuple[tuple[str, str], ...] = EXTRA_CALL_EDGES,
+) -> list[Finding]:
+    """Run the lock-order rules over the collected modules."""
+    program = Program(modules)
+    transitive = _transitive_acquires(program, extra_edges)
+    findings: list[Finding] = []
+
+    def report(
+        rule: str,
+        function_name: str,
+        line: int,
+        lock: LockRef,
+        mode: str,
+        clash: Acquire,
+        chain: tuple[str, ...],
+    ) -> None:
+        function = program.functions[function_name]
+        via = f" via {' -> '.join(chain)}" if chain else ""
+        if rule == "LOCK002":
+            message = (
+                f"read->write upgrade: holding {clash.lock.key} (read side), "
+                f"this path{via} acquires its write side; an RWLock cannot "
+                "upgrade - release the read side first"
+            )
+        else:
+            message = (
+                f"lock-order inversion: holding {_describe(clash.lock, clash.mode)}, "
+                f"this path{via} acquires {_describe(lock, mode)}; locks must "
+                "be taken in strictly increasing level order"
+            )
+        findings.append(
+            Finding(
+                rule=rule,
+                category="lock-order",
+                module=function.module,
+                path=function.path,
+                line=line,
+                message=message,
+                function=function.display,
+            )
+        )
+
+    for name, function in program.functions.items():
+        for acquire, held in function.acquires:
+            violated = _order_violation(held, acquire.lock, acquire.mode)
+            if violated is not None:
+                rule, clash = violated
+                report(rule, name, acquire.line, acquire.lock, acquire.mode, clash, ())
+        extra_callees = [
+            callee
+            for caller, callee in extra_edges
+            if caller == name and callee in transitive
+        ]
+        for call in function.calls:
+            if not call.held:
+                continue
+            callees: list[str] = []
+            if call.callee is not None and call.callee in transitive:
+                callees.append(call.callee)
+            elif call.callee is None:
+                # Unresolved call sites anchor the dynamic-dispatch
+                # edges: the listener callback runs right here.
+                callees.extend(extra_callees)
+            for callee in callees:
+                for entry in transitive[callee].values():
+                    violated = _order_violation(call.held, entry.lock, entry.mode)
+                    if violated is not None:
+                        rule, clash = violated
+                        report(
+                            rule,
+                            name,
+                            call.line,
+                            entry.lock,
+                            entry.mode,
+                            clash,
+                            (program.functions[callee].display, *entry.chain),
+                        )
+    return findings

@@ -1,0 +1,67 @@
+"""Entry points: run every checker family and aggregate the findings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, render_json, render_text
+from repro.analysis.hygiene import check_hygiene
+from repro.analysis.layering import check_layering
+from repro.analysis.lockorder import EXTRA_CALL_EDGES, check_lock_order
+from repro.analysis.modules import SourceModule, collect_modules
+
+__all__ = ["AnalysisReport", "analyze", "analyze_modules"]
+
+
+@dataclass
+class AnalysisReport:
+    """All findings from one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean."""
+        return not self.findings
+
+    def by_category(self, category: str) -> list[Finding]:
+        """The findings of one checker family."""
+        return [f for f in self.findings if f.category == category]
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        """The findings of one rule id."""
+        return [f for f in self.findings if f.rule == rule]
+
+    def render(self, format: str = "text") -> str:
+        """The report as ``"text"`` or ``"json"``."""
+        if format == "json":
+            return render_json(self.findings)
+        return render_text(self.findings)
+
+
+def analyze_modules(
+    modules: list[SourceModule],
+    extra_edges: tuple[tuple[str, str], ...] = EXTRA_CALL_EDGES,
+) -> AnalysisReport:
+    """Run all three checker families over already-collected modules."""
+    findings = [
+        *check_lock_order(modules, extra_edges),
+        *check_layering(modules),
+        *check_hygiene(modules),
+    ]
+    return AnalysisReport(findings=findings)
+
+
+def analyze(root: Path | None = None) -> AnalysisReport:
+    """Analyze the package tree rooted at ``root``.
+
+    ``root`` is the directory containing the package's ``__init__.py``;
+    it defaults to the installed :mod:`repro` package itself, so
+    ``python -m repro analyze`` checks the code it runs from.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    return analyze_modules(collect_modules(Path(root)))

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig6 right          # Fig. 6 right (skew crossover)
     python -m repro fig7 real           # Fig. 7 left (real profile accesses)
     python -m repro fig7 synthetic      # Fig. 7 center+right (synthetic)
+    python -m repro analyze             # project-native static checks
 
 Every command accepts ``--seed`` and, where meaningful, ``--sizes`` to
 re-run the sweep at other scales than the paper's.
@@ -114,6 +115,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=17)
     serve.add_argument(
         "--json", action="store_true", help="emit the raw report as JSON"
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static checks: lock order, layering, hot-path hygiene",
+    )
+    analyze.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="text = line per finding; json = machine-readable report",
+    )
+    analyze.add_argument(
+        "--root",
+        type=str,
+        default=None,
+        help="package directory to analyze (default: the installed repro "
+        "package itself)",
     )
     return parser
 
@@ -320,5 +339,15 @@ _RUNNERS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "analyze":
+        # The one command with a meaningful failure exit code: CI runs
+        # it as a gate, so findings must fail the process.
+        from pathlib import Path
+
+        from repro.analysis import analyze
+
+        report = analyze(Path(args.root) if args.root else None)
+        print(report.render(args.format))
+        return 0 if report.ok else 1
     print(_RUNNERS[args.command](args))
     return 0

@@ -14,12 +14,17 @@ This package provides the two building blocks the service layers share:
 
 The process-wide **lock order** (outermost first) is::
 
-    per-user lock  >  service registry lock  >  relation lock
-                   >  context-query-tree lock  >  metric-series locks
+    per-user lock (10)  >  service registry lock (20)
+                        >  account stats lock (25)  >  relation lock (30)
+                        >  context-query-tree lock (40)  >  metric-series locks (50)
 
 Every acquisition follows this order, so the layers cannot deadlock:
 no code path acquires a lock to the left while holding one to the
-right.
+right. The order is enforced twice: statically by ``python -m repro
+analyze`` (:mod:`repro.analysis`) and at runtime by the opt-in
+lock-order sanitizer in :mod:`repro.concurrency.locks` (see
+:func:`enable_lock_sanitizer`), which the concurrency stress tests run
+under.
 """
 
 from repro.concurrency.executor import (
@@ -27,12 +32,43 @@ from repro.concurrency.executor import (
     ExecutorSaturated,
     RequestOutcome,
 )
-from repro.concurrency.locks import RWLock, StripedLockTable
+from repro.concurrency.locks import (
+    LEVEL_ACCOUNT,
+    LEVEL_CACHE,
+    LEVEL_METRICS,
+    LEVEL_REGISTRY,
+    LEVEL_RELATION,
+    LEVEL_USER,
+    LOCK_LEVEL_NAMES,
+    LockOrderViolation,
+    Mutex,
+    RWLock,
+    StripedLockTable,
+    disable_lock_sanitizer,
+    enable_lock_sanitizer,
+    held_locks,
+    lock_sanitizer,
+    lock_sanitizer_enabled,
+)
 
 __all__ = [
+    "LEVEL_ACCOUNT",
+    "LEVEL_CACHE",
+    "LEVEL_METRICS",
+    "LEVEL_REGISTRY",
+    "LEVEL_RELATION",
+    "LEVEL_USER",
+    "LOCK_LEVEL_NAMES",
     "ConcurrentQueryExecutor",
     "ExecutorSaturated",
+    "LockOrderViolation",
+    "Mutex",
     "RWLock",
     "RequestOutcome",
     "StripedLockTable",
+    "disable_lock_sanitizer",
+    "enable_lock_sanitizer",
+    "held_locks",
+    "lock_sanitizer",
+    "lock_sanitizer_enabled",
 ]

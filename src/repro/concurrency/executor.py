@@ -32,9 +32,18 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 
 from repro.exceptions import ReproError
-from repro.obs.metrics import get_registry
+from repro.concurrency.locks import LEVEL_METRICS, Mutex
 
 __all__ = ["ConcurrentQueryExecutor", "ExecutorSaturated", "RequestOutcome"]
+
+
+def _get_registry():
+    # Deferred: obs sits *below* concurrency in the layer order (its
+    # metric locks are built from repro.concurrency.locks), so a
+    # module-level import here would be circular.
+    from repro.obs.metrics import get_registry
+
+    return get_registry()
 
 
 class ExecutorSaturated(ReproError):
@@ -106,7 +115,7 @@ class ConcurrentQueryExecutor:
         )
         self._timeout = timeout
         self._shutdown = False
-        self._stats_lock = threading.Lock()
+        self._stats_lock = Mutex(level=LEVEL_METRICS, name="executor.stats")
         self.submitted = 0
         self.completed = 0
         self.rejected = 0
@@ -140,7 +149,7 @@ class ConcurrentQueryExecutor:
     def _count(self, field: str, delta: int = 1) -> None:
         with self._stats_lock:
             setattr(self, field, getattr(self, field) + delta)
-        registry = get_registry()
+        registry = _get_registry()
         if registry.enabled:
             registry.inc(f"concurrency.{field}", delta)
 
@@ -207,7 +216,7 @@ class ConcurrentQueryExecutor:
         started = time.perf_counter()
         futures = [self.submit(fn, block=True) for fn in requests]
         outcomes: list[RequestOutcome] = []
-        registry = get_registry()
+        registry = _get_registry()
         for index, future in enumerate(futures):
             remaining: float | None = None
             if timeout is not None:

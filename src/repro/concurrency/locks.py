@@ -21,16 +21,183 @@ fixed array of :class:`RWLock` stripes by hash. Two users rarely share
 a stripe (and sharing is only a performance, never a correctness,
 concern), while memory stays O(stripes) no matter how many users
 register.
+
+**Lock hierarchy.** Every lock in the serving stack carries a *level*
+from the documented process-wide order (outermost first)::
+
+    user (10)  >  registry (20)  >  account (25)
+               >  relation (30)  >  cache (40)  >  metrics (50)
+
+Acquisitions must happen in strictly increasing level order within one
+thread. The order is machine-checked twice: statically by
+``python -m repro analyze`` (:mod:`repro.analysis`) and dynamically by
+the **lock-order sanitizer** in this module - an opt-in per-thread
+held-lock stack that asserts the hierarchy on every acquire and raises
+:class:`LockOrderViolation` on the first out-of-order acquisition or
+read->write upgrade. The sanitizer is off by default (one global
+boolean check per acquire); the concurrency stress tests enable it via
+:func:`enable_lock_sanitizer`/:func:`lock_sanitizer`, as does setting
+the ``REPRO_LOCK_SANITIZER`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 from repro.exceptions import ReproError
 
-__all__ = ["RWLock", "StripedLockTable"]
+__all__ = [
+    "LEVEL_ACCOUNT",
+    "LEVEL_CACHE",
+    "LEVEL_METRICS",
+    "LEVEL_REGISTRY",
+    "LEVEL_RELATION",
+    "LEVEL_USER",
+    "LOCK_LEVEL_NAMES",
+    "LockOrderViolation",
+    "Mutex",
+    "RWLock",
+    "StripedLockTable",
+    "disable_lock_sanitizer",
+    "enable_lock_sanitizer",
+    "held_locks",
+    "lock_sanitizer",
+    "lock_sanitizer_enabled",
+]
+
+#: The documented lock hierarchy, outermost (acquired first) to
+#: innermost. Gaps leave room for future levels without renumbering.
+LEVEL_USER = 10
+LEVEL_REGISTRY = 20
+LEVEL_ACCOUNT = 25
+LEVEL_RELATION = 30
+LEVEL_CACHE = 40
+LEVEL_METRICS = 50
+
+#: Level value -> human-readable name (used in violation messages and
+#: by the static analyzer's report).
+LOCK_LEVEL_NAMES = {
+    LEVEL_USER: "user",
+    LEVEL_REGISTRY: "registry",
+    LEVEL_ACCOUNT: "account",
+    LEVEL_RELATION: "relation",
+    LEVEL_CACHE: "cache",
+    LEVEL_METRICS: "metrics",
+}
+
+
+class LockOrderViolation(ReproError):
+    """The runtime sanitizer caught an out-of-order lock acquisition."""
+
+
+def _env_truthy(value: str | None) -> bool:
+    return (value or "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+_SANITIZER_ENABLED = _env_truthy(os.environ.get("REPRO_LOCK_SANITIZER"))
+
+
+class _HeldStack(threading.local):
+    """Per-thread stack of ``(lock, level, mode)`` acquisitions."""
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[object, int | None, str]] = []
+
+
+_HELD = _HeldStack()
+
+
+def enable_lock_sanitizer() -> None:
+    """Turn on runtime lock-order checking (process-wide)."""
+    global _SANITIZER_ENABLED
+    _SANITIZER_ENABLED = True
+
+
+def disable_lock_sanitizer() -> None:
+    """Turn runtime lock-order checking back off."""
+    global _SANITIZER_ENABLED
+    _SANITIZER_ENABLED = False
+
+
+def lock_sanitizer_enabled() -> bool:
+    """Whether the runtime sanitizer is currently active."""
+    return _SANITIZER_ENABLED
+
+
+@contextmanager
+def lock_sanitizer() -> Iterator[None]:
+    """``with lock_sanitizer():`` - sanitizer on for the block."""
+    previous = _SANITIZER_ENABLED
+    enable_lock_sanitizer()
+    try:
+        yield
+    finally:
+        if not previous:
+            disable_lock_sanitizer()
+
+
+def held_locks() -> list[tuple[object, int | None, str]]:
+    """The calling thread's held-lock stack (sanitizer bookkeeping).
+
+    Entries are ``(lock, level, mode)`` in acquisition order; only
+    maintained while the sanitizer is enabled.
+    """
+    return list(_HELD.entries)
+
+
+def _describe(lock: object, level: int | None) -> str:
+    name = getattr(lock, "name", None) or type(lock).__name__
+    if level is None:
+        return f"{name} (unranked)"
+    label = LOCK_LEVEL_NAMES.get(level, str(level))
+    return f"{name} (level {level}/{label})"
+
+
+def _sanitize_check(lock: object, level: int | None, mode: str) -> None:
+    """Assert the hierarchy allows acquiring ``lock`` right now.
+
+    Reentrant acquisitions of a lock already on the stack are always
+    allowed *except* a read->write upgrade, which deadlocks an RWLock.
+    Unranked locks (``level is None``) are tracked but exempt from
+    ordering, so driver-local locks do not need a hierarchy slot.
+    """
+    innermost: tuple[object, int, str] | None = None
+    for held, held_level, held_mode in _HELD.entries:
+        if held is lock:
+            if held_mode == "read" and mode == "write":
+                raise LockOrderViolation(
+                    f"read->write upgrade on {_describe(lock, level)}: the "
+                    "calling thread already holds the read side"
+                )
+            # Reentrant re-acquisition: no ordering check needed.
+            return
+        if held_level is not None and (
+            innermost is None or held_level >= innermost[1]
+        ):
+            innermost = (held, held_level, held_mode)
+    if level is not None and innermost is not None and level <= innermost[1]:
+        raise LockOrderViolation(
+            f"acquiring {_describe(lock, level)} while holding "
+            f"{_describe(innermost[0], innermost[1])} violates the lock "
+            "hierarchy (user > registry > account > relation > cache > metrics)"
+        )
+
+
+def _sanitize_push(lock: object, level: int | None, mode: str) -> None:
+    """Record a successful acquisition on the per-thread stack."""
+    _HELD.entries.append((lock, level, mode))
+
+
+def _sanitize_release(lock: object) -> None:
+    """Pop the innermost stack entry for ``lock`` (if tracked)."""
+    entries = _HELD.entries
+    for position in range(len(entries) - 1, -1, -1):
+        if entries[position][0] is lock:
+            del entries[position]
+            return
 
 
 class RWLock:
@@ -41,23 +208,39 @@ class RWLock:
     writers block *new* readers (writer preference), so writes cannot
     starve under a read-heavy load.
 
+    Args:
+        level: Optional slot in the process lock hierarchy (one of the
+            ``LEVEL_*`` constants). Checked by the runtime sanitizer
+            when it is enabled; ``None`` exempts the lock.
+        name: Optional label used in sanitizer violation messages.
+
     Example:
-        >>> lock = RWLock()
+        >>> lock = RWLock(level=LEVEL_RELATION, name="relation")
         >>> with lock.read_locked():
         ...     pass  # shared access
         >>> with lock.write_locked():
         ...     pass  # exclusive access
     """
 
-    __slots__ = ("_cond", "_readers", "_writer", "_write_depth", "_waiting_writers")
+    __slots__ = (
+        "_cond",
+        "_readers",
+        "_writer",
+        "_write_depth",
+        "_waiting_writers",
+        "level",
+        "name",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, level: int | None = None, name: str | None = None) -> None:
         self._cond = threading.Condition()
         # thread id -> nesting depth of currently held read acquisitions
         self._readers: dict[int, int] = {}
         self._writer: int | None = None  # owning thread id
         self._write_depth = 0
         self._waiting_writers = 0
+        self.level = level
+        self.name = name
 
     # ------------------------------------------------------------------
     # Read side
@@ -71,13 +254,19 @@ class RWLock:
         straight through, counted as one more write depth, so write
         sections may call read-locked helpers.
         """
+        if _SANITIZER_ENABLED:
+            _sanitize_check(self, self.level, "read")
         me = threading.get_ident()
         with self._cond:
             if self._writer == me:
                 self._write_depth += 1
+                if _SANITIZER_ENABLED:
+                    _sanitize_push(self, self.level, "read")
                 return True
             if me in self._readers:
                 self._readers[me] += 1
+                if _SANITIZER_ENABLED:
+                    _sanitize_push(self, self.level, "read")
                 return True
             # Writer preference: park behind any waiting writer.
             ok = self._cond.wait_for(
@@ -87,6 +276,8 @@ class RWLock:
             if not ok:
                 return False
             self._readers[me] = 1
+            if _SANITIZER_ENABLED:
+                _sanitize_push(self, self.level, "read")
             return True
 
     def release_read(self) -> None:
@@ -95,16 +286,18 @@ class RWLock:
         with self._cond:
             if self._writer == me:
                 self._release_write_locked()
-                return
-            depth = self._readers.get(me, 0)
-            if depth <= 0:
-                raise ReproError("release_read without a matching acquire_read")
-            if depth == 1:
-                del self._readers[me]
-                if not self._readers:
-                    self._cond.notify_all()
             else:
-                self._readers[me] = depth - 1
+                depth = self._readers.get(me, 0)
+                if depth <= 0:
+                    raise ReproError("release_read without a matching acquire_read")
+                if depth == 1:
+                    del self._readers[me]
+                    if not self._readers:
+                        self._cond.notify_all()
+                else:
+                    self._readers[me] = depth - 1
+        if _SANITIZER_ENABLED:
+            _sanitize_release(self)
 
     # ------------------------------------------------------------------
     # Write side
@@ -115,10 +308,14 @@ class RWLock:
         Reentrant: the owning writer may acquire again (each acquire
         needs a matching release).
         """
+        if _SANITIZER_ENABLED:
+            _sanitize_check(self, self.level, "write")
         me = threading.get_ident()
         with self._cond:
             if self._writer == me:
                 self._write_depth += 1
+                if _SANITIZER_ENABLED:
+                    _sanitize_push(self, self.level, "write")
                 return True
             if me in self._readers:
                 raise ReproError(
@@ -134,6 +331,8 @@ class RWLock:
                     return False
                 self._writer = me
                 self._write_depth = 1
+                if _SANITIZER_ENABLED:
+                    _sanitize_push(self, self.level, "write")
                 return True
             finally:
                 self._waiting_writers -= 1
@@ -148,6 +347,8 @@ class RWLock:
             if self._writer != me:
                 raise ReproError("release_write by a thread that does not hold it")
             self._release_write_locked()
+        if _SANITIZER_ENABLED:
+            _sanitize_release(self)
 
     def _release_write_locked(self) -> None:
         self._write_depth -= 1
@@ -197,6 +398,61 @@ class RWLock:
             return f"RWLock({state}, waiting_writers={self._waiting_writers})"
 
 
+class Mutex:
+    """A reentrant mutex that participates in the lock hierarchy.
+
+    The project bans bare ``threading.Lock``/``RLock`` outside this
+    package (enforced by ``python -m repro analyze``): every mutual
+    exclusion in ``src/`` goes through :class:`Mutex` (or
+    :class:`RWLock`) so the runtime sanitizer can see it. Semantics are
+    those of ``threading.RLock`` - reentrant, context-managed.
+
+    Args:
+        level: Optional slot in the process lock hierarchy (one of the
+            ``LEVEL_*`` constants); ``None`` exempts the lock from
+            ordering checks (driver-local locks).
+        name: Optional label used in sanitizer violation messages.
+
+    Example:
+        >>> lock = Mutex(level=LEVEL_REGISTRY, name="service.registry")
+        >>> with lock:
+        ...     pass  # exclusive section
+    """
+
+    __slots__ = ("_lock", "level", "name")
+
+    def __init__(self, level: int | None = None, name: str | None = None) -> None:
+        self._lock = threading.RLock()
+        self.level = level
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Take the mutex; mirrors ``threading.RLock.acquire``."""
+        if _SANITIZER_ENABLED:
+            _sanitize_check(self, self.level, "write")
+        ok = self._lock.acquire(blocking, timeout)
+        if ok and _SANITIZER_ENABLED:
+            _sanitize_push(self, self.level, "write")
+        return ok
+
+    def release(self) -> None:
+        """Release the mutex; mirrors ``threading.RLock.release``."""
+        self._lock.release()
+        if _SANITIZER_ENABLED:
+            _sanitize_release(self)
+
+    def __enter__(self) -> "Mutex":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        label = self.name or "anonymous"
+        return f"Mutex({label!r}, level={self.level})"
+
+
 class StripedLockTable:
     """A fixed array of :class:`RWLock` stripes addressed by key hash.
 
@@ -210,22 +466,34 @@ class StripedLockTable:
     Args:
         stripes: Number of locks; rounded up to a power of two so the
             hash maps by mask rather than modulo.
+        level: Hierarchy level shared by every stripe (the service's
+            per-user table sits at ``LEVEL_USER``); ``None`` exempts
+            the stripes from sanitizer ordering checks.
+        name: Label prefix for sanitizer violation messages.
 
     Example:
-        >>> table = StripedLockTable(64)
+        >>> table = StripedLockTable(64, level=LEVEL_USER)
         >>> with table.write_locked("alice"):
         ...     pass  # exclusive for every key on alice's stripe
     """
 
     __slots__ = ("_locks", "_mask")
 
-    def __init__(self, stripes: int = 64) -> None:
+    def __init__(
+        self,
+        stripes: int = 64,
+        level: int | None = None,
+        name: str | None = None,
+    ) -> None:
         if stripes <= 0:
             raise ReproError(f"stripe count must be positive, got {stripes}")
         size = 1
         while size < stripes:
             size <<= 1
-        self._locks = tuple(RWLock() for _ in range(size))
+        prefix = name or "stripe"
+        self._locks = tuple(
+            RWLock(level=level, name=f"{prefix}[{index}]") for index in range(size)
+        )
         self._mask = size - 1
 
     def __len__(self) -> int:

@@ -37,7 +37,7 @@ from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from types import MappingProxyType
 
 from repro.exceptions import SchemaError
-from repro.concurrency.locks import RWLock
+from repro.concurrency.locks import LEVEL_RELATION, RWLock
 from repro.db.index import INDEXABLE_OPS, AttributeIndex
 from repro.db.schema import Schema
 from repro.obs.metrics import get_registry
@@ -88,7 +88,7 @@ class Relation:
         self._auto_index = auto_index
         self._version = 0
         self._listeners: list[Callable[["Relation"], None]] = []
-        self._lock = RWLock()
+        self._lock = RWLock(level=LEVEL_RELATION, name=f"relation:{name}")
         for row in rows:
             self.insert(row)
 

@@ -33,6 +33,7 @@ import time
 from collections.abc import Sequence
 
 from repro.concurrency.executor import ConcurrentQueryExecutor
+from repro.concurrency.locks import Mutex
 from repro.db.poi import generate_poi_relation
 from repro.query.contextual_query import ContextualQuery
 from repro.service.personalization import PersonalizationService
@@ -106,7 +107,7 @@ def run_serve_bench(
 
     Returns a JSON-ready report; see ``BENCH_concurrency.json``.
     """
-    thread_counts = sorted(set(int(count) for count in thread_counts))
+    thread_counts = sorted({int(count) for count in thread_counts})
     if not thread_counts or thread_counts[0] < 1:
         raise ValueError("thread_counts must be positive integers")
     io_wait = max(0.0, io_wait_ms) / 1000.0
@@ -210,7 +211,7 @@ def _run_churn_phase(
 ) -> dict[str, object]:
     """Readers and writers interleaved over one shared service."""
     errors: list[str] = []
-    errors_lock = threading.Lock()
+    errors_lock = Mutex(name="serving.errors")
     modifications_before = {
         row["user_id"]: row["modifications"] for row in service.statistics()
     }

@@ -37,10 +37,10 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from collections.abc import Mapping
 
 from repro.exceptions import ReproError
+from repro.concurrency.locks import LEVEL_METRICS, Mutex
 
 __all__ = [
     "Counter",
@@ -89,7 +89,7 @@ class Counter:
         self.name = name
         self.help = help
         self._series: dict[LabelKey, float] = {}
-        self._lock = threading.Lock()
+        self._lock = Mutex(level=LEVEL_METRICS, name=f"metric:{name}")
 
     def inc(self, value: float = 1.0, labels: Mapping[str, object] | None = None) -> None:
         """Add ``value`` (must be non-negative) to one label series."""
@@ -126,7 +126,7 @@ class Gauge:
         self.name = name
         self.help = help
         self._series: dict[LabelKey, float] = {}
-        self._lock = threading.Lock()
+        self._lock = Mutex(level=LEVEL_METRICS, name=f"metric:{name}")
 
     def set(self, value: float, labels: Mapping[str, object] | None = None) -> None:
         """Set one label series to ``value``."""
@@ -208,7 +208,7 @@ class Histogram:
         self.help = help
         self.capacity = capacity
         self._series: dict[LabelKey, _HistogramSeries] = {}
-        self._lock = threading.Lock()
+        self._lock = Mutex(level=LEVEL_METRICS, name=f"metric:{name}")
 
     def observe(self, value: float, labels: Mapping[str, object] | None = None) -> None:
         """Record one observation into one label series."""
@@ -264,7 +264,7 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = False) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
         self._enabled = bool(enabled)
-        self._lock = threading.Lock()
+        self._lock = Mutex(level=LEVEL_METRICS, name="metrics.registry")
 
     # ------------------------------------------------------------------
     # Switching

@@ -21,7 +21,7 @@ the degrees of the elements each tuple satisfies.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -34,7 +34,7 @@ from repro.preferences.combine import combine_max
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.db.relation import Relation
 from repro.preferences.preference import AttributeClause
-from repro.resolution.distances import state_distance
+from repro.context.distances import state_distance
 
 __all__ = [
     "AtomicElement",
@@ -209,7 +209,7 @@ def personalize(
     store: ElementPreferenceStore,
     state: ContextState,
     metric: str = "hierarchy",
-    combine=combine_max,
+    combine: Callable[[Sequence[float]], float] = combine_max,
 ) -> list[tuple[Row, float]]:
     """Rank a relation by the contextual degrees of the elements each
     tuple satisfies.

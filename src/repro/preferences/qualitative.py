@@ -21,7 +21,7 @@ from repro.context.descriptor import ContextDescriptor
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
 from repro.preferences.preference import AttributeClause
-from repro.resolution.distances import state_distance
+from repro.context.distances import state_distance
 
 __all__ = [
     "PreferenceRelation",

@@ -12,13 +12,15 @@ and round-trips through the :mod:`repro.io` JSON format.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from repro.exceptions import PreferenceError
 from repro.context.environment import ContextEnvironment
 from repro.preferences.preference import ContextualPreference
 from repro.preferences.profile import Profile
-from repro.tree.ordering import optimal_ordering
-from repro.tree.profile_tree import ProfileTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps layering clean
+    from repro.tree.profile_tree import ProfileTree
 
 __all__ = ["PreferenceRepository"]
 
@@ -45,10 +47,16 @@ class PreferenceRepository:
         preferences: Iterable[ContextualPreference] = (),
         ordering: Sequence[str] | None = None,
     ) -> None:
+        # Deferred: the tree index lives one layer *above* preferences
+        # (tree imports preferences), so the facade resolves it at call
+        # time - the same pattern as the io/dsl round-trips below.
+        from repro.tree.ordering import optimal_ordering
+        from repro.tree.profile_tree import ProfileTree
+
         self._environment = environment
         self._ordering = tuple(ordering) if ordering else optimal_ordering(environment)
         self._profile = Profile(environment)
-        self._tree = ProfileTree(environment, self._ordering)
+        self._tree: ProfileTree = ProfileTree(environment, self._ordering)
         for preference in preferences:
             self.add(preference)
 
@@ -136,6 +144,9 @@ class PreferenceRepository:
         Useful after bulk edits or to adopt a better ordering once the
         profile's value distribution is known (Sec. 3.3 / Fig. 6 right).
         """
+        from repro.tree.ordering import optimal_ordering
+        from repro.tree.profile_tree import ProfileTree
+
         self._ordering = (
             tuple(ordering) if ordering else optimal_ordering(self._environment)
         )
@@ -144,7 +155,7 @@ class PreferenceRepository:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def to_json(self, **json_kwargs) -> str:
+    def to_json(self, **json_kwargs: object) -> str:
         """Serialise the repository's profile to JSON."""
         from repro.io import dumps
 

@@ -1,23 +1,22 @@
-"""Distances between context states (Defs. 13-17).
+"""Backward-compatible re-export of :mod:`repro.context.distances`.
 
-Two metrics capture how far apart two (extended) context states are:
-
-* the **hierarchy distance** (Defs. 13-15): per parameter, the number
-  of hierarchy-level edges between the two values' levels, summed;
-* the **Jaccard distance** (Defs. 16-17): per parameter, one minus the
-  Jaccard coefficient of the two values' detailed-level descendant
-  sets, summed.
-
-Properties 1-3 of the paper - both metrics order covering states
-consistently with the ``covers`` partial order - are exercised by the
-property-based tests.
+The distance metrics (Defs. 13-17) are pure functions over context
+states and hierarchies, so they live in the ``context`` layer; the
+``preferences`` package (one layer up) uses them without reaching into
+``resolution`` (three layers up), which the layering checker in
+:mod:`repro.analysis` would flag. This shim keeps the historical
+``repro.resolution.distances`` import path working.
 """
 
-from __future__ import annotations
-
-from repro.exceptions import ContextError, HierarchyError
-from repro.context.state import ContextState
-from repro.hierarchy import Hierarchy, Level, Value
+from repro.context.distances import (
+    METRICS,
+    hierarchy_state_distance,
+    hierarchy_value_distance,
+    jaccard_state_distance,
+    jaccard_value_distance,
+    level_distance,
+    state_distance,
+)
 
 __all__ = [
     "METRICS",
@@ -28,89 +27,3 @@ __all__ = [
     "jaccard_state_distance",
     "state_distance",
 ]
-
-#: Names of the supported distance metrics.
-METRICS = ("hierarchy", "jaccard")
-
-
-def level_distance(hierarchy: Hierarchy, first: Level | str, second: Level | str) -> int:
-    """Def. 14: minimum number of edges between two levels.
-
-    Within one chain hierarchy a path always exists, so the distance is
-    the absolute difference of the level indices. (The infinite case of
-    Def. 14 would only arise across unrelated lattices, which a single
-    :class:`Hierarchy` cannot express.)
-    """
-    if isinstance(first, str):
-        first = hierarchy.level(first)
-    if isinstance(second, str):
-        second = hierarchy.level(second)
-    for level in (first, second):
-        if level not in hierarchy.levels:
-            raise HierarchyError(
-                f"level {level!r} does not belong to hierarchy {hierarchy.name!r}"
-            )
-    return abs(first.index - second.index)
-
-
-def hierarchy_value_distance(hierarchy: Hierarchy, first: Value, second: Value) -> int:
-    """Level distance between the levels of two values of one hierarchy."""
-    return level_distance(
-        hierarchy, hierarchy.level_of(first), hierarchy.level_of(second)
-    )
-
-
-def jaccard_value_distance(hierarchy: Hierarchy, first: Value, second: Value) -> float:
-    """Def. 16: ``1 - |leaves(v1) & leaves(v2)| / |leaves(v1) | leaves(v2)|``.
-
-    ``leaves`` are each value's descendants at the detailed level; for a
-    detailed value that is the value itself, for ``'all'`` the whole
-    detailed domain.
-    """
-    first_leaves = hierarchy.leaves(first)
-    second_leaves = hierarchy.leaves(second)
-    union = first_leaves | second_leaves
-    if not union:  # pragma: no cover - hierarchies forbid empty leaf sets
-        return 0.0
-    intersection = first_leaves & second_leaves
-    return 1.0 - len(intersection) / len(union)
-
-
-def _check_environments(first: ContextState, second: ContextState) -> None:
-    if first.environment.names != second.environment.names:
-        raise ContextError(
-            "cannot measure distance between states of different environments"
-        )
-
-
-def hierarchy_state_distance(first: ContextState, second: ContextState) -> int:
-    """Def. 15: sum of per-parameter level distances."""
-    _check_environments(first, second)
-    return sum(
-        hierarchy_value_distance(parameter.hierarchy, mine, theirs)
-        for parameter, mine, theirs in zip(
-            first.environment, first.values, second.values
-        )
-    )
-
-
-def jaccard_state_distance(first: ContextState, second: ContextState) -> float:
-    """Def. 17: sum of per-parameter Jaccard distances."""
-    _check_environments(first, second)
-    return sum(
-        jaccard_value_distance(parameter.hierarchy, mine, theirs)
-        for parameter, mine, theirs in zip(
-            first.environment, first.values, second.values
-        )
-    )
-
-
-def state_distance(
-    first: ContextState, second: ContextState, metric: str = "hierarchy"
-) -> float:
-    """Dispatch to one of the two state distances by metric name."""
-    if metric == "hierarchy":
-        return float(hierarchy_state_distance(first, second))
-    if metric == "jaccard":
-        return jaccard_state_distance(first, second)
-    raise ContextError(f"unknown metric {metric!r}; expected one of {METRICS}")

@@ -26,7 +26,7 @@ from repro.context.state import ContextState
 from repro.exceptions import ConflictError
 from repro.preferences.preference import AttributeClause, ContextualPreference
 from repro.preferences.profile import Profile
-from repro.resolution.distances import (
+from repro.context.distances import (
     hierarchy_state_distance,
     jaccard_state_distance,
 )

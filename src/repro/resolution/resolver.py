@@ -19,7 +19,7 @@ from repro.context.descriptor import ContextDescriptor, ExtendedContextDescripto
 from repro.context.state import ContextState
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
-from repro.resolution.distances import METRICS
+from repro.context.distances import METRICS
 from repro.resolution.search import SearchResult, exact_search, search_cs
 from repro.tree.counters import AccessCounter
 from repro.tree.profile_tree import ProfileTree

@@ -15,7 +15,7 @@ from collections.abc import Iterator, Sequence
 from repro.context.state import ContextState
 from repro.preferences.preference import AttributeClause
 from repro.preferences.profile import Profile
-from repro.resolution.distances import (
+from repro.context.distances import (
     hierarchy_value_distance,
     jaccard_value_distance,
 )

@@ -22,21 +22,26 @@ together but never interleave with that user's edits (read-your-writes
 per user). The accounts dict itself is guarded by a separate registry
 lock, under which ``statistics`` and the population gauges take
 consistent snapshots. The lock order is: per-user lock, then registry
-lock, then the relation's lock, then cache locks (see
-:mod:`repro.concurrency`). Bulk concurrent execution is available via
+lock, then the per-account stats lock, then the relation's lock, then
+cache locks (see :mod:`repro.concurrency`). Bulk concurrent execution is available via
 :meth:`PersonalizationService.query_many`, which fans a request batch
 out over a bounded thread pool.
 """
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import QueryError, ReproError
 from repro.concurrency.executor import ConcurrentQueryExecutor, RequestOutcome
-from repro.concurrency.locks import StripedLockTable
+from repro.concurrency.locks import (
+    LEVEL_ACCOUNT,
+    LEVEL_REGISTRY,
+    LEVEL_USER,
+    Mutex,
+    StripedLockTable,
+)
 from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
@@ -52,6 +57,11 @@ from repro.tree.query_tree import ContextQueryTree
 from repro.workloads.users import Persona, default_profile
 
 __all__ = ["UserAccount", "PersonalizationService"]
+
+
+def _account_stats_lock() -> Mutex:
+    """One account's stats/lazy-build lock (level 25, below registry)."""
+    return Mutex(level=LEVEL_ACCOUNT, name="account.stats")
 
 
 @dataclass
@@ -71,8 +81,8 @@ class UserAccount:
     modifications: int = 0
     queries_executed: int = 0
     _executor: ContextualQueryExecutor | None = field(default=None, repr=False)
-    _stats_lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _stats_lock: Mutex = field(
+        default_factory=_account_stats_lock, repr=False, compare=False
     )
 
     def _count_queries(self, amount: int = 1) -> None:
@@ -123,8 +133,10 @@ class PersonalizationService:
         # Per-user RW locks (striped) + one registry lock for the
         # accounts dict and population gauges. Lock order: user lock
         # before registry lock; never the reverse.
-        self._user_locks = StripedLockTable(lock_stripes)
-        self._registry_lock = threading.RLock()
+        self._user_locks = StripedLockTable(
+            lock_stripes, level=LEVEL_USER, name="service.user"
+        )
+        self._registry_lock = Mutex(level=LEVEL_REGISTRY, name="service.registry")
 
     @property
     def environment(self) -> ContextEnvironment:

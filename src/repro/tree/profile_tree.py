@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.exceptions import ConflictError, TreeError
-from repro.context.environment import ContextEnvironment
+from repro.context.environment import ContextEnvironment, ContextParameter
 from repro.context.state import ContextState
 from repro.hierarchy import Value
 from repro.preferences.preference import AttributeClause, ContextualPreference
@@ -88,7 +88,7 @@ class ProfileTree:
         """Number of preferences inserted (idempotent re-inserts excluded)."""
         return self._num_preferences
 
-    def parameter_at_level(self, level: int):
+    def parameter_at_level(self, level: int) -> ContextParameter:
         """The context parameter mapped to tree level ``level`` (0-based)."""
         return self._environment[self._ordering[level]]
 

@@ -31,11 +31,12 @@ invalidation and served stale forever.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.exceptions import TreeError
+from repro.concurrency.locks import LEVEL_CACHE, Mutex
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
 from repro.hierarchy import Value
@@ -43,6 +44,12 @@ from repro.obs.metrics import get_registry
 from repro.tree.counters import AccessCounter
 from repro.tree.node import InternalNode
 from repro.tree.ordering import validate_ordering
+
+if TYPE_CHECKING:
+    # The tree layer sits below the db layer, so the runtime dependency
+    # stays duck-typed; the annotation-only import keeps the signatures
+    # honest (and lets the static lock-order checker follow the edge).
+    from repro.db.relation import Relation
 
 __all__ = ["ContextQueryTree"]
 
@@ -89,7 +96,7 @@ class ContextQueryTree:
         # state -> leaf; ordered least- to most-recently used, so the
         # LRU victim is always the front entry (no stamp scans).
         self._leaves: OrderedDict[ContextState, _ResultLeaf] = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = Mutex(level=LEVEL_CACHE, name="query_tree")
         self._generation = 0
         self.hits = 0
         self.misses = 0
@@ -210,7 +217,7 @@ class ContextQueryTree:
             node.add_cell(path[-1], leaf)  # type: ignore[arg-type]
             self._leaves[state] = leaf
 
-    def watch(self, relation) -> None:
+    def watch(self, relation: "Relation") -> None:
         """Drop all cached results whenever ``relation`` is mutated.
 
         Cached leaves hold ranked result sets computed *against* the
@@ -227,11 +234,11 @@ class ContextQueryTree:
         """
         relation.add_mutation_listener(self._on_relation_mutated)
 
-    def unwatch(self, relation) -> None:
+    def unwatch(self, relation: "Relation") -> None:
         """Stop invalidating on ``relation``'s mutations."""
         relation.remove_mutation_listener(self._on_relation_mutated)
 
-    def _on_relation_mutated(self, relation) -> None:
+    def _on_relation_mutated(self, relation: "Relation") -> None:
         if self._leaves:
             self.clear()
 

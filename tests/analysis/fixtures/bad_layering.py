@@ -1,0 +1,28 @@
+"""Fixture: layering violations (LAYER001/LAYER002).
+
+Analyzed under the pretend name ``repro.db.bad_layering`` (the db
+layer), so both importing upward at module level and reaching the
+service layer from below are violations. Imports resolve against real
+modules so the file stays parseable, but it is never imported by
+shipped code.
+"""
+
+from repro.query.rank import rank_rows  # LAYER001: query sits above db
+
+
+def deferred_upward() -> object:
+    # A deferred upward import is the sanctioned pattern - NOT flagged.
+    from repro.query.contextual_query import ContextualQuery
+
+    return ContextualQuery
+
+
+def reach_into_service() -> object:
+    # LAYER002: the storage layer calling up into the serving layer is
+    # an inversion no deferral excuses.
+    from repro.service.personalization import PersonalizationService
+
+    return PersonalizationService
+
+
+__all__ = ["deferred_upward", "rank_rows", "reach_into_service"]

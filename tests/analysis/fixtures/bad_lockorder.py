@@ -1,0 +1,38 @@
+"""Fixture: deliberate lock-order violations (LOCK001).
+
+Fed to the analyzer under a pretend ``repro.*`` module name by
+``tests/analysis/test_lockorder.py``; never imported by shipped code.
+"""
+
+from repro.concurrency.locks import LEVEL_CACHE, LEVEL_REGISTRY, LEVEL_USER, Mutex
+
+
+class BackwardsService:
+    """Acquires its locks against the documented hierarchy."""
+
+    def __init__(self) -> None:
+        self.cache_lock = Mutex(level=LEVEL_CACHE, name="fixture.cache")
+        self.user_lock = Mutex(level=LEVEL_USER, name="fixture.user")
+        self.registry_lock = Mutex(level=LEVEL_REGISTRY, name="fixture.registry")
+
+    def direct_inversion(self) -> None:
+        # cache(40) held while taking user(10): direct LOCK001.
+        with self.cache_lock:
+            with self.user_lock:
+                pass
+
+    def transitive_inversion(self) -> None:
+        # registry(20) held while a callee takes user(10): the checker
+        # must follow the call edge to see it.
+        with self.registry_lock:
+            self._touch_user()
+
+    def _touch_user(self) -> None:
+        with self.user_lock:
+            pass
+
+    def correct_order(self) -> None:
+        # user(10) then registry(20): the clean direction, no finding.
+        with self.user_lock:
+            with self.registry_lock:
+                pass

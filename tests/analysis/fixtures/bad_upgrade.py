@@ -1,0 +1,35 @@
+"""Fixture: read->write lock upgrades (LOCK002).
+
+Fed to the analyzer under a pretend ``repro.*`` module name by
+``tests/analysis/test_lockorder.py``; never imported by shipped code.
+"""
+
+from repro.concurrency.locks import LEVEL_RELATION, RWLock
+
+
+class UpgradingStore:
+    """Tries to upgrade a held read lock to the write side."""
+
+    def __init__(self) -> None:
+        self.lock = RWLock(level=LEVEL_RELATION, name="fixture.store")
+
+    def direct_upgrade(self) -> None:
+        # Read side held while taking the write side of the same lock:
+        # self-deadlocks as soon as a writer is waiting.
+        with self.lock.read_locked():
+            with self.lock.write_locked():
+                pass
+
+    def transitive_upgrade(self) -> None:
+        with self.lock.read_locked():
+            self._mutate()
+
+    def _mutate(self) -> None:
+        with self.lock.write_locked():
+            pass
+
+    def reentrant_read(self) -> None:
+        # Re-entering the read side is fine; must NOT be flagged.
+        with self.lock.read_locked():
+            with self.lock.read_locked():
+                pass

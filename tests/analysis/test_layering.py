@@ -1,0 +1,80 @@
+"""The layering checker: the package DAG, upward imports, and the
+service-layer quarantine."""
+
+from pathlib import Path
+
+from repro.analysis import load_module
+from repro.analysis.layering import LAYERS, check_layering, layer_of
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _fixture_findings():
+    # Analyzed as a db-layer module: query and service sit above it.
+    module = load_module("repro.db.bad_layering", FIXTURES / "bad_layering.py")
+    return check_layering([module])
+
+
+class TestLayerOf:
+    def test_longest_prefix_wins(self):
+        assert layer_of("repro.concurrency.locks") == LAYERS["repro.concurrency.locks"]
+        assert layer_of("repro.concurrency.executor") == LAYERS["repro.concurrency"]
+
+    def test_submodules_inherit_their_package_rank(self):
+        assert layer_of("repro.db.relation") == LAYERS["repro.db"]
+        assert layer_of("repro.service.personalization") == LAYERS["repro.service"]
+
+    def test_unknown_modules_have_no_rank(self):
+        assert layer_of("numpy.linalg") is None
+
+    def test_the_dag_orders_the_documented_stack(self):
+        stack = [
+            "repro.exceptions",
+            "repro.obs",
+            "repro.hierarchy",
+            "repro.context",
+            "repro.preferences",
+            "repro.tree",
+            "repro.db",
+            "repro.query",
+            "repro.service",
+        ]
+        ranks = [layer_of(name) for name in stack]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(ranks)
+
+
+class TestLayeringRules:
+    def test_module_level_upward_import_is_flagged(self):
+        findings = [f for f in _fixture_findings() if f.rule == "LAYER001"]
+        assert len(findings) == 1
+        assert "repro.query.rank" in findings[0].message
+
+    def test_deferred_upward_import_is_exempt(self):
+        # deferred_upward() imports repro.query lazily: sanctioned.
+        findings = _fixture_findings()
+        assert not any(
+            "contextual_query" in f.message for f in findings
+        )
+
+    def test_service_import_from_below_is_flagged_even_deferred(self):
+        findings = [f for f in _fixture_findings() if f.rule == "LAYER002"]
+        assert len(findings) == 1
+        assert "repro.service.personalization" in findings[0].message
+
+    def test_type_checking_imports_are_exempt(self, tmp_path: Path):
+        source = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.service.personalization import PersonalizationService\n"
+        )
+        path = tmp_path / "annotated.py"
+        path.write_text(source, encoding="utf-8")
+        module = load_module("repro.db.annotated", path)
+        assert check_layering([module]) == []
+
+    def test_clean_downward_import_passes(self, tmp_path: Path):
+        path = tmp_path / "clean.py"
+        path.write_text("from repro.db.relation import Relation\n", encoding="utf-8")
+        module = load_module("repro.service.clean", path)
+        assert check_layering([module]) == []

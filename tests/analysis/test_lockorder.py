@@ -1,0 +1,72 @@
+"""The lock-order checker: every rule fires on its fixture, and the
+clean patterns (reentrancy, correct ordering) stay silent."""
+
+from pathlib import Path
+
+from repro.analysis import load_module
+from repro.analysis.lockorder import check_lock_order
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _findings(filename: str, name: str = "repro.service.fixture"):
+    module = load_module(name, FIXTURES / filename)
+    return check_lock_order([module])
+
+
+class TestLock001Inversions:
+    def test_direct_inversion_is_flagged(self):
+        findings = [
+            f for f in _findings("bad_lockorder.py") if f.rule == "LOCK001"
+        ]
+        assert any(f.function == "BackwardsService.direct_inversion" for f in findings)
+        flagged = next(
+            f for f in findings if f.function == "BackwardsService.direct_inversion"
+        )
+        assert "cache(40)" in flagged.message
+        assert "user(10)" in flagged.message
+
+    def test_transitive_inversion_is_flagged_with_chain(self):
+        findings = [
+            f for f in _findings("bad_lockorder.py") if f.rule == "LOCK001"
+        ]
+        flagged = [
+            f for f in findings if f.function == "BackwardsService.transitive_inversion"
+        ]
+        assert flagged, "call-graph propagation missed the inversion"
+        assert "via BackwardsService._touch_user" in flagged[0].message
+
+    def test_correct_order_is_not_flagged(self):
+        findings = _findings("bad_lockorder.py")
+        assert not any(
+            f.function == "BackwardsService.correct_order" for f in findings
+        )
+
+
+class TestLock002Upgrades:
+    def test_direct_upgrade_is_flagged(self):
+        findings = [f for f in _findings("bad_upgrade.py") if f.rule == "LOCK002"]
+        assert any(f.function == "UpgradingStore.direct_upgrade" for f in findings)
+
+    def test_transitive_upgrade_is_flagged(self):
+        findings = [f for f in _findings("bad_upgrade.py") if f.rule == "LOCK002"]
+        flagged = [
+            f for f in findings if f.function == "UpgradingStore.transitive_upgrade"
+        ]
+        assert flagged
+        assert "via UpgradingStore._mutate" in flagged[0].message
+
+    def test_reentrant_read_is_not_flagged(self):
+        findings = _findings("bad_upgrade.py")
+        assert not any(
+            f.function == "UpgradingStore.reentrant_read" for f in findings
+        )
+
+
+class TestFindingShape:
+    def test_findings_carry_location_and_category(self):
+        finding = _findings("bad_lockorder.py")[0]
+        assert finding.category == "lock-order"
+        assert finding.module == "repro.service.fixture"
+        assert finding.line > 0
+        assert finding.location().endswith(f":{finding.line}")

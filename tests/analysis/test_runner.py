@@ -1,0 +1,80 @@
+"""The aggregate runner, report rendering, and the CLI gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import analyze, analyze_modules, load_module
+from repro.cli import main
+from repro.exceptions import ReproError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_ROOT = Path(repro.__file__).parent
+
+
+class TestShippedTreeIsClean:
+    def test_analyze_reports_zero_findings(self):
+        report = analyze(SRC_ROOT)
+        assert report.ok, report.render()
+
+    def test_default_root_is_the_installed_package(self):
+        assert analyze().ok
+
+
+class TestReport:
+    @pytest.fixture()
+    def dirty_report(self):
+        module = load_module(
+            "repro.service.fixture", FIXTURES / "bad_lockorder.py"
+        )
+        return analyze_modules([module])
+
+    def test_findings_are_queryable_by_category_and_rule(self, dirty_report):
+        assert not dirty_report.ok
+        assert dirty_report.by_category("lock-order")
+        assert dirty_report.by_rule("LOCK001")
+        assert dirty_report.by_rule("LAYER001") == []
+
+    def test_text_rendering_counts_findings(self, dirty_report):
+        text = dirty_report.render("text")
+        assert text.endswith(f"analyze: {len(dirty_report.findings)} finding(s)")
+        assert "LOCK001" in text
+
+    def test_json_rendering_round_trips(self, dirty_report):
+        payload = json.loads(dirty_report.render("json"))
+        assert payload["count"] == len(dirty_report.findings)
+        first = payload["findings"][0]
+        assert {"rule", "category", "module", "path", "line", "message"} <= set(first)
+
+    def test_clean_text_report(self):
+        assert analyze(SRC_ROOT).render() == "analyze: 0 findings"
+
+
+class TestCollection:
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="not a directory"):
+            analyze(tmp_path / "nowhere")
+
+    def test_unparseable_source_raises(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def (:\n", encoding="utf-8")
+        with pytest.raises(ReproError, match="cannot parse"):
+            load_module("repro.broken", path)
+
+
+class TestCli:
+    def test_analyze_exits_zero_on_the_shipped_tree(self, capsys):
+        assert main(["analyze"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_analyze_exits_nonzero_on_findings(self, capsys):
+        assert main(["analyze", "--root", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "finding(s)" in out
+
+    def test_analyze_json_format(self, capsys):
+        assert main(["analyze", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"findings": [], "count": 0}

@@ -1,0 +1,173 @@
+"""The runtime lock-order sanitizer: the hierarchy, enforced live.
+
+These are the dynamic counterpart of ``tests/analysis/test_lockorder``:
+the static checker proves the shipped sources stay ordered, the
+sanitizer catches whatever a future refactor sneaks past it at the
+first misordered acquire in any test run that enables it.
+"""
+
+import threading
+
+import pytest
+
+from repro.concurrency import (
+    LEVEL_CACHE,
+    LEVEL_REGISTRY,
+    LEVEL_RELATION,
+    LEVEL_USER,
+    LockOrderViolation,
+    Mutex,
+    RWLock,
+    StripedLockTable,
+    disable_lock_sanitizer,
+    enable_lock_sanitizer,
+    held_locks,
+    lock_sanitizer,
+    lock_sanitizer_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def sanitizer():
+    enable_lock_sanitizer()
+    yield
+    disable_lock_sanitizer()
+
+
+class TestOrdering:
+    def test_increasing_levels_pass(self):
+        user = Mutex(level=LEVEL_USER, name="t.user")
+        cache = Mutex(level=LEVEL_CACHE, name="t.cache")
+        with user, cache:
+            assert len(held_locks()) == 2
+
+    def test_decreasing_levels_raise(self):
+        user = Mutex(level=LEVEL_USER, name="t.user")
+        cache = Mutex(level=LEVEL_CACHE, name="t.cache")
+        with cache:
+            with pytest.raises(LockOrderViolation, match="hierarchy"):
+                user.acquire()
+
+    def test_equal_levels_of_distinct_locks_raise(self):
+        first = Mutex(level=LEVEL_REGISTRY, name="t.first")
+        second = Mutex(level=LEVEL_REGISTRY, name="t.second")
+        with first:
+            with pytest.raises(LockOrderViolation):
+                second.acquire()
+
+    def test_rwlock_participates(self):
+        relation = RWLock(level=LEVEL_RELATION, name="t.relation")
+        user = Mutex(level=LEVEL_USER, name="t.user")
+        with relation.read_locked():
+            with pytest.raises(LockOrderViolation):
+                user.acquire()
+
+    def test_striped_table_participates(self):
+        table = StripedLockTable(4, level=LEVEL_USER, name="t.users")
+        cache = Mutex(level=LEVEL_CACHE, name="t.cache")
+        with cache:
+            with pytest.raises(LockOrderViolation):
+                with table.read_locked("alice"):
+                    pass
+
+    def test_failed_acquire_leaves_no_stack_entry(self):
+        cache = Mutex(level=LEVEL_CACHE, name="t.cache")
+        user = Mutex(level=LEVEL_USER, name="t.user")
+        with cache:
+            with pytest.raises(LockOrderViolation):
+                user.acquire()
+            assert len(held_locks()) == 1
+
+
+class TestReentrancy:
+    def test_same_mutex_reenters(self):
+        registry = Mutex(level=LEVEL_REGISTRY, name="t.registry")
+        with registry, registry:
+            pass
+
+    def test_read_read_reenters(self):
+        lock = RWLock(level=LEVEL_RELATION, name="t.relation")
+        with lock.read_locked(), lock.read_locked():
+            pass
+
+    def test_read_write_upgrade_raises(self):
+        lock = RWLock(level=LEVEL_RELATION, name="t.relation")
+        with lock.read_locked():
+            with pytest.raises(LockOrderViolation, match="upgrade"):
+                lock.acquire_write()
+
+    def test_write_then_read_is_allowed(self):
+        # A writer may take its own read side (the RWLock supports it).
+        lock = RWLock(level=LEVEL_RELATION, name="t.relation")
+        with lock.write_locked(), lock.read_locked():
+            pass
+
+
+class TestUnranked:
+    def test_unranked_locks_are_exempt(self):
+        cache = Mutex(level=LEVEL_CACHE, name="t.cache")
+        scratch = Mutex(name="t.scratch")
+        with cache, scratch:
+            assert len(held_locks()) == 2
+
+    def test_unranked_hold_does_not_constrain_ranked(self):
+        scratch = Mutex(name="t.scratch")
+        user = Mutex(level=LEVEL_USER, name="t.user")
+        with scratch, user:
+            pass
+
+
+class TestStackBookkeeping:
+    def test_stack_unwinds_on_release(self):
+        user = Mutex(level=LEVEL_USER, name="t.user")
+        cache = Mutex(level=LEVEL_CACHE, name="t.cache")
+        with user:
+            with cache:
+                assert [level for _, level, _ in held_locks()] == [10, 40]
+            assert len(held_locks()) == 1
+        assert held_locks() == []
+
+    def test_release_then_lower_is_legal(self):
+        # 40 then (after release) 10: ordering is per held-stack, not
+        # per lifetime.
+        cache = Mutex(level=LEVEL_CACHE, name="t.cache")
+        user = Mutex(level=LEVEL_USER, name="t.user")
+        with cache:
+            pass
+        with user:
+            pass
+
+    def test_stacks_are_per_thread(self):
+        cache = Mutex(level=LEVEL_CACHE, name="t.cache")
+        user = Mutex(level=LEVEL_USER, name="t.user")
+        outcome: list[object] = []
+
+        def other_thread():
+            # This thread holds nothing: taking user(10) is fine even
+            # while the main thread sits inside cache(40).
+            try:
+                with user:
+                    outcome.append("ok")
+            except LockOrderViolation as error:  # pragma: no cover
+                outcome.append(error)
+
+        with cache:
+            thread = threading.Thread(target=other_thread, daemon=True)
+            thread.start()
+            thread.join(timeout=5)
+        assert outcome == ["ok"]
+
+
+class TestSwitching:
+    def test_context_manager_restores_previous_state(self):
+        disable_lock_sanitizer()
+        with lock_sanitizer():
+            assert lock_sanitizer_enabled()
+        assert not lock_sanitizer_enabled()
+
+    def test_disabled_sanitizer_checks_nothing(self):
+        disable_lock_sanitizer()
+        cache = Mutex(level=LEVEL_CACHE, name="t.cache")
+        user = Mutex(level=LEVEL_USER, name="t.user")
+        with cache, user:  # would raise if enabled
+            assert held_locks() == []

@@ -15,7 +15,7 @@ import threading
 import pytest
 
 from repro import ContextQueryTree, ContextState, ContextualQuery, generate_poi_relation
-from repro.concurrency import ConcurrentQueryExecutor
+from repro.concurrency import ConcurrentQueryExecutor, lock_sanitizer
 from repro.obs.metrics import get_registry
 from repro.service import PersonalizationService
 from repro.workloads import all_personas, study_environment
@@ -26,6 +26,15 @@ NUM_WRITERS = 8
 NUM_READERS = 8
 EDITS_PER_WRITER = 12
 QUERIES_PER_READER = 10
+
+
+@pytest.fixture(autouse=True)
+def sanitizer():
+    # Every stress scenario runs with the runtime lock-order sanitizer
+    # on: any hierarchy inversion or read->write upgrade the static
+    # checker's approximations miss fails loudly at the first acquire.
+    with lock_sanitizer():
+        yield
 
 
 @pytest.fixture

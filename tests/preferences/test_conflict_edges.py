@@ -1,0 +1,146 @@
+"""Def. 6 edge cases: duplicate descriptors with diverging scores.
+
+The subtle conflict shape is two preferences whose descriptors are
+*identical* (so every context state collides) but whose scores differ.
+These tests pin that shape down across every entry point that admits
+preferences: the pairwise predicate, bulk detection, direct
+:class:`Profile` construction, and the JSON import path used by
+``PersonalizationService.import_profile``.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    AttributeClause,
+    ConflictError,
+    ContextDescriptor,
+    ContextualPreference,
+    Profile,
+    generate_poi_relation,
+)
+from repro.preferences import conflicts, find_conflicts
+from repro.preferences.repository import PreferenceRepository
+from repro.service import PersonalizationService
+from repro.workloads import Persona, study_environment
+
+
+def make(mapping, score, clause_value="brewery", attribute="type"):
+    return ContextualPreference(
+        ContextDescriptor.from_mapping(mapping),
+        AttributeClause(attribute, clause_value),
+        score,
+    )
+
+
+DUPLICATE_CONTEXT = {"location": "Plaka", "temperature": "warm"}
+
+
+class TestDuplicateDescriptorPredicate:
+    def test_identical_descriptor_different_score_conflicts(self, env):
+        first = make(DUPLICATE_CONTEXT, 0.8)
+        second = make(DUPLICATE_CONTEXT, 0.3)
+        assert first.descriptor == second.descriptor
+        assert conflicts(first, second, env)
+
+    def test_identical_descriptor_same_score_is_duplicate_not_conflict(self, env):
+        first = make(DUPLICATE_CONTEXT, 0.8)
+        second = make(DUPLICATE_CONTEXT, 0.8)
+        assert not conflicts(first, second, env)
+
+    def test_multistate_duplicate_descriptor_conflicts(self, env):
+        # Every one of the descriptor's states collides, not just one.
+        context = {"temperature": ["warm", "hot"], "location": "Plaka"}
+        first = make(context, 0.9)
+        second = make(context, 0.1)
+        assert conflicts(first, second, env)
+
+    def test_find_conflicts_reports_duplicate_descriptor_pair(self, env):
+        first = make(DUPLICATE_CONTEXT, 0.8)
+        second = make(DUPLICATE_CONTEXT, 0.3)
+        bystander = make({"location": "Kifisia"}, 0.5)
+        assert find_conflicts([first, second, bystander], env) == [(first, second)]
+
+    def test_find_conflicts_ignores_exact_duplicates(self, env):
+        first = make(DUPLICATE_CONTEXT, 0.8)
+        second = make(DUPLICATE_CONTEXT, 0.8)
+        assert find_conflicts([first, second], env) == []
+
+
+class TestDirectProfileConstruction:
+    def test_constructor_rejects_duplicate_descriptor_conflict(self, env):
+        first = make(DUPLICATE_CONTEXT, 0.8)
+        second = make(DUPLICATE_CONTEXT, 0.3)
+        with pytest.raises(ConflictError):
+            Profile(env, [first, second])
+
+    def test_constructor_accepts_exact_duplicates_once(self, env):
+        first = make(DUPLICATE_CONTEXT, 0.8)
+        second = make(DUPLICATE_CONTEXT, 0.8)
+        profile = Profile(env, [first, second])
+        assert len(profile) == 1
+
+    def test_add_after_construction_leaves_profile_unchanged(self, env):
+        first = make(DUPLICATE_CONTEXT, 0.8)
+        profile = Profile(env, [first])
+        with pytest.raises(ConflictError):
+            profile.add(make(DUPLICATE_CONTEXT, 0.3))
+        assert list(profile) == [first]
+        assert not profile.would_conflict(first)
+
+    def test_conflicts_with_names_the_duplicate(self, env):
+        first = make(DUPLICATE_CONTEXT, 0.8)
+        profile = Profile(env, [first])
+        clash = make(DUPLICATE_CONTEXT, 0.3)
+        assert profile.conflicts_with(clash) == [first]
+
+    def test_repository_construction_rejects_conflict(self, env):
+        first = make(DUPLICATE_CONTEXT, 0.8)
+        second = make(DUPLICATE_CONTEXT, 0.3)
+        with pytest.raises(ConflictError):
+            PreferenceRepository(env, [first, second])
+
+
+def _conflicting_payload(repository: PreferenceRepository) -> str:
+    """Duplicate the first serialised preference with a nudged score."""
+    data = json.loads(repository.to_json())
+    original = data["preferences"][0]
+    clash = json.loads(json.dumps(original))
+    clash["score"] = round(1.0 - float(original["score"]), 4)
+    if clash["score"] == original["score"]:
+        clash["score"] = min(1.0, original["score"] + 0.05)
+    data["preferences"].append(clash)
+    return json.dumps(data)
+
+
+class TestImportPaths:
+    @pytest.fixture
+    def service(self):
+        service = PersonalizationService(
+            study_environment(), generate_poi_relation(40, seed=7)
+        )
+        service.register("alice", Persona("below30", "female", "offbeat"))
+        return service
+
+    def test_from_json_rejects_duplicate_descriptor_conflict(self, env):
+        repository = PreferenceRepository(env, [make(DUPLICATE_CONTEXT, 0.8)])
+        with pytest.raises(ConflictError):
+            PreferenceRepository.from_json(_conflicting_payload(repository))
+
+    def test_import_profile_rejects_conflicting_payload(self, service):
+        payload = _conflicting_payload(service.account("alice").repository)
+        with pytest.raises(ConflictError):
+            service.import_profile("alice", payload)
+
+    def test_rejected_import_leaves_profile_intact(self, service):
+        before = list(service.account("alice").repository)
+        payload = _conflicting_payload(service.account("alice").repository)
+        with pytest.raises(ConflictError):
+            service.import_profile("alice", payload)
+        assert list(service.account("alice").repository) == before
+
+    def test_clean_round_trip_still_imports(self, service):
+        before = list(service.account("alice").repository)
+        service.import_profile("alice", service.export_profile("alice"))
+        assert list(service.account("alice").repository) == before

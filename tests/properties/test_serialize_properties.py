@@ -103,6 +103,6 @@ class TestRoundTrips:
     @given(profiles())
     def test_profile_states_preserved(self, profile):
         rebuilt = loads(dumps(profile))
-        assert set(
-            state.values for state in rebuilt.states()
-        ) == set(state.values for state in profile.states())
+        assert {state.values for state in rebuilt.states()} == {
+            state.values for state in profile.states()
+        }

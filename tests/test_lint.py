@@ -1,8 +1,10 @@
 """Repository hygiene: every tracked module byte-compiles and lints.
 
-``compileall`` always runs (it only needs the stdlib); the ruff check
-runs when a ``ruff`` executable is on PATH and is skipped otherwise,
-so the suite stays green in environments without the dev extras.
+``compileall`` and the project-native analyzer (``repro.analysis``)
+always run - they only need the stdlib and the package itself. The
+ruff and mypy checks run when the respective executable/package is
+available and are skipped otherwise, so the suite stays green in
+environments without the dev extras.
 """
 
 import compileall
@@ -43,6 +45,37 @@ def test_ruff_config_present():
     # CI images that do have ruff enforce a consistent rule set.
     text = (REPO_ROOT / "pyproject.toml").read_text()
     assert "[tool.ruff" in text
+
+
+def test_analyze_clean():
+    # The project-native static checks (lock order, layering, hot-path
+    # hygiene) gate every commit: the shipped tree must stay at zero
+    # findings. See docs/architecture.md for the enforced invariants.
+    import repro
+    from repro.analysis import analyze
+
+    report = analyze(Path(repro.__file__).parent)
+    assert report.ok, report.render()
+
+
+@pytest.mark.skipif(
+    shutil.which("mypy") is None, reason="mypy not installed"
+)
+def test_mypy_clean():
+    # Typed baseline: the context/preferences/tree layers carry full
+    # annotations; the pyproject config keeps the rest permissive.
+    completed = subprocess.run(
+        ["mypy", "src/repro/context", "src/repro/preferences", "src/repro/tree"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_mypy_config_present():
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in text
 
 
 def test_no_syntax_errors_via_import():
