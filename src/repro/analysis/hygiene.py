@@ -15,6 +15,15 @@
   ``.inc(...)``/``.observe(...)``/``.set_gauge(...)`` call must sit
   under an ``if <registry>.enabled:`` guard so the disabled cost stays
   one branch (the PR 2 overhead bound depends on it).
+* ``HYG005`` - ``except Exception`` (or a bare ``except``) outside the
+  sanctioned failure boundaries. Swallowing arbitrary exceptions
+  mid-stack hides injected faults, sanitizer violations and real bugs
+  alike; broad catches belong only where containing arbitrary component
+  failure *is the job* - the resilience layer's degradation ladder and
+  the thread-boundary harnesses listed in
+  :data:`BROAD_EXCEPT_BOUNDARIES`. A broad catch that re-raises
+  unconditionally (``raise`` as the handler's last statement) is exempt
+  anywhere: it observes failures, it does not swallow them.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.modules import SourceModule
 
 __all__ = [
+    "BROAD_EXCEPT_BOUNDARIES",
     "HOT_FUNCTIONS",
     "PRINT_ALLOWED_MODULES",
     "check_hygiene",
@@ -32,6 +42,19 @@ __all__ = [
 
 #: Modules allowed to call ``print`` (the CLI surface).
 PRINT_ALLOWED_MODULES = {"repro.cli", "repro.__main__"}
+
+#: Module prefixes where broad ``except Exception`` is sanctioned:
+#: the resilience layer (containing arbitrary component failure is its
+#: purpose), the concurrency executor and eval harnesses (reporting
+#: worker-thread failures across a thread boundary), and the CLI
+#: surface (turning any failure into an exit code).
+BROAD_EXCEPT_BOUNDARIES = (
+    "repro.resilience",
+    "repro.concurrency.executor",
+    "repro.eval",
+    "repro.cli",
+    "repro.__main__",
+)
 
 #: Function names treated as the ranking hot path for ``HYG004``.
 HOT_FUNCTIONS = {"search_cs", "rank_rows", "rank_cs_batch"}
@@ -63,6 +86,39 @@ def _is_mutable_default(node: ast.expr) -> bool:
         and isinstance(node.func, ast.Name)
         and node.func.id in _MUTABLE_CALLS
     )
+
+
+def _in_broad_except_boundary(module_name: str) -> bool:
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in BROAD_EXCEPT_BOUNDARIES
+    )
+
+
+def _broad_except_label(handler: ast.ExceptHandler) -> str | None:
+    """``"bare except"``/``"except Exception"``/... when the handler is
+    broad, ``None`` when it names specific exception types."""
+    if handler.type is None:
+        return "bare except"
+    caught = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for caught_type in caught:
+        if isinstance(caught_type, ast.Name) and caught_type.id in (
+            "Exception",
+            "BaseException",
+        ):
+            return f"except {caught_type.id}"
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler unconditionally re-raises the original
+    exception (its last statement is a bare ``raise``)."""
+    last = handler.body[-1]
+    return isinstance(last, ast.Raise) and last.exc is None
 
 
 def _condition_mentions_enabled(test: ast.expr) -> bool:
@@ -130,8 +186,27 @@ def check_hygiene(modules: list[SourceModule]) -> list[Finding]:
     findings: list[Finding] = []
     for module in modules:
         in_concurrency = module.name.startswith("repro.concurrency")
+        broad_except_ok = _in_broad_except_boundary(module.name)
         for node in ast.walk(module.tree):
-            if isinstance(node, ast.Call):
+            if isinstance(node, ast.ExceptHandler):
+                label = _broad_except_label(node)
+                if label is not None and not broad_except_ok and not _reraises(node):
+                    findings.append(
+                        Finding(
+                            rule="HYG005",
+                            category="hygiene",
+                            module=module.name,
+                            path=str(module.path),
+                            line=node.lineno,
+                            message=(
+                                f"{label} outside a sanctioned failure "
+                                "boundary: catch the specific ReproError "
+                                "subtype, or move the containment into "
+                                "repro.resilience"
+                            ),
+                        )
+                    )
+            elif isinstance(node, ast.Call):
                 if not in_concurrency and _is_bare_lock_call(node):
                     findings.append(
                         Finding(

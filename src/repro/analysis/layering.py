@@ -3,16 +3,20 @@
 The architecture (see ``docs/architecture.md``) stacks the packages
 so that every module-level import points *downward*::
 
-    exceptions < concurrency.locks < obs < concurrency
-               < hierarchy < context < preferences < tree < db
-               < resolution < io < query < dsl < workloads
-               < service < eval < analysis < (cli / __main__ / root)
+    exceptions < concurrency.locks < obs < faults < resilience
+               < concurrency < hierarchy < context < preferences
+               < tree < db < resolution < io < query < dsl
+               < workloads < service < eval < analysis
+               < (cli / __main__ / root)
 
-``obs`` and ``concurrency`` are utility layers: importable from
-anywhere, never importing upward themselves (``concurrency.locks``
-sits below ``obs`` because the metric locks are built from it; the
-executor above ``obs`` because it records metrics - its registry
-import is deferred for exactly that reason).
+``obs``, ``faults``, ``resilience`` and ``concurrency`` are utility
+layers: importable from anywhere, never importing upward themselves
+(``concurrency.locks`` sits below ``obs`` because the metric locks are
+built from it; the executor above ``obs``/``faults`` because it
+records metrics and hosts injection sites - those imports are deferred
+for exactly that reason). ``faults`` and ``resilience`` sit below the
+storage layers so the relation, cache and resolver can host injection
+sites and classification tags as plain module-level imports.
 
 Rules:
 
@@ -42,24 +46,26 @@ LAYERS: dict[str, int] = {
     "repro.exceptions": 0,
     "repro.concurrency.locks": 1,  # below obs: metric locks come from here
     "repro.obs": 2,
-    "repro.concurrency": 3,  # executor records metrics (deferred import)
-    "repro.hierarchy": 4,
-    "repro.context": 5,
-    "repro.preferences": 6,
-    "repro.tree": 7,
-    "repro.db": 8,
-    "repro.resolution": 9,
-    "repro.io": 10,
-    "repro.query": 11,
-    "repro.dsl": 12,
-    "repro.workloads": 13,
-    "repro.service": 14,
-    "repro.eval": 15,
-    "repro.analysis": 16,
+    "repro.faults": 3,  # injection sites live in every layer above
+    "repro.resilience": 4,  # policies referenced from query/service
+    "repro.concurrency": 5,  # executor records metrics (deferred import)
+    "repro.hierarchy": 6,
+    "repro.context": 7,
+    "repro.preferences": 8,
+    "repro.tree": 9,
+    "repro.db": 10,
+    "repro.resolution": 11,
+    "repro.io": 12,
+    "repro.query": 13,
+    "repro.dsl": 14,
+    "repro.workloads": 15,
+    "repro.service": 16,
+    "repro.eval": 17,
+    "repro.analysis": 18,
     # CLI surface and the package root re-export everything.
-    "repro.cli": 17,
-    "repro.__main__": 17,
-    "repro": 17,
+    "repro.cli": 19,
+    "repro.__main__": 19,
+    "repro": 19,
 }
 
 _SERVICE_RANK = LAYERS["repro.service"]

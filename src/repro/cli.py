@@ -9,6 +9,7 @@ Usage::
     python -m repro fig6 right          # Fig. 6 right (skew crossover)
     python -m repro fig7 real           # Fig. 7 left (real profile accesses)
     python -m repro fig7 synthetic      # Fig. 7 center+right (synthetic)
+    python -m repro chaos               # availability under injected faults
     python -m repro analyze             # project-native static checks
 
 Every command accepts ``--seed`` and, where meaningful, ``--sizes`` to
@@ -115,6 +116,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=17)
     serve.add_argument(
         "--json", action="store_true", help="emit the raw report as JSON"
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection run: availability/latency under a seeded "
+        "fault schedule, with vs without the resilience layer",
+    )
+    chaos.add_argument("--users", type=int, default=6)
+    chaos.add_argument("--rows", type=int, default=400)
+    chaos.add_argument("--rounds", type=int, default=5)
+    chaos.add_argument("--queries-per-round", type=int, default=40)
+    chaos.add_argument("--edits-per-round", type=int, default=4)
+    chaos.add_argument("--concurrent-batch", type=int, default=16)
+    chaos.add_argument("--max-workers", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=23)
+    chaos.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the resilience-disabled comparison run",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the raw report as JSON"
+    )
+    chaos.add_argument(
+        "--output", type=str, default=None,
+        help="also write the JSON report to this file (BENCH_chaos.json style)",
     )
 
     analyze = sub.add_parser(
@@ -325,6 +352,72 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     )
 
 
+def _run_chaos(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.eval.chaos import run_chaos
+
+    report = run_chaos(
+        num_users=args.users,
+        num_rows=args.rows,
+        rounds=args.rounds,
+        queries_per_round=args.queries_per_round,
+        edits_per_round=args.edits_per_round,
+        concurrent_batch=args.concurrent_batch,
+        max_workers=args.max_workers,
+        seed=args.seed,
+        with_baseline=not args.no_baseline,
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        return json.dumps(report, indent=2)
+    resilient = report["resilient"]
+    rows: list[list[object]] = [
+        ["requests", resilient["requests"]],
+        ["availability", f"{resilient['availability']:.2%}"],
+    ]
+    for level, count in resilient["served_by_level"].items():
+        rows.append([f"served @ {level}", count])
+    failures = resilient["failures"]
+    rows += [
+        ["failures", sum(failures.values())],
+        [
+            "latency p50/p99 (ms)",
+            f"{resilient['latency_ms']['p50']:.3f} / "
+            f"{resilient['latency_ms']['p99']:.3f}",
+        ],
+        [
+            "correctness audit",
+            f"{resilient['correctness']['mismatches']} mismatches / "
+            f"{resilient['correctness']['checked']} checked",
+        ],
+        ["edits applied / rejected",
+         f"{resilient['edits_applied']} / {resilient['edit_failures']}"],
+    ]
+    baseline = report.get("baseline")
+    if baseline is not None:
+        rows += [
+            ["baseline availability", f"{baseline['availability']:.2%}"],
+            [
+                "baseline demonstrably fails",
+                "yes" if report["baseline_demonstrably_fails"] else "NO",
+            ],
+        ]
+    workload = report["workload"]
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"Chaos run - {workload['rounds']} rounds, seed "
+            f"{workload['seed']}, {workload['num_users']} users, "
+            f"{workload['num_rows']} rows"
+        ),
+    )
+
+
 _RUNNERS = {
     "table1": _run_table1,
     "fig5": _run_fig5,
@@ -333,6 +426,7 @@ _RUNNERS = {
     "report": _run_report,
     "stats": _run_stats,
     "serve-bench": _run_serve_bench,
+    "chaos": _run_chaos,
 }
 
 

@@ -46,8 +46,21 @@ def _get_registry():
     return get_registry()
 
 
+def _get_faults():
+    # Deferred for the same reason: repro.faults builds on
+    # repro.concurrency.locks, so importing it while this package is
+    # still initialising would cycle.
+    from repro.faults.registry import get_fault_registry
+
+    return get_fault_registry()
+
+
 class ExecutorSaturated(ReproError):
     """Raised by non-blocking ``submit`` when admission is exhausted."""
+
+    #: Classification tag for the resilience layer (see
+    #: ``repro.resilience.ResiliencePolicies.classify``).
+    site = "executor.submit"
 
 
 @dataclass
@@ -56,9 +69,12 @@ class RequestOutcome:
 
     Attributes:
         index: Position of the request in its batch (submission order).
-        status: ``"ok"``, ``"error"``, ``"timeout"`` or ``"cancelled"``.
+        status: ``"ok"``, ``"error"``, ``"timeout"``, ``"cancelled"``
+            or ``"rejected"`` (shed at admission by non-blocking
+            submission).
         result: The callable's return value (``None`` unless ``"ok"``).
-        error: The raised exception (``None`` unless ``"error"``).
+        error: The raised exception (``None`` unless ``"error"`` or
+            ``"rejected"``).
         seconds: Wall-clock from submission to collection.
     """
 
@@ -170,6 +186,9 @@ class ConcurrentQueryExecutor:
         """
         if self._shutdown:
             raise ReproError("executor is shut down")
+        faults = _get_faults()
+        if faults.enabled:
+            faults.fire("executor.submit")
         if not self._admission.acquire(blocking=block):
             self._count("rejected")
             raise ExecutorSaturated(
@@ -178,6 +197,11 @@ class ConcurrentQueryExecutor:
 
         def call():
             try:
+                if faults.enabled:
+                    # Latency faults here stretch a request's time *on
+                    # a worker*, which is what per-request timeouts and
+                    # deadline checks must be exercised against.
+                    faults.fire("executor.request")
                 return fn()
             finally:
                 self._admission.release()
@@ -202,6 +226,7 @@ class ConcurrentQueryExecutor:
         self,
         requests: Sequence[Callable[[], object]],
         timeout: float | None = None,
+        block: bool = True,
     ) -> list[RequestOutcome]:
         """Run a batch of callables; outcomes in submission order.
 
@@ -209,15 +234,39 @@ class ConcurrentQueryExecutor:
         measured from batch start: a request not done ``timeout``
         seconds after submission is cancelled if still queued and
         recorded as ``"timeout"`` if already running (its eventual
-        result is discarded).
+        result is discarded). With ``block=False``, a request that
+        finds the executor saturated is shed at admission and recorded
+        as ``"rejected"`` (the rest of the batch still runs).
         """
         if timeout is None:
             timeout = self._timeout
         started = time.perf_counter()
-        futures = [self.submit(fn, block=True) for fn in requests]
+        futures = []
+        for fn in requests:
+            try:
+                futures.append(self.submit(fn, block=block))
+            except ExecutorSaturated as error:
+                futures.append(error)
+            except ReproError as error:
+                # An injected submit-site fault fails this request, not
+                # the whole batch; a shut-down executor still raises.
+                if self._shutdown:
+                    raise
+                futures.append(error)
         outcomes: list[RequestOutcome] = []
         registry = _get_registry()
         for index, future in enumerate(futures):
+            if isinstance(future, ExecutorSaturated):
+                outcomes.append(
+                    RequestOutcome(index=index, status="rejected", error=future)
+                )
+                continue
+            if isinstance(future, BaseException):
+                self._count("errors")
+                outcomes.append(
+                    RequestOutcome(index=index, status="error", error=future)
+                )
+                continue
             remaining: float | None = None
             if timeout is not None:
                 remaining = max(0.0, timeout - (time.perf_counter() - started))

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 from collections.abc import Iterable, Mapping, Sequence
 
-from repro.exceptions import DescriptorError
+from repro.exceptions import DescriptorError, ReproError
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
 from repro.hierarchy import ALL_VALUE, Value
@@ -104,7 +104,7 @@ class ParameterDescriptor:
             low, high = self._payload
             try:
                 values = hierarchy.values_between(low, high)
-            except Exception as exc:
+            except ReproError as exc:
                 raise DescriptorError(str(exc)) from exc
             if not values:
                 raise DescriptorError(

@@ -40,6 +40,7 @@ from repro.exceptions import SchemaError
 from repro.concurrency.locks import LEVEL_RELATION, RWLock
 from repro.db.index import INDEXABLE_OPS, AttributeIndex
 from repro.db.schema import Schema
+from repro.faults.registry import get_fault_registry
 from repro.obs.metrics import get_registry
 from repro.preferences.preference import AttributeClause
 from repro.tree.counters import AccessCounter
@@ -193,6 +194,9 @@ class Relation:
             raise SchemaError(
                 f"relation {self._name!r} has no attribute {attribute!r}"
             )
+        faults = get_fault_registry()
+        if faults.enabled:
+            faults.fire("relation.index_build")
         with self._lock.write_locked():
             index = self._indexes.get(attribute)
             if index is None:
@@ -214,7 +218,9 @@ class Relation:
         """Names of the currently indexed attributes."""
         return tuple(self._indexes)
 
-    def _index_for(self, clause: AttributeClause) -> AttributeIndex | None:
+    def _index_for(
+        self, clause: AttributeClause, use_index: bool = True
+    ) -> AttributeIndex | None:
         """The index select should consult for ``clause``, if any.
 
         May build a missing index (``auto_index``), which takes the
@@ -222,7 +228,7 @@ class Relation:
         entering their read-locked section (the RWLock cannot upgrade
         a held read side to the write side).
         """
-        if clause.op not in INDEXABLE_OPS:
+        if not use_index or clause.op not in INDEXABLE_OPS:
             return None
         index = self._indexes.get(clause.attribute)
         if index is None and self._auto_index:
@@ -233,14 +239,19 @@ class Relation:
     # Selection
     # ------------------------------------------------------------------
     def select_ids(
-        self, clause: AttributeClause, counter: AccessCounter | None = None
+        self,
+        clause: AttributeClause,
+        counter: AccessCounter | None = None,
+        use_index: bool = True,
     ) -> list[int]:
         """Stable row ids satisfying the clause, in row order.
 
         Uses the attribute's index when one exists (or ``auto_index``
         is on) and the operator is indexable; otherwise scans. Index
         probes charge ``counter`` with index cells, scans with one cell
-        per examined row.
+        per examined row. ``use_index=False`` forces the sequential
+        scan - the degradation ladder's fallback when index builds are
+        failing.
 
         Raises:
             SchemaError: If the clause names an attribute outside the schema.
@@ -249,10 +260,13 @@ class Relation:
             raise SchemaError(
                 f"relation {self._name!r} has no attribute {clause.attribute!r}"
             )
+        faults = get_fault_registry()
+        if faults.enabled:
+            faults.fire("relation.select")
         registry = get_registry()
         # Resolve (and possibly build) the index before the read-locked
         # section: an auto-index build takes the write lock.
-        index = self._index_for(clause)
+        index = self._index_for(clause, use_index)
         with self._lock.read_locked():
             if index is not None:
                 ids = index.lookup(clause, counter)
@@ -269,7 +283,10 @@ class Relation:
             ]
 
     def select(
-        self, clause: AttributeClause, counter: AccessCounter | None = None
+        self,
+        clause: AttributeClause,
+        counter: AccessCounter | None = None,
+        use_index: bool = True,
     ) -> list[Row]:
         """``sigma_{A theta a}(R)``: rows satisfying the clause.
 
@@ -277,12 +294,15 @@ class Relation:
             SchemaError: If the clause names an attribute outside the schema.
         """
         rows = self._rows
-        return [rows[row_id] for row_id in self.select_ids(clause, counter)]
+        return [
+            rows[row_id] for row_id in self.select_ids(clause, counter, use_index)
+        ]
 
     def select_all(
         self,
         clauses: Iterable[AttributeClause],
         counter: AccessCounter | None = None,
+        use_index: bool = True,
     ) -> list[Row]:
         """Rows satisfying *every* clause (conjunction).
 
@@ -298,12 +318,12 @@ class Relation:
                 )
         seed: AttributeClause | None = None
         for clause in clauses:
-            if self._index_for(clause) is not None:
+            if self._index_for(clause, use_index) is not None:
                 seed = clause
                 break
         if seed is not None:
             rest = [clause for clause in clauses if clause is not seed]
-            seed_ids = self.select_ids(seed, counter)
+            seed_ids = self.select_ids(seed, counter, use_index)
             with self._lock.read_locked():
                 rows = self._rows
                 return [
@@ -311,6 +331,9 @@ class Relation:
                     for row_id in seed_ids
                     if all(clause.matches(rows[row_id]) for clause in rest)
                 ]
+        faults = get_fault_registry()
+        if faults.enabled:
+            faults.fire("relation.select")
         registry = get_registry()
         with self._lock.read_locked():
             if counter is not None:

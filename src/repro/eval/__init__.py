@@ -6,6 +6,7 @@ from repro.eval.accesses import (
     fig7_synthetic,
     measure_accesses,
 )
+from repro.eval.chaos import chaos_schedule, run_chaos, run_chaos_overhead
 from repro.eval.observability import (
     run_obs_overhead,
     run_scripted_workload,
@@ -41,6 +42,7 @@ __all__ = [
     "SizeExperiment",
     "UsabilityStudy",
     "UserStudyRow",
+    "chaos_schedule",
     "classify_states",
     "fig5_real_profile",
     "fig6_size_sweep",
@@ -53,6 +55,8 @@ __all__ = [
     "measure_orderings",
     "measure_select_costs",
     "rank_access_sweep",
+    "run_chaos",
+    "run_chaos_overhead",
     "run_obs_overhead",
     "run_rank_hotpath",
     "run_scripted_workload",

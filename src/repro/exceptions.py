@@ -23,6 +23,9 @@ __all__ = [
     "OrderingError",
     "QueryError",
     "SchemaError",
+    "ServiceUnavailable",
+    "RequestTimeout",
+    "CachePoisonedError",
 ]
 
 
@@ -89,3 +92,52 @@ class QueryError(ReproError):
 
 class SchemaError(ReproError):
     """A relation schema or tuple violates its declared structure."""
+
+
+class ServiceUnavailable(ReproError):
+    """The serving layer could not answer a request at any degradation
+    level (or shed it under load).
+
+    Attributes:
+        user_id: The user the failed request belonged to, if known.
+        state: The request's context state (or query), if known.
+        causes: The underlying per-level/per-attempt exceptions.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        user_id: str | None = None,
+        state: object = None,
+        causes: tuple[BaseException, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.user_id = user_id
+        self.state = state
+        self.causes = tuple(causes)
+
+    def __str__(self) -> str:
+        message = Exception.__str__(self)
+        parts = []
+        if self.user_id is not None:
+            parts.append(f"user={self.user_id!r}")
+        if self.state is not None:
+            parts.append(f"state={self.state!r}")
+        if self.causes:
+            parts.append(f"{len(self.causes)} underlying failure(s)")
+        return f"{message} ({', '.join(parts)})" if parts else message
+
+
+class RequestTimeout(ServiceUnavailable):
+    """A request exceeded its timeout or propagated deadline."""
+
+
+class CachePoisonedError(TreeError):
+    """A cached query result failed its integrity check on read.
+
+    Carries a ``site`` attribute so the resilience layer can classify
+    the failure to the cache component and route around it.
+    """
+
+    site = "cache.get"

@@ -1,0 +1,30 @@
+"""Deterministic fault injection for chaos-testing the serving stack.
+
+Named injection sites are planted in the relation, the context query
+tree, ``Search_CS``, the concurrent executor and the personalization
+service; a seeded :class:`FaultRegistry` decides, per site, whether a
+hook execution raises, sleeps or corrupts a value. Strict no-op while
+disabled (one attribute check per hook) - see
+:mod:`repro.faults.registry` for the full contract and
+``docs/resilience.md`` for the site table.
+"""
+
+from repro.faults.registry import (
+    SITES,
+    CorruptedValue,
+    FaultRegistry,
+    FaultSpec,
+    InjectedFault,
+    fault_plan,
+    get_fault_registry,
+)
+
+__all__ = [
+    "SITES",
+    "CorruptedValue",
+    "FaultRegistry",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_plan",
+    "get_fault_registry",
+]

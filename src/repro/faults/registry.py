@@ -1,0 +1,328 @@
+"""A deterministic fault-injection registry for the serving stack.
+
+Chaos testing a concurrent serving system needs failures that are
+*repeatable*: a seeded schedule that fires the same faults at the same
+sites no matter how threads interleave, so a failing run can be
+replayed. This module provides a process-wide :class:`FaultRegistry`
+with **named injection sites** planted through the stack (see
+:data:`SITES`); each site supports three fault kinds:
+
+* ``error`` - raise :class:`InjectedFault` (tagged with the site, so
+  the resilience layer can classify it to a component);
+* ``latency`` - sleep for a configured delay before proceeding;
+* ``corrupt`` - wrap a value in :class:`CorruptedValue`, simulating a
+  poisoned cache entry or mangled payload that downstream integrity
+  checks must catch.
+
+Like :mod:`repro.obs`, the registry is a **strict no-op while
+disabled**: every hook starts with one attribute check
+(``faults.enabled``), so the hooks can stay permanently compiled into
+hot paths (the chaos benchmark bounds the disabled cost the same way
+``BENCH_obs.json`` bounds the metrics layer's).
+
+Determinism: each site draws from its own ``random.Random`` seeded
+from the plan seed and the site name, under the registry lock - the
+sequence of fire/no-fire decisions per site is a pure function of the
+seed, independent of which thread happens to draw.
+
+Activation: the :func:`fault_plan` context manager (tests, the chaos
+driver) or the ``REPRO_FAULTS`` environment variable holding a JSON
+list of spec dicts, e.g.::
+
+    REPRO_FAULTS='[{"site": "cache.get", "kind": "error", "probability": 0.1}]'
+
+with an optional ``REPRO_FAULTS_SEED``. Fired faults are counted per
+site/kind in the registry's own counters and mirrored into the process
+metrics registry (``faults.fired``) when that is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from collections.abc import Iterator, Mapping, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError
+from repro.concurrency.locks import Mutex
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "SITES",
+    "CorruptedValue",
+    "FaultRegistry",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_plan",
+    "get_fault_registry",
+]
+
+#: The named injection sites planted through the serving stack.
+SITES = (
+    "relation.select",
+    "relation.index_build",
+    "cache.get",
+    "cache.put",
+    "resolution.search_cs",
+    "executor.submit",
+    "executor.request",
+    "service.edit",
+)
+
+_KINDS = ("error", "latency", "corrupt")
+
+
+class InjectedFault(ReproError):
+    """A fault raised by the injection registry (never by real code).
+
+    The ``site`` attribute names the injection site that fired, which
+    is how the resilience layer maps a failure to a component (cache,
+    index, search, ...) without importing this package's internals.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at site {site!r}")
+        self.site = site
+
+
+class CorruptedValue:
+    """A deliberately mangled stand-in for a real value.
+
+    Wrapping (rather than mutating) the original keeps the corruption
+    detectable: integrity checks test ``isinstance(x, CorruptedValue)``
+    and the original payload stays available for debugging.
+    """
+
+    __slots__ = ("original", "site")
+
+    def __init__(self, original: object, site: str) -> None:
+        self.original = original
+        self.site = site
+
+    def __repr__(self) -> str:
+        return f"CorruptedValue(site={self.site!r})"
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault: where, what kind, how often.
+
+    Attributes:
+        site: Injection-site name (one of :data:`SITES`).
+        kind: ``"error"``, ``"latency"`` or ``"corrupt"``.
+        probability: Chance each hook execution fires, in [0, 1].
+        delay: Seconds to sleep when a ``latency`` fault fires.
+        max_fires: Stop firing after this many hits (``None`` = never).
+        fires: How many times this spec has fired (mutated by the
+            registry; read it after a run for schedule accounting).
+    """
+
+    site: str
+    kind: str = "error"
+    probability: float = 1.0
+    delay: float = 0.0
+    max_fires: int | None = None
+    fires: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ReproError(
+                f"unknown fault site {self.site!r}; expected one of {SITES}"
+            )
+        if self.kind not in _KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ReproError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.delay < 0:
+            raise ReproError(f"fault delay must be >= 0, got {self.delay}")
+
+
+class FaultRegistry:
+    """Holds the active fault plan and drives the injection hooks.
+
+    The registry is *disabled* (and the hooks free) unless a plan is
+    installed. ``fire(site)`` may raise or sleep; ``corrupt(site,
+    value)`` may wrap the value. Both are called by the planted sites,
+    never by application code.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._specs: dict[str, list[FaultSpec]] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self._seed = 0
+        self._counts: dict[tuple[str, str], int] = {}
+        # Unranked: hooks fire under arbitrary stack locks (cache,
+        # relation, ...), so the registry lock must be exempt from the
+        # hierarchy the sanitizer enforces.
+        self._lock = Mutex(name="faults.registry")
+
+    # ------------------------------------------------------------------
+    # Plan installation
+    # ------------------------------------------------------------------
+    def install(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:
+        """Install a fault plan and enable the hooks."""
+        with self._lock:
+            self._specs = {}
+            for spec in specs:
+                self._specs.setdefault(spec.site, []).append(spec)
+            self._seed = seed
+            self._rngs = {
+                site: random.Random(f"{seed}:{site}") for site in self._specs
+            }
+            self._counts = {}
+            self.enabled = bool(self._specs)
+
+    def clear(self) -> None:
+        """Drop the plan and disable the hooks."""
+        with self._lock:
+            self._specs = {}
+            self._rngs = {}
+            self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Hooks (called by the planted sites)
+    # ------------------------------------------------------------------
+    def _draw(self, site: str, include_corrupt: bool) -> FaultSpec | None:
+        """Pick the spec (if any) firing for this hook execution.
+
+        ``fire`` passes ``include_corrupt=False``: it has no value to
+        corrupt, so corrupt specs are ineligible there and must not be
+        drawn (or counted as fired) at all.
+        """
+        with self._lock:
+            specs = self._specs.get(site)
+            if not specs:
+                return None
+            rng = self._rngs[site]
+            for spec in specs:
+                if not include_corrupt and spec.kind == "corrupt":
+                    continue
+                if spec.max_fires is not None and spec.fires >= spec.max_fires:
+                    continue
+                if spec.probability >= 1.0 or rng.random() < spec.probability:
+                    spec.fires += 1
+                    key = (site, spec.kind)
+                    self._counts[key] = self._counts.get(key, 0) + 1
+                    return spec
+            return None
+
+    def _record(self, site: str, kind: str) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("faults.fired", labels={"site": site, "kind": kind})
+
+    def fire(self, site: str) -> None:
+        """Run the error/latency faults scheduled for ``site`` (if any).
+
+        Raises:
+            InjectedFault: When an ``error`` fault fires.
+        """
+        spec = self._draw(site, include_corrupt=False)
+        if spec is None:
+            return
+        self._record(site, spec.kind)
+        if spec.kind == "latency":
+            time.sleep(spec.delay)
+            return
+        raise InjectedFault(site)
+
+    def corrupt(self, site: str, value: object) -> object:
+        """Possibly replace ``value`` with a :class:`CorruptedValue`.
+
+        Error/latency specs at the same site also apply here (a single
+        hook point per site), so a site that returns values needs only
+        this one call.
+        """
+        spec = self._draw(site, include_corrupt=True)
+        if spec is None:
+            return value
+        self._record(site, spec.kind)
+        if spec.kind == "latency":
+            time.sleep(spec.delay)
+            return value
+        if spec.kind == "error":
+            raise InjectedFault(site)
+        return CorruptedValue(value, site)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, dict[str, int]]:
+        """Fired faults per site, per kind: ``{site: {kind: count}}``."""
+        with self._lock:
+            result: dict[str, dict[str, int]] = {}
+            for (site, kind), count in sorted(self._counts.items()):
+                result.setdefault(site, {})[kind] = count
+            return result
+
+    def total_fired(self) -> int:
+        """Total faults fired since the plan was installed."""
+        with self._lock:
+            return sum(self._counts.values())
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"FaultRegistry({len(self._specs)} sites, {state})"
+
+
+def _specs_from_env(payload: str) -> list[FaultSpec]:
+    try:
+        raw = json.loads(payload)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"REPRO_FAULTS is not valid JSON: {error}") from error
+    if not isinstance(raw, list):
+        raise ReproError("REPRO_FAULTS must be a JSON list of spec objects")
+    specs = []
+    for entry in raw:
+        if not isinstance(entry, Mapping):
+            raise ReproError("each REPRO_FAULTS entry must be an object")
+        specs.append(FaultSpec(**dict(entry)))
+    return specs
+
+
+#: The process-wide registry every planted site consults.
+_REGISTRY = FaultRegistry()
+
+_ENV_PLAN = os.environ.get("REPRO_FAULTS")
+if _ENV_PLAN:
+    _REGISTRY.install(
+        _specs_from_env(_ENV_PLAN),
+        seed=int(os.environ.get("REPRO_FAULTS_SEED", "0")),
+    )
+
+
+def get_fault_registry() -> FaultRegistry:
+    """The process-wide fault registry (disabled unless a plan is set)."""
+    return _REGISTRY
+
+
+@contextmanager
+def fault_plan(specs: Sequence[FaultSpec], seed: int = 0) -> Iterator[FaultRegistry]:
+    """``with fault_plan([...], seed=7):`` - faults on for the block.
+
+    Restores the previous (usually empty) plan on exit, so tests and
+    the chaos driver cannot leak an active schedule into later code.
+    """
+    registry = _REGISTRY
+    with registry._lock:
+        previous = (
+            [spec for specs_ in registry._specs.values() for spec in specs_],
+            registry._seed,
+            registry.enabled,
+        )
+    registry.install(specs, seed)
+    try:
+        yield registry
+    finally:
+        if previous[2]:
+            registry.install(previous[0], previous[1])
+        else:
+            registry.clear()

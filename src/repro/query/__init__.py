@@ -15,6 +15,7 @@ from repro.query.rank import (
     rank_cs_batch,
     rank_rows,
 )
+from repro.query.resilient import ResilientQueryExecutor, generalize_state
 
 __all__ = [
     "BatchStats",
@@ -25,8 +26,10 @@ __all__ = [
     "QualitativeResult",
     "QueryResult",
     "RankedTuple",
+    "ResilientQueryExecutor",
     "explain_resolution",
     "explain_result",
+    "generalize_state",
     "rank_cs",
     "rank_cs_batch",
     "rank_rows",

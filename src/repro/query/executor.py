@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from repro.context.descriptor import ContextDescriptor, ExtendedContextDescriptor
 from repro.context.state import ContextState
 from repro.db.relation import Relation
+from repro.exceptions import CachePoisonedError
+from repro.faults.registry import CorruptedValue
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.preferences.combine import combine_max
@@ -48,6 +50,11 @@ class QueryResult:
             because no preference matched its context.
         cache_hits / cache_misses: Query-tree cache statistics for this
             execution (zero when no cache is configured).
+        degradation: The degradation level that served this result -
+            ``"full"`` on the normal path; the resilience layer stamps
+            ``"cache_bypass"``, ``"scan"``, ``"generalized"`` or
+            ``"unranked"`` when a fallback produced it (see
+            :mod:`repro.resilience`).
     """
 
     results: list[RankedTuple]
@@ -55,6 +62,7 @@ class QueryResult:
     contextual: bool = True
     cache_hits: int = 0
     cache_misses: int = 0
+    degradation: str = "full"
 
     def top(self, k: int, include_ties: bool = True) -> list[RankedTuple]:
         """The best ``k`` results; with ``include_ties`` every tuple
@@ -127,10 +135,19 @@ class ContextualQueryExecutor:
         self,
         query: ContextualQuery,
         counter: AccessCounter | None = None,
+        use_cache: bool = True,
+        use_index: bool = True,
     ) -> QueryResult:
-        """Run one contextual query end to end."""
+        """Run one contextual query end to end.
+
+        ``use_cache=False`` skips the result cache entirely (read and
+        write) and ``use_index=False`` forces sequential-scan
+        selections; the normal call leaves both on. The resilience
+        layer uses the switches as degradation levels - same rankings,
+        fewer moving parts.
+        """
         with span("execute"):
-            result = self._execute(query, counter)
+            result = self._execute(query, counter, use_cache, use_index)
         registry = get_registry()
         if registry.enabled:
             registry.inc("executor.queries")
@@ -138,40 +155,70 @@ class ContextualQueryExecutor:
                 registry.inc("executor.plain_fallbacks")
         return result
 
+    def _checked_cache_get(
+        self, state: ContextState, counter: AccessCounter | None
+    ) -> tuple | None:
+        """Cache read with an integrity check on the payload.
+
+        A poisoned entry (a :class:`~repro.faults.CorruptedValue`
+        wrapper or a payload that is not the expected 2-tuple) is
+        dropped from the cache and surfaced as
+        :class:`~repro.exceptions.CachePoisonedError` - the executor
+        must never silently rank from a mangled payload, and the error
+        carries ``site="cache.get"`` so the resilience layer charges
+        the cache breaker and retries without the cache.
+        """
+        cached = self._cache.get(state, counter)
+        if cached is None:
+            return None
+        if isinstance(cached, CorruptedValue) or not (
+            isinstance(cached, tuple) and len(cached) == 2
+        ):
+            self._cache.invalidate(state)
+            raise CachePoisonedError(
+                f"query cache returned a corrupted payload for state {state!r}"
+            )
+        return cached
+
     def _execute(
         self,
         query: ContextualQuery,
         counter: AccessCounter | None = None,
+        use_cache: bool = True,
+        use_index: bool = True,
     ) -> QueryResult:
         if not query.is_contextual():
-            return self._plain(query)
+            return self._plain(query, use_index)
 
+        cache = self._cache if use_cache else None
         contributions: dict[Contribution, None] = {}
         resolutions: list[Resolution] = []
         cache_hits = 0
         cache_misses = 0
         for state in query.states():
-            cached = self._cache.get(state, counter) if self._cache is not None else None
+            cached = (
+                self._checked_cache_get(state, counter) if cache is not None else None
+            )
             if cached is not None:
                 cache_hits += 1
                 state_contributions, resolution = cached
             else:
                 generation = 0
-                if self._cache is not None:
+                if cache is not None:
                     cache_misses += 1
                     # Snapshot the invalidation epoch before computing:
                     # if the relation or profile is invalidated while we
                     # rank, the conditional put below discards the
                     # now-stale entry instead of caching it.
-                    generation = self._cache.generation
+                    generation = cache.generation
                 resolution = self._resolver.resolve_state(state, counter)
                 state_contributions = tuple(
                     Contribution(candidate.state, clause, score)
                     for candidate in resolution.best
                     for clause, score in candidate.entries.items()
                 )
-                if self._cache is not None:
-                    self._cache.put(
+                if cache is not None:
+                    cache.put(
                         state, (state_contributions, resolution), generation
                     )
             resolutions.append(resolution)
@@ -180,13 +227,19 @@ class ContextualQueryExecutor:
 
         if not contributions:
             # No preference matched any query state: run non-contextually.
-            plain = self._plain(query)
+            plain = self._plain(query, use_index)
             plain.resolutions = resolutions
             plain.cache_hits = cache_hits
             plain.cache_misses = cache_misses
             return plain
 
-        ranked = rank_rows(self._relation, list(contributions), self._combine, counter)
+        ranked = rank_rows(
+            self._relation,
+            list(contributions),
+            self._combine,
+            counter,
+            use_index=use_index,
+        )
         if query.base_clauses:
             ranked = [
                 item
@@ -232,7 +285,7 @@ class ContextualQueryExecutor:
             registry.inc("executor.queries", len(descriptors))
         return results, stats
 
-    def _plain(self, query: ContextualQuery) -> QueryResult:
+    def _plain(self, query: ContextualQuery, use_index: bool = True) -> QueryResult:
         """Non-contextual fallback: the ordinary query, unranked.
 
         Truncation applies the same Table 1 tie rule as the contextual
@@ -242,7 +295,12 @@ class ContextualQueryExecutor:
         than cutting it at an arbitrary row.
         """
         if query.base_clauses:
-            rows = self._relation.select_all(query.base_clauses)
+            if use_index:
+                rows = self._relation.select_all(query.base_clauses)
+            else:
+                rows = self._relation.select_all(
+                    query.base_clauses, use_index=False
+                )
         else:
             rows = list(self._relation)
         results = [RankedTuple(row=row, score=0.0, contributions=()) for row in rows]

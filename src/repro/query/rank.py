@@ -78,6 +78,7 @@ def rank_rows(
     combine: Callable[[Sequence[float]], float] = combine_max,
     counter: AccessCounter | None = None,
     clause_cache: ClauseCache | None = None,
+    use_index: bool = True,
 ) -> list[RankedTuple]:
     """Evaluate expressions over ``relation`` and rank the results.
 
@@ -90,7 +91,10 @@ def rank_rows(
     correct even if a relation implementation yields fresh row objects
     per scan. A clause appearing in several contributions is evaluated
     once; passing ``clause_cache`` extends that memoization across
-    calls (see :func:`rank_cs_batch`).
+    calls (see :func:`rank_cs_batch`). ``use_index=False`` forces every
+    selection down the sequential-scan path - same rankings, no
+    dependence on index builds (the degradation ladder's ``scan``
+    level).
     """
     if clause_cache is None:
         clause_cache = {}
@@ -100,7 +104,15 @@ def rank_rows(
         for contribution in contributions:
             row_ids = clause_cache.get(contribution.clause)
             if row_ids is None:
-                row_ids = relation.select_ids(contribution.clause, counter)
+                # Keyword-only (and only when deviating from the
+                # default) so duck-typed relation stand-ins that predate
+                # the switch keep working on the normal path.
+                if use_index:
+                    row_ids = relation.select_ids(contribution.clause, counter)
+                else:
+                    row_ids = relation.select_ids(
+                        contribution.clause, counter, use_index=False
+                    )
                 clause_cache[contribution.clause] = row_ids
                 evaluated += 1
             for row_id in row_ids:

@@ -1,0 +1,177 @@
+"""A contextual query executor that degrades instead of failing.
+
+Wraps a :class:`~repro.query.ContextualQueryExecutor` in the
+degradation ladder of :mod:`repro.resilience`, with the concrete rungs
+for contextual ranking:
+
+1. ``full`` - the normal path: result cache consulted, attribute
+   indexes used. Gated on the ``cache`` and ``index`` breakers.
+2. ``cache_bypass`` - same rankings, cache skipped entirely (a
+   poisoned or failing cache is routed around). Gated on ``index``.
+3. ``scan`` - cache skipped *and* every selection forced down the
+   sequential-scan path; identical rankings with no dependence on
+   index builds.
+4. ``generalized`` - context generalization: the query's current
+   state is replaced by its one-step-up parent state (each value
+   mapped through ``hierarchy.parent``), trading precision for the
+   broader preferences stored higher in the profile tree. Only offered
+   for implicit-state queries that are not already fully general.
+5. ``unranked`` - the ordinary query with context stripped: the plain
+   base-clause selection, every tuple scored 0.0. Always available, so
+   a read fails only when even the base relation cannot answer.
+
+Levels 2-3 return *the same ranked order* as level 1 whenever both
+succeed (they change the evaluation strategy, not the semantics);
+levels 4-5 trade fidelity for availability and are clearly flagged via
+:attr:`QueryResult.degradation`.
+"""
+
+from __future__ import annotations
+
+from repro.context.state import ContextState
+from repro.query.contextual_query import ContextualQuery
+from repro.query.executor import ContextualQueryExecutor, QueryResult
+from repro.resilience import DegradationLadder, LadderLevel, ResiliencePolicies
+from repro.tree.counters import AccessCounter
+
+__all__ = ["ResilientQueryExecutor", "generalize_state"]
+
+
+def generalize_state(state: ContextState) -> ContextState:
+    """The one-step-up parent state: each value -> its hierarchy parent.
+
+    ``'all'`` values stay put, so repeated application converges on the
+    empty-context state ``(all, ..., all)``.
+    """
+    values = tuple(
+        param.hierarchy.parent(value)
+        for param, value in zip(state.environment, state.values)
+    )
+    return ContextState(state.environment, values)
+
+
+class ResilientQueryExecutor:
+    """Serve contextual queries through the degradation ladder.
+
+    Args:
+        executor: The wrapped plain executor.
+        policies: Shared retry/breaker bundle; a default-configured
+            bundle when omitted.
+        user_id: Attached to terminal ``ServiceUnavailable`` errors.
+
+    Example:
+        >>> resilient = ResilientQueryExecutor(executor, policies)
+        >>> result = resilient.execute(query)
+        >>> result.degradation
+        'full'
+    """
+
+    def __init__(
+        self,
+        executor: ContextualQueryExecutor,
+        policies: ResiliencePolicies | None = None,
+        user_id: str | None = None,
+    ) -> None:
+        self._executor = executor
+        self._policies = policies if policies is not None else ResiliencePolicies()
+        self._user_id = user_id
+
+    @property
+    def executor(self) -> ContextualQueryExecutor:
+        """The wrapped plain executor."""
+        return self._executor
+
+    @property
+    def policies(self) -> ResiliencePolicies:
+        """The retry/breaker bundle in force."""
+        return self._policies
+
+    def _levels(
+        self, query: ContextualQuery, counter: AccessCounter | None
+    ) -> list[LadderLevel]:
+        executor = self._executor
+        levels = [
+            LadderLevel(
+                "full",
+                lambda: executor.execute(query, counter),
+                requires=("cache", "index") if executor.cache is not None else ("index",),
+            ),
+            LadderLevel(
+                "cache_bypass",
+                lambda: executor.execute(query, counter, use_cache=False),
+                requires=("index",),
+            ),
+            LadderLevel(
+                "scan",
+                lambda: executor.execute(
+                    query, counter, use_cache=False, use_index=False
+                ),
+            ),
+        ]
+        generalized = self._generalized_query(query)
+        if generalized is not None:
+            levels.append(
+                LadderLevel(
+                    "generalized",
+                    lambda: executor.execute(
+                        generalized, counter, use_cache=False, use_index=False
+                    ),
+                )
+            )
+        stripped = ContextualQuery(
+            query.environment,
+            base_clauses=query.base_clauses,
+            top_k=query.top_k,
+        )
+        levels.append(
+            LadderLevel(
+                "unranked",
+                lambda: executor.execute(
+                    stripped, counter, use_cache=False, use_index=False
+                ),
+            )
+        )
+        return levels
+
+    @staticmethod
+    def _generalized_query(query: ContextualQuery) -> ContextualQuery | None:
+        """The one-step-generalized variant, or ``None`` when there is
+        no implicit state to generalize (explicit descriptors name the
+        exact hypothetical contexts the user asked about, so the ladder
+        does not reinterpret them) or the state is already ``all``s."""
+        state = query.current_state
+        if state is None or query.descriptor is not None:
+            return None
+        parent = generalize_state(state)
+        if parent == state:
+            return None
+        return ContextualQuery(
+            query.environment,
+            current_state=parent,
+            base_clauses=query.base_clauses,
+            top_k=query.top_k,
+        )
+
+    def execute(
+        self,
+        query: ContextualQuery,
+        counter: AccessCounter | None = None,
+    ) -> QueryResult:
+        """Run the query at the best degradation level that succeeds.
+
+        The served level is stamped on :attr:`QueryResult.degradation`.
+
+        Raises:
+            ServiceUnavailable: Every level failed (causes attached).
+            RequestTimeout: The request's propagated deadline expired.
+        """
+        ladder = DegradationLadder(
+            self._levels(query, counter),
+            self._policies,
+            user_id=self._user_id,
+            state=query.current_state,
+        )
+        result, level = ladder.run()
+        assert isinstance(result, QueryResult)
+        result.degradation = level
+        return result

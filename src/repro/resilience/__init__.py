@@ -1,0 +1,43 @@
+"""Resilience policies: retries, circuit breaking, graceful degradation.
+
+The serving stack keeps answering under component failure by composing
+four mechanisms:
+
+* :class:`RetryPolicy` / :class:`RetryBudget` - bounded, budgeted
+  retries with seeded-jitter backoff, for idempotent reads only;
+* :class:`CircuitBreaker` - per-component closed/open/half-open
+  breakers that take a failing cache or index out of the hot path;
+* :class:`Deadline` / :func:`deadline_scope` - a time budget that
+  propagates with the request instead of restarting per stage;
+* :class:`DegradationLadder` - ordered fallbacks from the full
+  indexed+cached path down to the unranked base relation, with the
+  served level reported to the caller.
+
+Everything here is opt-in: a service constructed without policies runs
+the exact pre-existing code path. See ``docs/resilience.md``.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import Deadline, current_deadline, deadline_scope
+from repro.resilience.ladder import (
+    DEFAULT_SITE_COMPONENTS,
+    NON_DEGRADABLE,
+    DegradationLadder,
+    LadderLevel,
+    ResiliencePolicies,
+)
+from repro.resilience.retry import RetryBudget, RetryPolicy
+
+__all__ = [
+    "DEFAULT_SITE_COMPONENTS",
+    "NON_DEGRADABLE",
+    "CircuitBreaker",
+    "Deadline",
+    "DegradationLadder",
+    "LadderLevel",
+    "ResiliencePolicies",
+    "RetryBudget",
+    "RetryPolicy",
+    "current_deadline",
+    "deadline_scope",
+]

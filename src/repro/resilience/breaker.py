@@ -1,0 +1,175 @@
+"""Per-component circuit breakers: fail fast, probe, recover.
+
+A component that keeps failing (a poisoned cache, an index whose build
+raises, a saturated dependency) should be taken *out of the hot path*
+rather than paid for on every request. The breaker implements the
+classic three-state machine:
+
+* **closed** - requests flow; consecutive failures are counted.
+* **open** - after ``failure_threshold`` consecutive failures the
+  breaker trips: ``allow()`` answers False (callers route around the
+  component) until ``recovery_time`` has passed.
+* **half-open** - after the cool-down, a limited number of trial
+  requests are let through; one success closes the breaker, one
+  failure re-opens it (and restarts the cool-down).
+
+The clock is injectable so tests and the seeded chaos driver can step
+time deterministically instead of sleeping. State changes are mirrored
+into the metrics registry (``resilience.breaker_state`` gauge per
+component, ``resilience.breaker_trips`` counter).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.exceptions import ReproError
+from repro.concurrency.locks import Mutex
+from repro.obs.metrics import get_registry
+
+__all__ = ["CircuitBreaker"]
+
+#: Gauge encoding of the three states.
+_STATE_VALUES = {"closed": 0.0, "open": 1.0, "half_open": 2.0}
+
+
+class CircuitBreaker:
+    """One component's closed/open/half-open breaker.
+
+    Args:
+        name: Component name (``"cache"``, ``"index"``, ...), used in
+            metrics labels.
+        failure_threshold: Consecutive failures that trip the breaker.
+        recovery_time: Seconds the breaker stays open before probing.
+        half_open_max: Trial calls admitted while half-open.
+        clock: Monotonic time source (injectable for tests).
+
+    Example:
+        >>> breaker = CircuitBreaker("cache", failure_threshold=3)
+        >>> if breaker.allow():
+        ...     try:
+        ...         value = cache.get(key)
+        ...     except TreeError:
+        ...         breaker.record_failure()
+        ...     else:
+        ...         breaker.record_success()
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        recovery_time: float = 1.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_time < 0:
+            raise ReproError(f"recovery_time must be >= 0, got {recovery_time}")
+        if half_open_max < 1:
+            raise ReproError(f"half_open_max must be >= 1, got {half_open_max}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_max = half_open_max
+        self._clock = clock
+        self._lock = Mutex(name=f"resilience.breaker:{name}")
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (cool-down aware)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._set_state("half_open")
+            self._half_open_inflight = 0
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        registry = get_registry()
+        if registry.enabled:
+            registry.set_gauge(
+                "resilience.breaker_state",
+                _STATE_VALUES[state],
+                labels={"component": self.name},
+            )
+
+    def allow(self) -> bool:
+        """Whether a call may go through the component right now.
+
+        While half-open, admits at most ``half_open_max`` in-flight
+        trials; a refused caller should route around the component
+        exactly as if the breaker were open.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                return False
+            if self._half_open_inflight >= self.half_open_max:
+                return False
+            self._half_open_inflight += 1
+            return True
+
+    def record_success(self) -> None:
+        """A call through the component succeeded."""
+        with self._lock:
+            self._failures = 0
+            if self._state != "closed":
+                self._set_state("closed")
+                self._half_open_inflight = 0
+
+    def record_failure(self) -> None:
+        """A call through the component failed."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "half_open":
+                self._trip()
+                return
+            self._failures += 1
+            if self._state == "closed" and self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._set_state("open")
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._half_open_inflight = 0
+        self.trips += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc(
+                "resilience.breaker_trips", labels={"component": self.name}
+            )
+
+    def reset(self) -> None:
+        """Force the breaker closed (tests, manual intervention)."""
+        with self._lock:
+            self._failures = 0
+            self._half_open_inflight = 0
+            self._set_state("closed")
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state!r}, "
+            f"trips={self.trips})"
+        )

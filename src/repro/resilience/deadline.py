@@ -1,0 +1,107 @@
+"""Deadlines: a time budget that propagates through the serving path.
+
+A per-request timeout enforced only at the outermost collection point
+(the concurrent executor) lets a request burn its whole budget inside
+one slow stage. A :class:`Deadline` travels *with* the request: the
+degradation ladder checks it between levels, ``rank_many`` checks it
+between descriptors, and nested stages inherit it through a
+thread-local scope (:func:`deadline_scope` / :func:`current_deadline`)
+so the budget is shared, not restarted, across layers.
+
+Expiry raises :class:`repro.exceptions.RequestTimeout` - the typed
+member of the ``ServiceUnavailable`` hierarchy - so callers can tell
+"out of time" apart from "broken".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+from repro.exceptions import ReproError, RequestTimeout
+
+__all__ = ["Deadline", "current_deadline", "deadline_scope"]
+
+
+class Deadline:
+    """A fixed point in (monotonic) time a request must finish by.
+
+    Args:
+        seconds: Budget from now.
+        clock: Monotonic time source (injectable for tests).
+
+    Example:
+        >>> deadline = Deadline.after(0.5)
+        >>> deadline.check("rank_many")  # raises RequestTimeout if spent
+        >>> remaining = deadline.remaining()
+    """
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(
+        self, expires_at: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self._expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        if seconds < 0:
+            raise ReproError(f"deadline budget must be >= 0, got {seconds}")
+        return cls(clock() + seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at 0.0)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self._clock() >= self._expires_at
+
+    def check(self, stage: str | None = None) -> None:
+        """Raise :class:`RequestTimeout` if the deadline has passed."""
+        if self.expired:
+            where = f" in {stage}" if stage else ""
+            raise RequestTimeout(f"deadline exceeded{where}")
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class _Scope(threading.local):
+    def __init__(self) -> None:
+        self.deadline: Deadline | None = None
+
+
+_SCOPE = _Scope()
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline attached to the calling thread's request, if any."""
+    return _SCOPE.deadline
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Attach ``deadline`` to the calling thread for the block.
+
+    Nested scopes keep the *tighter* (earlier) deadline: a stage may
+    shrink the request's budget but never extend it.
+    """
+    previous = _SCOPE.deadline
+    effective = deadline
+    if previous is not None and (
+        effective is None or previous._expires_at <= effective._expires_at
+    ):
+        effective = previous
+    _SCOPE.deadline = effective
+    try:
+        yield effective
+    finally:
+        _SCOPE.deadline = previous

@@ -1,0 +1,206 @@
+"""The degradation ladder: answer at reduced fidelity before failing.
+
+Situation-aware recommenders keep answering under partial failure by
+falling back to less specific context, and preference engines treat
+the preference layer as an optional refinement over a correct base
+query - both argue for *degrade, don't fail*. The ladder encodes that:
+an ordered list of :class:`LadderLevel` s, each a self-contained way to
+produce a (progressively less refined) answer. A request walks down
+the ladder: levels whose required components have open circuit
+breakers are skipped outright, each attempted level runs under the
+retry policy, and the first success is returned **together with the
+level that served it** - the caller reports the degradation level so
+reduced fidelity is always observable, never silent.
+
+Failure classification: an exception carrying a ``site`` attribute
+(``InjectedFault``, ``CachePoisonedError``) is mapped through the
+policies' site->component table onto the breaker to charge; anything
+unclassifiable degrades without charging a breaker. Exceptions that
+must never be degraded away - lock-order sanitizer violations, deadline
+expiry, ``ServiceUnavailable`` itself - propagate immediately.
+
+This module is the one sanctioned ``except Exception`` boundary in the
+library (hygiene rule ``HYG005``): the whole point of the ladder is to
+contain arbitrary component failure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import RequestTimeout, ServiceUnavailable
+from repro.concurrency.locks import LockOrderViolation
+from repro.obs.metrics import get_registry
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import Deadline, current_deadline
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["DegradationLadder", "LadderLevel", "ResiliencePolicies"]
+
+#: Exceptions the ladder must re-raise rather than degrade around:
+#: sanitizer violations are correctness bugs, timeouts carry the
+#: request's (already spent) budget, ServiceUnavailable is the ladder's
+#: own terminal verdict.
+NON_DEGRADABLE = (LockOrderViolation, RequestTimeout, ServiceUnavailable)
+
+
+@dataclass
+class LadderLevel:
+    """One rung: a named way to produce an answer.
+
+    Attributes:
+        name: Degradation-level name reported to the caller
+            (``"full"``, ``"cache_bypass"``, ...).
+        run: Zero-argument callable producing the level's answer.
+        requires: Component names whose breakers gate this level; if
+            any refuses (:meth:`CircuitBreaker.allow` is False) the
+            level is skipped without being attempted.
+    """
+
+    name: str
+    run: Callable[[], object]
+    requires: tuple[str, ...] = ()
+
+
+@dataclass
+class ResiliencePolicies:
+    """The policy bundle one serving stack shares.
+
+    Attributes:
+        retry: Retry policy applied to each attempted level
+            (idempotent reads only).
+        breakers: Per-component circuit breakers, keyed by component
+            name; levels requiring an open component are skipped.
+        site_components: Maps an exception's ``site`` attribute (e.g.
+            ``"cache.get"``) to the component whose breaker the
+            failure charges (e.g. ``"cache"``).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
+    site_components: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_SITE_COMPONENTS)
+    )
+
+    def breaker(self, component: str) -> CircuitBreaker:
+        """Get or create the breaker for ``component``."""
+        breaker = self.breakers.get(component)
+        if breaker is None:
+            breaker = self.breakers[component] = CircuitBreaker(component)
+        return breaker
+
+    def classify(self, error: BaseException) -> str | None:
+        """The component an error charges, via its ``site`` attribute."""
+        site = getattr(error, "site", None)
+        if site is None:
+            return None
+        return self.site_components.get(site)
+
+
+#: Default mapping from injection/integrity sites to components.
+DEFAULT_SITE_COMPONENTS = {
+    "cache.get": "cache",
+    "cache.put": "cache",
+    "relation.index_build": "index",
+    "relation.select": "relation",
+    "resolution.search_cs": "search",
+    "executor.submit": "executor",
+    "executor.request": "executor",
+    "service.edit": "service",
+}
+
+
+class DegradationLadder:
+    """Walk the levels top-down; serve the first one that succeeds.
+
+    Args:
+        levels: Rungs in decreasing fidelity order.
+        policies: Shared retry/breaker bundle.
+        user_id / state: Request identity attached to the terminal
+            :class:`ServiceUnavailable` for operability.
+
+    Example:
+        >>> ladder = DegradationLadder(
+        ...     [LadderLevel("full", run_full, requires=("cache", "index")),
+        ...      LadderLevel("scan", run_scan)],
+        ...     policies,
+        ... )
+        >>> result, level = ladder.run()
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[LadderLevel],
+        policies: ResiliencePolicies,
+        user_id: str | None = None,
+        state: object = None,
+    ) -> None:
+        if not levels:
+            raise ServiceUnavailable("degradation ladder has no levels")
+        self._levels = list(levels)
+        self._policies = policies
+        self._user_id = user_id
+        self._state = state
+
+    def run(self) -> tuple[object, str]:
+        """``(result, level name)`` of the first level that succeeds.
+
+        Raises:
+            ServiceUnavailable: Every level failed or was skipped; the
+                per-level causes ride along on ``.causes``.
+            RequestTimeout: The thread's propagated deadline expired
+                between levels.
+        """
+        registry = get_registry()
+        causes: list[BaseException] = []
+        deadline: Deadline | None = current_deadline()
+        for level in self._levels:
+            if deadline is not None:
+                deadline.check(f"degradation level {level.name}")
+            gating = [
+                self._policies.breakers[component]
+                for component in level.requires
+                if component in self._policies.breakers
+            ]
+            admitted = [breaker for breaker in gating if breaker.allow()]
+            if len(admitted) < len(gating):
+                if registry.enabled:
+                    registry.inc(
+                        "resilience.level_skipped", labels={"level": level.name}
+                    )
+                continue
+            try:
+                result = self._policies.retry.call(level.run)
+            except NON_DEGRADABLE:
+                raise
+            except Exception as error:  # the sanctioned boundary (HYG005)
+                causes.append(error)
+                component = self._policies.classify(error)
+                if component is not None:
+                    self._policies.breaker(component).record_failure()
+                elif gating:
+                    # An unclassified failure inside a gated level still
+                    # counts against the components it went through.
+                    for breaker in gating:
+                        breaker.record_failure()
+                if registry.enabled:
+                    registry.inc(
+                        "resilience.level_failures",
+                        labels={
+                            "level": level.name,
+                            "error": type(error).__name__,
+                        },
+                    )
+                continue
+            for breaker in gating:
+                breaker.record_success()
+            if registry.enabled:
+                registry.inc("resilience.served", labels={"level": level.name})
+            return result, level.name
+        raise ServiceUnavailable(
+            "every degradation level failed",
+            user_id=self._user_id,
+            state=self._state,
+            causes=tuple(causes),
+        )

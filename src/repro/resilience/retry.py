@@ -1,0 +1,145 @@
+"""Retry with exponential backoff, deterministic jitter and a budget.
+
+Retrying is only safe for **idempotent reads** - the contextual query
+path (resolution, ranking, cache lookups) never mutates shared state,
+so a failed attempt can be repeated verbatim. Profile edits are *not*
+retried by this layer: an edit that failed halfway must surface to the
+caller, not be replayed blind.
+
+Two guards keep retries from amplifying an outage:
+
+* exponential backoff with jitter spaces attempts out (the jitter is
+  drawn from a seeded ``random.Random``, so a chaos run's retry timing
+  is reproducible);
+* a process-wide **retry budget** caps the ratio of retries to first
+  attempts - when more than ``budget_ratio`` of recent calls are
+  retries, further retries are refused and the original error
+  propagates (a degraded dependency sees load shed, not multiplied).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+
+from repro.exceptions import ReproError
+from repro.concurrency.locks import Mutex
+from repro.obs.metrics import get_registry
+
+__all__ = ["RetryBudget", "RetryPolicy"]
+
+
+class RetryBudget:
+    """Token-bucket style cap on the retry/first-attempt ratio.
+
+    Every first attempt earns ``budget_ratio`` retry credit; every
+    retry spends one credit. The balance is clamped so a long quiet
+    period cannot bank an unbounded burst of retries.
+    """
+
+    def __init__(self, budget_ratio: float = 0.2, max_credit: float = 10.0) -> None:
+        if budget_ratio < 0:
+            raise ReproError(f"budget_ratio must be >= 0, got {budget_ratio}")
+        self._ratio = budget_ratio
+        self._max_credit = max_credit
+        self._credit = max_credit
+        self._lock = Mutex(name="resilience.retry_budget")
+
+    def record_attempt(self) -> None:
+        """Credit the budget for one first attempt."""
+        with self._lock:
+            self._credit = min(self._max_credit, self._credit + self._ratio)
+
+    def try_spend(self) -> bool:
+        """Spend one retry credit; False when the budget is exhausted."""
+        with self._lock:
+            if self._credit < 1.0:
+                return False
+            self._credit -= 1.0
+            return True
+
+    @property
+    def credit(self) -> float:
+        """The current retry credit (diagnostics only)."""
+        with self._lock:
+            return self._credit
+
+
+class RetryPolicy:
+    """Call a function, retrying transient failures with backoff.
+
+    Args:
+        max_attempts: Total attempts, including the first (>= 1).
+        base_delay: Backoff before the first retry, in seconds; attempt
+            ``n`` waits ``base_delay * 2**(n-1)`` plus jitter.
+        max_delay: Cap on any single backoff sleep.
+        jitter: Fraction of the backoff added as random jitter.
+        retryable: Exception types worth retrying; anything else
+            propagates immediately.
+        budget: Shared :class:`RetryBudget` (one per serving stack); a
+            fresh private budget when omitted.
+        seed: Seeds the jitter RNG, keeping chaos runs reproducible.
+        sleep: Injectable sleep (tests pass a recorder to avoid real
+            delays).
+
+    Example:
+        >>> policy = RetryPolicy(max_attempts=3, base_delay=0.001)
+        >>> policy.call(flaky_read)
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.002,
+        max_delay: float = 0.25,
+        jitter: float = 0.5,
+        retryable: tuple[type[BaseException], ...] = (ReproError,),
+        budget: RetryBudget | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ReproError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ReproError("backoff delays must be >= 0")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retryable = retryable
+        self.budget = budget if budget is not None else RetryBudget()
+        self._rng = random.Random(seed)
+        self._rng_lock = Mutex(name="resilience.retry_rng")
+        self._sleep = sleep
+
+    def backoff(self, attempt: int) -> float:
+        """The sleep before retry ``attempt`` (1-based), jitter included."""
+        delay = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        if self.jitter:
+            with self._rng_lock:
+                delay += delay * self.jitter * self._rng.random()
+        return delay
+
+    def call(self, fn: Callable[[], object]) -> object:
+        """Run ``fn``, retrying retryable failures up to the policy's cap.
+
+        Only use for idempotent reads: the callable may execute up to
+        ``max_attempts`` times.
+        """
+        self.budget.record_attempt()
+        registry = get_registry()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except self.retryable as error:
+                if attempt >= self.max_attempts or not self.budget.try_spend():
+                    raise
+                if registry.enabled:
+                    registry.inc(
+                        "resilience.retries",
+                        labels={"error": type(error).__name__},
+                    )
+                self._sleep(self.backoff(attempt))

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.context.state import ContextState
+from repro.faults.registry import get_fault_registry
 from repro.preferences.preference import AttributeClause
 from repro.tree.counters import AccessCounter
 from repro.tree.node import InternalNode, LeafNode
@@ -66,6 +67,9 @@ def search_cs(
     Results are ordered by (hierarchy distance, insertion order); the
     exact match, if stored, comes first with both distances zero.
     """
+    faults = get_fault_registry()
+    if faults.enabled:
+        faults.fire("resolution.search_cs")
     query = tree.project(state)
     parameters = [tree.parameter_at_level(level) for level in range(len(query))]
     results: list[SearchResult] = []

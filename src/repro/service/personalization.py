@@ -33,7 +33,12 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
-from repro.exceptions import QueryError, ReproError
+from repro.exceptions import (
+    QueryError,
+    ReproError,
+    RequestTimeout,
+    ServiceUnavailable,
+)
 from repro.concurrency.executor import ConcurrentQueryExecutor, RequestOutcome
 from repro.concurrency.locks import (
     LEVEL_ACCOUNT,
@@ -46,6 +51,7 @@ from repro.context.descriptor import ContextDescriptor, ExtendedContextDescripto
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
 from repro.db.relation import Relation
+from repro.faults.registry import get_fault_registry
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.preferences.preference import ContextualPreference
@@ -53,6 +59,13 @@ from repro.preferences.repository import PreferenceRepository
 from repro.query.contextual_query import ContextualQuery
 from repro.query.executor import ContextualQueryExecutor, QueryResult
 from repro.query.rank import BatchStats
+from repro.query.resilient import ResilientQueryExecutor
+from repro.resilience import (
+    Deadline,
+    ResiliencePolicies,
+    current_deadline,
+    deadline_scope,
+)
 from repro.tree.query_tree import ContextQueryTree
 from repro.workloads.users import Persona, default_profile
 
@@ -107,6 +120,13 @@ class PersonalizationService:
         lock_stripes: Stripe count of the per-user lock table (rounded
             up to a power of two). More stripes = less false sharing
             between users under heavy concurrency.
+        resilience: Optional :class:`~repro.resilience.ResiliencePolicies`
+            bundle. When given, :meth:`query` serves through the
+            degradation ladder (retries, circuit breakers, graceful
+            fallbacks; see :mod:`repro.resilience`) and stamps the
+            served level on :attr:`QueryResult.degradation`. When
+            omitted the service runs the exact pre-existing path - the
+            resilience layer costs nothing unless opted into.
 
     Example:
         >>> service = PersonalizationService(study_environment(), relation)
@@ -122,6 +142,7 @@ class PersonalizationService:
         cache_capacity: int | None = 128,
         auto_index: bool = True,
         lock_stripes: int = 64,
+        resilience: ResiliencePolicies | None = None,
     ) -> None:
         self._environment = environment
         self._relation = relation
@@ -129,6 +150,7 @@ class PersonalizationService:
             relation.auto_index = True
         self._metric = metric
         self._cache_capacity = cache_capacity
+        self._resilience = resilience
         self._accounts: dict[str, UserAccount] = {}
         # Per-user RW locks (striped) + one registry lock for the
         # accounts dict and population gauges. Lock order: user lock
@@ -147,6 +169,11 @@ class PersonalizationService:
     def relation(self) -> Relation:
         """The queried relation."""
         return self._relation
+
+    @property
+    def resilience(self) -> ResiliencePolicies | None:
+        """The resilience policies in force, if any."""
+        return self._resilience
 
     def __len__(self) -> int:
         return len(self._accounts)
@@ -238,8 +265,19 @@ class PersonalizationService:
     # ------------------------------------------------------------------
     # Profile editing (the study's "modifications")
     # ------------------------------------------------------------------
+    @staticmethod
+    def _fire_edit_faults() -> None:
+        # The ``service.edit`` injection site fires *before* any
+        # mutation: an injected edit failure must leave the repository,
+        # the executor and the cache exactly as they were (fail-fast),
+        # never a mutated repository with a stale cache.
+        faults = get_fault_registry()
+        if faults.enabled:
+            faults.fire("service.edit")
+
     def add_preference(self, user_id: str, preference: ContextualPreference) -> None:
         """Insert one preference into the user's profile."""
+        self._fire_edit_faults()
         with self._user_locks.write_locked(user_id):
             account = self.account(user_id)
             account.repository.add(preference)
@@ -247,6 +285,7 @@ class PersonalizationService:
 
     def delete_preference(self, user_id: str, preference: ContextualPreference) -> None:
         """Delete one preference from the user's profile."""
+        self._fire_edit_faults()
         with self._user_locks.write_locked(user_id):
             account = self.account(user_id)
             account.repository.remove(preference)
@@ -256,6 +295,7 @@ class PersonalizationService:
         self, user_id: str, preference: ContextualPreference, new_score: float
     ) -> ContextualPreference:
         """Change a stored preference's score; returns the replacement."""
+        self._fire_edit_faults()
         with self._user_locks.write_locked(user_id):
             account = self.account(user_id)
             replacement = account.repository.update_score(preference, new_score)
@@ -308,11 +348,22 @@ class PersonalizationService:
     def query(self, user_id: str, query: ContextualQuery) -> QueryResult:
         """Execute a contextual query as ``user_id``.
 
+        With resilience policies configured, the query is served
+        through the degradation ladder and the result's
+        ``degradation`` attribute names the level that produced it.
+
         Raises:
             QueryError: If the query's environment differs.
+            RequestTimeout: If the request's propagated deadline (see
+                :meth:`query_many`) has already expired.
+            ServiceUnavailable: Resilient mode only - every degradation
+                level failed.
         """
         if query.environment.names != self._environment.names:
             raise QueryError("query environment does not match the service's")
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("service.query")
         with self._user_locks.read_locked(user_id):
             account = self.account(user_id)
             account._count_queries()
@@ -320,7 +371,12 @@ class PersonalizationService:
             if registry.enabled:
                 registry.inc("service.queries", labels={"user": user_id})
             with span("service_query"):
-                return self._executor_for(account).execute(query)
+                executor = self._executor_for(account)
+                if self._resilience is not None:
+                    return ResilientQueryExecutor(
+                        executor, self._resilience, user_id=user_id
+                    ).execute(query)
+                return executor.execute(query)
 
     def query_at(
         self,
@@ -331,10 +387,14 @@ class PersonalizationService:
         """Convenience: query at an implicit current context state."""
         return self.query(user_id, ContextualQuery.at_state(state, top_k=top_k))
 
+    #: Descriptors ranked between deadline checks in bounded rank_many.
+    _RANK_CHUNK = 8
+
     def rank_many(
         self,
         user_id: str,
         descriptors: Sequence[ContextDescriptor | ExtendedContextDescriptor],
+        timeout: float | None = None,
     ) -> tuple[list[QueryResult], BatchStats]:
         """Rank the relation for many context descriptors in one pass.
 
@@ -344,11 +404,27 @@ class PersonalizationService:
         batch (see :func:`repro.query.rank.rank_cs_batch`). Returns
         one :class:`QueryResult` per descriptor plus the batch's memo
         statistics.
+
+        ``timeout`` (or an already-propagated deadline) bounds the
+        whole batch: descriptors are then ranked in chunks with a
+        deadline check between chunks, so a slow batch raises
+        :class:`~repro.exceptions.RequestTimeout` within one chunk of
+        the budget instead of running to completion. Memoization is
+        per chunk in that mode, so the ``unique_*`` statistics are
+        summed over chunks.
         """
         with self._user_locks.read_locked(user_id):
             account = self.account(user_id)
             descriptors = list(descriptors)
-            results, stats = self._executor_for(account).rank_many(descriptors)
+            executor = self._executor_for(account)
+            deadline = Deadline.after(timeout) if timeout is not None else None
+            with deadline_scope(deadline) as effective:
+                if effective is None:
+                    results, stats = executor.rank_many(descriptors)
+                else:
+                    results, stats = self._rank_chunked(
+                        executor, descriptors, effective
+                    )
             account._count_queries(len(descriptors))
             registry = get_registry()
             if registry.enabled:
@@ -357,6 +433,26 @@ class PersonalizationService:
                 )
             return results, stats
 
+    def _rank_chunked(
+        self,
+        executor: ContextualQueryExecutor,
+        descriptors: list[ContextDescriptor | ExtendedContextDescriptor],
+        deadline: Deadline,
+    ) -> tuple[list[QueryResult], BatchStats]:
+        results: list[QueryResult] = []
+        stats = BatchStats()
+        for start in range(0, len(descriptors), self._RANK_CHUNK):
+            deadline.check("service.rank_many")
+            chunk = descriptors[start : start + self._RANK_CHUNK]
+            chunk_results, chunk_stats = executor.rank_many(chunk)
+            results.extend(chunk_results)
+            stats.descriptors += chunk_stats.descriptors
+            stats.state_lookups += chunk_stats.state_lookups
+            stats.unique_states += chunk_stats.unique_states
+            stats.clause_lookups += chunk_stats.clause_lookups
+            stats.unique_clauses += chunk_stats.unique_clauses
+        return results, stats
+
     def query_many(
         self,
         requests: Sequence[tuple[str, ContextualQuery]],
@@ -364,6 +460,8 @@ class PersonalizationService:
         queue_depth: int | None = None,
         timeout: float | None = None,
         executor: ConcurrentQueryExecutor | None = None,
+        deadline: float | None = None,
+        shed_on_saturation: bool = False,
     ) -> list[RequestOutcome]:
         """Execute ``(user_id, query)`` requests on a bounded thread pool.
 
@@ -375,6 +473,14 @@ class PersonalizationService:
         request whose query raised carries the exception instead of
         failing the whole batch.
 
+        Failed outcomes carry **typed** errors: a shed request's
+        ``outcome.error`` is a
+        :class:`~repro.exceptions.ServiceUnavailable` and a timed-out
+        or cancelled request's a
+        :class:`~repro.exceptions.RequestTimeout`, each with the failed
+        user id and query state attached, counted in the
+        ``service.shed`` / ``service.timeouts`` metrics.
+
         Args:
             requests: ``(user_id, query)`` pairs.
             max_workers / queue_depth / timeout: Pool parameters for a
@@ -382,6 +488,13 @@ class PersonalizationService:
                 :class:`~repro.concurrency.ConcurrentQueryExecutor`).
             executor: Run on this executor instead of a temporary one
                 (it is left running; the caller owns its lifecycle).
+            deadline: Whole-batch time budget in seconds, propagated
+                *into* each request as a
+                :class:`~repro.resilience.Deadline` scope - stages
+                check it mid-request instead of only at collection.
+            shed_on_saturation: Submit non-blocking; a request that
+                finds the pool full is shed with a typed
+                ``ServiceUnavailable`` instead of queueing.
 
         Returns:
             One :class:`~repro.concurrency.RequestOutcome` per request,
@@ -389,17 +502,58 @@ class PersonalizationService:
             :class:`QueryResult` when ``outcome.ok``.
         """
         requests = list(requests)
+        batch_deadline = Deadline.after(deadline) if deadline is not None else None
 
         def request_fn(user_id: str, query: ContextualQuery):
-            return lambda: self.query(user_id, query)
+            def run():
+                with deadline_scope(batch_deadline):
+                    return self.query(user_id, query)
+
+            return run
 
         callables = [request_fn(user_id, query) for user_id, query in requests]
+        block = not shed_on_saturation
         if executor is not None:
-            return executor.run(callables, timeout=timeout)
-        with ConcurrentQueryExecutor(
-            max_workers=max_workers, queue_depth=queue_depth, timeout=timeout
-        ) as pool:
-            return pool.run(callables)
+            outcomes = executor.run(callables, timeout=timeout, block=block)
+        else:
+            with ConcurrentQueryExecutor(
+                max_workers=max_workers, queue_depth=queue_depth, timeout=timeout
+            ) as pool:
+                outcomes = pool.run(callables, block=block)
+        return self._typed_outcomes(outcomes, requests, timeout)
+
+    @staticmethod
+    def _typed_outcomes(
+        outcomes: list[RequestOutcome],
+        requests: list[tuple[str, ContextualQuery]],
+        timeout: float | None,
+    ) -> list[RequestOutcome]:
+        """Attach typed, identified errors to shed/expired outcomes."""
+        registry = get_registry()
+        for outcome in outcomes:
+            user_id, query = requests[outcome.index]
+            state = query.current_state
+            if outcome.status == "rejected":
+                outcome.error = ServiceUnavailable(
+                    "request shed: executor saturated",
+                    user_id=user_id,
+                    state=state,
+                    causes=(outcome.error,) if outcome.error is not None else (),
+                )
+                if registry.enabled:
+                    registry.inc("service.shed")
+            elif outcome.status in ("timeout", "cancelled"):
+                detail = (
+                    f"request exceeded its {timeout}s collection timeout"
+                    if outcome.status == "timeout"
+                    else "request cancelled before running (batch out of time)"
+                )
+                outcome.error = RequestTimeout(
+                    detail, user_id=user_id, state=state
+                )
+                if registry.enabled:
+                    registry.inc("service.timeouts")
+        return outcomes
 
     # ------------------------------------------------------------------
     # Persistence & statistics
@@ -424,6 +578,7 @@ class PersonalizationService:
             ReproError: If the payload's environment differs from the
                 service's.
         """
+        self._fire_edit_faults()
         repository = PreferenceRepository.from_json(text)
         if repository.environment.names != self._environment.names:
             raise ReproError(

@@ -39,6 +39,7 @@ from repro.exceptions import TreeError
 from repro.concurrency.locks import LEVEL_CACHE, Mutex
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
+from repro.faults.registry import get_fault_registry
 from repro.hierarchy import Value
 from repro.obs.metrics import get_registry
 from repro.tree.counters import AccessCounter
@@ -102,6 +103,7 @@ class ContextQueryTree:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_discards = 0
 
     @property
     def environment(self) -> ContextEnvironment:
@@ -148,6 +150,12 @@ class ContextQueryTree:
 
         A hit refreshes the state's recency. Cell accesses along the
         root-to-leaf traversal are charged to ``counter``.
+
+        Under an active fault plan, the ``cache.get`` injection site
+        applies to *hits*: the read may raise, stall, or hand back a
+        :class:`~repro.faults.CorruptedValue` wrapper that callers'
+        integrity checks must reject (see
+        :class:`repro.exceptions.CachePoisonedError`).
         """
         with self._lock:
             path = self._project(state)
@@ -172,6 +180,9 @@ class ContextQueryTree:
             registry = get_registry()
             if registry.enabled:
                 registry.inc("cache.hits")
+            faults = get_fault_registry()
+            if faults.enabled:
+                return faults.corrupt("cache.get", leaf.result)
             return leaf.result
 
     def _miss(self) -> None:
@@ -191,10 +202,19 @@ class ContextQueryTree:
         ``generation`` (from :attr:`generation`, snapshotted before the
         result was computed) makes the insert conditional: if any
         invalidation happened since the snapshot, the entry is stale by
-        construction and silently discarded.
+        construction and discarded - counted in ``stale_discards`` and
+        the ``cache.stale_discards`` metric, so the rate of wasted
+        computes under write pressure is observable.
         """
+        faults = get_fault_registry()
+        if faults.enabled:
+            faults.fire("cache.put")
         with self._lock:
             if generation is not None and generation != self._generation:
+                self.stale_discards += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.inc("cache.stale_discards")
                 return
             existing = self._leaves.get(state)
             if existing is not None:
@@ -352,6 +372,21 @@ class ContextQueryTree:
         with self._lock:
             total = self.hits + self.misses
             return self.hits / total if total else 0.0
+
+    def statistics(self) -> dict[str, int | float]:
+        """One consistent snapshot of the cache counters."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "states": len(self._leaves),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "stale_discards": self.stale_discards,
+                "generation": self._generation,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -1,4 +1,4 @@
-"""Fixture: hot-path hygiene violations (HYG001-HYG004).
+"""Fixture: hot-path hygiene violations (HYG001-HYG005).
 
 Fed to the analyzer under a pretend ``repro.*`` module name by
 ``tests/analysis/test_hygiene.py``; never imported by shipped code.
@@ -30,3 +30,22 @@ def rank_rows(relation, contributions, registry) -> list:
         # ...while this one is properly gated - NOT flagged.
         registry.observe("fixture.gated", 1.0)
     return []
+
+
+def swallow(run) -> object:
+    # HYG005: a broad catch that eats the failure outside a sanctioned
+    # boundary (the degradation ladder owns this pattern).
+    try:
+        return run()
+    except Exception:
+        return None
+
+
+def observe_and_reraise(run, log) -> object:
+    # A broad catch whose last statement re-raises observes failures
+    # without swallowing them - NOT flagged.
+    try:
+        return run()
+    except Exception as error:
+        log.append(error)
+        raise

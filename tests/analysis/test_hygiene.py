@@ -57,3 +57,32 @@ class TestHygieneRules:
         )
         module = load_module("repro.eval.cold", path)
         assert check_hygiene([module]) == []
+
+    def test_swallowing_broad_except_is_flagged(self):
+        flagged = [f for f in _findings() if f.rule == "HYG005"]
+        assert len(flagged) == 1
+        assert "sanctioned failure boundary" in flagged[0].message
+
+    def test_reraising_broad_except_is_exempt(self):
+        # ``observe_and_reraise`` in the fixture ends with a bare
+        # ``raise``: exactly one HYG005 finding means it was skipped.
+        assert len([f for f in _findings() if f.rule == "HYG005"]) == 1
+
+    def test_broad_except_is_sanctioned_inside_resilience(self):
+        findings = _findings(name="repro.resilience.fixture")
+        assert not any(f.rule == "HYG005" for f in findings)
+
+    def test_bare_except_is_flagged(self, tmp_path: Path):
+        path = tmp_path / "bare.py"
+        path.write_text(
+            "def quiet(run):\n"
+            "    try:\n"
+            "        return run()\n"
+            "    except:\n"
+            "        return None\n",
+            encoding="utf-8",
+        )
+        module = load_module("repro.query.bare", path)
+        flagged = [f for f in check_hygiene([module]) if f.rule == "HYG005"]
+        assert len(flagged) == 1
+        assert "bare except" in flagged[0].message

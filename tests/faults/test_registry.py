@@ -1,0 +1,248 @@
+"""The fault-injection registry: determinism, validation, activation."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import (
+    SITES,
+    CorruptedValue,
+    FaultRegistry,
+    FaultSpec,
+    InjectedFault,
+    fault_plan,
+    get_fault_registry,
+)
+
+
+def fresh_registry(specs, seed=0):
+    registry = FaultRegistry()
+    registry.install(specs, seed=seed)
+    return registry
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault site"):
+            FaultSpec(site="nope.nope")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultSpec(site="cache.get", kind="explode")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ReproError, match="probability"):
+            FaultSpec(site="cache.get", probability=1.5)
+        with pytest.raises(ReproError, match="probability"):
+            FaultSpec(site="cache.get", probability=-0.1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ReproError, match="delay"):
+            FaultSpec(site="cache.get", kind="latency", delay=-1.0)
+
+    def test_every_declared_site_is_accepted(self):
+        for site in SITES:
+            FaultSpec(site=site)
+
+
+class TestDisabledNoOp:
+    def test_fresh_registry_is_disabled(self):
+        registry = FaultRegistry()
+        assert not registry.enabled
+
+    def test_disabled_fire_is_a_no_op(self):
+        registry = FaultRegistry()
+        for site in SITES:
+            registry.fire(site)  # must not raise
+        assert registry.total_fired() == 0
+
+    def test_disabled_corrupt_passes_value_through(self):
+        registry = FaultRegistry()
+        payload = object()
+        assert registry.corrupt("cache.get", payload) is payload
+
+    def test_clear_disables(self):
+        registry = fresh_registry([FaultSpec(site="cache.get")])
+        assert registry.enabled
+        registry.clear()
+        assert not registry.enabled
+        registry.fire("cache.get")
+
+    def test_empty_plan_stays_disabled(self):
+        registry = fresh_registry([])
+        assert not registry.enabled
+
+
+class TestFiring:
+    def test_certain_error_fault_raises_with_site(self):
+        registry = fresh_registry([FaultSpec(site="relation.select")])
+        with pytest.raises(InjectedFault) as excinfo:
+            registry.fire("relation.select")
+        assert excinfo.value.site == "relation.select"
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_other_sites_unaffected(self):
+        registry = fresh_registry([FaultSpec(site="relation.select")])
+        registry.fire("cache.get")  # no spec there: no-op
+
+    def test_corrupt_wraps_original(self):
+        registry = fresh_registry([FaultSpec(site="cache.get", kind="corrupt")])
+        payload = ("contributions", "resolution")
+        wrapped = registry.corrupt("cache.get", payload)
+        assert isinstance(wrapped, CorruptedValue)
+        assert wrapped.original is payload
+        assert wrapped.site == "cache.get"
+
+    def test_corrupt_spec_never_fires_through_fire(self):
+        # ``fire`` has no value to corrupt; drawing the spec there would
+        # skew the schedule, so corrupt specs are simply skipped.
+        registry = fresh_registry([FaultSpec(site="cache.put", kind="corrupt")])
+        registry.fire("cache.put")
+        assert registry.total_fired() == 0
+
+    def test_max_fires_caps_the_spec(self):
+        registry = fresh_registry(
+            [FaultSpec(site="service.edit", max_fires=2)]
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                registry.fire("service.edit")
+        registry.fire("service.edit")  # budget exhausted: no-op
+        assert registry.counts() == {"service.edit": {"error": 2}}
+
+    def test_counts_per_site_and_kind(self):
+        registry = fresh_registry(
+            [
+                FaultSpec(site="cache.get", kind="corrupt"),
+                FaultSpec(site="relation.select"),
+            ]
+        )
+        registry.corrupt("cache.get", "x")
+        with pytest.raises(InjectedFault):
+            registry.fire("relation.select")
+        assert registry.counts() == {
+            "cache.get": {"corrupt": 1},
+            "relation.select": {"error": 1},
+        }
+        assert registry.total_fired() == 2
+
+
+class TestDeterminism:
+    def probabilistic_draws(self, seed, rounds=200):
+        registry = fresh_registry(
+            [FaultSpec(site="cache.get", probability=0.3)], seed=seed
+        )
+        draws = []
+        for _ in range(rounds):
+            try:
+                registry.fire("cache.get")
+                draws.append(False)
+            except InjectedFault:
+                draws.append(True)
+        return draws
+
+    def test_same_seed_same_schedule(self):
+        assert self.probabilistic_draws(7) == self.probabilistic_draws(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self.probabilistic_draws(7) != self.probabilistic_draws(8)
+
+    def test_sites_draw_independently(self):
+        # Interleaving draws at another site must not shift the first
+        # site's schedule: each site owns its own seeded stream.
+        plain = self.probabilistic_draws(7)
+        registry = fresh_registry(
+            [
+                FaultSpec(site="cache.get", probability=0.3),
+                FaultSpec(site="relation.select", probability=0.5),
+            ],
+            seed=7,
+        )
+        interleaved = []
+        for _ in range(200):
+            try:
+                registry.fire("relation.select")
+            except InjectedFault:
+                pass
+            try:
+                registry.fire("cache.get")
+                interleaved.append(False)
+            except InjectedFault:
+                interleaved.append(True)
+        assert interleaved == plain
+
+
+class TestFaultPlan:
+    def test_plan_enables_then_restores(self):
+        registry = get_fault_registry()
+        assert not registry.enabled
+        with fault_plan([FaultSpec(site="cache.get")]) as active:
+            assert active is registry
+            assert registry.enabled
+            with pytest.raises(InjectedFault):
+                registry.fire("cache.get")
+        assert not registry.enabled
+        registry.fire("cache.get")
+
+    def test_plan_restores_previous_plan(self):
+        registry = get_fault_registry()
+        outer = [FaultSpec(site="relation.select")]
+        with fault_plan(outer, seed=3):
+            with fault_plan([FaultSpec(site="cache.get")], seed=4):
+                registry.fire("relation.select")  # inner plan: no spec
+            with pytest.raises(InjectedFault):
+                registry.fire("relation.select")  # outer plan restored
+        assert not registry.enabled
+
+    def test_plan_restored_on_error(self):
+        registry = get_fault_registry()
+        with pytest.raises(RuntimeError):
+            with fault_plan([FaultSpec(site="cache.get")]):
+                raise RuntimeError("boom")
+        assert not registry.enabled
+
+
+class TestEnvActivation:
+    @staticmethod
+    def _run_subprocess(code, extra_env):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        env.update(extra_env)
+        return subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=repo_root,
+        )
+
+    def test_env_plan_installs(self):
+        import json
+
+        code = (
+            "from repro.faults import get_fault_registry, InjectedFault\n"
+            "registry = get_fault_registry()\n"
+            "assert registry.enabled\n"
+            "try:\n"
+            "    registry.fire('cache.get')\n"
+            "except InjectedFault as error:\n"
+            "    print(error.site)\n"
+        )
+        plan = json.dumps([{"site": "cache.get", "kind": "error"}])
+        result = self._run_subprocess(
+            code, {"REPRO_FAULTS": plan, "REPRO_FAULTS_SEED": "5"}
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "cache.get"
+
+    def test_invalid_env_plan_raises(self):
+        result = self._run_subprocess(
+            "import repro.faults", {"REPRO_FAULTS": "not json"}
+        )
+        assert result.returncode != 0
+        assert "REPRO_FAULTS" in result.stderr

@@ -1,0 +1,136 @@
+"""Circuit breaker state machine, driven by an injected clock."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.resilience import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(
+        "cache", failure_threshold=3, recovery_time=1.0, clock=clock
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class TestOpen:
+    def test_threshold_failures_trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_stays_open_during_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(0.5)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+
+class TestHalfOpen:
+    def trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+
+    def test_cooldown_elapses_to_half_open(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+
+    def test_admits_limited_trials(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()  # the one trial (half_open_max=1)
+        assert not breaker.allow()  # second caller refused
+
+    def test_trial_success_closes(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trial_failure_reopens_and_restarts_cooldown(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        clock.advance(0.5)
+        assert breaker.state == "open"  # cool-down restarted
+        clock.advance(0.5)
+        assert breaker.state == "half_open"
+
+    def test_recovery_cycle_end_to_end(self, breaker, clock):
+        # trip -> cool down -> probe fails -> cool down -> probe
+        # succeeds -> closed and counting fresh.
+        self.trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "closed"  # count restarted at zero
+
+
+class TestMisc:
+    def test_reset_forces_closed(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ReproError):
+            CircuitBreaker("x", recovery_time=-1.0)
+        with pytest.raises(ReproError):
+            CircuitBreaker("x", half_open_max=0)
+
+    def test_repr_names_the_state(self, breaker):
+        assert "closed" in repr(breaker)

@@ -1,0 +1,99 @@
+"""Deadline propagation: budgets travel with the request."""
+
+import pytest
+
+from repro.exceptions import ReproError, RequestTimeout, ServiceUnavailable
+from repro.resilience import Deadline, current_deadline, deadline_scope
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.now = 1.5
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+
+    def test_expiry_clamps_and_raises(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.now = 3.0
+        assert deadline.remaining() == 0.0
+        assert deadline.expired
+        with pytest.raises(RequestTimeout, match="rank_many"):
+            deadline.check("rank_many")
+
+    def test_check_passes_before_expiry(self):
+        clock = FakeClock()
+        Deadline.after(1.0, clock=clock).check("anything")
+
+    def test_timeout_is_a_service_unavailable(self):
+        # Callers catching the coarse class see timeouts too; callers
+        # catching RequestTimeout can special-case "out of time".
+        assert issubclass(RequestTimeout, ServiceUnavailable)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ReproError):
+            Deadline.after(-1.0)
+
+
+class TestDeadlineScope:
+    def test_scope_attaches_and_detaches(self):
+        assert current_deadline() is None
+        deadline = Deadline.after(5.0)
+        with deadline_scope(deadline) as effective:
+            assert effective is deadline
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_scope_is_transparent(self):
+        with deadline_scope(None) as effective:
+            assert effective is None
+            assert current_deadline() is None
+
+    def test_nested_scope_keeps_the_tighter_deadline(self):
+        clock = FakeClock()
+        outer = Deadline.after(1.0, clock=clock)
+        looser = Deadline.after(10.0, clock=clock)
+        with deadline_scope(outer):
+            with deadline_scope(looser) as effective:
+                assert effective is outer  # may not extend the budget
+            with deadline_scope(None) as effective:
+                assert effective is outer  # inherited
+        assert current_deadline() is None
+
+    def test_nested_scope_may_shrink_the_budget(self):
+        clock = FakeClock()
+        outer = Deadline.after(10.0, clock=clock)
+        tighter = Deadline.after(1.0, clock=clock)
+        with deadline_scope(outer):
+            with deadline_scope(tighter) as effective:
+                assert effective is tighter
+            assert current_deadline() is outer
+
+    def test_scope_is_per_thread(self):
+        import threading
+
+        seen = []
+        with deadline_scope(Deadline.after(5.0)):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_deadline())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_scope_restored_on_error(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline.after(5.0)):
+                raise RuntimeError("boom")
+        assert current_deadline() is None

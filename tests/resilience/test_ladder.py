@@ -1,0 +1,255 @@
+"""Degradation ladder semantics: gate, retry, classify, exhaust."""
+
+import pytest
+
+from repro.concurrency.locks import LockOrderViolation
+from repro.exceptions import (
+    CachePoisonedError,
+    RequestTimeout,
+    ServiceUnavailable,
+    TreeError,
+)
+from repro.faults import InjectedFault
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DegradationLadder,
+    LadderLevel,
+    ResiliencePolicies,
+    RetryPolicy,
+    deadline_scope,
+)
+
+
+def policies(max_attempts=1):
+    return ResiliencePolicies(
+        retry=RetryPolicy(max_attempts=max_attempts, sleep=lambda _: None)
+    )
+
+
+def failing(error):
+    def run():
+        raise error
+
+    return run
+
+
+class TestWalk:
+    def test_first_level_success_serves_it(self):
+        ladder = DegradationLadder(
+            [
+                LadderLevel("full", lambda: "answer"),
+                LadderLevel("scan", lambda: pytest.fail("must not run")),
+            ],
+            policies(),
+        )
+        assert ladder.run() == ("answer", "full")
+
+    def test_failure_falls_through_to_the_next_level(self):
+        ladder = DegradationLadder(
+            [
+                LadderLevel("full", failing(TreeError("broken"))),
+                LadderLevel("scan", lambda: "fallback"),
+            ],
+            policies(),
+        )
+        assert ladder.run() == ("fallback", "scan")
+
+    def test_each_level_runs_under_the_retry_policy(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise TreeError("transient")
+            return "recovered"
+
+        ladder = DegradationLadder(
+            [LadderLevel("full", flaky)], policies(max_attempts=3)
+        )
+        assert ladder.run() == ("recovered", "full")
+        assert len(calls) == 2
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ServiceUnavailable):
+            DegradationLadder([], policies())
+
+    def test_exhaustion_raises_typed_error_with_causes(self):
+        first = TreeError("one")
+        second = TreeError("two")
+        ladder = DegradationLadder(
+            [
+                LadderLevel("full", failing(first)),
+                LadderLevel("scan", failing(second)),
+            ],
+            policies(),
+            user_id="alice",
+            state="some-state",
+        )
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            ladder.run()
+        error = excinfo.value
+        assert error.user_id == "alice"
+        assert error.causes == (first, second)
+        assert "alice" in str(error)
+
+
+class TestBreakers:
+    def test_open_breaker_skips_the_level_without_running_it(self):
+        bundle = policies()
+        breaker = bundle.breaker("cache")
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        ladder = DegradationLadder(
+            [
+                LadderLevel(
+                    "full",
+                    lambda: pytest.fail("gated level must not run"),
+                    requires=("cache",),
+                ),
+                LadderLevel("scan", lambda: "fallback"),
+            ],
+            bundle,
+        )
+        assert ladder.run() == ("fallback", "scan")
+
+    def test_unconfigured_component_never_gates(self):
+        # ``requires`` names a component with no breaker in the bundle:
+        # the level runs (breakers are created by failures, not gates).
+        ladder = DegradationLadder(
+            [LadderLevel("full", lambda: "ok", requires=("cache", "index"))],
+            policies(),
+        )
+        assert ladder.run() == ("ok", "full")
+
+    def test_classified_failure_charges_the_sited_component(self):
+        bundle = policies()
+        ladder = DegradationLadder(
+            [
+                LadderLevel("full", failing(InjectedFault("cache.get"))),
+                LadderLevel("scan", lambda: "fallback"),
+            ],
+            bundle,
+        )
+        ladder.run()
+        assert bundle.breakers["cache"]._failures == 1
+
+    def test_cache_poisoning_charges_the_cache_breaker(self):
+        bundle = policies()
+        ladder = DegradationLadder(
+            [
+                LadderLevel("full", failing(CachePoisonedError("poisoned"))),
+                LadderLevel("scan", lambda: "fallback"),
+            ],
+            bundle,
+        )
+        ladder.run()
+        assert bundle.breakers["cache"]._failures == 1
+
+    def test_unclassified_failure_charges_the_gating_breakers(self):
+        bundle = policies()
+        cache = bundle.breaker("cache")
+        index = bundle.breaker("index")
+        ladder = DegradationLadder(
+            [
+                LadderLevel(
+                    "full",
+                    failing(TreeError("no site attribute")),
+                    requires=("cache", "index"),
+                ),
+                LadderLevel("scan", lambda: "fallback"),
+            ],
+            bundle,
+        )
+        ladder.run()
+        assert cache._failures == 1
+        assert index._failures == 1
+
+    def test_success_records_on_gating_breakers(self):
+        bundle = policies()
+        breaker = bundle.breaker("cache")
+        breaker.record_failure()
+        ladder = DegradationLadder(
+            [LadderLevel("full", lambda: "ok", requires=("cache",))],
+            bundle,
+        )
+        ladder.run()
+        assert breaker._failures == 0
+
+    def test_repeated_failures_trip_and_reroute(self):
+        bundle = policies()
+        attempts = []
+
+        def full():
+            attempts.append(1)
+            raise InjectedFault("cache.get")
+
+        ladder_levels = [
+            LadderLevel("full", full, requires=("cache",)),
+            LadderLevel("scan", lambda: "fallback"),
+        ]
+        threshold = CircuitBreaker("cache").failure_threshold
+        for _ in range(threshold):
+            DegradationLadder(ladder_levels, bundle).run()
+        tripped_at = len(attempts)
+        assert bundle.breakers["cache"].state == "open"
+        DegradationLadder(ladder_levels, bundle).run()
+        assert len(attempts) == tripped_at  # skipped, not attempted
+
+
+class TestNonDegradable:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            LockOrderViolation("lock order"),
+            RequestTimeout("out of time"),
+            ServiceUnavailable("downstream verdict"),
+        ],
+    )
+    def test_non_degradable_errors_propagate(self, error):
+        ladder = DegradationLadder(
+            [
+                LadderLevel("full", failing(error)),
+                LadderLevel("scan", lambda: pytest.fail("must not degrade")),
+            ],
+            policies(),
+        )
+        with pytest.raises(type(error)):
+            ladder.run()
+
+    def test_expired_deadline_stops_the_walk(self):
+        clock_now = [0.0]
+        deadline = Deadline.after(1.0, clock=lambda: clock_now[0])
+
+        def slow_full():
+            clock_now[0] = 5.0  # burn the whole budget
+            raise TreeError("too slow")
+
+        ladder = DegradationLadder(
+            [
+                LadderLevel("full", slow_full),
+                LadderLevel("scan", lambda: pytest.fail("no budget left")),
+            ],
+            policies(),
+        )
+        with deadline_scope(deadline):
+            with pytest.raises(RequestTimeout):
+                ladder.run()
+
+
+class TestPolicies:
+    def test_breaker_is_created_once_per_component(self):
+        bundle = ResiliencePolicies()
+        assert bundle.breaker("cache") is bundle.breaker("cache")
+
+    def test_classify_uses_the_site_attribute(self):
+        bundle = ResiliencePolicies()
+        assert bundle.classify(InjectedFault("relation.select")) == "relation"
+        assert bundle.classify(InjectedFault("relation.index_build")) == "index"
+        assert bundle.classify(TreeError("no site")) is None
+
+    def test_site_table_is_per_bundle(self):
+        bundle = ResiliencePolicies()
+        bundle.site_components["cache.get"] = "elsewhere"
+        assert ResiliencePolicies().classify(InjectedFault("cache.get")) == "cache"

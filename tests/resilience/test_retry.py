@@ -1,0 +1,135 @@
+"""Retry policy and budget: backoff, jitter, budget exhaustion."""
+
+import pytest
+
+from repro.exceptions import ReproError, TreeError
+from repro.resilience import RetryBudget, RetryPolicy
+
+
+class Flaky:
+    """Fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures, error=None):
+        self.failures = failures
+        self.calls = 0
+        self.error = error if error is not None else TreeError("transient")
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+def no_sleep_policy(**kwargs):
+    sleeps = []
+    policy = RetryPolicy(sleep=sleeps.append, **kwargs)
+    return policy, sleeps
+
+
+class TestRetryPolicy:
+    def test_first_attempt_success_never_retries(self):
+        policy, sleeps = no_sleep_policy()
+        flaky = Flaky(0)
+        assert policy.call(flaky) == "ok"
+        assert flaky.calls == 1
+        assert sleeps == []
+
+    def test_transient_failure_retried_to_success(self):
+        policy, sleeps = no_sleep_policy(max_attempts=3)
+        flaky = Flaky(2)
+        assert policy.call(flaky) == "ok"
+        assert flaky.calls == 3
+        assert len(sleeps) == 2
+
+    def test_exhausted_attempts_raise_the_last_error(self):
+        policy, _ = no_sleep_policy(max_attempts=3)
+        flaky = Flaky(99)
+        with pytest.raises(TreeError):
+            policy.call(flaky)
+        assert flaky.calls == 3
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        policy, _ = no_sleep_policy(max_attempts=5)
+        flaky = Flaky(99, error=ValueError("not a ReproError"))
+        with pytest.raises(ValueError):
+            policy.call(flaky)
+        assert flaky.calls == 1
+
+    def test_custom_retryable_tuple(self):
+        policy, _ = no_sleep_policy(max_attempts=3, retryable=(ValueError,))
+        flaky = Flaky(1, error=ValueError("transient"))
+        assert policy.call(flaky) == "ok"
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.0)
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.02)
+        assert policy.backoff(3) == pytest.approx(0.04)
+        assert policy.backoff(4) == pytest.approx(0.05)  # capped
+        assert policy.backoff(10) == pytest.approx(0.05)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(base_delay=0.01, jitter=0.5, seed=7)
+        b = RetryPolicy(base_delay=0.01, jitter=0.5, seed=7)
+        series_a = [a.backoff(1) for _ in range(10)]
+        series_b = [b.backoff(1) for _ in range(10)]
+        assert series_a == series_b  # same seed, same jitter
+        for delay in series_a:
+            assert 0.01 <= delay <= 0.015  # jitter adds at most 50%
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestRetryBudget:
+    def test_budget_starts_full(self):
+        budget = RetryBudget(max_credit=3.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_attempts_earn_fractional_credit(self):
+        budget = RetryBudget(budget_ratio=0.5, max_credit=1.0)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        budget.record_attempt()
+        assert not budget.try_spend()  # 0.5 credit: not enough
+        budget.record_attempt()
+        assert budget.try_spend()  # 1.0 credit
+
+    def test_credit_clamped_at_max(self):
+        budget = RetryBudget(budget_ratio=1.0, max_credit=2.0)
+        for _ in range(100):
+            budget.record_attempt()
+        assert budget.credit == 2.0
+
+    def test_exhausted_budget_stops_retries(self):
+        # A zero-ratio budget with no stored credit refuses every
+        # retry: the first failure propagates despite max_attempts=5.
+        budget = RetryBudget(budget_ratio=0.0, max_credit=0.0)
+        policy = RetryPolicy(
+            max_attempts=5, budget=budget, sleep=lambda _: None
+        )
+        flaky = Flaky(1)
+        with pytest.raises(TreeError):
+            policy.call(flaky)
+        assert flaky.calls == 1
+
+    def test_budget_shared_across_policies(self):
+        budget = RetryBudget(budget_ratio=0.0, max_credit=1.0)
+        first = RetryPolicy(max_attempts=2, budget=budget, sleep=lambda _: None)
+        second = RetryPolicy(max_attempts=2, budget=budget, sleep=lambda _: None)
+        assert first.call(Flaky(1)) == "ok"  # spends the only credit
+        flaky = Flaky(1)
+        with pytest.raises(TreeError):
+            second.call(flaky)
+        assert flaky.calls == 1
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ReproError):
+            RetryBudget(budget_ratio=-0.1)

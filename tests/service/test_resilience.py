@@ -1,0 +1,163 @@
+"""Service-level resilience: degraded serving, typed batch failures."""
+
+import threading
+
+import pytest
+
+from repro import ContextState, ContextualQuery, generate_poi_relation
+from repro.concurrency import ConcurrentQueryExecutor
+from repro.exceptions import RequestTimeout, ServiceUnavailable
+from repro.faults import FaultSpec, InjectedFault, fault_plan
+from repro.obs import get_registry
+from repro.resilience import ResiliencePolicies, RetryPolicy
+from repro.service import PersonalizationService
+from repro.workloads import Persona, study_environment
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_poi_relation(60, seed=21)
+
+
+def make_service(relation, resilience=None):
+    service = PersonalizationService(
+        study_environment(), relation, resilience=resilience
+    )
+    service.register("alice", Persona("below30", "female", "offbeat"))
+    return service
+
+
+@pytest.fixture
+def policies():
+    return ResiliencePolicies(retry=RetryPolicy(max_attempts=1, sleep=lambda _: None))
+
+
+@pytest.fixture
+def query(relation):
+    environment = study_environment()
+    state = ContextState.from_mapping(
+        environment,
+        {
+            "accompanying_people": "friends",
+            "temperature": "warm",
+            "location": "Plaka",
+        },
+    )
+    return ContextualQuery.at_state(state, top_k=10)
+
+
+@pytest.fixture
+def registry():
+    registry = get_registry()
+    was_enabled = registry.enabled
+    registry.reset()
+    registry.enable()
+    yield registry
+    registry.reset()
+    if not was_enabled:
+        registry.disable()
+
+
+class TestResilientQuery:
+    def test_plain_service_fails_where_resilient_degrades(
+        self, relation, policies, query
+    ):
+        plain = make_service(relation)
+        resilient = make_service(relation, resilience=policies)
+        specs = [FaultSpec(site="resolution.search_cs", kind="error")]
+        with fault_plan(specs):
+            with pytest.raises(InjectedFault):
+                plain.query("alice", query)
+        with fault_plan(specs):
+            result = resilient.query("alice", query)
+        assert result.degradation == "unranked"
+
+    def test_degraded_serving_counted_in_metrics(
+        self, relation, policies, query, registry
+    ):
+        service = make_service(relation, resilience=policies)
+        with fault_plan([FaultSpec(site="resolution.search_cs", kind="error")]):
+            service.query("alice", query)
+        counters = registry.snapshot()["counters"]
+        assert counters["resilience.served"]['level="unranked"'] == 1
+        assert sum(counters["resilience.level_failures"].values()) >= 3
+
+    def test_healthy_resilient_service_serves_full(
+        self, relation, policies, query
+    ):
+        service = make_service(relation, resilience=policies)
+        result = service.query("alice", query)
+        assert result.degradation == "full"
+
+
+class TestQueryManyTypedOutcomes:
+    def test_shed_requests_carry_service_unavailable(
+        self, relation, query, registry
+    ):
+        service = make_service(relation)
+        release = threading.Event()
+        pool = ConcurrentQueryExecutor(max_workers=1, queue_depth=0)
+        try:
+            blocker = pool.submit(lambda: release.wait(5))  # fills capacity 1
+            outcomes = service.query_many(
+                [("alice", query)], executor=pool, shed_on_saturation=True
+            )
+            release.set()
+            blocker.result(timeout=5)
+        finally:
+            release.set()
+            pool.shutdown()
+        (outcome,) = outcomes
+        assert outcome.status == "rejected"
+        assert isinstance(outcome.error, ServiceUnavailable)
+        assert outcome.error.user_id == "alice"
+        assert outcome.error.state == query.current_state
+        assert registry.snapshot()["counters"]["service.shed"][""] == 1
+
+    def test_slow_requests_carry_request_timeout(self, relation, query, registry):
+        service = make_service(relation)
+        with fault_plan(
+            [FaultSpec(site="resolution.search_cs", kind="latency", delay=0.3)]
+        ):
+            outcomes = service.query_many(
+                [("alice", query)], max_workers=1, timeout=0.05
+            )
+        (outcome,) = outcomes
+        assert outcome.status == "timeout"
+        assert isinstance(outcome.error, RequestTimeout)
+        assert outcome.error.user_id == "alice"
+        assert registry.snapshot()["counters"]["service.timeouts"][""] == 1
+
+    def test_batch_deadline_propagates_into_requests(self, relation, query):
+        service = make_service(relation)
+        outcomes = service.query_many([("alice", query)] * 3, deadline=0.0)
+        assert len(outcomes) == 3
+        for outcome in outcomes:
+            assert not outcome.ok
+            assert isinstance(outcome.error, RequestTimeout)
+
+    def test_healthy_batch_serves_everyone(self, relation, query):
+        service = make_service(relation)
+        outcomes = service.query_many([("alice", query)] * 4, max_workers=2)
+        assert all(outcome.ok for outcome in outcomes)
+
+
+class TestRankManyDeadline:
+    def test_expired_budget_raises_before_ranking(self, relation):
+        service = make_service(relation)
+        account = service.account("alice")
+        descriptors = [
+            preference.descriptor for preference in list(account.repository)[:4]
+        ]
+        with pytest.raises(RequestTimeout, match="rank_many"):
+            service.rank_many("alice", descriptors, timeout=0.0)
+
+    def test_generous_budget_completes(self, relation):
+        service = make_service(relation)
+        account = service.account("alice")
+        descriptors = [
+            preference.descriptor for preference in list(account.repository)[:4]
+        ]
+        results, stats = service.rank_many("alice", descriptors, timeout=30.0)
+        assert len(results) == 4
+        assert stats.descriptors == 4

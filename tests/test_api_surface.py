@@ -10,10 +10,12 @@ PACKAGES = [
     "repro.db",
     "repro.dsl",
     "repro.eval",
+    "repro.faults",
     "repro.hierarchy",
     "repro.io",
     "repro.preferences",
     "repro.query",
+    "repro.resilience",
     "repro.resolution",
     "repro.service",
     "repro.tree",

@@ -32,6 +32,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stats", "--format", "xml"])
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.users == 6 and args.rows == 400
+        assert args.rounds == 5 and args.queries_per_round == 40
+        assert args.seed == 23
+        assert not args.no_baseline and not args.json
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -90,6 +97,29 @@ class TestCommands:
         assert "# TYPE repro_cache_misses counter" in out
         assert "# TYPE repro_latency_service_query summary" in out
         assert 'quantile="0.95"' in out
+
+    def test_chaos_table(self, capsys):
+        assert main(["chaos", "--users", "2", "--rows", "120", "--rounds", "2",
+                     "--queries-per-round", "6", "--edits-per-round", "1",
+                     "--concurrent-batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "served @ full" in out
+        assert "correctness audit" in out
+        assert "baseline availability" in out
+
+    def test_chaos_json_and_output(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "chaos.json"
+        assert main(["chaos", "--users", "2", "--rows", "120", "--rounds", "2",
+                     "--queries-per-round", "6", "--edits-per-round", "1",
+                     "--concurrent-batch", "4", "--no-baseline",
+                     "--json", "--output", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["resilient"]["requests"] > 0
+        assert payload.get("baseline") is None
+        assert json.loads(target.read_text()) == payload
 
     def test_custom_seed_changes_table1(self, capsys):
         main(["table1", "--users", "2", "--seed", "1"])

@@ -1,0 +1,80 @@
+"""Generation-stamped puts: stale computes are discarded, not cached."""
+
+import pytest
+
+from repro import ContextQueryTree, ContextState
+from repro.obs import get_registry
+
+
+@pytest.fixture
+def cache(env):
+    return ContextQueryTree(env)
+
+
+@pytest.fixture
+def states(env):
+    return {
+        "plaka": ContextState(env, ("friends", "warm", "Plaka")),
+        "kifisia": ContextState(env, ("friends", "hot", "Kifisia")),
+    }
+
+
+class TestGenerationStampedPut:
+    def test_current_generation_put_is_stored(self, cache, states):
+        generation = cache.generation
+        cache.put(states["plaka"], "ranked", generation=generation)
+        assert cache.get(states["plaka"]) == "ranked"
+        assert cache.stale_discards == 0
+
+    def test_stale_put_is_discarded(self, cache, states):
+        # Snapshot, then an invalidation lands before the put: the
+        # computed result predates the write and must not be served.
+        generation = cache.generation
+        cache.put(states["kifisia"], "other")
+        cache.invalidate(states["kifisia"])
+        cache.put(states["plaka"], "stale ranking", generation=generation)
+        assert cache.get(states["plaka"]) is None
+        assert cache.stale_discards == 1
+
+    def test_unstamped_put_is_unconditional(self, cache, states):
+        cache.put(states["kifisia"], "other")
+        cache.invalidate(states["kifisia"])
+        cache.put(states["plaka"], "ranked")  # no generation stamp
+        assert cache.get(states["plaka"]) == "ranked"
+        assert cache.stale_discards == 0
+
+    def test_clear_bumps_the_generation(self, cache, states):
+        generation = cache.generation
+        cache.clear()
+        cache.put(states["plaka"], "stale", generation=generation)
+        assert cache.get(states["plaka"]) is None
+
+    def test_stale_discards_counted_in_metrics(self, cache, states):
+        registry = get_registry()
+        registry.enable()
+        try:
+            registry.reset()
+            generation = cache.generation
+            cache.put(states["kifisia"], "other")
+            cache.invalidate(states["kifisia"])
+            cache.put(states["plaka"], "stale", generation=generation)
+            counters = registry.snapshot()["counters"]
+            assert counters["cache.stale_discards"][""] == 1
+        finally:
+            registry.disable()
+
+
+class TestStatistics:
+    def test_snapshot_reports_all_counters(self, cache, states):
+        cache.put(states["plaka"], "ranked")
+        cache.get(states["plaka"])  # hit
+        cache.get(states["kifisia"])  # miss
+        cache.invalidate(states["plaka"])
+        stats = cache.statistics()
+        assert stats["states"] == 0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["invalidations"] == 1
+        assert stats["stale_discards"] == 0
+        assert stats["generation"] == cache.generation
