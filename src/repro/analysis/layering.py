@@ -56,16 +56,17 @@ LAYERS: dict[str, int] = {
     "repro.db": 10,
     "repro.resolution": 11,
     "repro.io": 12,
-    "repro.query": 13,
-    "repro.dsl": 14,
-    "repro.workloads": 15,
-    "repro.service": 16,
-    "repro.eval": 17,
-    "repro.analysis": 18,
+    "repro.storage": 13,  # WAL/snapshot persistence; reuses io's formats
+    "repro.query": 14,
+    "repro.dsl": 15,
+    "repro.workloads": 16,
+    "repro.service": 17,
+    "repro.eval": 18,
+    "repro.analysis": 19,
     # CLI surface and the package root re-export everything.
-    "repro.cli": 19,
-    "repro.__main__": 19,
-    "repro": 19,
+    "repro.cli": 20,
+    "repro.__main__": 20,
+    "repro": 20,
 }
 
 _SERVICE_RANK = LAYERS["repro.service"]

@@ -10,6 +10,7 @@ Usage::
     python -m repro fig7 real           # Fig. 7 left (real profile accesses)
     python -m repro fig7 synthetic      # Fig. 7 center+right (synthetic)
     python -m repro chaos               # availability under injected faults
+    python -m repro persistence         # kill/restart recovery + paging
     python -m repro analyze             # project-native static checks
 
 Every command accepts ``--seed`` and, where meaningful, ``--sizes`` to
@@ -142,6 +143,38 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--output", type=str, default=None,
         help="also write the JSON report to this file (BENCH_chaos.json style)",
+    )
+
+    persistence = sub.add_parser(
+        "persistence",
+        help="durability run: kill/restart recovery equality, plus an "
+        "optional paged-users scale benchmark",
+    )
+    persistence.add_argument("--users", type=int, default=8)
+    persistence.add_argument("--rows", type=int, default=300)
+    persistence.add_argument("--rounds", type=int, default=4)
+    persistence.add_argument("--edits-per-round", type=int, default=6)
+    persistence.add_argument("--queries-per-round", type=int, default=24)
+    persistence.add_argument("--hydrated-budget", type=int, default=4)
+    persistence.add_argument(
+        "--backend", choices=["jsonl", "sqlite"], default="jsonl"
+    )
+    persistence.add_argument("--seed", type=int, default=29)
+    persistence.add_argument(
+        "--paging-users",
+        type=int,
+        default=0,
+        help="also run the paging benchmark with this many registered "
+        "users (0 = skip)",
+    )
+    persistence.add_argument("--paging-queries", type=int, default=2000)
+    persistence.add_argument(
+        "--json", action="store_true", help="emit the raw report as JSON"
+    )
+    persistence.add_argument(
+        "--output", type=str, default=None,
+        help="also write the JSON report to this file "
+        "(BENCH_persistence.json style)",
     )
 
     analyze = sub.add_parser(
@@ -418,6 +451,78 @@ def _run_chaos(args: argparse.Namespace) -> str:
     )
 
 
+def _run_persistence(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.eval.persistence import run_kill_restart, run_paging_bench
+
+    report: dict[str, object] = {
+        "kill_restart": run_kill_restart(
+            num_users=args.users,
+            num_rows=args.rows,
+            rounds=args.rounds,
+            edits_per_round=args.edits_per_round,
+            queries_per_round=args.queries_per_round,
+            hydrated_budget=args.hydrated_budget,
+            backend=args.backend,
+            seed=args.seed,
+        )
+    }
+    if args.paging_users > 0:
+        report["paging"] = run_paging_bench(
+            num_users=args.paging_users,
+            hydrated_budget=args.hydrated_budget,
+            num_queries=args.paging_queries,
+            backend=args.backend,
+            seed=args.seed,
+        )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        return json.dumps(report, indent=2)
+    kill = report["kill_restart"]
+    rows: list[list[object]] = [
+        ["restarts", kill["restarts"]],
+        ["torn tails repaired", kill["torn_tails_repaired"]],
+        ["edits applied / rejected",
+         f"{kill['edits_applied']} / {kill['edits_rejected']}"],
+        ["recovery rate", f"{kill['recovery_rate']:.2%}"],
+        [
+            "ranking audit",
+            f"{kill['ranking_mismatches']} mismatches / "
+            f"{kill['ranking_checks']} checked",
+        ],
+        [
+            "identical after recovery",
+            "yes" if kill["identical_after_recovery"] else "NO",
+        ],
+    ]
+    paging = report.get("paging")
+    if paging is not None:
+        rows += [
+            ["registered users", paging["registration"]["users"]],
+            [
+                "peak hydrated / budget",
+                f"{paging['paging']['peak_hydrated']} / "
+                f"{paging['paging']['hydrated_budget']}",
+            ],
+            ["recovery complete",
+             "yes" if paging.get("recovery", {}).get("complete") else "NO"],
+        ]
+    workload = kill["workload"]
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"Persistence run - {workload['rounds']} rounds, "
+            f"{workload['backend']} backend, seed {workload['seed']}, "
+            f"{workload['num_users']} users"
+        ),
+    )
+
+
 _RUNNERS = {
     "table1": _run_table1,
     "fig5": _run_fig5,
@@ -427,6 +532,7 @@ _RUNNERS = {
     "stats": _run_stats,
     "serve-bench": _run_serve_bench,
     "chaos": _run_chaos,
+    "persistence": _run_persistence,
 }
 
 

@@ -25,8 +25,14 @@ register.
 **Lock hierarchy.** Every lock in the serving stack carries a *level*
 from the documented process-wide order (outermost first)::
 
-    user (10)  >  registry (20)  >  account (25)
-               >  relation (30)  >  cache (40)  >  metrics (50)
+    user (10)  >  registry (20)  >  account (25)  >  relation (30)
+               >  cache (40)  >  store (45)  >  metrics (50)
+
+The ``store`` level belongs to the persistence layer
+(:mod:`repro.storage`): WAL appends run while the editing thread holds
+the user's write lock, and snapshot writes run under the service's
+registry lock, so the store's internal mutex must sit *below* both
+(and above nothing but the metrics locks it may record into).
 
 Acquisitions must happen in strictly increasing level order within one
 thread. The order is machine-checked twice: statically by
@@ -55,6 +61,7 @@ __all__ = [
     "LEVEL_METRICS",
     "LEVEL_REGISTRY",
     "LEVEL_RELATION",
+    "LEVEL_STORE",
     "LEVEL_USER",
     "LOCK_LEVEL_NAMES",
     "LockOrderViolation",
@@ -75,6 +82,7 @@ LEVEL_REGISTRY = 20
 LEVEL_ACCOUNT = 25
 LEVEL_RELATION = 30
 LEVEL_CACHE = 40
+LEVEL_STORE = 45
 LEVEL_METRICS = 50
 
 #: Level value -> human-readable name (used in violation messages and
@@ -85,6 +93,7 @@ LOCK_LEVEL_NAMES = {
     LEVEL_ACCOUNT: "account",
     LEVEL_RELATION: "relation",
     LEVEL_CACHE: "cache",
+    LEVEL_STORE: "store",
     LEVEL_METRICS: "metrics",
 }
 
@@ -182,7 +191,8 @@ def _sanitize_check(lock: object, level: int | None, mode: str) -> None:
         raise LockOrderViolation(
             f"acquiring {_describe(lock, level)} while holding "
             f"{_describe(innermost[0], innermost[1])} violates the lock "
-            "hierarchy (user > registry > account > relation > cache > metrics)"
+            "hierarchy (user > registry > account > relation > cache > "
+            "store > metrics)"
         )
 
 

@@ -7,6 +7,11 @@ from repro.eval.accesses import (
     measure_accesses,
 )
 from repro.eval.chaos import chaos_schedule, run_chaos, run_chaos_overhead
+from repro.eval.persistence import (
+    kill_restart_schedule,
+    run_kill_restart,
+    run_paging_bench,
+)
 from repro.eval.observability import (
     run_obs_overhead,
     run_scripted_workload,
@@ -51,13 +56,16 @@ __all__ = [
     "fig7_synthetic",
     "format_series",
     "format_table",
+    "kill_restart_schedule",
     "measure_accesses",
     "measure_orderings",
     "measure_select_costs",
     "rank_access_sweep",
     "run_chaos",
     "run_chaos_overhead",
+    "run_kill_restart",
     "run_obs_overhead",
+    "run_paging_bench",
     "run_rank_hotpath",
     "run_scripted_workload",
     "run_serve_bench",

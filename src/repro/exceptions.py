@@ -23,6 +23,7 @@ __all__ = [
     "OrderingError",
     "QueryError",
     "SchemaError",
+    "StorageError",
     "ServiceUnavailable",
     "RequestTimeout",
     "CachePoisonedError",
@@ -92,6 +93,11 @@ class QueryError(ReproError):
 
 class SchemaError(ReproError):
     """A relation schema or tuple violates its declared structure."""
+
+
+class StorageError(ReproError):
+    """A persistence-layer (WAL/snapshot) operation failed or a stored
+    payload failed its integrity check."""
 
 
 class ServiceUnavailable(ReproError):

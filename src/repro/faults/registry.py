@@ -70,6 +70,9 @@ SITES = (
     "executor.submit",
     "executor.request",
     "service.edit",
+    "storage.append",
+    "storage.replay",
+    "storage.snapshot",
 )
 
 _KINDS = ("error", "latency", "corrupt")

@@ -12,6 +12,28 @@ the library: registration with demographic default-profile assignment,
 profile editing (delegating to :class:`PreferenceRepository`), query
 execution, and per-user cache management.
 
+**Durability & paging.** With a :class:`~repro.storage.ProfileStore`
+attached, every registration and profile edit is appended to the
+store's write-ahead log before the call returns, and the service can
+recover its full user population from snapshot + WAL after a crash
+(see :mod:`repro.storage` and ``docs/persistence.md``). Registered
+users then live in two tiers:
+
+* **cold** - only the user's persona (and, once edited, a serialized
+  profile) is in RAM; the profile tree, executor and result cache do
+  not exist;
+* **hydrated** - a live :class:`UserAccount` with its lazily rebuilt
+  profile tree and cache, created transparently the first time a
+  ``query``/``rank_many``/edit touches the user.
+
+``hydrated_budget`` bounds the hydrated tier with LRU eviction, so a
+service can hold millions of registered users while only the working
+set pays for trees and caches. Eviction needs no write-back: the
+serialized profile of every *modified* user is kept current at edit
+time (under the registry lock), so a victim is simply unwatched and
+dropped. Without a store and budget the service runs the exact
+pre-existing in-memory path.
+
 **Concurrency model.** The service serves interleaved requests from
 many threads. Mutating operations on one user (``register``,
 ``unregister``, ``add/delete/update_preference``, ``import_profile``)
@@ -19,19 +41,21 @@ take that user's **write lock** from a striped per-user lock table, so
 edits to a profile are serialised; ``query``/``rank_many`` take the
 user's **read lock**, so any number of queries for the same user run
 together but never interleave with that user's edits (read-your-writes
-per user). The accounts dict itself is guarded by a separate registry
-lock, under which ``statistics`` and the population gauges take
-consistent snapshots. The lock order is: per-user lock, then registry
-lock, then the per-account stats lock, then the relation's lock, then
-cache locks (see :mod:`repro.concurrency`). Bulk concurrent execution is available via
-:meth:`PersonalizationService.query_many`, which fans a request batch
-out over a bounded thread pool.
+per user). The user directory, override map and hydrated-account LRU
+are guarded by a separate registry lock, under which ``statistics``
+and the population gauges take consistent snapshots. The lock order
+is: per-user lock, then registry lock, then the per-account stats
+lock, then the relation's lock, then cache locks, then the store's
+lock (see :mod:`repro.concurrency`). Bulk concurrent execution is
+available via :meth:`PersonalizationService.query_many`, which fans a
+request batch out over a bounded thread pool.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import asdict, dataclass, field
 
 from repro.exceptions import (
     QueryError,
@@ -52,6 +76,7 @@ from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
 from repro.db.relation import Relation
 from repro.faults.registry import get_fault_registry
+from repro.io.serialize import preference_to_dict, profile_from_dict, profile_to_dict
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.preferences.preference import ContextualPreference
@@ -66,6 +91,8 @@ from repro.resilience import (
     current_deadline,
     deadline_scope,
 )
+from repro.storage.recovery import RecoveredState, recover_state
+from repro.storage.store import ProfileStore
 from repro.tree.query_tree import ContextQueryTree
 from repro.workloads.users import Persona, default_profile
 
@@ -79,7 +106,7 @@ def _account_stats_lock() -> Mutex:
 
 @dataclass
 class UserAccount:
-    """One registered user: persona, repository and statistics.
+    """One hydrated user: persona, repository and statistics.
 
     ``_stats_lock`` guards the usage counters and the lazy executor
     build: counters are incremented from concurrent query threads
@@ -127,6 +154,22 @@ class PersonalizationService:
             served level on :attr:`QueryResult.degradation`. When
             omitted the service runs the exact pre-existing path - the
             resilience layer costs nothing unless opted into.
+        store: Optional :class:`~repro.storage.ProfileStore`. When
+            given, registrations and edits are WAL-appended before the
+            call returns and :meth:`snapshot` persists the population;
+            the service owns the store's lifecycle from here
+            (:meth:`close` closes it).
+        hydrated_budget: Maximum number of hydrated accounts kept in
+            RAM (LRU-evicted beyond it); ``None`` = unbounded (every
+            registered user stays hydrated once touched).
+        snapshot_every: Take (and compact after) a snapshot
+            automatically every this many WAL appends; ``None`` (the
+            default) leaves snapshots to explicit :meth:`snapshot`
+            calls.
+        recover: With a store, replay snapshot + WAL on construction
+            and adopt the recovered population (cold). ``False`` starts
+            empty on an empty store (an existing log would then raise
+            duplicate-registration errors as it is re-written).
 
     Example:
         >>> service = PersonalizationService(study_environment(), relation)
@@ -143,6 +186,10 @@ class PersonalizationService:
         auto_index: bool = True,
         lock_stripes: int = 64,
         resilience: ResiliencePolicies | None = None,
+        store: ProfileStore | None = None,
+        hydrated_budget: int | None = None,
+        snapshot_every: int | None = None,
+        recover: bool = True,
     ) -> None:
         self._environment = environment
         self._relation = relation
@@ -151,14 +198,42 @@ class PersonalizationService:
         self._metric = metric
         self._cache_capacity = cache_capacity
         self._resilience = resilience
-        self._accounts: dict[str, UserAccount] = {}
+        if hydrated_budget is not None and hydrated_budget < 1:
+            raise ReproError(
+                f"hydrated_budget must be >= 1 or None, got {hydrated_budget}"
+            )
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ReproError(
+                f"snapshot_every must be >= 1 or None, got {snapshot_every}"
+            )
+        self._store = store
+        self._hydrated_budget = hydrated_budget
+        self._snapshot_every = snapshot_every
+        # Paging bookkeeping is maintained whenever eviction or
+        # durability can need it; the plain in-memory service skips it.
+        self._paging = store is not None or hydrated_budget is not None
+        #: All registered users (cold + hydrated): user id -> persona.
+        self._directory: dict[str, Persona] = {}
+        #: Serialized profiles of users whose profile differs from the
+        #: persona default. Values are replaced, never mutated in
+        #: place, so snapshot streams may share them safely.
+        self._overrides: dict[str, dict] = {}
+        #: Hydrated accounts only, in LRU order (oldest first).
+        self._accounts: OrderedDict[str, UserAccount] = OrderedDict()
+        self._hydrations = 0
+        self._evictions = 0
+        self._appends_since_snapshot = 0
         # Per-user RW locks (striped) + one registry lock for the
-        # accounts dict and population gauges. Lock order: user lock
-        # before registry lock; never the reverse.
+        # directory/override/account maps and population gauges. Lock
+        # order: user lock before registry lock; never the reverse.
         self._user_locks = StripedLockTable(
             lock_stripes, level=LEVEL_USER, name="service.user"
         )
         self._registry_lock = Mutex(level=LEVEL_REGISTRY, name="service.registry")
+        #: Accounting of the recovery that seeded this service, if any.
+        self.last_recovery: RecoveredState | None = None
+        if store is not None and recover:
+            self._recover()
 
     @property
     def environment(self) -> ContextEnvironment:
@@ -175,21 +250,149 @@ class PersonalizationService:
         """The resilience policies in force, if any."""
         return self._resilience
 
+    @property
+    def store(self) -> ProfileStore | None:
+        """The attached profile store, if any."""
+        return self._store
+
+    @property
+    def hydrated_budget(self) -> int | None:
+        """The hydrated-account cap (``None`` = unbounded)."""
+        return self._hydrated_budget
+
     def __len__(self) -> int:
-        return len(self._accounts)
+        return len(self._directory)
 
     def __contains__(self, user_id: object) -> bool:
-        return user_id in self._accounts
+        return user_id in self._directory
 
     def __iter__(self) -> Iterator[UserAccount]:
+        """Iterate the *hydrated* accounts (cold users have none)."""
         with self._registry_lock:
             return iter(list(self._accounts.values()))
+
+    # ------------------------------------------------------------------
+    # Durability plumbing
+    # ------------------------------------------------------------------
+    def _baseline_payload(self, user_id: str, persona: dict) -> dict:
+        """Serialized default profile for recovery's edit replay."""
+        return profile_to_dict(
+            default_profile(Persona(**persona), self._environment)
+        )
+
+    def _recover(self) -> None:
+        state = recover_state(self._store, self._baseline_payload)
+        for user_id, payload in state.directory.items():
+            self._directory[user_id] = Persona(**payload)
+        self._overrides = state.overrides
+        self.last_recovery = state
+        self._record_population()
+
+    def _append(self, record: dict) -> None:
+        """WAL-append one record and advance the snapshot cadence."""
+        self._store.append(record)
+        self._note_appends(1)
+
+    def _note_appends(self, count: int) -> None:
+        if self._snapshot_every is None:
+            return
+        with self._registry_lock:
+            self._appends_since_snapshot += count
+            if self._appends_since_snapshot < self._snapshot_every:
+                return
+            self._appends_since_snapshot = 0
+        self.snapshot(compact=True)
+
+    def _commit_edit(self, account: UserAccount, record: dict, undo) -> None:
+        """Persist an already-applied profile mutation.
+
+        The override is refreshed *before* the WAL append, both under
+        the documented ordering that makes concurrent snapshots safe: a
+        snapshot copies the overrides and then reads the store's last
+        LSN under the registry lock, so it either misses both the
+        override and the record (replay supplies the edit) or sees the
+        override with a covered LSN below the record's (replay re-applies
+        the edit idempotently). It can never see the record's LSN
+        without its override.
+
+        If the append fails, ``undo`` reverts the repository mutation
+        and the previous override is restored - a failed edit call
+        leaves no trace in RAM or (by definition of the failure) on
+        disk.
+        """
+        if not self._paging:
+            return
+        user_id = account.user_id
+        serialized = profile_to_dict(account.repository.profile)
+        with self._registry_lock:
+            previous = self._overrides.get(user_id)
+            self._overrides[user_id] = serialized
+        if self._store is None:
+            return
+        try:
+            self._append(record)
+        except Exception:
+            with self._registry_lock:
+                if previous is None:
+                    self._overrides.pop(user_id, None)
+                else:
+                    self._overrides[user_id] = previous
+            undo()
+            raise
+
+    def snapshot(self, compact: bool = False) -> int:
+        """Persist the whole population as a snapshot; returns the
+        covered LSN.
+
+        The directory, overrides and covered LSN are captured together
+        under the registry lock, so the snapshot is consistent with the
+        WAL (see :meth:`_commit_edit`); the record stream itself is
+        written outside any service lock. With ``compact=True`` the
+        WAL's covered prefix is dropped afterwards.
+
+        Raises:
+            ReproError: If no store is attached.
+        """
+        if self._store is None:
+            raise ReproError("snapshot() requires a profile store")
+        with self._registry_lock:
+            users = sorted(self._directory.items())
+            overrides = dict(self._overrides)
+            covered = self._store.last_lsn()
+        self._store.write_snapshot(
+            self._snapshot_stream(users, overrides), covered
+        )
+        if compact:
+            self._store.compact_wal(covered)
+        return covered
+
+    @staticmethod
+    def _snapshot_stream(
+        users: list[tuple[str, Persona]], overrides: dict[str, dict]
+    ) -> Iterator[dict]:
+        # Mirrors repro.storage.recovery.snapshot_records, but streams
+        # straight from Persona objects so a million-user snapshot
+        # never materialises a payload copy of the directory.
+        for user_id, persona in users:
+            yield {"op": "register", "user": user_id, "persona": asdict(persona)}
+        for user_id in sorted(overrides):
+            yield {"op": "import", "user": user_id, "profile": overrides[user_id]}
+
+    def close(self) -> None:
+        """Flush and close the attached store (no-op without one)."""
+        if self._store is not None:
+            self._store.close()
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
     def register(self, user_id: str, persona: Persona) -> UserAccount:
         """Register a user; they receive their persona's default profile.
+
+        The new account starts hydrated (the caller usually queries or
+        edits it next); with a store attached the registration is
+        WAL-appended before this returns, and a failed append rolls the
+        registration back entirely.
 
         Raises:
             ReproError: On empty/duplicate user ids.
@@ -198,26 +401,98 @@ class PersonalizationService:
             raise ReproError("user id must be non-empty")
         with self._user_locks.write_locked(user_id):
             with self._registry_lock:
-                if user_id in self._accounts:
+                if user_id in self._directory:
                     raise ReproError(f"user {user_id!r} is already registered")
             # Build the profile outside the registry lock (it is the
             # expensive part); the duplicate check is re-validated by
             # the dict insert below, which the user write lock already
             # serialises against concurrent registers of the same id.
-            profile = default_profile(persona, self._environment)
-            repository = PreferenceRepository(self._environment, profile)
-            cache = (
-                ContextQueryTree(self._environment, capacity=self._cache_capacity)
-                if self._cache_capacity is not None
-                else None
-            )
-            account = UserAccount(
-                user_id=user_id, persona=persona, repository=repository, cache=cache
-            )
+            account = self._build_account(user_id, persona, override=None)
             with self._registry_lock:
+                self._directory[user_id] = persona
                 self._accounts[user_id] = account
+                self._accounts.move_to_end(user_id)
+                victims = self._shrink_to_budget_locked()
                 self._record_population()
+            if self._store is not None:
+                try:
+                    self._append(
+                        {
+                            "op": "register",
+                            "user": user_id,
+                            "persona": asdict(persona),
+                        }
+                    )
+                except Exception:
+                    with self._registry_lock:
+                        self._directory.pop(user_id, None)
+                        self._accounts.pop(user_id, None)
+                        self._record_population()
+                    raise
+            for victim in victims:
+                self._retire_cache(victim)
             return account
+
+    def register_many(
+        self,
+        users: Iterable[tuple[str, Persona]],
+        batch_size: int = 4096,
+    ) -> int:
+        """Bulk-register users **cold**: directory entries plus batched
+        WAL appends, no profile trees or caches.
+
+        The mass-onboarding path: a million registrations cost a
+        million directory inserts and a few hundred batched WAL
+        writes; each user's profile is built lazily the first time a
+        query or edit hydrates them. Returns the number registered.
+
+        Raises:
+            ReproError: On empty/duplicate user ids (the offending
+                batch is rolled back; earlier batches stay registered
+                and logged).
+        """
+        registered = 0
+        users = iter(users)
+        while True:
+            batch: list[tuple[str, Persona]] = []
+            for entry in users:
+                batch.append(entry)
+                if len(batch) >= batch_size:
+                    break
+            if not batch:
+                break
+            with self._registry_lock:
+                for user_id, _ in batch:
+                    if not user_id:
+                        raise ReproError("user id must be non-empty")
+                    if user_id in self._directory:
+                        raise ReproError(
+                            f"user {user_id!r} is already registered"
+                        )
+                seen = {user_id for user_id, _ in batch}
+                if len(seen) != len(batch):
+                    raise ReproError("duplicate user ids within batch")
+                for user_id, persona in batch:
+                    self._directory[user_id] = persona
+            if self._store is not None:
+                try:
+                    self._store.append_many(
+                        {
+                            "op": "register",
+                            "user": user_id,
+                            "persona": asdict(persona),
+                        }
+                        for user_id, persona in batch
+                    )
+                except Exception:
+                    with self._registry_lock:
+                        for user_id, _ in batch:
+                            self._directory.pop(user_id, None)
+                    raise
+                self._note_appends(len(batch))
+            registered += len(batch)
+        self._record_population()
+        return registered
 
     def unregister(self, user_id: str) -> None:
         """Drop a user and their profile.
@@ -232,11 +507,29 @@ class PersonalizationService:
             ReproError: If the user is unknown.
         """
         with self._user_locks.write_locked(user_id):
-            account = self.account(user_id)
-            self._retire_cache(account)
             with self._registry_lock:
-                del self._accounts[user_id]
-                self._record_population()
+                if user_id not in self._directory:
+                    raise ReproError(f"unknown user {user_id!r}")
+                persona = self._directory.pop(user_id)
+                override = self._overrides.pop(user_id, None)
+                account = self._accounts.pop(user_id, None)
+            if self._store is not None:
+                try:
+                    self._append({"op": "unregister", "user": user_id})
+                except Exception:
+                    with self._registry_lock:
+                        self._directory[user_id] = persona
+                        if override is not None:
+                            self._overrides[user_id] = override
+                        if account is not None:
+                            self._accounts[user_id] = account
+                        self._record_population()
+                    raise
+            if account is not None:
+                self._retire_cache(account)
+            # Population gauges are refreshed after the cache detach so
+            # the listener gauge never reports the retired listener.
+            self._record_population()
 
     def _retire_cache(self, account: UserAccount) -> None:
         """Detach ``account``'s cache from the relation and drop the
@@ -249,18 +542,125 @@ class PersonalizationService:
         registry = get_registry()
         if registry.enabled:
             with self._registry_lock:
-                registry.set_gauge("service.registered_users", len(self._accounts))
+                registry.set_gauge("service.registered_users", len(self._directory))
+                registry.set_gauge("service.hydrated_users", len(self._accounts))
                 registry.set_gauge(
                     "service.relation_listeners",
                     self._relation.mutation_listener_count,
                 )
 
+    # ------------------------------------------------------------------
+    # Paging (hydration & eviction)
+    # ------------------------------------------------------------------
+    def _build_account(
+        self, user_id: str, persona: Persona, override: dict | None
+    ) -> UserAccount:
+        """A live account from the persona default or an override."""
+        if override is not None:
+            repository = PreferenceRepository(
+                self._environment, profile_from_dict(override)
+            )
+        else:
+            repository = PreferenceRepository(
+                self._environment, default_profile(persona, self._environment)
+            )
+        cache = (
+            ContextQueryTree(self._environment, capacity=self._cache_capacity)
+            if self._cache_capacity is not None
+            else None
+        )
+        return UserAccount(
+            user_id=user_id, persona=persona, repository=repository, cache=cache
+        )
+
+    def _hydrate(self, user_id: str) -> UserAccount:
+        """The user's live account, rebuilding it from paged-out state
+        if needed. The caller must hold the user's lock (read or
+        write), which serialises hydration against that user's edits.
+        """
+        with self._registry_lock:
+            account = self._accounts.get(user_id)
+            if account is not None:
+                self._accounts.move_to_end(user_id)
+                return account
+            persona = self._directory.get(user_id)
+            override = self._overrides.get(user_id)
+        if persona is None:
+            raise ReproError(f"unknown user {user_id!r}")
+        # Tree + cache construction is the expensive part; do it
+        # outside the registry lock. Two readers of the same user may
+        # race here (they share a read lock); the loser's account is
+        # discarded below before it ever watched the relation.
+        account = self._build_account(user_id, persona, override)
+        with self._registry_lock:
+            existing = self._accounts.get(user_id)
+            if existing is not None:
+                self._accounts.move_to_end(user_id)
+                return existing
+            if user_id not in self._directory:
+                raise ReproError(f"unknown user {user_id!r}")
+            self._accounts[user_id] = account
+            self._accounts.move_to_end(user_id)
+            self._hydrations += 1
+            victims = self._shrink_to_budget_locked()
+            registry = get_registry()
+            if registry.enabled:
+                registry.inc("service.hydrations")
+                registry.set_gauge("service.hydrated_users", len(self._accounts))
+        for victim in victims:
+            self._retire_cache(victim)
+        return account
+
+    def _shrink_to_budget_locked(self) -> list[UserAccount]:
+        """Evict LRU accounts beyond the budget; registry lock held.
+
+        Returns the victims; the caller retires their caches outside
+        the lock. Victims need no write-back: their current serialized
+        profile is already in the override map (refreshed at edit
+        time), so rehydration rebuilds exactly the evicted state even
+        if the victim is mid-query on another thread.
+        """
+        if self._hydrated_budget is None:
+            return []
+        victims: list[UserAccount] = []
+        registry = get_registry()
+        while len(self._accounts) > self._hydrated_budget:
+            _, victim = self._accounts.popitem(last=False)
+            victims.append(victim)
+            self._evictions += 1
+            if registry.enabled:
+                registry.inc("service.evictions")
+        return victims
+
+    def is_hydrated(self, user_id: str) -> bool:
+        """Whether the user currently has a live account in RAM."""
+        with self._registry_lock:
+            return user_id in self._accounts
+
+    def paging_statistics(self) -> dict[str, object]:
+        """Population and paging counters, captured consistently."""
+        with self._registry_lock:
+            return {
+                "registered": len(self._directory),
+                "hydrated": len(self._accounts),
+                "overrides": len(self._overrides),
+                "hydrated_budget": self._hydrated_budget,
+                "hydrations": self._hydrations,
+                "evictions": self._evictions,
+                "store_lsn": (
+                    self._store.last_lsn() if self._store is not None else None
+                ),
+            }
+
     def account(self, user_id: str) -> UserAccount:
-        """Look up a registered user's account."""
-        try:
-            return self._accounts[user_id]
-        except KeyError:
-            raise ReproError(f"unknown user {user_id!r}") from None
+        """Look up a registered user's live account, hydrating it from
+        paged-out state if needed.
+
+        Raises:
+            ReproError: If the user is unknown.
+        """
+        with self._user_locks.read_locked(user_id):
+            return self._hydrate(user_id)
 
     # ------------------------------------------------------------------
     # Profile editing (the study's "modifications")
@@ -279,16 +679,42 @@ class PersonalizationService:
         """Insert one preference into the user's profile."""
         self._fire_edit_faults()
         with self._user_locks.write_locked(user_id):
-            account = self.account(user_id)
+            account = self._hydrate(user_id)
+            # Re-adding an identical preference is a repository no-op,
+            # so a failed WAL append must then undo nothing - removing
+            # it would destroy the pre-existing preference.
+            inserted = preference not in account.repository.profile
             account.repository.add(preference)
+            self._commit_edit(
+                account,
+                {
+                    "op": "add",
+                    "user": user_id,
+                    "preference": preference_to_dict(preference),
+                },
+                undo=(
+                    (lambda: account.repository.remove(preference))
+                    if inserted
+                    else (lambda: None)
+                ),
+            )
             self._after_edit(account, preference)
 
     def delete_preference(self, user_id: str, preference: ContextualPreference) -> None:
         """Delete one preference from the user's profile."""
         self._fire_edit_faults()
         with self._user_locks.write_locked(user_id):
-            account = self.account(user_id)
+            account = self._hydrate(user_id)
             account.repository.remove(preference)
+            self._commit_edit(
+                account,
+                {
+                    "op": "remove",
+                    "user": user_id,
+                    "preference": preference_to_dict(preference),
+                },
+                undo=lambda: account.repository.add(preference),
+            )
             self._after_edit(account, preference)
 
     def update_preference(
@@ -297,8 +723,20 @@ class PersonalizationService:
         """Change a stored preference's score; returns the replacement."""
         self._fire_edit_faults()
         with self._user_locks.write_locked(user_id):
-            account = self.account(user_id)
+            account = self._hydrate(user_id)
             replacement = account.repository.update_score(preference, new_score)
+            self._commit_edit(
+                account,
+                {
+                    "op": "update",
+                    "user": user_id,
+                    "preference": preference_to_dict(preference),
+                    "score": new_score,
+                },
+                undo=lambda: account.repository.update_score(
+                    replacement, preference.score
+                ),
+            )
             self._after_edit(account, preference)
             return replacement
 
@@ -348,6 +786,9 @@ class PersonalizationService:
     def query(self, user_id: str, query: ContextualQuery) -> QueryResult:
         """Execute a contextual query as ``user_id``.
 
+        A paged-out user is transparently hydrated first (their profile
+        tree and cache are rebuilt from the serialized state).
+
         With resilience policies configured, the query is served
         through the degradation ladder and the result's
         ``degradation`` attribute names the level that produced it.
@@ -365,7 +806,7 @@ class PersonalizationService:
         if deadline is not None:
             deadline.check("service.query")
         with self._user_locks.read_locked(user_id):
-            account = self.account(user_id)
+            account = self._hydrate(user_id)
             account._count_queries()
             registry = get_registry()
             if registry.enabled:
@@ -403,7 +844,8 @@ class PersonalizationService:
         winning clause touches the relation once across the whole
         batch (see :func:`repro.query.rank.rank_cs_batch`). Returns
         one :class:`QueryResult` per descriptor plus the batch's memo
-        statistics.
+        statistics. A paged-out user is hydrated first, exactly as in
+        :meth:`query`.
 
         ``timeout`` (or an already-propagated deadline) bounds the
         whole batch: descriptors are then ranked in chunks with a
@@ -414,7 +856,7 @@ class PersonalizationService:
         summed over chunks.
         """
         with self._user_locks.read_locked(user_id):
-            account = self.account(user_id)
+            account = self._hydrate(user_id)
             descriptors = list(descriptors)
             executor = self._executor_for(account)
             deadline = Deadline.after(timeout) if timeout is not None else None
@@ -478,7 +920,8 @@ class PersonalizationService:
         :class:`~repro.exceptions.ServiceUnavailable` and a timed-out
         or cancelled request's a
         :class:`~repro.exceptions.RequestTimeout`, each with the failed
-        user id and query state attached, counted in the
+        user id and query state attached (and the original executor
+        error preserved in ``causes``), counted in the
         ``service.shed`` / ``service.timeouts`` metrics.
 
         Args:
@@ -548,8 +991,14 @@ class PersonalizationService:
                     if outcome.status == "timeout"
                     else "request cancelled before running (batch out of time)"
                 )
+                # Preserve the executor's underlying error (if any) the
+                # same way the rejected branch does: a timed-out request
+                # that *also* failed downstream keeps its root cause.
                 outcome.error = RequestTimeout(
-                    detail, user_id=user_id, state=state
+                    detail,
+                    user_id=user_id,
+                    state=state,
+                    causes=(outcome.error,) if outcome.error is not None else (),
                 )
                 if registry.enabled:
                     registry.inc("service.timeouts")
@@ -561,7 +1010,7 @@ class PersonalizationService:
     def export_profile(self, user_id: str) -> str:
         """The user's profile as JSON (see :mod:`repro.io`)."""
         with self._user_locks.read_locked(user_id):
-            return self.account(user_id).repository.to_json()
+            return self._hydrate(user_id).repository.to_json()
 
     def import_profile(self, user_id: str, text: str) -> None:
         """Replace the user's profile from :meth:`export_profile` output.
@@ -569,25 +1018,52 @@ class PersonalizationService:
         The imported profile must be expressed over the service's own
         context environment; accepting a foreign one would corrupt
         later queries and cache keys (states and descriptors are
-        positional over the environment's parameters). The user's
-        result cache is replaced wholesale - the old one is first
-        unwatched from the relation so its mutation listener does not
-        outlive it.
+        positional over the environment's parameters). The comparison
+        is **structural** - parameter names *and* their hierarchies'
+        levels, members and parent links - because a same-named
+        environment with, say, reordered hierarchy levels changes what
+        every serialized state means. The check also guards
+        rehydration: overrides round-trip through this same serialized
+        form, so only structurally identical environments may enter the
+        override map. The user's result cache is replaced wholesale -
+        the old one is first unwatched from the relation so its
+        mutation listener does not outlive it, and the new one is not
+        watched until the next query builds an executor for it.
 
         Raises:
             ReproError: If the payload's environment differs from the
-                service's.
+                service's (by name or structure).
         """
         self._fire_edit_faults()
         repository = PreferenceRepository.from_json(text)
-        if repository.environment.names != self._environment.names:
+        if repository.environment != self._environment:
             raise ReproError(
                 "imported profile's context environment "
                 f"{list(repository.environment.names)!r} does not match the "
-                f"service's {list(self._environment.names)!r}"
+                f"service's {list(self._environment.names)!r} (names and "
+                "hierarchy structure must both match)"
             )
+        serialized = profile_to_dict(repository.profile)
         with self._user_locks.write_locked(user_id):
-            account = self.account(user_id)
+            account = self._hydrate(user_id)
+            # Persist first: the account is untouched if the WAL
+            # append fails, so no rollback of live objects is needed.
+            if self._paging:
+                with self._registry_lock:
+                    previous = self._overrides.get(user_id)
+                    self._overrides[user_id] = serialized
+                if self._store is not None:
+                    try:
+                        self._append(
+                            {"op": "import", "user": user_id, "profile": serialized}
+                        )
+                    except Exception:
+                        with self._registry_lock:
+                            if previous is None:
+                                self._overrides.pop(user_id, None)
+                            else:
+                                self._overrides[user_id] = previous
+                        raise
             account.repository = repository
             if account.cache is not None:
                 account.cache.unwatch(self._relation)
@@ -597,7 +1073,9 @@ class PersonalizationService:
             self._after_edit(account)
 
     def statistics(self) -> list[dict[str, object]]:
-        """Per-user usage statistics, sorted by user id.
+        """Per-user usage statistics for the *hydrated* accounts,
+        sorted by user id (cold users have no live counters to read;
+        see :meth:`paging_statistics` for population totals).
 
         The account list is snapshotted under the registry lock, so a
         concurrent ``register``/``unregister`` cannot resize the dict

@@ -4,13 +4,18 @@ Building a user's executor wires their result cache onto the shared
 relation as a mutation listener (``cache.watch``). These tests pin the
 fixes for the two ways that listener used to leak: ``unregister``
 leaving it behind, and ``import_profile`` replacing the cache without
-unwatching the old one.
+unwatching the old one - plus the import environment check (which must
+compare hierarchy *structure*, not just parameter names) and the typed
+timeout outcomes that used to drop their root cause.
 """
+
+import json
 
 import pytest
 
 from repro import ContextState, ContextualQuery, generate_poi_relation
-from repro.exceptions import ReproError
+from repro.concurrency.executor import RequestOutcome
+from repro.exceptions import ReproError, RequestTimeout, ServiceUnavailable
 from repro.obs import get_registry
 from repro.service import PersonalizationService
 from repro.workloads import Persona, study_environment
@@ -112,6 +117,60 @@ class TestImportProfile:
         # The rejected payload must not have touched the account.
         assert len(service.account("alice").repository) > 0
 
+    def test_import_rejects_same_named_environment_with_other_structure(
+        self, service
+    ):
+        # The environment check is structural, not nominal: a payload
+        # whose parameters carry the same names but a different
+        # hierarchy (here: an extra top-level member) changes what
+        # serialized states mean and must be rejected. This check is
+        # load-bearing for rehydration - only structurally identical
+        # environments may enter the override map.
+        service.register("alice", persona())
+        payload = json.loads(service.export_profile("alice"))
+        for parameter in payload["environment"]["parameters"]:
+            if parameter["name"] == "location":
+                hierarchy = parameter["hierarchy"]
+                leaf = hierarchy["levels"][0]
+                hierarchy["members"][leaf].append("Atlantis")
+                hierarchy["parent_of"]["Atlantis"] = hierarchy["members"][
+                    hierarchy["levels"][1]
+                ][0]
+        assert [p["name"] for p in payload["environment"]["parameters"]] == list(
+            service.environment.names
+        )
+        with pytest.raises(ReproError, match="hierarchy structure"):
+            service.import_profile("alice", json.dumps(payload))
+        # The rejected payload must not have touched the account.
+        assert len(service.account("alice").repository) > 0
+
+    def test_mutation_after_import_skips_the_discarded_cache(
+        self, service, relation, query
+    ):
+        # After import, the old tree's relation watch must be gone: a
+        # relation mutation may not fire into the discarded cache, and
+        # the replacement cache starts invalidation-clean until a query
+        # (re)wires it.
+        service.register("alice", persona())
+        service.query("alice", query)
+        old_cache = service.account("alice").cache
+        old_generation = old_cache.generation
+        service.import_profile("alice", service.export_profile("alice"))
+        new_cache = service.account("alice").cache
+        new_generation = new_cache.generation
+        relation.insert(dict(relation[0]))
+        # Neither the discarded cache (unwatched at import) nor the
+        # replacement (still empty, not yet wired) saw the mutation.
+        assert old_cache.generation == old_generation
+        assert new_cache.generation == new_generation
+        # The next query wires the new cache before its first put; a
+        # mutation after that invalidates only the new cache.
+        assert service.query("alice", query).results
+        relation.insert(dict(relation[1]))
+        assert new_cache.generation > new_generation
+        assert old_cache.generation == old_generation
+        assert service.query("alice", query).results
+
     def test_import_keeps_queries_working(self, service, query):
         service.register("alice", persona())
         before = service.query("alice", query)
@@ -120,6 +179,49 @@ class TestImportProfile:
         assert [(item.row["pid"], item.score) for item in before.results] == [
             (item.row["pid"], item.score) for item in after.results
         ]
+
+
+class TestTypedOutcomes:
+    """``_typed_outcomes`` wraps shed/expired outcomes in typed errors;
+    the timeout/cancelled branch must preserve the underlying executor
+    error in ``causes`` exactly like the rejected branch does."""
+
+    def outcomes_for(self, service, query, raw_outcomes):
+        requests = [("alice", query)] * len(raw_outcomes)
+        return service._typed_outcomes(raw_outcomes, requests, 0.25)
+
+    def test_timeout_preserves_the_root_cause(self, service, query):
+        boom = RuntimeError("executor blew up downstream")
+        [typed] = self.outcomes_for(
+            service, query, [RequestOutcome(index=0, status="timeout", error=boom)]
+        )
+        assert isinstance(typed.error, RequestTimeout)
+        assert typed.error.causes == (boom,)
+        assert typed.error.user_id == "alice"
+
+    def test_cancelled_without_underlying_error_has_empty_causes(
+        self, service, query
+    ):
+        [typed] = self.outcomes_for(
+            service, query, [RequestOutcome(index=0, status="cancelled")]
+        )
+        assert isinstance(typed.error, RequestTimeout)
+        assert typed.error.causes == ()
+
+    def test_rejected_branch_unchanged(self, service, query):
+        boom = RuntimeError("queue full")
+        [typed] = self.outcomes_for(
+            service, query,
+            [RequestOutcome(index=0, status="rejected", error=boom)],
+        )
+        assert isinstance(typed.error, ServiceUnavailable)
+        assert not isinstance(typed.error, RequestTimeout)
+        assert typed.error.causes == (boom,)
+
+    def test_ok_outcomes_pass_through(self, service, query):
+        outcome = RequestOutcome(index=0, status="ok", result="payload")
+        [typed] = self.outcomes_for(service, query, [outcome])
+        assert typed.error is None and typed.result == "payload"
 
 
 class TestServiceMetrics:

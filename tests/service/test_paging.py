@@ -1,0 +1,229 @@
+"""Paging tests: cold/hydrated tiers, the LRU budget, and eviction
+that neither loses edits nor leaks relation listeners."""
+
+import pytest
+
+from repro import ContextState, ContextualQuery, generate_poi_relation
+from repro.exceptions import ReproError
+from repro.obs import get_registry
+from repro.service import PersonalizationService
+from repro.workloads import Persona, study_environment
+
+
+@pytest.fixture
+def relation():
+    return generate_poi_relation(40, seed=21)
+
+
+@pytest.fixture
+def service(relation):
+    return PersonalizationService(
+        study_environment(), relation, cache_capacity=4, hydrated_budget=2
+    )
+
+
+@pytest.fixture
+def query(service):
+    state = ContextState.from_mapping(
+        service.environment,
+        {"accompanying_people": "friends", "temperature": "warm",
+         "location": "Plaka"},
+    )
+    return ContextualQuery.at_state(state, top_k=5)
+
+
+def persona():
+    return Persona("below30", "female", "offbeat")
+
+
+class TestBudget:
+    def test_register_beyond_budget_evicts_lru(self, service):
+        for name in ("alice", "bob", "carol"):
+            service.register(name, persona())
+        assert len(service) == 3  # all remain registered...
+        assert not service.is_hydrated("alice")  # ...but the LRU went cold
+        assert service.is_hydrated("bob") and service.is_hydrated("carol")
+        stats = service.paging_statistics()
+        assert stats["registered"] == 3 and stats["hydrated"] == 2
+        assert stats["evictions"] == 1
+
+    def test_query_rehydrates_transparently(self, service, query):
+        for name in ("alice", "bob", "carol"):
+            service.register(name, persona())
+        assert not service.is_hydrated("alice")
+        result = service.query("alice", query)
+        assert result.results
+        assert service.is_hydrated("alice")
+        assert service.paging_statistics()["hydrations"] == 1
+        # Hydrating alice pushed the new LRU victim out.
+        assert len(service) == 3
+        assert service.paging_statistics()["hydrated"] == 2
+
+    def test_touch_order_drives_eviction(self, service, query):
+        service.register("alice", persona())
+        service.register("bob", persona())
+        service.query("alice", query)  # alice is now most recent
+        service.register("carol", persona())
+        assert service.is_hydrated("alice")
+        assert not service.is_hydrated("bob")
+
+    def test_eviction_detaches_cache_listener(self, service, relation, query):
+        baseline = relation.mutation_listener_count
+        service.register("alice", persona())
+        service.query("alice", query)  # wires alice's cache watch
+        assert relation.mutation_listener_count == baseline + 1
+        service.register("bob", persona())
+        service.register("carol", persona())  # evicts alice
+        assert not service.is_hydrated("alice")
+        assert relation.mutation_listener_count == baseline
+
+    def test_invalid_budget_rejected(self, relation):
+        with pytest.raises(ReproError, match="hydrated_budget"):
+            PersonalizationService(
+                study_environment(), relation, hydrated_budget=0
+            )
+
+
+class TestEditsSurviveEviction:
+    def test_rehydration_rebuilds_the_edited_profile(self, service):
+        service.register("alice", persona())
+        repository = service.account("alice").repository
+        victim = next(iter(repository))
+        service.delete_preference("alice", victim)
+        size = len(repository)
+        service.register("bob", persona())
+        service.register("carol", persona())  # evicts alice, edited
+        assert not service.is_hydrated("alice")
+        rebuilt = service.account("alice").repository
+        assert len(rebuilt) == size
+        assert victim not in list(rebuilt)
+
+    def test_rankings_identical_across_eviction(self, service, query):
+        service.register("alice", persona())
+        preference = next(iter(service.account("alice").repository))
+        service.update_preference(
+            "alice", preference, round(min(1.0, preference.score + 0.05), 2)
+        )
+        before = [
+            (item.row["pid"], item.score)
+            for item in service.query("alice", query).results
+        ]
+        service.register("bob", persona())
+        service.register("carol", persona())
+        assert not service.is_hydrated("alice")
+        after = [
+            (item.row["pid"], item.score)
+            for item in service.query("alice", query).results
+        ]
+        assert after == before
+
+    def test_import_survives_eviction(self, service):
+        service.register("alice", persona())
+        payload = service.export_profile("alice")
+        preference = next(iter(service.account("alice").repository))
+        service.delete_preference("alice", preference)
+        service.import_profile("alice", payload)  # restore via import
+        service.register("bob", persona())
+        service.register("carol", persona())
+        assert not service.is_hydrated("alice")
+        assert service.export_profile("alice") == payload
+
+
+class TestRegisterMany:
+    def test_bulk_registration_stays_cold(self, relation):
+        service = PersonalizationService(
+            study_environment(), relation, hydrated_budget=4
+        )
+        count = service.register_many(
+            (f"u{index}", persona()) for index in range(32)
+        )
+        assert count == 32 and len(service) == 32
+        assert service.paging_statistics()["hydrated"] == 0
+        assert all(not service.is_hydrated(f"u{index}") for index in range(32))
+        assert "u7" in service
+
+    def test_cold_user_serves_queries(self, relation, query):
+        service = PersonalizationService(
+            study_environment(), relation, cache_capacity=4, hydrated_budget=4
+        )
+        service.register_many((f"u{index}", persona()) for index in range(8))
+        assert service.query("u5", query).results
+        assert service.is_hydrated("u5")
+
+    def test_duplicate_in_batch_rolls_the_batch_back(self, relation):
+        service = PersonalizationService(
+            study_environment(), relation, hydrated_budget=4
+        )
+        service.register("alice", persona())
+        with pytest.raises(ReproError, match="already registered"):
+            service.register_many([("zed", persona()), ("alice", persona())])
+        assert "zed" not in service
+        assert len(service) == 1
+
+    def test_empty_id_rejected(self, relation):
+        service = PersonalizationService(
+            study_environment(), relation, hydrated_budget=4
+        )
+        with pytest.raises(ReproError, match="non-empty"):
+            service.register_many([("", persona())])
+
+
+class TestVisibility:
+    def test_statistics_cover_hydrated_accounts_only(self, service, query):
+        for name in ("alice", "bob", "carol"):
+            service.register(name, persona())
+        rows = service.statistics()
+        assert [row["user_id"] for row in rows] == ["bob", "carol"]
+        assert all(not row["queries"] for row in rows)
+
+    def test_iter_yields_hydrated_accounts_only(self, service):
+        for name in ("alice", "bob", "carol"):
+            service.register(name, persona())
+        assert {account.user_id for account in service} == {"bob", "carol"}
+
+    def test_unknown_user_still_unknown(self, service, query):
+        with pytest.raises(ReproError, match="unknown user"):
+            service.account("nobody")
+        with pytest.raises(ReproError, match="unknown user"):
+            service.query("nobody", query)
+
+    def test_unhydrated_unregister(self, service):
+        for name in ("alice", "bob", "carol"):
+            service.register(name, persona())
+        assert not service.is_hydrated("alice")
+        service.unregister("alice")
+        assert "alice" not in service and len(service) == 2
+
+    def test_legacy_mode_never_pages(self, relation, query):
+        service = PersonalizationService(
+            study_environment(), relation, cache_capacity=4
+        )
+        for index in range(8):
+            service.register(f"u{index}", persona())
+        assert all(service.is_hydrated(f"u{index}") for index in range(8))
+        stats = service.paging_statistics()
+        assert stats["hydrated"] == stats["registered"] == 8
+        assert stats["evictions"] == 0 and stats["store_lsn"] is None
+
+
+class TestPagingMetrics:
+    @pytest.fixture
+    def registry(self):
+        registry = get_registry()
+        was_enabled = registry.enabled
+        registry.reset()
+        registry.enable()
+        yield registry
+        registry.reset()
+        if not was_enabled:
+            registry.disable()
+
+    def test_hydration_and_eviction_counters(self, service, query, registry):
+        for name in ("alice", "bob", "carol"):
+            service.register(name, persona())
+        service.query("alice", query)  # rehydrates alice, evicts bob
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["service.hydrations"][""] == 1.0
+        assert snapshot["counters"]["service.evictions"][""] == 2.0
+        assert snapshot["gauges"]["service.hydrated_users"][""] == 2.0
+        assert snapshot["gauges"]["service.registered_users"][""] == 3.0

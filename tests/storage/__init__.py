@@ -1,0 +1,1 @@
+"""Tests for the WAL + snapshot persistence layer (repro.storage)."""

@@ -1,0 +1,219 @@
+"""Record format unit tests: envelopes, checksums, idempotent replay."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import (
+    OPS,
+    apply_record,
+    decode_envelope,
+    encode_envelope,
+    record_crc,
+    validate_record,
+)
+
+PERSONA = {"age": "below30", "sex": "female", "taste": "offbeat"}
+
+
+def preference(value, score=0.5):
+    return {"kind": "preference", "clause": value, "score": score}
+
+
+def profile(*preferences):
+    return {"kind": "profile", "environment": {}, "preferences": list(preferences)}
+
+
+class TestValidate:
+    def test_every_op_is_accepted_when_complete(self):
+        complete = {
+            "register": {"persona": PERSONA},
+            "unregister": {},
+            "add": {"preference": preference("a")},
+            "remove": {"preference": preference("a")},
+            "update": {"preference": preference("a"), "score": 0.9},
+            "import": {"profile": profile()},
+        }
+        assert set(complete) == set(OPS)
+        for op, fields in complete.items():
+            validate_record({"op": op, "user": "u1", **fields})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(StorageError, match="unknown WAL op"):
+            validate_record({"op": "upsert", "user": "u1"})
+
+    def test_missing_user_rejected(self):
+        with pytest.raises(StorageError, match="user id"):
+            validate_record({"op": "unregister"})
+
+    @pytest.mark.parametrize(
+        "op,missing",
+        [
+            ("register", "persona"),
+            ("add", "preference"),
+            ("remove", "preference"),
+            ("update", "score"),
+            ("import", "profile"),
+        ],
+    )
+    def test_missing_required_field_rejected(self, op, missing):
+        record = {
+            "op": op,
+            "user": "u1",
+            "persona": PERSONA,
+            "preference": preference("a"),
+            "profile": profile(),
+            "score": 0.5,
+        }
+        del record[missing]
+        with pytest.raises(StorageError, match=missing):
+            validate_record(record)
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        record = {"op": "register", "user": "u1", "persona": PERSONA}
+        lsn, data = decode_envelope(encode_envelope(7, record))
+        assert lsn == 7
+        assert data == record
+
+    def test_crc_is_key_order_independent(self):
+        # The checksum is over the canonical serialisation, so two
+        # dicts with equal content always agree.
+        a = {"op": "add", "user": "u1", "preference": preference("x")}
+        b = dict(reversed(list(a.items())))
+        assert record_crc(a) == record_crc(b)
+
+    def test_unparsable_text_rejected(self):
+        with pytest.raises(StorageError, match="unparsable"):
+            decode_envelope('{"lsn": 3, "crc":')
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[1, 2, 3]",
+            '{"crc": 1, "data": {}}',
+            '{"lsn": 1, "data": {}}',
+            '{"lsn": 1, "crc": 1, "data": []}',
+            '{"lsn": "1", "crc": 1, "data": {}}',
+        ],
+    )
+    def test_malformed_envelope_rejected(self, text):
+        with pytest.raises(StorageError, match="malformed"):
+            decode_envelope(text)
+
+    def test_tampered_payload_fails_checksum(self):
+        record = {"op": "unregister", "user": "u1"}
+        tampered = encode_envelope(4, record).replace('"u1"', '"u2"')
+        with pytest.raises(StorageError, match="checksum"):
+            decode_envelope(tampered)
+
+
+class TestApplyRecord:
+    def fold(self, records, baseline=None):
+        directory, overrides = {}, {}
+        for record in records:
+            apply_record(record, directory, overrides, baseline)
+        return directory, overrides
+
+    def test_register_then_unregister(self):
+        directory, overrides = self.fold(
+            [
+                {"op": "register", "user": "u1", "persona": PERSONA},
+                {"op": "register", "user": "u2", "persona": PERSONA},
+                {"op": "unregister", "user": "u1"},
+            ]
+        )
+        assert set(directory) == {"u2"}
+        assert overrides == {}
+
+    def test_replayed_register_never_clobbers(self):
+        # A register record re-applied on top of a snapshot that
+        # already contains the user must not reset anything.
+        directory = {"u1": {"age": "edited"}}
+        apply_record(
+            {"op": "register", "user": "u1", "persona": PERSONA}, directory, {}
+        )
+        assert directory["u1"] == {"age": "edited"}
+
+    def test_unregister_drops_override_too(self):
+        directory = {"u1": PERSONA}
+        overrides = {"u1": profile(preference("a"))}
+        apply_record({"op": "unregister", "user": "u1"}, directory, overrides)
+        assert directory == {} and overrides == {}
+
+    def test_import_requires_registration(self):
+        with pytest.raises(StorageError, match="unregistered"):
+            apply_record(
+                {"op": "import", "user": "ghost", "profile": profile()}, {}, {}
+            )
+
+    def test_add_remove_update_are_idempotent(self):
+        # Recovery's overlap window: a snapshot taken at LSN n may
+        # already include the effect of record n, which is then
+        # replayed once more on top. Applying every record *twice in a
+        # row* models exactly that, and must produce the same state as
+        # applying each once.
+        base = preference("brewery", 0.5)
+        records = [
+            {"op": "register", "user": "u1", "persona": PERSONA},
+            {"op": "import", "user": "u1", "profile": profile()},
+            {"op": "add", "user": "u1", "preference": base},
+            {"op": "update", "user": "u1", "preference": base, "score": 0.9},
+            {"op": "remove", "user": "u1", "preference": preference("ghost")},
+        ]
+        _, once = self.fold(records)
+        _, twice = self.fold(
+            [record for record in records for _ in range(2)]
+        )
+        assert once["u1"]["preferences"] == [preference("brewery", 0.9)]
+        assert twice == once
+
+    def test_edit_on_default_profile_uses_baseline(self):
+        seen = []
+
+        def baseline(user, persona):
+            seen.append((user, persona))
+            return profile(preference("default", 0.1))
+
+        _, overrides = self.fold(
+            [
+                {"op": "register", "user": "u1", "persona": PERSONA},
+                {"op": "remove", "user": "u1",
+                 "preference": preference("default", 0.1)},
+            ],
+            baseline=baseline,
+        )
+        assert seen == [("u1", PERSONA)]
+        assert overrides["u1"]["preferences"] == []
+
+    def test_edit_without_baseline_rejected(self):
+        with pytest.raises(StorageError, match="baseline"):
+            self.fold(
+                [
+                    {"op": "register", "user": "u1", "persona": PERSONA},
+                    {"op": "add", "user": "u1", "preference": preference("a")},
+                ]
+            )
+
+    def test_edit_for_unregistered_user_rejected(self):
+        with pytest.raises(StorageError, match="unregistered"):
+            apply_record(
+                {"op": "add", "user": "ghost", "preference": preference("a")},
+                {},
+                {},
+                baseline=lambda user, persona: profile(),
+            )
+
+    def test_override_values_are_replaced_not_mutated(self):
+        # Snapshot streams may share override dicts; edits must build
+        # fresh profile dicts instead of mutating the shared one.
+        overrides = {"u1": profile(preference("a"))}
+        frozen = overrides["u1"]
+        before = [dict(p) for p in frozen["preferences"]]
+        apply_record(
+            {"op": "add", "user": "u1", "preference": preference("b")},
+            {"u1": PERSONA},
+            overrides,
+        )
+        assert frozen["preferences"] == before
+        assert overrides["u1"] is not frozen

@@ -39,6 +39,18 @@ class TestParser:
         assert args.seed == 23
         assert not args.no_baseline and not args.json
 
+    def test_persistence_defaults(self):
+        args = build_parser().parse_args(["persistence"])
+        assert args.users == 8 and args.rows == 300 and args.rounds == 4
+        assert args.hydrated_budget == 4 and args.backend == "jsonl"
+        assert args.seed == 29
+        assert args.paging_users == 0  # paging benchmark is opt-in
+        assert not args.json and args.output is None
+
+    def test_persistence_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["persistence", "--backend", "parquet"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -119,6 +131,31 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["resilient"]["requests"] > 0
         assert payload.get("baseline") is None
+        assert json.loads(target.read_text()) == payload
+
+    def test_persistence_table(self, capsys):
+        assert main(["persistence", "--users", "2", "--rows", "60",
+                     "--rounds", "2", "--edits-per-round", "2",
+                     "--queries-per-round", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Persistence run" in out
+        assert "recovery rate" in out and "100.00%" in out
+        assert "ranking audit" in out and "0 mismatches" in out
+        assert "identical after recovery" in out and "yes" in out
+
+    def test_persistence_json_with_paging(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "persistence.json"
+        assert main(["persistence", "--users", "2", "--rows", "60",
+                     "--rounds", "2", "--edits-per-round", "2",
+                     "--queries-per-round", "3", "--backend", "sqlite",
+                     "--paging-users", "150", "--paging-queries", "20",
+                     "--json", "--output", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kill_restart"]["recovery_rate"] == 1.0
+        assert payload["kill_restart"]["workload"]["backend"] == "sqlite"
+        assert payload["paging"]["recovery"]["complete"]
         assert json.loads(target.read_text()) == payload
 
     def test_custom_seed_changes_table1(self, capsys):
