@@ -5,8 +5,8 @@ so that every module-level import points *downward*::
 
     exceptions < concurrency.locks < obs < faults < resilience
                < concurrency < hierarchy < context < preferences
-               < tree < db < resolution < io < query < dsl
-               < workloads < service < eval < analysis
+               < tree < db < resolution < io < storage < query < dsl
+               < workloads < service < sharding < eval < analysis
                < (cli / __main__ / root)
 
 ``obs``, ``faults``, ``resilience`` and ``concurrency`` are utility
@@ -61,12 +61,13 @@ LAYERS: dict[str, int] = {
     "repro.dsl": 15,
     "repro.workloads": 16,
     "repro.service": 17,
-    "repro.eval": 18,
-    "repro.analysis": 19,
+    "repro.sharding": 18,  # front-end + workers over whole services
+    "repro.eval": 19,
+    "repro.analysis": 20,
     # CLI surface and the package root re-export everything.
-    "repro.cli": 20,
-    "repro.__main__": 20,
-    "repro": 20,
+    "repro.cli": 21,
+    "repro.__main__": 21,
+    "repro": 21,
 }
 
 _SERVICE_RANK = LAYERS["repro.service"]

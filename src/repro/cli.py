@@ -119,6 +119,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the raw report as JSON"
     )
 
+    shard = sub.add_parser(
+        "shard-bench",
+        help="multi-process sharded serving: QPS scaling + rebalance audit",
+    )
+    shard.add_argument("--users", type=int, default=8)
+    shard.add_argument("--rows", type=int, default=1500)
+    shard.add_argument("--queries", type=int, default=160)
+    shard.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker-process counts to sweep (same request set each)",
+    )
+    shard.add_argument(
+        "--io-wait-ms",
+        type=float,
+        default=15.0,
+        help="simulated per-request I/O wait (remote row-store fetch); "
+        "0 shows the single-core CPU-bound curve",
+    )
+    shard.add_argument(
+        "--worker-threads",
+        type=int,
+        default=2,
+        help="threads serving one batch inside each worker process",
+    )
+    shard.add_argument("--cache-capacity", type=int, default=64)
+    shard.add_argument("--seed", type=int, default=17)
+    shard.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="skip the worker-kill + rebalance round",
+    )
+    shard.add_argument(
+        "--json", action="store_true", help="emit the raw report as JSON"
+    )
+    shard.add_argument(
+        "--output", type=str, default=None,
+        help="also write the JSON report to this file "
+        "(BENCH_sharded.json style)",
+    )
+
     chaos = sub.add_parser(
         "chaos",
         help="fault-injection run: availability/latency under a seeded "
@@ -385,6 +428,64 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     )
 
 
+def _run_shard_bench(args: argparse.Namespace) -> str:
+    from repro.eval.sharding import run_shard_bench
+
+    report = run_shard_bench(
+        num_users=args.users,
+        num_rows=args.rows,
+        num_queries=args.queries,
+        worker_counts=tuple(args.workers),
+        io_wait_ms=args.io_wait_ms,
+        worker_threads=args.worker_threads,
+        cache_capacity=args.cache_capacity,
+        seed=args.seed,
+        chaos=not args.no_chaos,
+    )
+    if args.output:
+        import json
+        from pathlib import Path
+
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        import json
+
+        return json.dumps(report, indent=2)
+    rows: list[list[object]] = [
+        [
+            f"{count} worker{'s' if int(count) != 1 else ''}",
+            f"{series['qps']:.0f} q/s",
+            f"{series['speedup']:.2f}x",
+        ]
+        for count, series in report["series"].items()
+    ]
+    rows.append(
+        ["identical output", "yes" if report["identical_output"] else "NO", ""]
+    )
+    chaos = report["chaos"]
+    if chaos.get("enabled"):
+        rows.append(
+            [
+                "chaos round",
+                f"{chaos['worker_deaths']} killed / "
+                f"{chaos['rebalances']} rebalances",
+                "identical"
+                if chaos["identical_after_rebalance"]
+                else "DIVERGED",
+            ]
+        )
+    workload = report["workload"]
+    return format_table(
+        ["workers", "throughput", "speedup"],
+        rows,
+        title=(
+            f"Sharded serving - {workload['num_users']} users, "
+            f"{workload['num_rows']} rows, {workload['num_queries']} queries, "
+            f"io_wait {workload['io_wait_ms']:.1f} ms"
+        ),
+    )
+
+
 def _run_chaos(args: argparse.Namespace) -> str:
     import json
 
@@ -531,6 +632,7 @@ _RUNNERS = {
     "report": _run_report,
     "stats": _run_stats,
     "serve-bench": _run_serve_bench,
+    "shard-bench": _run_shard_bench,
     "chaos": _run_chaos,
     "persistence": _run_persistence,
 }

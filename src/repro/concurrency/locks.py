@@ -25,8 +25,15 @@ register.
 **Lock hierarchy.** Every lock in the serving stack carries a *level*
 from the documented process-wide order (outermost first)::
 
-    user (10)  >  registry (20)  >  account (25)  >  relation (30)
-               >  cache (40)  >  store (45)  >  metrics (50)
+    router (5)  >  conn (7)  >  user (10)  >  registry (20)
+                >  account (25)  >  relation (30)  >  cache (40)
+                >  store (45)  >  metrics (50)
+
+The ``router`` and ``conn`` levels belong to the sharded front-end
+(:mod:`repro.sharding`): the router's dispatch lock is acquired before
+any per-worker connection (socket) lock, and the front-end process
+never holds the service-stack locks below them - those live in the
+worker processes on the other side of the wire.
 
 The ``store`` level belongs to the persistence layer
 (:mod:`repro.storage`): WAL appends run while the editing thread holds
@@ -58,9 +65,11 @@ from repro.exceptions import ReproError
 __all__ = [
     "LEVEL_ACCOUNT",
     "LEVEL_CACHE",
+    "LEVEL_CONN",
     "LEVEL_METRICS",
     "LEVEL_REGISTRY",
     "LEVEL_RELATION",
+    "LEVEL_ROUTER",
     "LEVEL_STORE",
     "LEVEL_USER",
     "LOCK_LEVEL_NAMES",
@@ -77,6 +86,12 @@ __all__ = [
 
 #: The documented lock hierarchy, outermost (acquired first) to
 #: innermost. Gaps leave room for future levels without renumbering.
+#: ``router``/``conn`` belong to the sharded front-end
+#: (:mod:`repro.sharding`): the router's dispatch lock is taken before
+#: any per-connection socket lock, and the front-end process never
+#: holds service-stack locks (those live in the worker processes).
+LEVEL_ROUTER = 5
+LEVEL_CONN = 7
 LEVEL_USER = 10
 LEVEL_REGISTRY = 20
 LEVEL_ACCOUNT = 25
@@ -88,6 +103,8 @@ LEVEL_METRICS = 50
 #: Level value -> human-readable name (used in violation messages and
 #: by the static analyzer's report).
 LOCK_LEVEL_NAMES = {
+    LEVEL_ROUTER: "router",
+    LEVEL_CONN: "conn",
     LEVEL_USER: "user",
     LEVEL_REGISTRY: "registry",
     LEVEL_ACCOUNT: "account",

@@ -24,6 +24,9 @@ __all__ = [
     "QueryError",
     "SchemaError",
     "StorageError",
+    "ShardError",
+    "ProtocolError",
+    "WorkerDied",
     "ServiceUnavailable",
     "RequestTimeout",
     "CachePoisonedError",
@@ -98,6 +101,29 @@ class SchemaError(ReproError):
 class StorageError(ReproError):
     """A persistence-layer (WAL/snapshot) operation failed or a stored
     payload failed its integrity check."""
+
+
+class ShardError(ReproError):
+    """A multi-process sharding operation (spawn, route, rebalance)
+    failed."""
+
+
+class ProtocolError(ShardError):
+    """A frame on the router<->worker wire was malformed, truncated or
+    failed its checksum."""
+
+
+class WorkerDied(ShardError):
+    """A worker process stopped answering (crashed, was killed, or its
+    connection broke mid-exchange).
+
+    Attributes:
+        worker: The worker's name, if known.
+    """
+
+    def __init__(self, message: str, *, worker: str | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
 
 
 class ServiceUnavailable(ReproError):

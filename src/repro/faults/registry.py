@@ -73,6 +73,8 @@ SITES = (
     "storage.append",
     "storage.replay",
     "storage.snapshot",
+    "worker.spawn",
+    "worker.kill",
 )
 
 _KINDS = ("error", "latency", "corrupt")

@@ -170,6 +170,12 @@ class PersonalizationService:
             and adopt the recovered population (cold). ``False`` starts
             empty on an empty store (an existing log would then raise
             duplicate-registration errors as it is re-written).
+        recover_from: Adopt an already-recovered population (cold)
+            *without* attaching a store - the shard-worker path: a
+            worker replays the shared WAL through a read-only store,
+            closes it, and seeds its service from the resulting
+            :class:`~repro.storage.recovery.RecoveredState`. Mutually
+            exclusive with ``store``.
 
     Example:
         >>> service = PersonalizationService(study_environment(), relation)
@@ -190,6 +196,7 @@ class PersonalizationService:
         hydrated_budget: int | None = None,
         snapshot_every: int | None = None,
         recover: bool = True,
+        recover_from: RecoveredState | None = None,
     ) -> None:
         self._environment = environment
         self._relation = relation
@@ -206,12 +213,21 @@ class PersonalizationService:
             raise ReproError(
                 f"snapshot_every must be >= 1 or None, got {snapshot_every}"
             )
+        if store is not None and recover_from is not None:
+            raise ReproError(
+                "store and recover_from are mutually exclusive: a service "
+                "either owns its WAL or adopts state recovered elsewhere"
+            )
         self._store = store
         self._hydrated_budget = hydrated_budget
         self._snapshot_every = snapshot_every
         # Paging bookkeeping is maintained whenever eviction or
         # durability can need it; the plain in-memory service skips it.
-        self._paging = store is not None or hydrated_budget is not None
+        self._paging = (
+            store is not None
+            or hydrated_budget is not None
+            or recover_from is not None
+        )
         #: All registered users (cold + hydrated): user id -> persona.
         self._directory: dict[str, Persona] = {}
         #: Serialized profiles of users whose profile differs from the
@@ -234,6 +250,8 @@ class PersonalizationService:
         self.last_recovery: RecoveredState | None = None
         if store is not None and recover:
             self._recover()
+        elif recover_from is not None:
+            self._adopt(recover_from)
 
     @property
     def environment(self) -> ContextEnvironment:
@@ -281,10 +299,13 @@ class PersonalizationService:
         )
 
     def _recover(self) -> None:
-        state = recover_state(self._store, self._baseline_payload)
+        self._adopt(recover_state(self._store, self._baseline_payload))
+
+    def _adopt(self, state: RecoveredState) -> None:
+        """Seed the (cold) population from recovered pure data."""
         for user_id, payload in state.directory.items():
             self._directory[user_id] = Persona(**payload)
-        self._overrides = state.overrides
+        self._overrides = dict(state.overrides)
         self.last_recovery = state
         self._record_population()
 

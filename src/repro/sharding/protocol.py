@@ -1,0 +1,157 @@
+"""Router <-> worker wire protocol: length-prefixed, checksummed JSON.
+
+One frame per request or reply, symmetric in both directions::
+
+    +----------------+----------------------------------------+
+    | 4 bytes, BE    | body: {"crc": <crc32>, "data": {...}}  |
+    | body length    | canonical JSON, UTF-8                  |
+    +----------------+----------------------------------------+
+
+The body reuses the WAL envelope discipline from
+:mod:`repro.storage.records`: the CRC-32 is computed over the
+*canonical* serialisation of the payload (sorted keys, tight
+separators), so a frame re-encoded by any conforming peer verifies
+bit-for-bit. A short read, an oversized length prefix, unparsable
+JSON or a checksum mismatch all raise
+:class:`~repro.exceptions.ProtocolError` - the connection is then
+poisoned and the router treats the worker as dead (crash-equivalent),
+exactly like a torn WAL tail stops a replay.
+
+Every request payload carries:
+
+* ``op`` - one of :data:`REQUEST_OPS`;
+* ``rid`` - a router-assigned request id, unique per logical request.
+  Retries after a worker death re-send the *same* rid, and workers
+  deduplicate on it (see :mod:`repro.sharding.worker`), which is what
+  turns at-least-once delivery into exactly-once application.
+
+Replies carry ``ok`` (bool) plus op-specific fields; a failed
+operation carries ``error`` with the worker-side message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from collections.abc import Mapping
+
+from repro.exceptions import ProtocolError
+from repro.storage.records import canonical_payload, record_crc
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "REQUEST_OPS",
+    "decode_frame",
+    "encode_frame",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Upper bound on one frame's body; a prefix beyond this is treated as
+#: garbage (a desynchronised or corrupt stream), not an allocation.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_PREFIX_BYTES = 4
+
+#: The operations a worker serves.
+REQUEST_OPS = (
+    "ping",
+    "query_batch",
+    "edit",
+    "resync",
+    "stats",
+    "shutdown",
+)
+
+
+def encode_frame(payload: Mapping) -> bytes:
+    """Serialise one payload to its on-wire frame (prefix + body).
+
+    Raises:
+        ProtocolError: If the body would exceed :data:`MAX_FRAME_BYTES`.
+    """
+    body = json.dumps(
+        {"crc": record_crc(payload), "data": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return len(body).to_bytes(_PREFIX_BYTES, "big") + body
+
+
+def decode_frame(body: bytes) -> dict:
+    """Parse and verify one frame body (without its length prefix).
+
+    Raises:
+        ProtocolError: On unparsable JSON, a malformed envelope, or a
+            checksum mismatch.
+    """
+    try:
+        envelope = json.loads(body.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"unparsable frame: {error}") from error
+    if (
+        not isinstance(envelope, dict)
+        or not isinstance(envelope.get("crc"), int)
+        or not isinstance(envelope.get("data"), dict)
+    ):
+        raise ProtocolError("malformed frame envelope (need crc/data)")
+    data = envelope["data"]
+    if record_crc(data) != envelope["crc"]:
+        raise ProtocolError(
+            "frame failed its checksum (corrupt or desynchronised stream): "
+            f"{canonical_payload(data)[:120]}"
+        )
+    return data
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise on a mid-frame EOF.
+
+    Raises:
+        ProtocolError: If the peer closed the stream mid-frame.
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: Mapping) -> None:
+    """Encode ``payload`` and write the full frame to ``sock``."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame from ``sock``; ``None`` on a clean EOF.
+
+    A clean EOF (zero bytes where a length prefix would start) means
+    the peer closed between frames - the worker loop uses it to detect
+    a departed router. EOF *inside* a frame is an error.
+
+    Raises:
+        ProtocolError: On a mid-frame EOF, an oversized or garbage
+            length prefix, or a body that fails :func:`decode_frame`.
+    """
+    first = sock.recv(1)
+    if not first:
+        return None
+    prefix = first + _recv_exact(sock, _PREFIX_BYTES - 1)
+    length = int.from_bytes(prefix, "big")
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"implausible frame length {length} (desynchronised stream?)"
+        )
+    return decode_frame(_recv_exact(sock, length))

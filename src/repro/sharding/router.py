@@ -1,0 +1,664 @@
+"""Shard router: the consistent-hash front-end over worker processes.
+
+:class:`ShardRouter` spawns ``num_workers`` worker processes (see
+:mod:`repro.sharding.worker`), places them on a
+:class:`~repro.sharding.hashring.ConsistentHashRing` and serves the
+:class:`PersonalizationService` surface by forwarding each request to
+the worker owning its user id, over one persistent framed TCP
+connection per worker.
+
+**Single-writer durability.** With a ``wal_root``, the router owns the
+*only* writable handle on the shared :class:`JsonlProfileStore`: every
+durable mutation (``register``/edit records in the WAL vocabulary of
+:mod:`repro.storage.records`) is appended to the WAL **before** it is
+forwarded to the owning worker. Workers only ever open the store
+read-only, to cold-start or resync. The ordering is what makes
+rebalancing after a worker death trivially correct: the WAL is a
+complete mutation history at all times, so a surviving worker that
+re-replays it has every edit - including those whose forwarding was
+interrupted by the crash - and nothing needs to be replayed over the
+wire.
+
+**Failure handling.** Each worker has a
+:class:`~repro.resilience.CircuitBreaker`; a socket/protocol failure or
+a chaos kill records a failure, and :meth:`check_health` pings through
+the breaker's admission gate (so a flapping worker is probed, not
+hammered). A worker declared dead is removed from the ring, the
+survivors are resynced from the WAL, and the dead shard's in-flight
+requests are retried - carrying their original request ids, which the
+workers deduplicate - on their new owners.
+
+**Chaos.** Two fault sites integrate with
+:mod:`repro.faults`: ``worker.spawn`` fires in the spawn path, and
+``worker.kill`` fires in the dispatch path - when it fires, the router
+*really* kills the target worker process, so a seeded fault plan
+deterministically exercises the crash/rebalance machinery end to end.
+
+**Lock order.** The router's dispatch lock (level 5, ``router``) is
+held across a fan-out; each socket write/read briefly takes that
+worker's connection lock (level 7, ``conn``). Connection locks never
+nest with each other, and the front-end process holds none of the
+service-stack locks - those live in the worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import time
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import asdict
+
+from repro.concurrency.locks import LEVEL_CONN, LEVEL_ROUTER, Mutex
+from repro.context.state import ContextState
+from repro.exceptions import ProtocolError, ShardError, WorkerDied
+from repro.faults.registry import InjectedFault, get_fault_registry
+from repro.obs.metrics import get_registry
+from repro.resilience import CircuitBreaker
+from repro.sharding.hashring import ConsistentHashRing
+from repro.sharding.protocol import recv_frame, send_frame
+from repro.sharding.worker import WorkerSpec, worker_main
+from repro.storage.jsonl import JsonlProfileStore
+from repro.storage.records import validate_record
+from repro.workloads.users import Persona
+
+__all__ = ["ShardRouter"]
+
+#: One logical query on the router surface: user id, context state,
+#: top-k cutoff.
+Request = tuple[str, ContextState, int | None]
+
+
+class _WorkerHandle:
+    """The router's view of one worker process."""
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        process: multiprocessing.process.BaseProcess,
+        port: int,
+        sock: socket.socket,
+        breaker: CircuitBreaker,
+    ) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.process = process
+        self.port = port
+        self.sock = sock
+        self.breaker = breaker
+        self.alive = True
+        # Guards the socket (one frame in flight per worker at a time).
+        self.conn_lock = Mutex(level=LEVEL_CONN, name=f"shard.conn:{spec.name}")
+
+
+class ShardRouter:
+    """Consistent-hash front-end over ``num_workers`` worker processes.
+
+    Args:
+        num_workers: Worker processes to spawn on :meth:`start`.
+        replicas: Virtual nodes per worker on the hash ring.
+        wal_root: Directory for the shared profile store. The router
+            opens it writable (single writer); workers cold-start and
+            resync from it read-only. ``None`` runs without
+            durability - a dead worker's shard state is then lost and
+            retried edits are re-forwarded instead of resynced.
+        num_rows / data_seed / metric / cache_capacity /
+            hydrated_budget / resilience / io_wait_ms /
+            worker_threads: Forwarded into every :class:`WorkerSpec`
+            (all workers serve the same deterministic dataset).
+        failure_threshold / recovery_time: Per-worker circuit-breaker
+            tuning.
+        max_retries: Re-dispatch rounds for requests stranded by a
+            worker death before :meth:`query_many` gives up.
+        spawn_timeout: Seconds to wait for a worker's ready handshake.
+
+    Example:
+        >>> with ShardRouter(4, wal_root=tmp_path) as router:
+        ...     router.register("user1", persona)
+        ...     replies = router.query_many([("user1", state, 10)])
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        replicas: int = 64,
+        wal_root: str | None = None,
+        num_rows: int = 200,
+        data_seed: int = 7,
+        metric: str = "jaccard",
+        cache_capacity: int | None = 128,
+        hydrated_budget: int | None = None,
+        resilience: bool = False,
+        io_wait_ms: float = 0.0,
+        worker_threads: int = 2,
+        failure_threshold: int = 3,
+        recovery_time: float = 0.5,
+        max_retries: int = 2,
+        spawn_timeout: float = 60.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ShardError(f"num_workers must be >= 1, got {num_workers}")
+        self._num_workers = num_workers
+        self._replicas = replicas
+        self._wal_root = wal_root
+        self._spec_fields = {
+            "num_rows": num_rows,
+            "data_seed": data_seed,
+            "metric": metric,
+            "cache_capacity": cache_capacity,
+            "hydrated_budget": hydrated_budget,
+            "resilience": resilience,
+            "io_wait_ms": io_wait_ms,
+            "worker_threads": worker_threads,
+            "wal_root": wal_root,
+        }
+        self._failure_threshold = failure_threshold
+        self._recovery_time = recovery_time
+        self._max_retries = max_retries
+        self._spawn_timeout = spawn_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self._ring = ConsistentHashRing(replicas=replicas)
+        self._workers: dict[str, _WorkerHandle] = {}
+        self._store: JsonlProfileStore | None = (
+            None if wal_root is None else JsonlProfileStore(wal_root)
+        )
+        self._rid_counter = 0
+        self.worker_deaths = 0
+        self.rebalances = 0
+        self.retried_requests = 0
+        # Held across a whole fan-out: groups the batch, serialises
+        # ring mutations and rebalances against dispatch.
+        self._dispatch = Mutex(level=LEVEL_ROUTER, name="shard.router")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> ShardRouter:
+        """Spawn the workers and build the ring."""
+        if self._workers:
+            raise ShardError("router is already started")
+        with self._dispatch:
+            for index in range(self._num_workers):
+                self._spawn_locked(f"w{index}")
+        return self
+
+    def __enter__(self) -> ShardRouter:
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut workers down cleanly, reap the processes, close the WAL."""
+        with self._dispatch:
+            for handle in self._workers.values():
+                if not handle.alive:
+                    continue
+                try:
+                    self._exchange(handle, {"op": "shutdown"})
+                except (WorkerDied, ProtocolError, OSError):
+                    pass
+                handle.sock.close()
+                handle.alive = False
+            for handle in self._workers.values():
+                handle.process.join(timeout=5.0)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=5.0)
+            self._workers.clear()
+            if self._store is not None:
+                self._store.close()
+
+    def _spawn_locked(self, name: str) -> _WorkerHandle:
+        """Spawn one worker, await its handshake, join it to the ring."""
+        get_fault_registry().fire("worker.spawn")
+        spec = WorkerSpec(name=name, **self._spec_fields)  # type: ignore[arg-type]
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(spec.to_payload(), child),
+            name=f"repro-shard-{name}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        if not parent.poll(self._spawn_timeout):
+            process.terminate()
+            raise ShardError(f"worker {name!r} missed its ready handshake")
+        handshake = parent.recv()
+        parent.close()
+        if "error" in handshake:
+            process.join(timeout=5.0)
+            raise ShardError(
+                f"worker {name!r} failed to start: {handshake['error']}"
+            )
+        sock = socket.create_connection(
+            ("127.0.0.1", handshake["port"]), timeout=self._spawn_timeout
+        )
+        sock.settimeout(None)
+        handle = _WorkerHandle(
+            spec,
+            process,
+            handshake["port"],
+            sock,
+            CircuitBreaker(
+                f"worker:{name}",
+                failure_threshold=self._failure_threshold,
+                recovery_time=self._recovery_time,
+            ),
+        )
+        self._workers[name] = handle
+        self._ring.add_node(name)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> ConsistentHashRing:
+        """The live hash ring (mutate only via the router)."""
+        return self._ring
+
+    @property
+    def workers(self) -> tuple[str, ...]:
+        """Names of workers currently on the ring."""
+        return self._ring.nodes
+
+    @property
+    def store(self) -> JsonlProfileStore | None:
+        """The shared profile store (router-writable), if durable."""
+        return self._store
+
+    def route(self, user_id: str) -> str:
+        """The worker currently owning ``user_id``."""
+        with self._dispatch:
+            return self._ring.node_for(user_id)
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def _next_rid(self) -> str:
+        self._rid_counter += 1
+        return f"r{self._rid_counter}"
+
+    def _exchange(self, handle: _WorkerHandle, payload: Mapping) -> dict:
+        """One request/reply round trip on a worker's connection.
+
+        Raises:
+            WorkerDied: On any socket or protocol failure (the
+                connection is poisoned; the worker is treated as
+                crashed).
+        """
+        with handle.conn_lock:
+            try:
+                send_frame(handle.sock, payload)
+                reply = recv_frame(handle.sock)
+            except (ProtocolError, OSError) as error:
+                raise WorkerDied(
+                    f"worker {handle.name!r} failed mid-exchange: {error}",
+                    worker=handle.name,
+                ) from error
+        if reply is None:
+            raise WorkerDied(
+                f"worker {handle.name!r} closed its connection",
+                worker=handle.name,
+            )
+        return reply
+
+    def _send_batch(self, handle: _WorkerHandle, payload: Mapping) -> None:
+        """Send-only half of a fan-out (replies collected separately)."""
+        self._maybe_chaos_kill(handle)
+        with handle.conn_lock:
+            try:
+                send_frame(handle.sock, payload)
+            except (ProtocolError, OSError) as error:
+                raise WorkerDied(
+                    f"worker {handle.name!r} failed on send: {error}",
+                    worker=handle.name,
+                ) from error
+
+    def _recv_batch(self, handle: _WorkerHandle) -> dict:
+        """Receive-only half of a fan-out."""
+        with handle.conn_lock:
+            try:
+                reply = recv_frame(handle.sock)
+            except (ProtocolError, OSError) as error:
+                raise WorkerDied(
+                    f"worker {handle.name!r} failed on receive: {error}",
+                    worker=handle.name,
+                ) from error
+        if reply is None:
+            raise WorkerDied(
+                f"worker {handle.name!r} closed its connection",
+                worker=handle.name,
+            )
+        return reply
+
+    def _maybe_chaos_kill(self, handle: _WorkerHandle) -> None:
+        """``worker.kill`` fault site: really kill the target process."""
+        try:
+            get_fault_registry().fire("worker.kill")
+        except InjectedFault as fault:
+            self._kill_locked(handle.name)
+            raise WorkerDied(
+                f"worker {handle.name!r} killed by fault injection",
+                worker=handle.name,
+            ) from fault
+
+    # ------------------------------------------------------------------
+    # Failure handling / rebalancing
+    # ------------------------------------------------------------------
+    def _kill_locked(self, name: str) -> None:
+        """Terminate a worker process (chaos or test-driven crash)."""
+        handle = self._workers[name]
+        if handle.alive:
+            handle.process.terminate()
+            handle.process.join(timeout=5.0)
+            handle.sock.close()
+            handle.alive = False
+
+    def kill_worker(self, name: str) -> None:
+        """Crash ``name`` hard (no shutdown frame) - test/chaos hook.
+
+        The death is *not* rebalanced yet: the next dispatch or health
+        check discovers it, exactly like an unplanned crash.
+        """
+        with self._dispatch:
+            if name not in self._workers:
+                raise ShardError(f"unknown worker {name!r}")
+            self._kill_locked(name)
+
+    def _on_worker_death_locked(self, name: str) -> None:
+        """Bookkeeping once a worker is declared dead: breaker, ring.
+
+        A terminated process is a total failure, so the breaker is
+        tripped all the way open rather than charged a single failure.
+        """
+        handle = self._workers[name]
+        for _ in range(handle.breaker.failure_threshold):
+            handle.breaker.record_failure()
+        self._kill_locked(name)
+        if name in self._ring:
+            self._ring.remove_node(name)
+            self.worker_deaths += 1
+            get_registry().inc("router.worker_deaths", labels={"worker": name})
+
+    def _rebalance_locked(self, dead: Iterable[str]) -> None:
+        """Re-home the dead shards: resync every survivor from the WAL.
+
+        A survivor that dies *during* its resync is folded into the
+        same rebalance, so the loop only finishes with every ring
+        member fully resynced. Without a WAL there is nothing to
+        resync from; the survivors keep serving their own shards and
+        re-routed users start from their default profiles when
+        re-registered.
+        """
+        for name in dead:
+            self._on_worker_death_locked(name)
+        if not self._ring:
+            raise ShardError("all workers are dead; cannot rebalance")
+        if self._store is not None:
+            self._store.flush()
+            while True:
+                failed: list[str] = []
+                for name in self._ring.nodes:
+                    try:
+                        self._exchange(self._workers[name], {"op": "resync"})
+                    except WorkerDied:
+                        failed.append(name)
+                if not failed:
+                    break
+                for name in failed:
+                    self._on_worker_death_locked(name)
+                if not self._ring:
+                    raise ShardError(
+                        "all workers are dead; cannot rebalance"
+                    )
+        self.rebalances += 1
+        get_registry().inc("router.rebalances")
+
+    def respawn_worker(self, name: str) -> None:
+        """Bring a dead worker back: fresh process, cold-start, resync.
+
+        The rejoining worker recovers the full WAL, so it is current
+        the moment it joins; the *other* workers are then resynced too,
+        because the ring change re-homes users whose state on the new
+        owner would otherwise be stale.
+        """
+        with self._dispatch:
+            handle = self._workers.get(name)
+            if handle is None:
+                raise ShardError(f"unknown worker {name!r}")
+            if handle.alive:
+                raise ShardError(f"worker {name!r} is still alive")
+            del self._workers[name]
+            self._spawn_locked(name)
+            if self._store is not None:
+                self._store.flush()
+                for other in self._ring.nodes:
+                    if other != name:
+                        self._exchange(self._workers[other], {"op": "resync"})
+            self.rebalances += 1
+            get_registry().inc("router.rebalances")
+
+    def check_health(self) -> dict[str, dict]:
+        """Ping every worker through its breaker's admission gate.
+
+        A dead or unresponsive worker records a breaker failure and is
+        rebalanced away; a healthy ping records a success (closing a
+        half-open breaker). Returns per-worker health rows.
+        """
+        with self._dispatch:
+            report: dict[str, dict] = {}
+            dead: list[str] = []
+            for name, handle in sorted(self._workers.items()):
+                row = {
+                    "alive": handle.alive,
+                    "breaker": handle.breaker.state,
+                    "on_ring": name in self._ring,
+                }
+                if not handle.alive and name in self._ring:
+                    # Known-dead locally but never rebalanced (e.g. a
+                    # hard kill with no dispatch since): rebalance now.
+                    dead.append(name)
+                elif handle.alive and handle.breaker.allow():
+                    try:
+                        reply = self._exchange(handle, {"op": "ping"})
+                    except WorkerDied:
+                        dead.append(name)
+                        row["alive"] = False
+                    else:
+                        handle.breaker.record_success()
+                        row["users"] = reply.get("users")
+                    row["breaker"] = handle.breaker.state
+                report[name] = row
+            if dead:
+                self._rebalance_locked(dead)
+                for name in dead:
+                    report[name]["breaker"] = self._workers[name].breaker.state
+                    report[name]["on_ring"] = False
+            return report
+
+    # ------------------------------------------------------------------
+    # Service surface
+    # ------------------------------------------------------------------
+    def register(self, user_id: str, persona: Persona) -> dict:
+        """Register a user on their shard (WAL first, then forward)."""
+        return self.apply_edit(
+            {"op": "register", "user": user_id, "persona": asdict(persona)}
+        )
+
+    def register_many(self, users: Iterable[tuple[str, Persona]]) -> int:
+        """Register a population; returns the number registered."""
+        count = 0
+        for user_id, persona in users:
+            self.register(user_id, persona)
+            count += 1
+        return count
+
+    def apply_edit(self, record: Mapping) -> dict:
+        """Apply one WAL-vocabulary mutation record.
+
+        The record is validated and WAL-appended *before* forwarding;
+        if the owning worker dies mid-forward the rebalance resyncs the
+        new owner from the WAL, which already contains this record, so
+        the edit survives without a re-send (``applied_via: resync``).
+        """
+        record = dict(record)
+        validate_record(record)
+        with self._dispatch:
+            if self._store is not None:
+                self._store.append(record)
+            rid = self._next_rid()
+            for attempt in range(self._max_retries + 1):
+                owner = self._ring.node_for(record["user"])
+                handle = self._workers[owner]
+                try:
+                    self._maybe_chaos_kill(handle)
+                    reply = self._exchange(
+                        handle, {"op": "edit", "rid": rid, "record": record}
+                    )
+                except WorkerDied as death:
+                    self._rebalance_locked([owner])
+                    if self._store is not None:
+                        # Already durable; the resync applied it.
+                        return {
+                            "rid": rid,
+                            "ok": True,
+                            "applied_via": "resync",
+                        }
+                    if attempt >= self._max_retries:
+                        raise ShardError(
+                            f"edit {rid} undeliverable: {death}"
+                        ) from death
+                    self.retried_requests += 1
+                    continue
+                if not reply.get("ok", False):
+                    raise ShardError(
+                        f"worker {owner!r} rejected edit {rid}: "
+                        f"{reply.get('error')}"
+                    )
+                reply.setdefault("applied_via", "forward")
+                return reply
+        raise ShardError(f"edit {rid} undeliverable")  # pragma: no cover
+
+    def query_many(self, requests: Sequence[Request]) -> list[dict]:
+        """Fan a batch of queries out to their shards; gather replies.
+
+        Dispatch is two-phase per round: all per-worker batch frames
+        are sent, then all replies are collected, so workers execute
+        their shards concurrently. Requests stranded by a death keep
+        their request ids and are re-dispatched after the rebalance;
+        workers deduplicate on the id, so a request is never *applied*
+        twice even when it is *delivered* twice.
+
+        Returns one reply dict per request, in request order, each with
+        ``ok``/``ranking``/``duplicate``/``worker`` fields.
+        """
+        registry = get_registry()
+        started = time.perf_counter()
+        with self._dispatch:
+            order: list[str] = []
+            pending: dict[str, tuple[str, list, int | None]] = {}
+            for user_id, state, top_k in requests:
+                rid = self._next_rid()
+                order.append(rid)
+                pending[rid] = (user_id, list(state.values), top_k)
+            results: dict[str, dict] = {}
+            for round_index in range(self._max_retries + 1):
+                if not pending:
+                    break
+                if round_index:
+                    self.retried_requests += len(pending)
+                    registry.inc("router.retries", value=len(pending))
+                self._dispatch_round_locked(pending, results, registry)
+            if pending:
+                raise ShardError(
+                    f"{len(pending)} requests undeliverable after "
+                    f"{self._max_retries + 1} dispatch rounds"
+                )
+        registry.observe(
+            "router.batch.seconds", time.perf_counter() - started
+        )
+        return [results[rid] for rid in order]
+
+    def _dispatch_round_locked(
+        self,
+        pending: dict[str, tuple[str, list, int | None]],
+        results: dict[str, dict],
+        registry,
+    ) -> None:
+        """One send-all / receive-all round over the current ring."""
+        groups: dict[str, list[list]] = {}
+        for rid, (user_id, values, top_k) in pending.items():
+            owner = self._ring.node_for(user_id)
+            groups.setdefault(owner, []).append([rid, user_id, values, top_k])
+        sent: list[str] = []
+        dead: list[str] = []
+        for owner, batch in groups.items():
+            try:
+                self._send_batch(
+                    self._workers[owner],
+                    {"op": "query_batch", "requests": batch},
+                )
+            except WorkerDied:
+                dead.append(owner)
+            else:
+                sent.append(owner)
+        for owner in sent:
+            handle = self._workers[owner]
+            shard_started = time.perf_counter()
+            try:
+                reply = self._recv_batch(handle)
+            except WorkerDied:
+                dead.append(owner)
+                continue
+            handle.breaker.record_success()
+            elapsed = time.perf_counter() - shard_started
+            registry.observe(
+                "router.worker.seconds", elapsed, labels={"worker": owner}
+            )
+            for row in reply.get("results", ()):
+                rid = row.get("rid")
+                if rid in pending:
+                    row["worker"] = owner
+                    results[rid] = row
+                    del pending[rid]
+            registry.inc(
+                "router.requests",
+                value=len(reply.get("results", ())),
+                labels={"worker": owner},
+            )
+        if dead:
+            self._rebalance_locked(dead)
+
+    def stats(self) -> dict[str, object]:
+        """Router counters plus per-worker ``stats`` rows."""
+        with self._dispatch:
+            workers = {}
+            for name in self._ring.nodes:
+                try:
+                    workers[name] = self._exchange(
+                        self._workers[name], {"op": "stats"}
+                    )
+                except WorkerDied:
+                    workers[name] = {"ok": False, "error": "unreachable"}
+            return {
+                "workers": workers,
+                "ring": {
+                    "nodes": list(self._ring.nodes),
+                    "replicas": self._ring.replicas,
+                },
+                "worker_deaths": self.worker_deaths,
+                "rebalances": self.rebalances,
+                "retried_requests": self.retried_requests,
+                "wal_last_lsn": (
+                    None if self._store is None else self._store.last_lsn()
+                ),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter({len(self._ring)}/{self._num_workers} workers "
+            f"live, durable={self._store is not None})"
+        )

@@ -40,6 +40,14 @@ class JsonlProfileStore(ProfileStore):
 
     Args:
         root: Directory holding the store's files; created on demand.
+        read_only: Open for replay only. The WAL is scanned but **never
+            repaired or appended to** - a torn tail is reported via
+            :attr:`torn_bytes` and replay simply stops before it - and
+            ``append``/``write_snapshot``/``compact_wal`` raise
+            :class:`~repro.exceptions.StorageError`. This is how shard
+            worker processes cold-start from a WAL another process (the
+            shard router) is actively writing: the single writer owns
+            repair, readers only ever see whole fsync'd records.
 
     Example:
         >>> store = JsonlProfileStore(tmp_path)
@@ -49,26 +57,37 @@ class JsonlProfileStore(ProfileStore):
         [(1, {...})]
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, read_only: bool = False) -> None:
         super().__init__()
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         self._wal_path = self._root / _WAL_NAME
         self._snapshot_path = self._root / _SNAPSHOT_NAME
-        #: Bytes of damaged tail discarded when the WAL was opened.
+        self._read_only = read_only
+        #: Bytes of damaged tail discarded (or, read-only, ignored)
+        #: when the WAL was opened.
         self.torn_bytes = 0
         self._next_lsn = self._scan_and_repair_wal() + 1
-        self._wal = open(self._wal_path, "a", encoding="utf-8")
+        self._wal = (
+            None if read_only else open(self._wal_path, "a", encoding="utf-8")
+        )
 
     @property
     def root(self) -> Path:
         """The store's directory."""
         return self._root
 
+    @property
+    def read_only(self) -> bool:
+        """Whether the store was opened for replay only."""
+        return self._read_only
+
     def _scan_and_repair_wal(self) -> int:
         """Find the last valid LSN; truncate any damaged tail.
 
-        Returns the last valid LSN (0 for an empty/missing WAL).
+        Read-only stores skip the truncation (the writing process owns
+        repair); the damaged-tail size is still reported. Returns the
+        last valid LSN (0 for an empty/missing WAL).
         """
         if not self._wal_path.exists():
             return 0
@@ -87,14 +106,23 @@ class JsonlProfileStore(ProfileStore):
         total = self._wal_path.stat().st_size
         if valid_end < total:
             self.torn_bytes = total - valid_end
-            with open(self._wal_path, "r+b") as handle:
-                handle.truncate(valid_end)
+            if not self._read_only:
+                with open(self._wal_path, "r+b") as handle:
+                    handle.truncate(valid_end)
         return last_lsn
+
+    def _writable(self, operation: str) -> None:
+        if self._read_only:
+            raise StorageError(
+                f"store opened read_only; {operation} is not permitted"
+            )
 
     # ------------------------------------------------------------------
     # Backend primitives
     # ------------------------------------------------------------------
     def _append_records(self, records: list[Mapping]) -> int:
+        self._writable("append")
+        assert self._wal is not None
         lines = []
         last = self._next_lsn - 1
         for record in records:
@@ -109,7 +137,8 @@ class JsonlProfileStore(ProfileStore):
     def _replay_records(self, after: int) -> Iterator[tuple[int, dict]]:
         if not self._wal_path.exists():  # pragma: no cover - created in init
             return
-        self._wal.flush()
+        if self._wal is not None:
+            self._wal.flush()
         with open(self._wal_path, encoding="utf-8") as handle:
             for line in handle:
                 stripped = line.strip()
@@ -126,6 +155,7 @@ class JsonlProfileStore(ProfileStore):
             return self._next_lsn - 1
 
     def _write_snapshot_records(self, records: Iterable[Mapping], lsn: int) -> None:
+        self._writable("write_snapshot")
         tmp = self._root / _SNAPSHOT_TMP
         count = 0
         with open(tmp, "w", encoding="utf-8") as handle:
@@ -165,6 +195,8 @@ class JsonlProfileStore(ProfileStore):
         return covered, records()
 
     def compact_wal(self, upto: int) -> int:
+        self._writable("compact_wal")
+        assert self._wal is not None
         with self._lock:
             kept: list[str] = []
             dropped = 0
@@ -195,13 +227,13 @@ class JsonlProfileStore(ProfileStore):
     # ------------------------------------------------------------------
     def flush(self) -> None:
         with self._lock:
-            if not self._wal.closed:
+            if self._wal is not None and not self._wal.closed:
                 self._wal.flush()
                 os.fsync(self._wal.fileno())
 
     def close(self) -> None:
         with self._lock:
-            if not self._wal.closed:
+            if self._wal is not None and not self._wal.closed:
                 self._wal.flush()
                 self._wal.close()
 

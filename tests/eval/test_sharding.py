@@ -1,0 +1,70 @@
+"""Shard-bench evaluation: report shape, identity audit, chaos round."""
+
+import json
+
+import pytest
+
+from repro.eval import run_shard_bench
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    return run_shard_bench(
+        num_users=4,
+        num_rows=200,
+        num_queries=16,
+        worker_counts=(1, 2),
+        io_wait_ms=1.0,
+        worker_threads=2,
+        cache_capacity=16,
+        seed=17,
+        chaos=True,
+        wal_root=tmp_path_factory.mktemp("shard-bench"),
+    )
+
+
+class TestReport:
+    def test_report_is_json_ready(self, report):
+        parsed = json.loads(json.dumps(report))
+        assert parsed["workload"]["num_queries"] == 16
+
+    def test_series_covers_every_worker_count(self, report):
+        assert sorted(report["series"]) == ["1", "2"]
+        for row in report["series"].values():
+            assert row["seconds"] > 0 and row["qps"] > 0
+            assert row["identical"] is True
+        assert report["speedup_at_max"] == report["series"]["2"]["speedup"]
+
+    def test_rankings_identical_to_single_process(self, report):
+        assert report["identical_output"] is True
+
+    def test_baseline_is_measured(self, report):
+        assert report["single_process"]["seconds"] > 0
+        assert report["single_process"]["qps"] > 0
+
+
+class TestChaosRound:
+    def test_one_worker_really_died(self, report):
+        chaos = report["chaos"]
+        assert chaos["enabled"] is True
+        assert chaos["worker_deaths"] == 1
+        assert len(chaos["workers_after"]) == len(chaos["workers_before"]) - 1
+
+    def test_every_request_answered_exactly_once(self, report):
+        chaos = report["chaos"]
+        assert chaos["answered"] == 16
+        assert chaos["failed_requests"] == 0
+        assert chaos["duplicate_replies"] == 0
+
+    def test_rankings_survive_the_rebalance(self, report):
+        assert report["chaos"]["identical_after_rebalance"] is True
+
+
+class TestValidation:
+    def test_rejects_empty_worker_counts(self):
+        with pytest.raises(ValueError, match="worker_counts"):
+            run_shard_bench(worker_counts=())
+
+    def test_rejects_nonpositive_worker_counts(self):
+        with pytest.raises(ValueError, match="worker_counts"):
+            run_shard_bench(worker_counts=(0, 2))

@@ -1,0 +1,80 @@
+"""Shared fixtures: a tiny sharded deployment and its in-process twin.
+
+The twin is a plain single-process :class:`PersonalizationService`
+built over the *same* deterministic dataset and population as the
+routed workers; rankings served through the router must be
+bit-identical to the twin's, before and after crashes.
+"""
+
+import pytest
+
+from repro.context.state import ContextState
+from repro.db.poi import generate_poi_relation
+from repro.service.personalization import PersonalizationService
+from repro.sharding import ShardRouter
+from repro.workloads.users import all_personas, study_environment
+
+NUM_ROWS = 120
+SEED = 7
+TOP_K = 10
+USERS = [f"user{index}" for index in range(8)]
+
+
+def population():
+    personas = all_personas()
+    return [
+        (user_id, personas[index % len(personas)])
+        for index, user_id in enumerate(USERS)
+    ]
+
+
+def make_twin():
+    service = PersonalizationService(
+        study_environment(), generate_poi_relation(NUM_ROWS, seed=SEED)
+    )
+    for user_id, persona in population():
+        service.register(user_id, persona)
+    return service
+
+
+def make_states(environment):
+    return [
+        ContextState.from_mapping(
+            environment,
+            {
+                "accompanying_people": people,
+                "temperature": temperature,
+                "location": "Plaka",
+            },
+        )
+        for people in ("friends", "family")
+        for temperature in ("warm", "cold")
+    ]
+
+
+def start_router(wal_root, num_workers=2, **kwargs):
+    kwargs.setdefault("num_rows", NUM_ROWS)
+    kwargs.setdefault("data_seed", SEED)
+    router = ShardRouter(num_workers, wal_root=wal_root, **kwargs)
+    router.start()
+    router.register_many(population())
+    return router
+
+
+@pytest.fixture(scope="module")
+def twin():
+    service = make_twin()
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def states(twin):
+    return make_states(twin.environment)
+
+
+@pytest.fixture
+def router(tmp_path):
+    router = start_router(tmp_path / "wal")
+    yield router
+    router.close()

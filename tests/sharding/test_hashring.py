@@ -1,0 +1,73 @@
+"""Consistent-hash ring: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.exceptions import ShardError
+from repro.sharding import ConsistentHashRing
+
+USERS = [f"user{index}" for index in range(400)]
+
+
+class TestConstruction:
+    def test_empty_ring_routes_nothing(self):
+        with pytest.raises(ShardError, match="empty ring"):
+            ConsistentHashRing().node_for("user1")
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ShardError, match="replicas"):
+            ConsistentHashRing(replicas=0)
+
+    def test_rejects_empty_and_duplicate_nodes(self):
+        ring = ConsistentHashRing(["w0"])
+        with pytest.raises(ShardError, match="non-empty"):
+            ring.add_node("")
+        with pytest.raises(ShardError, match="already"):
+            ring.add_node("w0")
+
+    def test_remove_unknown_node(self):
+        with pytest.raises(ShardError, match="not on the ring"):
+            ConsistentHashRing(["w0"]).remove_node("w9")
+
+    def test_membership_protocol(self):
+        ring = ConsistentHashRing(["w1", "w0"])
+        assert len(ring) == 2
+        assert "w0" in ring and "w9" not in ring
+        assert list(ring) == ["w0", "w1"]
+        assert ring.nodes == ("w0", "w1")
+
+
+class TestAssignment:
+    def test_deterministic_across_instances(self):
+        first = ConsistentHashRing(["w0", "w1", "w2"])
+        # Same membership built in a different order: same ring.
+        second = ConsistentHashRing(["w2", "w0", "w1"])
+        for user in USERS:
+            assert first.node_for(user) == second.node_for(user)
+
+    def test_every_worker_gets_a_reasonable_shard(self):
+        ring = ConsistentHashRing(["w0", "w1", "w2", "w3"])
+        shards = ring.assignments(USERS)
+        assert sorted(shards) == ["w0", "w1", "w2", "w3"]
+        sizes = [len(keys) for keys in shards.values()]
+        assert sum(sizes) == len(USERS)
+        mean = len(USERS) / 4
+        assert min(sizes) > 0
+        assert max(sizes) < 2.5 * mean
+
+    def test_removal_moves_only_the_dead_shard(self):
+        ring = ConsistentHashRing(["w0", "w1", "w2", "w3"])
+        before = {user: ring.node_for(user) for user in USERS}
+        ring.remove_node("w1")
+        for user in USERS:
+            after = ring.node_for(user)
+            if before[user] != "w1":
+                assert after == before[user]
+            else:
+                assert after != "w1"
+
+    def test_readding_restores_the_original_assignment(self):
+        ring = ConsistentHashRing(["w0", "w1", "w2", "w3"])
+        before = {user: ring.node_for(user) for user in USERS}
+        ring.remove_node("w2")
+        ring.add_node("w2")
+        assert {user: ring.node_for(user) for user in USERS} == before

@@ -1,0 +1,84 @@
+"""Wire protocol: frame round trips, damage detection, socket framing."""
+
+import socket
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.sharding.protocol import (
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+PAYLOAD = {"op": "ping", "rid": "r1", "nested": {"values": [1, 2, 3]}}
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        frame = encode_frame(PAYLOAD)
+        length = int.from_bytes(frame[:4], "big")
+        assert length == len(frame) - 4
+        assert decode_frame(frame[4:]) == PAYLOAD
+
+    def test_unparsable_body(self):
+        with pytest.raises(ProtocolError, match="unparsable"):
+            decode_frame(b"{not json")
+
+    def test_malformed_envelope(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_frame(b'{"data": {"op": "ping"}}')
+
+    def test_checksum_mismatch(self):
+        with pytest.raises(ProtocolError, match="checksum"):
+            decode_frame(b'{"crc": 1, "data": {"op": "ping"}}')
+
+    def test_flipped_bit_is_detected(self):
+        frame = bytearray(encode_frame(PAYLOAD))
+        # Flip one character inside the data payload region.
+        index = frame.rindex(b"ping"[0:1])
+        frame[index] ^= 0x01
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame[4:]))
+
+
+class TestSocketFraming:
+    @pytest.fixture
+    def pair(self):
+        left, right = socket.socketpair()
+        yield left, right
+        left.close()
+        right.close()
+
+    def test_send_recv_roundtrip(self, pair):
+        left, right = pair
+        send_frame(left, PAYLOAD)
+        send_frame(left, {"op": "stats"})
+        assert recv_frame(right) == PAYLOAD
+        assert recv_frame(right) == {"op": "stats"}
+
+    def test_clean_eof_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+    def test_mid_frame_eof_is_an_error(self, pair):
+        left, right = pair
+        frame = encode_frame(PAYLOAD)
+        left.sendall(frame[: len(frame) // 2])
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_implausible_length_prefix(self, pair):
+        left, right = pair
+        left.sendall((1 << 30).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError, match="implausible"):
+            recv_frame(right)
+
+    def test_zero_length_prefix(self, pair):
+        left, right = pair
+        left.sendall((0).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError, match="implausible"):
+            recv_frame(right)

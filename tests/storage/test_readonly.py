@@ -1,0 +1,106 @@
+"""Read-only store openings: replay-only access for shard workers.
+
+A read-only :class:`JsonlProfileStore` is how worker processes share
+the router's WAL - they may replay it but never append, snapshot,
+compact, or repair it (the router is the single writer)."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import JsonlProfileStore
+
+PERSONA = {"age": "below30", "sex": "female", "taste": "offbeat"}
+
+
+def register(user):
+    return {"op": "register", "user": user, "persona": dict(PERSONA)}
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "store"
+
+
+@pytest.fixture
+def writer(root):
+    store = JsonlProfileStore(root)
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def reader(writer, root):
+    writer.append_many([register(f"u{index}") for index in range(3)])
+    writer.flush()
+    store = JsonlProfileStore(root, read_only=True)
+    yield store
+    store.close()
+
+
+class TestGuards:
+    def test_read_only_property(self, writer, reader):
+        assert reader.read_only
+        assert not writer.read_only
+
+    def test_append_is_rejected(self, reader):
+        with pytest.raises(StorageError, match="read_only; append"):
+            reader.append(register("u9"))
+        with pytest.raises(StorageError, match="read_only; append"):
+            reader.append_many([register("u9")])
+
+    def test_snapshot_is_rejected(self, reader):
+        with pytest.raises(StorageError, match="read_only; write_snapshot"):
+            reader.write_snapshot([register("u0")], lsn=1)
+
+    def test_compaction_is_rejected(self, reader):
+        with pytest.raises(StorageError, match="read_only; compact_wal"):
+            reader.compact_wal(1)
+
+    def test_flush_and_close_are_safe(self, reader):
+        reader.flush()
+        reader.close()
+        reader.close()  # idempotent
+
+
+class TestSharedReplay:
+    def test_reader_sees_the_writers_records(self, reader):
+        assert reader.last_lsn() == 3
+        assert [data["user"] for _, data in reader.replay()] == [
+            "u0",
+            "u1",
+            "u2",
+        ]
+
+    def test_reader_sees_appends_made_after_it_opened(
+        self, writer, reader
+    ):
+        writer.append(register("u3"))
+        writer.flush()
+        assert [lsn for lsn, _ in reader.replay(after=3)] == [4]
+
+    def test_torn_tail_is_reported_not_repaired(self, writer, root):
+        writer.append_many([register(f"u{index}") for index in range(2)])
+        writer.flush()
+        # Simulate a torn final write: an unterminated WAL line.
+        wal = root / "wal.jsonl"
+        size_before_tear = wal.stat().st_size
+        with wal.open("a", encoding="utf-8") as handle:
+            handle.write('{"lsn": 3, "crc": 0, "da')
+        torn_size = wal.stat().st_size
+
+        reader = JsonlProfileStore(root, read_only=True)
+        try:
+            assert reader.torn_bytes == torn_size - size_before_tear
+            assert [lsn for lsn, _ in reader.replay()] == [1, 2]
+            # The file was NOT truncated by the read-only opening.
+            assert wal.stat().st_size == torn_size
+        finally:
+            reader.close()
+
+        # A writable re-opening repairs (truncates) the torn tail.
+        repaired = JsonlProfileStore(root)
+        try:
+            assert wal.stat().st_size == size_before_tear
+            assert repaired.last_lsn() == 2
+        finally:
+            repaired.close()

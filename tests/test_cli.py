@@ -51,6 +51,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["persistence", "--backend", "parquet"])
 
+    def test_shard_bench_defaults(self):
+        args = build_parser().parse_args(["shard-bench"])
+        assert args.users == 8 and args.rows == 1500 and args.queries == 160
+        assert args.workers == [1, 2, 4]
+        assert args.io_wait_ms == 15.0 and args.worker_threads == 2
+        assert args.cache_capacity == 64 and args.seed == 17
+        assert not args.no_chaos and not args.json
+
+    def test_shard_bench_custom_workers(self):
+        args = build_parser().parse_args(
+            ["shard-bench", "--workers", "1", "2", "--no-chaos"]
+        )
+        assert args.workers == [1, 2] and args.no_chaos
+
 
 class TestCommands:
     def test_table1(self, capsys):
