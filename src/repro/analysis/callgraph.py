@@ -55,9 +55,13 @@ LEVEL_CONSTANTS: dict[str, int] = {
 #: Constructor name -> lock kind.
 LOCK_CLASSES = {"Mutex": "mutex", "RWLock": "rw", "StripedLockTable": "striped"}
 
-#: The module implementing the primitives themselves; its internal
-#: acquire/release plumbing is not application lock usage.
-PRIMITIVES_SUFFIX = ".concurrency.locks"
+#: The modules implementing the primitives themselves; their internal
+#: acquire/release (and sanitizer patching) plumbing is not application
+#: lock or blocking usage.
+PRIMITIVES_SUFFIXES = (".concurrency.locks", ".concurrency.blocking")
+
+#: Backwards-compatible alias for the original single-module constant.
+PRIMITIVES_SUFFIX = PRIMITIVES_SUFFIXES[0]
 
 
 def level_name(level: int | None) -> str:
@@ -93,6 +97,7 @@ class CallSite:
     callee: str | None  # resolved function id, or None
     line: int
     held: tuple[Acquire, ...]
+    node: ast.Call | None = None  # the syntax, for effect classification
 
 
 @dataclass
@@ -114,6 +119,7 @@ class ClassInfo:
     name: str
     module: str
     node: ast.ClassDef
+    bases: tuple[str, ...] = ()
     attr_locks: dict[str, LockRef] = field(default_factory=dict)
     attr_types: dict[str, str] = field(default_factory=dict)
     methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
@@ -166,6 +172,17 @@ def _annotation_class(node: ast.expr | None) -> str | None:
     return None
 
 
+def _base_name(node: ast.expr) -> str | None:
+    """Bare class name of a base-class expression, if it has one."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Generic[T] and friends
+        return _base_name(node.value)
+    return None
+
+
 def _call_name(node: ast.Call) -> str | None:
     """Bare constructor name of a call (``Mutex(...)`` -> ``Mutex``)."""
     func = node.func
@@ -212,20 +229,29 @@ class Program:
         self.locks: dict[str, LockRef] = {}
         self._collect(modules)
         self._build_classes()
+        self._inherit_attrs()
         self._scan_functions()
+        self._overrides: dict[str, tuple[str, ...]] | None = None
 
     # ------------------------------------------------------------------
     # Pass 1: module scopes (defs + import bindings)
     # ------------------------------------------------------------------
     def _collect(self, modules: list[SourceModule]) -> None:
         for source in modules:
-            if source.name.endswith(PRIMITIVES_SUFFIX):
+            if source.name.endswith(PRIMITIVES_SUFFIXES):
                 continue  # the primitives' own implementation
             scope = _ModuleScope(source=source)
             for statement in source.tree.body:
                 if isinstance(statement, ast.ClassDef):
                     scope.classes[statement.name] = ClassInfo(
-                        name=statement.name, module=source.name, node=statement
+                        name=statement.name,
+                        module=source.name,
+                        node=statement,
+                        bases=tuple(
+                            base
+                            for base in map(_base_name, statement.bases)
+                            if base is not None
+                        ),
                     )
                 elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     scope.functions[statement.name] = statement
@@ -270,6 +296,49 @@ class Program:
             if name in module.classes
         ]
         return matches[0] if len(matches) == 1 else None
+
+    def method_overrides(self) -> dict[str, tuple[str, ...]]:
+        """Base-method qualname -> qualnames of subclass overrides.
+
+        Lets effect/contract propagation follow abstract-method dispatch
+        (``ProfileStore._append_records`` -> the jsonl/sqlite bodies).
+        Subclass links are by base *name*, transitively, across modules.
+        """
+        if self._overrides is not None:
+            return self._overrides
+        classes = [
+            info for scope in self.modules.values() for info in scope.classes.values()
+        ]
+        subclasses: dict[str, list[ClassInfo]] = {}
+        for info in classes:
+            for base in info.bases:
+                subclasses.setdefault(base, []).append(info)
+
+        def descendants(name: str, seen: set[str]) -> list[ClassInfo]:
+            found: list[ClassInfo] = []
+            for child in subclasses.get(name, []):
+                if child.qualname in seen:
+                    continue
+                seen.add(child.qualname)
+                found.append(child)
+                found.extend(descendants(child.name, seen))
+            return found
+
+        overrides: dict[str, tuple[str, ...]] = {}
+        for info in classes:
+            heirs = descendants(info.name, set())
+            if not heirs:
+                continue
+            for method in info.methods:
+                targets = tuple(
+                    f"{heir.qualname}.{method}"
+                    for heir in heirs
+                    if method in heir.methods
+                )
+                if targets:
+                    overrides[f"{info.qualname}.{method}"] = targets
+        self._overrides = overrides
+        return overrides
 
     # ------------------------------------------------------------------
     # Pass 2: per-class lock and attribute-type tables
@@ -358,6 +427,31 @@ class Program:
                         annotated = _annotation_class(node.annotation)
                         if annotated is not None:
                             info.attr_types.setdefault(attr, annotated)
+
+    def _inherit_attrs(self) -> None:
+        """Copy base-class attribute locks/types down to subclasses.
+
+        ``ProfileStore.__init__`` builds ``self._lock``; the jsonl and
+        sqlite subclasses acquire it. Without this pass their ``with
+        self._lock:`` regions would be invisible to every checker.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for scope in self.modules.values():
+                for info in scope.classes.values():
+                    for base_name in info.bases:
+                        base = self.class_named(scope, base_name)
+                        if base is None or base is info:
+                            continue
+                        for attr, lock in base.attr_locks.items():
+                            if attr not in info.attr_locks:
+                                info.attr_locks[attr] = lock
+                                changed = True
+                        for attr, type_name in base.attr_types.items():
+                            if attr not in info.attr_types:
+                                info.attr_types[attr] = type_name
+                                changed = True
 
     # ------------------------------------------------------------------
     # Pass 3: per-function acquisition/call summaries
@@ -569,5 +663,6 @@ class _FunctionScanner:
                         callee=self._resolve_call(sub),
                         line=sub.lineno,
                         held=held,
+                        node=sub,
                     )
                 )

@@ -1,0 +1,550 @@
+"""Contract checkers: fault-site drift, exception flow, op vocabularies.
+
+Three rules that keep the distributed tier's *declared* contracts in
+sync with the code that implements them:
+
+* **FAULT001/002 - fault-site drift.** :mod:`repro.faults` declares the
+  injectable site inventory as a module-level ``SITES`` tuple; every
+  instrumented call site invokes ``registry.fire("...")`` or
+  ``registry.corrupt("...", value)`` with a literal from it. A
+  registered name with no call site is dead chaos coverage (FAULT001);
+  a fired name that was never registered silently never fires
+  (FAULT002). If the analyzed tree declares no ``SITES`` inventory the
+  rules are vacuous and skipped.
+
+* **EXC001 - non-degradable exception flow.** The resilience tier
+  promises that ``LockOrderViolation``, ``BlockingUnderLock``,
+  ``RequestTimeout``, ``ServiceUnavailable`` and ``CachePoisonedError``
+  always surface: broad handlers must re-raise them (the ladder's
+  ``except NON_DEGRADABLE: raise`` pattern). The checker propagates
+  per-function *may-raise* sets for those types over the call graph,
+  then inspects every ``try`` whose broad (``Exception``/
+  ``BaseException``/bare) handler swallows: if a guarded type can
+  reach it and no earlier handler disposes of it (naming the type, a
+  superclass, or a tuple constant like ``NON_DEGRADABLE`` resolving to
+  it), that is EXC001.
+
+* **SCHEMA001 - op vocabulary drift.** WAL records and wire frames
+  dispatch on string ops declared once (``OPS`` in
+  :mod:`repro.storage.records`, ``REQUEST_OPS`` in
+  :mod:`repro.sharding.protocol`). In any module that declares such a
+  vocabulary or imports from a declaring module, every op literal -
+  ``op == "..."`` comparisons, ``{"op": "..."}`` payloads, and the
+  keys of ``*REQUIRED*`` field tables - must be a member of a declared
+  vocabulary; the field table must also cover the whole vocabulary.
+
+All three follow the analyzer's house rule: approximate toward zero
+false positives on this codebase's idioms, and prove each rule still
+fires with a deliberately-broken fixture.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import FunctionSummary, Program, _ModuleScope
+from repro.analysis.findings import Finding
+from repro.analysis.hygiene import _broad_except_label, _reraises
+
+__all__ = [
+    "GUARDED_EXCEPTIONS",
+    "check_contracts",
+    "check_exception_contracts",
+    "check_fault_sites",
+    "check_schema_vocabulary",
+]
+
+#: Exception types that must never be swallowed by a broad handler.
+GUARDED_EXCEPTIONS = (
+    "LockOrderViolation",
+    "BlockingUnderLock",
+    "RequestTimeout",
+    "ServiceUnavailable",
+    "CachePoisonedError",
+)
+
+#: Catching one of these names disposes of the guarded types listed.
+#: (Subset of the real hierarchy: enough to honor typed handlers.)
+_DISPOSES: dict[str, frozenset[str]] = {
+    "BaseException": frozenset(GUARDED_EXCEPTIONS),
+    "Exception": frozenset(GUARDED_EXCEPTIONS),
+    "ReproError": frozenset(GUARDED_EXCEPTIONS),
+    "TreeError": frozenset({"CachePoisonedError"}),
+    "ServiceUnavailable": frozenset({"ServiceUnavailable", "RequestTimeout"}),
+    **{name: frozenset({name}) for name in GUARDED_EXCEPTIONS},
+}
+
+_VOCAB_NAME = re.compile(r"^[A-Z_]*OPS$")
+
+
+# ----------------------------------------------------------------------
+# FAULT001/002: fault-site drift
+# ----------------------------------------------------------------------
+def _string_tuple(node: ast.expr) -> tuple[str, ...] | None:
+    """The literal strings of a tuple/list of constants, else ``None``."""
+    if not isinstance(node, (ast.Tuple, ast.List)) or not node.elts:
+        return None
+    values = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        values.append(element.value)
+    return tuple(values)
+
+
+def check_fault_sites(program: Program) -> list[Finding]:
+    """Rules FAULT001/FAULT002: registered vs. fired site inventory."""
+    declared: list[tuple[_ModuleScope, int, tuple[str, ...]]] = []
+    for scope in program.modules.values():
+        for statement in scope.source.tree.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and statement.targets[0].id == "SITES"
+            ):
+                sites = _string_tuple(statement.value)
+                if sites is not None:
+                    declared.append((scope, statement.lineno, sites))
+    if not declared:
+        return []
+    registered = {site for _, _, sites in declared for site in sites}
+
+    fired: dict[str, list[tuple[_ModuleScope, int]]] = {}
+    for scope in program.modules.values():
+        for node in ast.walk(scope.source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"fire", "corrupt"}
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                fired.setdefault(node.args[0].value, []).append((scope, node.lineno))
+
+    findings: list[Finding] = []
+    for scope, line, sites in declared:
+        for site in sites:
+            if site not in fired:
+                findings.append(
+                    Finding(
+                        rule="FAULT001",
+                        category="contracts",
+                        module=scope.source.name,
+                        path=str(scope.source.path),
+                        line=line,
+                        message=(
+                            f"fault site {site!r} is registered in SITES but no "
+                            f"fire()/corrupt() call site references it"
+                        ),
+                    )
+                )
+    for site, uses in sorted(fired.items()):
+        if site in registered:
+            continue
+        for scope, line in uses:
+            findings.append(
+                Finding(
+                    rule="FAULT002",
+                    category="contracts",
+                    module=scope.source.name,
+                    path=str(scope.source.path),
+                    line=line,
+                    message=(
+                        f"fault site {site!r} is fired here but never registered "
+                        f"in the SITES inventory"
+                    ),
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# EXC001: non-degradable exceptions reaching swallowing broad handlers
+# ----------------------------------------------------------------------
+def _exception_name(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@dataclass(frozen=True)
+class _MayRaise:
+    """One guarded exception a function may raise, with provenance."""
+
+    name: str
+    origin: str  # "display:line" of the raise statement
+    chain: tuple[str, ...]
+
+
+def _direct_raises(program: Program) -> dict[str, dict[str, _MayRaise]]:
+    raises: dict[str, dict[str, _MayRaise]] = {}
+    for qualname, summary in program.functions.items():
+        scope = program.modules[summary.module]
+        node = _function_node(scope, summary.display)
+        if node is None:
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Raise):
+                name = _exception_name(sub.exc)
+                if name in GUARDED_EXCEPTIONS:
+                    raises.setdefault(qualname, {}).setdefault(
+                        name,
+                        _MayRaise(
+                            name=name,
+                            origin=f"{summary.display}:{sub.lineno}",
+                            chain=(),
+                        ),
+                    )
+    return raises
+
+
+def _function_node(
+    scope: _ModuleScope, display: str
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    if "." in display:
+        class_name, method = display.rsplit(".", 1)
+        info = scope.classes.get(class_name)
+        return info.methods.get(method) if info is not None else None
+    return scope.functions.get(display)
+
+
+def _may_raise_sets(
+    program: Program, extra_edges: tuple[tuple[str, str], ...]
+) -> dict[str, dict[str, _MayRaise]]:
+    overrides = program.method_overrides()
+    extra = {caller: callee for caller, callee in extra_edges}
+    may_raise = _direct_raises(program)
+    changed = True
+    while changed:
+        changed = False
+        for qualname, summary in program.functions.items():
+            bucket = may_raise.setdefault(qualname, {})
+            for site in summary.calls:
+                callees = [site.callee] if site.callee else []
+                if not callees and qualname in extra:
+                    callees = [extra[qualname]]
+                for callee in list(callees):
+                    callees.extend(overrides.get(callee, ()))
+                for callee in callees:
+                    for entry in may_raise.get(callee, {}).values():
+                        if entry.name in bucket:
+                            continue
+                        display = (
+                            program.functions[callee].display
+                            if callee in program.functions
+                            else callee
+                        )
+                        bucket[entry.name] = _MayRaise(
+                            name=entry.name,
+                            origin=entry.origin,
+                            chain=(display, *entry.chain),
+                        )
+                        changed = True
+    return may_raise
+
+
+def _handler_disposals(
+    scope: _ModuleScope, program: Program, handler: ast.ExceptHandler
+) -> frozenset[str]:
+    """Guarded types an ``except <type>:`` handler disposes of."""
+    names: list[str] = []
+    node = handler.type
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if element is None:
+            continue
+        name = _exception_name(element)
+        if name is None:
+            continue
+        resolved = _resolve_exception_tuple(scope, program, element, name)
+        if resolved is not None:
+            names.extend(resolved)
+        else:
+            names.append(name)
+    disposed: set[str] = set()
+    for name in names:
+        disposed.update(_DISPOSES.get(name, frozenset()))
+    return frozenset(disposed)
+
+
+def _resolve_exception_tuple(
+    scope: _ModuleScope, program: Program, node: ast.expr, name: str
+) -> list[str] | None:
+    """Resolve ``except NON_DEGRADABLE`` style tuple constants."""
+    if not isinstance(node, ast.Name) or name in _DISPOSES:
+        return None
+    defining = scope
+    target_name = name
+    imported = scope.imports.get(name)
+    if imported is not None:
+        module, target_name = imported
+        maybe = program.modules.get(module)
+        if maybe is None:
+            return None
+        defining = maybe
+    for statement in defining.source.tree.body:
+        if (
+            isinstance(statement, ast.Assign)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], ast.Name)
+            and statement.targets[0].id == target_name
+            and isinstance(statement.value, (ast.Tuple, ast.List))
+        ):
+            members = []
+            for element in statement.value.elts:
+                member = _exception_name(element)
+                if member is not None:
+                    members.append(member)
+            return members
+    return None
+
+
+def check_exception_contracts(
+    program: Program, extra_edges: tuple[tuple[str, str], ...] = ()
+) -> list[Finding]:
+    """Rule EXC001: guarded exceptions swallowed by broad handlers."""
+    may_raise = _may_raise_sets(program, extra_edges)
+    findings: list[Finding] = []
+    for qualname, summary in program.functions.items():
+        scope = program.modules[summary.module]
+        node = _function_node(scope, summary.display)
+        if node is None:
+            continue
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Try):
+                continue
+            disposed: set[str] = set()
+            for handler in sub.handlers:
+                label = _broad_except_label(handler)
+                if label is None:
+                    disposed.update(_handler_disposals(scope, program, handler))
+                    continue
+                if _reraises(handler):
+                    disposed.update(GUARDED_EXCEPTIONS)
+                    continue
+                reachable = _guarded_in_region(summary, may_raise, sub.body)
+                escaped = {
+                    name: entry
+                    for name, entry in reachable.items()
+                    if name not in disposed
+                }
+                for name, entry in sorted(escaped.items()):
+                    findings.append(
+                        Finding(
+                            rule="EXC001",
+                            category="contracts",
+                            module=summary.module,
+                            path=summary.path,
+                            line=handler.lineno,
+                            message=(
+                                f"broad handler ({label}) in {summary.display} "
+                                f"swallows non-degradable {name} raised at "
+                                f"{entry.origin}; re-raise it (the ladder's "
+                                f"'except NON_DEGRADABLE: raise' pattern)"
+                            ),
+                            function=summary.display,
+                            chain=entry.chain,
+                        )
+                    )
+                disposed.update(GUARDED_EXCEPTIONS)
+    return findings
+
+
+def _guarded_in_region(
+    summary: FunctionSummary,
+    may_raise: dict[str, dict[str, _MayRaise]],
+    body: list[ast.stmt],
+) -> dict[str, _MayRaise]:
+    """Guarded exceptions reachable from a ``try`` body's region."""
+    start = body[0].lineno
+    end = max(getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno for stmt in body)
+    reachable: dict[str, _MayRaise] = {}
+    # Direct raises inside the region.
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Raise):
+                name = _exception_name(sub.exc)
+                if name in GUARDED_EXCEPTIONS:
+                    reachable.setdefault(
+                        name,
+                        _MayRaise(name=name, origin=f"raise:{sub.lineno}", chain=()),
+                    )
+    # Calls recorded by the function scanner whose line falls inside.
+    for site in summary.calls:
+        if site.callee is None or not (start <= site.line <= end):
+            continue
+        for entry in may_raise.get(site.callee, {}).values():
+            if entry.name not in reachable:
+                display = site.callee.rsplit(":", 1)[-1]
+                reachable[entry.name] = _MayRaise(
+                    name=entry.name,
+                    origin=entry.origin,
+                    chain=(display, *entry.chain),
+                )
+    return reachable
+
+
+# ----------------------------------------------------------------------
+# SCHEMA001: op literals outside the declared vocabulary
+# ----------------------------------------------------------------------
+def _declared_vocabularies(
+    program: Program,
+) -> dict[str, tuple[str, tuple[str, ...]]]:
+    """``module -> (vocab name, members)`` for ``*OPS`` tuple constants."""
+    vocabularies: dict[str, tuple[str, tuple[str, ...]]] = {}
+    for scope in program.modules.values():
+        for statement in scope.source.tree.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and _VOCAB_NAME.match(statement.targets[0].id)
+            ):
+                members = _string_tuple(statement.value)
+                if members is not None:
+                    vocabularies[scope.source.name] = (
+                        statement.targets[0].id,
+                        members,
+                    )
+    return vocabularies
+
+
+def _is_op_expr(node: ast.expr) -> bool:
+    """Whether an expression denotes a record/frame op value."""
+    if isinstance(node, ast.Name):
+        return node.id == "op" or node.id.endswith("_op")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "op" or node.attr.endswith("_op")
+    if isinstance(node, ast.Subscript):
+        key = node.slice
+        return (
+            isinstance(key, ast.Constant)
+            and key.value == "op"
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "get"
+            and bool(node.args)
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "op"
+        )
+    return False
+
+
+def check_schema_vocabulary(program: Program) -> list[Finding]:
+    """Rule SCHEMA001: op string literals must derive from a vocabulary."""
+    vocabularies = _declared_vocabularies(program)
+    if not vocabularies:
+        return []
+    union: set[str] = set()
+    for _, members in vocabularies.values():
+        union.update(members)
+
+    findings: list[Finding] = []
+
+    def _emit(scope: _ModuleScope, line: int, message: str) -> None:
+        findings.append(
+            Finding(
+                rule="SCHEMA001",
+                category="contracts",
+                module=scope.source.name,
+                path=str(scope.source.path),
+                line=line,
+                message=message,
+            )
+        )
+
+    for scope in program.modules.values():
+        in_scope = scope.source.name in vocabularies or any(
+            module in vocabularies for module, _ in scope.imports.values()
+        )
+        if not in_scope:
+            continue
+        tree = scope.source.tree
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                if not any(_is_op_expr(side) for side in sides):
+                    continue
+                for side in sides:
+                    if (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, str)
+                        and side.value not in union
+                    ):
+                        _emit(
+                            scope,
+                            side.lineno,
+                            f"op literal {side.value!r} is not in any declared "
+                            f"vocabulary ({sorted(union)})",
+                        )
+            elif isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and key.value == "op"
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and value.value not in union
+                    ):
+                        _emit(
+                            scope,
+                            value.lineno,
+                            f"op payload value {value.value!r} is not in any "
+                            f"declared vocabulary ({sorted(union)})",
+                        )
+        # Field tables: module-level *REQUIRED* dicts keyed by op.
+        declared_here = vocabularies.get(scope.source.name)
+        for statement in tree.body:
+            if not (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and "REQUIRED" in statement.targets[0].id
+                and isinstance(statement.value, ast.Dict)
+            ):
+                continue
+            table = statement.targets[0].id
+            keys = [
+                key.value
+                for key in statement.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ]
+            for key in keys:
+                if key not in union:
+                    _emit(
+                        scope,
+                        statement.lineno,
+                        f"{table} lists op {key!r} which is not in any "
+                        f"declared vocabulary ({sorted(union)})",
+                    )
+            if declared_here is not None:
+                name, members = declared_here
+                missing = [op for op in members if op not in keys]
+                if missing and keys:
+                    _emit(
+                        scope,
+                        statement.lineno,
+                        f"{table} is missing ops {missing} declared in {name}",
+                    )
+    return findings
+
+
+def check_contracts(
+    program: Program, extra_edges: tuple[tuple[str, str], ...] = ()
+) -> list[Finding]:
+    """All contract rules: FAULT001/002, EXC001, SCHEMA001."""
+    findings = check_fault_sites(program)
+    findings.extend(check_exception_contracts(program, extra_edges))
+    findings.extend(check_schema_vocabulary(program))
+    return findings

@@ -45,6 +45,7 @@ __all__ = ["LAYERS", "check_layering", "layer_of"]
 LAYERS: dict[str, int] = {
     "repro.exceptions": 0,
     "repro.concurrency.locks": 1,  # below obs: metric locks come from here
+    "repro.concurrency.blocking": 1,  # sanitizer twin: faults/resilience use it
     "repro.obs": 2,
     "repro.faults": 3,  # injection sites live in every layer above
     "repro.resilience": 4,  # policies referenced from query/service

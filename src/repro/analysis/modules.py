@@ -18,6 +18,7 @@ class SourceModule:
     name: str
     path: Path
     tree: ast.Module = field(repr=False)
+    lines: tuple[str, ...] = field(default=(), repr=False)  # for suppressions
 
     @property
     def package(self) -> str:
@@ -34,11 +35,12 @@ def load_module(name: str, path: Path) -> SourceModule:
     failing-case exercise without shipping broken code in ``src/``.
     """
     path = Path(path)
+    text = path.read_text(encoding="utf-8")
     try:
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        tree = ast.parse(text, filename=str(path))
     except SyntaxError as error:
         raise ReproError(f"cannot parse {path}: {error}") from error
-    return SourceModule(name=name, path=path, tree=tree)
+    return SourceModule(name=name, path=path, tree=tree, lines=tuple(text.splitlines()))
 
 
 def collect_modules(root: Path, package: str = "repro") -> list[SourceModule]:

@@ -2,58 +2,168 @@
 
 from __future__ import annotations
 
+import json
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.findings import Finding, render_json, render_text
+from repro.analysis.callgraph import Program
+from repro.analysis.contracts import check_contracts
+from repro.analysis.effects import check_blocking
+from repro.analysis.findings import (
+    Finding,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.hygiene import check_hygiene
 from repro.analysis.layering import check_layering
 from repro.analysis.lockorder import EXTRA_CALL_EDGES, check_lock_order
 from repro.analysis.modules import SourceModule, collect_modules
+from repro.exceptions import ReproError
 
-__all__ = ["AnalysisReport", "analyze", "analyze_modules"]
+__all__ = ["AnalysisReport", "analyze", "analyze_modules", "load_baseline"]
+
+#: ``# analysis: allow BLOCK001 the WAL fsync is the store's job``
+_SUPPRESSION = re.compile(
+    r"#\s*analysis:\s*allow\s+(?P<rule>[A-Z]+[0-9]+)\s+(?P<reason>\S.*)$"
+)
 
 
 @dataclass
 class AnalysisReport:
-    """All findings from one analysis run."""
+    """All findings from one analysis run.
+
+    ``findings`` are the *active* violations (they fail the build);
+    ``suppressed`` were matched by an in-source suppression comment or
+    a baseline entry and are reported but do not fail.
+    """
 
     findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        """True when the tree is clean."""
+        """True when the tree has no active findings."""
         return not self.findings
 
     def by_category(self, category: str) -> list[Finding]:
-        """The findings of one checker family."""
+        """The active findings of one checker family."""
         return [f for f in self.findings if f.category == category]
 
     def by_rule(self, rule: str) -> list[Finding]:
-        """The findings of one rule id."""
+        """The active findings of one rule id."""
         return [f for f in self.findings if f.rule == rule]
 
     def render(self, format: str = "text") -> str:
-        """The report as ``"text"`` or ``"json"``."""
+        """The report as ``"text"``, ``"json"`` or ``"sarif"``."""
         if format == "json":
-            return render_json(self.findings)
-        return render_text(self.findings)
+            return render_json(self.findings, self.suppressed)
+        if format == "sarif":
+            return render_sarif(self.findings, self.suppressed)
+        return render_text(self.findings, self.suppressed)
+
+
+def _suppressed_rules(module: SourceModule, line: int) -> dict[str, str]:
+    """Suppression comments on ``line`` or the line above, rule -> reason."""
+    rules: dict[str, str] = {}
+    for candidate in (line, line - 1):
+        if 1 <= candidate <= len(module.lines):
+            match = _SUPPRESSION.search(module.lines[candidate - 1])
+            if match:
+                rules[match.group("rule")] = match.group("reason").strip()
+    return rules
+
+
+def _split_suppressed(
+    findings: list[Finding], modules: list[SourceModule]
+) -> tuple[list[Finding], list[Finding]]:
+    by_name = {module.name: module for module in modules}
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        module = by_name.get(finding.module)
+        if module is not None and finding.rule in _suppressed_rules(
+            module, finding.line
+        ):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed
+
+
+def load_baseline(path: Path) -> list[dict[str, object]]:
+    """Parse a baseline file: ``{"findings": [{rule, module, ...}]}``.
+
+    Each entry must name at least ``rule`` and ``module``; ``function``
+    and ``line`` narrow the match when present. Unknown keys error so
+    typos do not silently baseline nothing.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"cannot read baseline {path}: {error}") from error
+    entries = payload.get("findings") if isinstance(payload, dict) else None
+    if not isinstance(entries, list):
+        raise ReproError(f"baseline {path} must be {{'findings': [...]}}")
+    allowed = {"rule", "module", "function", "line", "reason"}
+    for entry in entries:
+        if not isinstance(entry, dict) or not {"rule", "module"} <= entry.keys():
+            raise ReproError(f"baseline entry {entry!r} needs 'rule' and 'module'")
+        unknown = entry.keys() - allowed
+        if unknown:
+            raise ReproError(f"baseline entry {entry!r}: unknown keys {sorted(unknown)}")
+    return entries
+
+
+def _matches_baseline(finding: Finding, entry: dict[str, object]) -> bool:
+    if entry["rule"] != finding.rule or entry["module"] != finding.module:
+        return False
+    if "function" in entry and entry["function"] != finding.function:
+        return False
+    if "line" in entry and entry["line"] != finding.line:
+        return False
+    return True
+
+
+def _apply_baseline(
+    findings: list[Finding], baseline: list[dict[str, object]]
+) -> tuple[list[Finding], list[Finding]]:
+    active: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        if any(_matches_baseline(finding, entry) for entry in baseline):
+            matched.append(finding)
+        else:
+            active.append(finding)
+    return active, matched
 
 
 def analyze_modules(
     modules: list[SourceModule],
     extra_edges: tuple[tuple[str, str], ...] = EXTRA_CALL_EDGES,
+    baseline: list[dict[str, object]] | None = None,
 ) -> AnalysisReport:
-    """Run all three checker families over already-collected modules."""
+    """Run all checker families over already-collected modules."""
+    program = Program(modules)
     findings = [
         *check_lock_order(modules, extra_edges),
         *check_layering(modules),
         *check_hygiene(modules),
+        *check_blocking(program, extra_edges),
+        *check_contracts(program, extra_edges),
     ]
-    return AnalysisReport(findings=findings)
+    active, suppressed = _split_suppressed(findings, modules)
+    if baseline:
+        active, baselined = _apply_baseline(active, baseline)
+        suppressed.extend(baselined)
+    return AnalysisReport(findings=active, suppressed=suppressed)
 
 
-def analyze(root: Path | None = None) -> AnalysisReport:
+def analyze(
+    root: Path | None = None,
+    baseline: list[dict[str, object]] | None = None,
+) -> AnalysisReport:
     """Analyze the package tree rooted at ``root``.
 
     ``root`` is the directory containing the package's ``__init__.py``;
@@ -64,4 +174,4 @@ def analyze(root: Path | None = None) -> AnalysisReport:
         import repro
 
         root = Path(repro.__file__).parent
-    return analyze_modules(collect_modules(Path(root)))
+    return analyze_modules(collect_modules(Path(root)), baseline=baseline)

@@ -222,13 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="static checks: lock order, layering, hot-path hygiene",
+        help="static checks: lock order, layering, hygiene, blocking "
+        "effects, fault/exception/schema contracts",
     )
     analyze.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="text = line per finding; json = machine-readable report",
+        help="text = line per finding; json = machine-readable report; "
+        "sarif = SARIF 2.1.0 for code-scanning upload",
     )
     analyze.add_argument(
         "--root",
@@ -236,6 +238,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="package directory to analyze (default: the installed repro "
         "package itself)",
+    )
+    analyze.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="JSON baseline file; matching findings are reported as "
+        "suppressed instead of failing the run",
+    )
+    analyze.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="also write the rendered report to this file",
     )
     return parser
 
@@ -646,10 +661,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         # it as a gate, so findings must fail the process.
         from pathlib import Path
 
-        from repro.analysis import analyze
+        from repro.analysis import analyze, load_baseline
 
-        report = analyze(Path(args.root) if args.root else None)
-        print(report.render(args.format))
+        baseline = load_baseline(Path(args.baseline)) if args.baseline else None
+        report = analyze(Path(args.root) if args.root else None, baseline=baseline)
+        rendered = report.render(args.format)
+        if args.output:
+            Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(rendered)
         return 0 if report.ok else 1
     print(_RUNNERS[args.command](args))
     return 0

@@ -25,8 +25,23 @@ analyze`` (:mod:`repro.analysis`) and at runtime by the opt-in
 lock-order sanitizer in :mod:`repro.concurrency.locks` (see
 :func:`enable_lock_sanitizer`), which the concurrency stress tests run
 under.
+
+:mod:`repro.concurrency.blocking` extends the same discipline to
+*blocking effects*: a test-scoped patch of socket/fsync/sleep entry
+points raising :class:`BlockingUnderLock` when entered with a
+non-sanctioned ranked lock held - the runtime twin of the static
+``BLOCK001`` rule.
 """
 
+from repro.concurrency.blocking import (
+    SANCTIONED_BLOCKING_LEVELS,
+    BlockingUnderLock,
+    allow_blocking,
+    blocking_sanitizer,
+    blocking_sanitizer_enabled,
+    disable_blocking_sanitizer,
+    enable_blocking_sanitizer,
+)
 from repro.concurrency.executor import (
     ConcurrentQueryExecutor,
     ExecutorSaturated,
@@ -59,6 +74,8 @@ __all__ = [
     "LEVEL_RELATION",
     "LEVEL_USER",
     "LOCK_LEVEL_NAMES",
+    "SANCTIONED_BLOCKING_LEVELS",
+    "BlockingUnderLock",
     "ConcurrentQueryExecutor",
     "ExecutorSaturated",
     "LockOrderViolation",
@@ -66,7 +83,12 @@ __all__ = [
     "RWLock",
     "RequestOutcome",
     "StripedLockTable",
+    "allow_blocking",
+    "blocking_sanitizer",
+    "blocking_sanitizer_enabled",
+    "disable_blocking_sanitizer",
     "disable_lock_sanitizer",
+    "enable_blocking_sanitizer",
     "enable_lock_sanitizer",
     "held_locks",
     "lock_sanitizer",

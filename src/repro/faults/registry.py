@@ -47,6 +47,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.exceptions import ReproError
+from repro.concurrency.blocking import allow_blocking
 from repro.concurrency.locks import Mutex
 from repro.obs.metrics import get_registry
 
@@ -235,7 +236,10 @@ class FaultRegistry:
             return
         self._record(site, spec.kind)
         if spec.kind == "latency":
-            time.sleep(spec.delay)
+            # Injected latency deliberately blocks under whatever locks
+            # the instrumented call site holds - that is the fault.
+            with allow_blocking():
+                time.sleep(spec.delay)
             return
         raise InjectedFault(site)
 
@@ -251,7 +255,8 @@ class FaultRegistry:
             return value
         self._record(site, spec.kind)
         if spec.kind == "latency":
-            time.sleep(spec.delay)
+            with allow_blocking():
+                time.sleep(spec.delay)
             return value
         if spec.kind == "error":
             raise InjectedFault(site)

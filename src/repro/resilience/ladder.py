@@ -30,6 +30,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import RequestTimeout, ServiceUnavailable
+from repro.concurrency.blocking import BlockingUnderLock
 from repro.concurrency.locks import LockOrderViolation
 from repro.obs.metrics import get_registry
 from repro.resilience.breaker import CircuitBreaker
@@ -42,7 +43,12 @@ __all__ = ["DegradationLadder", "LadderLevel", "ResiliencePolicies"]
 #: sanitizer violations are correctness bugs, timeouts carry the
 #: request's (already spent) budget, ServiceUnavailable is the ladder's
 #: own terminal verdict.
-NON_DEGRADABLE = (LockOrderViolation, RequestTimeout, ServiceUnavailable)
+NON_DEGRADABLE = (
+    BlockingUnderLock,
+    LockOrderViolation,
+    RequestTimeout,
+    ServiceUnavailable,
+)
 
 
 @dataclass

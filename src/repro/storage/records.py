@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import json
 import zlib
-from collections.abc import Mapping, MutableMapping
+from collections.abc import Callable, Mapping, MutableMapping
 
 from repro.exceptions import StorageError
 
@@ -142,7 +142,7 @@ def _materialize(
     user: str,
     directory: Mapping[str, Mapping],
     overrides: Mapping[str, Mapping],
-    baseline,
+    baseline: Callable[[str, Mapping], dict] | None,
 ) -> dict:
     """The user's current serialized profile, from override or baseline."""
     override = overrides.get(user)
@@ -164,7 +164,7 @@ def apply_record(
     data: Mapping,
     directory: MutableMapping[str, dict],
     overrides: MutableMapping[str, dict],
-    baseline=None,
+    baseline: Callable[[str, Mapping], dict] | None = None,
 ) -> None:
     """Fold one record into the pure-data recovered state.
 

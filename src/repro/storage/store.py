@@ -184,7 +184,7 @@ class ProfileStore(ABC):
     def __enter__(self) -> "ProfileStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------

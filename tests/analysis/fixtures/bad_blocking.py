@@ -1,0 +1,35 @@
+"""Fixture: deliberate blocking-under-lock violations (BLOCK001).
+
+Fed to the analyzer under a pretend ``repro.*`` module name by
+``tests/analysis/test_effects.py``; never imported by shipped code.
+"""
+
+import os
+import time
+
+from repro.concurrency.locks import LEVEL_CACHE, Mutex
+
+
+class SleepyCache:
+    """Blocks while holding the cache-level lock (non-sanctioned)."""
+
+    def __init__(self) -> None:
+        self.cache_lock = Mutex(level=LEVEL_CACHE, name="fixture.cache")
+
+    def direct_sleep(self) -> None:
+        # time.sleep directly under cache(40): direct BLOCK001.
+        with self.cache_lock:
+            time.sleep(0.01)
+
+    def direct_fsync(self, fd: int) -> None:
+        # os.fsync directly under cache(40): direct BLOCK001.
+        with self.cache_lock:
+            os.fsync(fd)
+
+    def transitive_block(self) -> None:
+        # The blocking is one call away: BLOCK001 with a chain.
+        with self.cache_lock:
+            self._refill()
+
+    def _refill(self) -> None:
+        time.sleep(0.01)

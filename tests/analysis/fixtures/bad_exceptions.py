@@ -1,0 +1,46 @@
+"""Fixture: a broad handler swallowing non-degradable errors (EXC001).
+
+Fed to the analyzer under a pretend ``repro.*`` module name by
+``tests/analysis/test_contracts.py``; never imported by shipped code.
+The module name used in tests sits inside a sanctioned broad-except
+boundary so HYG005 stays quiet and EXC001 fires alone.
+"""
+
+
+class ServiceUnavailable(RuntimeError):
+    pass
+
+
+class RequestTimeout(RuntimeError):
+    pass
+
+
+def flaky() -> int:
+    raise ServiceUnavailable("worker pool exhausted")
+
+
+def swallowing_boundary() -> int:
+    # flaky() may raise ServiceUnavailable; the broad handler swallows
+    # instead of re-raising it: EXC001.
+    try:
+        return flaky()
+    except Exception:
+        return -1
+
+
+def honoured_boundary() -> int:
+    # A typed handler disposes of the guarded type first: clean.
+    try:
+        return flaky()
+    except ServiceUnavailable:
+        raise
+    except Exception:
+        return -1
+
+
+def reraising_boundary() -> int:
+    # The broad handler re-raises: clean (the ladder's pattern).
+    try:
+        return flaky()
+    except Exception:
+        raise

@@ -1,0 +1,24 @@
+"""Fixture: deliberate fault-site drift (FAULT001 and FAULT002).
+
+Fed to the analyzer under a pretend ``repro.*`` module name by
+``tests/analysis/test_contracts.py``; never imported by shipped code.
+"""
+
+# "cache.put" and "relation.scan" are registered but never fired:
+# FAULT001 (twice), reported at this declaration.
+SITES = (
+    "cache.get",
+    "cache.put",
+    "relation.scan",
+)
+
+
+class Registry:
+    def fire(self, site: str) -> None:
+        raise NotImplementedError(site)
+
+
+def hot_path(registry: Registry) -> None:
+    registry.fire("cache.get")
+    # Never registered above: FAULT002 at this call.
+    registry.fire("cache.evict")

@@ -1,0 +1,29 @@
+"""Fixture: op literals outside the declared vocabulary (SCHEMA001).
+
+Fed to the analyzer under a pretend ``repro.*`` module name by
+``tests/analysis/test_contracts.py``; never imported by shipped code.
+"""
+
+OPS = ("add", "remove")
+
+# Lists an op that is not declared, and misses "remove": SCHEMA001
+# twice at this table.
+_REQUIRED = {
+    "add": ("user_id", "preference"),
+    "replace": ("user_id", "preference"),
+}
+
+
+def apply_record(record: dict) -> int:
+    op = record["op"]
+    if op == "add":
+        return 1
+    # "replace" is not in OPS: SCHEMA001 at the comparison.
+    if op == "replace":
+        return 2
+    raise ValueError(op)
+
+
+def encode_tombstone(user_id: int) -> dict:
+    # "drop" is not in OPS: SCHEMA001 at the payload literal.
+    return {"op": "drop", "user_id": user_id}

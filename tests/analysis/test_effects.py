@@ -1,0 +1,115 @@
+"""Rule BLOCK001: the may-block effect checker fires on its fixture,
+shielded boundaries stay silent, and the shipped tree is clean."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze, collect_modules, load_module
+from repro.analysis.callgraph import Program
+from repro.analysis.effects import check_blocking
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_ROOT = Path(repro.__file__).parent
+
+
+def _findings(filename: str, name: str = "repro.service.fixture"):
+    module = load_module(name, FIXTURES / filename)
+    return check_blocking(Program([module]))
+
+
+class TestBlock001:
+    def test_direct_sleep_under_cache_lock_is_flagged(self):
+        findings = _findings("bad_blocking.py")
+        flagged = [f for f in findings if f.function == "SleepyCache.direct_sleep"]
+        assert flagged, "direct time.sleep under cache lock missed"
+        assert flagged[0].rule == "BLOCK001"
+        assert "sleep" in flagged[0].message
+        assert "cache(40)" in flagged[0].message
+
+    def test_direct_fsync_under_cache_lock_is_flagged(self):
+        findings = _findings("bad_blocking.py")
+        flagged = [f for f in findings if f.function == "SleepyCache.direct_fsync"]
+        assert flagged
+        assert "fsync" in flagged[0].message
+
+    def test_transitive_block_carries_a_provenance_chain(self):
+        findings = _findings("bad_blocking.py")
+        flagged = [
+            f for f in findings if f.function == "SleepyCache.transitive_block"
+        ]
+        assert flagged, "call-graph propagation missed the blocking callee"
+        assert flagged[0].chain == ("SleepyCache._refill",)
+
+    def test_the_fixture_triggers_exactly_block001(self):
+        module = load_module("repro.service.fixture", FIXTURES / "bad_blocking.py")
+        from repro.analysis import analyze_modules
+
+        report = analyze_modules([module])
+        assert {f.rule for f in report.findings} == {"BLOCK001"}
+
+    def test_sanctioned_store_level_blocking_is_not_flagged(self, tmp_path):
+        clean = tmp_path / "store_fixture.py"
+        clean.write_text(
+            "import os\n"
+            "from repro.concurrency.locks import LEVEL_STORE, Mutex\n"
+            "class Wal:\n"
+            "    def __init__(self) -> None:\n"
+            "        self.store_lock = Mutex(level=LEVEL_STORE, name='f.store')\n"
+            "    def barrier(self, fd: int) -> None:\n"
+            "        with self.store_lock:\n"
+            "            os.fsync(fd)\n",
+            encoding="utf-8",
+        )
+        module = load_module("repro.storage.fixture", clean)
+        assert check_blocking(Program([module])) == []
+
+    def test_str_join_is_not_a_blocking_call(self, tmp_path):
+        clean = tmp_path / "join_fixture.py"
+        clean.write_text(
+            "from repro.concurrency.locks import LEVEL_CACHE, Mutex\n"
+            "class Labels:\n"
+            "    def __init__(self) -> None:\n"
+            "        self.lock = Mutex(level=LEVEL_CACHE, name='f.cache')\n"
+            "    def render(self, parts: list) -> str:\n"
+            "        with self.lock:\n"
+            "            return ', '.join(parts)\n",
+            encoding="utf-8",
+        )
+        module = load_module("repro.obs.fixture", clean)
+        assert check_blocking(Program([module])) == []
+
+    def test_shipped_tree_has_no_block001(self):
+        program = Program(collect_modules(SRC_ROOT))
+        assert check_blocking(program) == []
+
+    def test_suppression_comment_downgrades_the_finding(self, tmp_path):
+        suppressed = tmp_path / "suppressed_fixture.py"
+        suppressed.write_text(
+            "import time\n"
+            "from repro.concurrency.locks import LEVEL_CACHE, Mutex\n"
+            "class Cache:\n"
+            "    def __init__(self) -> None:\n"
+            "        self.lock = Mutex(level=LEVEL_CACHE, name='f.cache')\n"
+            "    def warm(self) -> None:\n"
+            "        with self.lock:\n"
+            "            # analysis: allow BLOCK001 fixture demonstrates suppression\n"
+            "            time.sleep(0.01)\n",
+            encoding="utf-8",
+        )
+        from repro.analysis import analyze_modules
+
+        module = load_module("repro.service.fixture", suppressed)
+        report = analyze_modules([module])
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["BLOCK001"]
+
+
+class TestShieldingMatchesRuntime:
+    def test_static_and_runtime_share_the_sanctioned_levels(self):
+        from repro.concurrency.blocking import SANCTIONED_BLOCKING_LEVELS
+        from repro.concurrency.locks import LEVEL_CONN, LEVEL_ROUTER, LEVEL_STORE
+
+        assert SANCTIONED_BLOCKING_LEVELS == {LEVEL_ROUTER, LEVEL_CONN, LEVEL_STORE}
+
+    def test_shipped_tree_stays_clean_end_to_end(self):
+        assert analyze(SRC_ROOT).ok

@@ -48,8 +48,82 @@ class TestReport:
         first = payload["findings"][0]
         assert {"rule", "category", "module", "path", "line", "message"} <= set(first)
 
+    def test_json_schema_has_the_stable_keys(self, dirty_report):
+        payload = json.loads(dirty_report.render("json"))
+        assert set(payload) == {"findings", "count", "suppressed", "suppressed_count"}
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule",
+                "category",
+                "module",
+                "path",
+                "line",
+                "message",
+                "function",
+                "chain",
+            }
+            assert isinstance(finding["chain"], list)
+
+    def test_sarif_rendering_is_valid_2_1_0(self, dirty_report):
+        log = json.loads(dirty_report.render("sarif"))
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        rules = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"LOCK001", "BLOCK001", "EXC001", "FAULT001", "SCHEMA001"} <= rules
+        assert run["results"], "dirty report must produce SARIF results"
+        first = run["results"][0]
+        assert first["ruleId"] in rules
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+
     def test_clean_text_report(self):
         assert analyze(SRC_ROOT).render() == "analyze: 0 findings"
+
+
+class TestBaseline:
+    @pytest.fixture()
+    def dirty_modules(self):
+        return [load_module("repro.service.fixture", FIXTURES / "bad_blocking.py")]
+
+    def test_baseline_entries_suppress_matching_findings(self, dirty_modules):
+        from repro.analysis import analyze_modules
+
+        baseline = [{"rule": "BLOCK001", "module": "repro.service.fixture"}]
+        report = analyze_modules(dirty_modules, baseline=baseline)
+        assert report.ok
+        assert report.suppressed
+        assert all(f.rule == "BLOCK001" for f in report.suppressed)
+
+    def test_baseline_with_function_scope_only_matches_that_function(
+        self, dirty_modules
+    ):
+        from repro.analysis import analyze_modules
+
+        baseline = [
+            {
+                "rule": "BLOCK001",
+                "module": "repro.service.fixture",
+                "function": "SleepyCache.direct_sleep",
+            }
+        ]
+        report = analyze_modules(dirty_modules, baseline=baseline)
+        assert not report.ok
+        assert {f.function for f in report.suppressed} == {"SleepyCache.direct_sleep"}
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        from repro.analysis import load_baseline
+
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"findings": [{"rule": "X"}]}), encoding="utf-8")
+        with pytest.raises(ReproError, match="needs 'rule' and 'module'"):
+            load_baseline(bad)
+        bad.write_text(
+            json.dumps({"findings": [{"rule": "X", "module": "m", "oops": 1}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ReproError, match="unknown keys"):
+            load_baseline(bad)
 
 
 class TestCollection:
@@ -77,4 +151,76 @@ class TestCli:
     def test_analyze_json_format(self, capsys):
         assert main(["analyze", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload == {"findings": [], "count": 0}
+        assert payload == {
+            "findings": [],
+            "count": 0,
+            "suppressed": [],
+            "suppressed_count": 0,
+        }
+
+    def test_analyze_sarif_format(self, capsys):
+        assert main(["analyze", "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"] == []
+
+    def test_analyze_output_writes_the_report_to_a_file(self, tmp_path, capsys):
+        target = tmp_path / "analyze.sarif"
+        assert main(
+            ["analyze", "--format", "sarif", "--output", str(target)]
+        ) == 0
+        capsys.readouterr()
+        assert json.loads(target.read_text(encoding="utf-8"))["version"] == "2.1.0"
+
+    def test_analyze_baseline_flag_gates_known_findings(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "findings": [
+                        {"rule": rule, "module": f"repro.{stem}"}
+                        for stem in (
+                            "bad_blocking",
+                            "bad_exceptions",
+                            "bad_faultsites",
+                            "bad_hygiene",
+                            "bad_layering",
+                            "bad_lockorder",
+                            "bad_schema",
+                            "bad_upgrade",
+                        )
+                        for rule in (
+                            "LOCK001",
+                            "LOCK002",
+                            "LAYER001",
+                            "LAYER002",
+                            "HYG001",
+                            "HYG002",
+                            "HYG003",
+                            "HYG004",
+                            "HYG005",
+                            "BLOCK001",
+                            "FAULT001",
+                            "FAULT002",
+                            "EXC001",
+                            "SCHEMA001",
+                        )
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert (
+            main(
+                [
+                    "analyze",
+                    "--root",
+                    str(FIXTURES),
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "suppressed" in out

@@ -1,0 +1,17 @@
+"""Suite-wide runtime sanitizers for the chaos tests.
+
+Chaos rounds run under the blocking sanitizer: injected latency is the
+one sanctioned blocking-under-lock path (the fault registry wraps its
+``time.sleep`` in ``allow_blocking()``), so anything else that blocks
+while holding a ranked lock fails the suite - BLOCK001's runtime twin.
+"""
+
+import pytest
+
+from repro.concurrency import blocking_sanitizer
+
+
+@pytest.fixture(autouse=True)
+def _blocking_sanitizer():
+    with blocking_sanitizer():
+        yield

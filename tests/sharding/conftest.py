@@ -8,6 +8,7 @@ bit-identical to the twin's, before and after crashes.
 
 import pytest
 
+from repro.concurrency import blocking_sanitizer
 from repro.context.state import ContextState
 from repro.db.poi import generate_poi_relation
 from repro.service.personalization import PersonalizationService
@@ -16,6 +17,13 @@ from repro.workloads.users import all_personas, study_environment
 
 NUM_ROWS = 120
 SEED = 7
+
+
+@pytest.fixture(autouse=True)
+def _blocking_sanitizer():
+    """BLOCK001's runtime twin guards the whole sharding suite."""
+    with blocking_sanitizer():
+        yield
 TOP_K = 10
 USERS = [f"user{index}" for index in range(8)]
 

@@ -1,0 +1,16 @@
+"""Suite-wide runtime sanitizers for the storage tests.
+
+Every test runs under the blocking sanitizer (and the lock sanitizer
+it needs): the WAL's flush/fsync calls must only ever block at the
+sanctioned ``store`` level - BLOCK001's runtime twin.
+"""
+
+import pytest
+
+from repro.concurrency import blocking_sanitizer
+
+
+@pytest.fixture(autouse=True)
+def _blocking_sanitizer():
+    with blocking_sanitizer():
+        yield

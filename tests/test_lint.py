@@ -65,7 +65,15 @@ def test_mypy_clean():
     # Typed baseline: the context/preferences/tree layers carry full
     # annotations; the pyproject config keeps the rest permissive.
     completed = subprocess.run(
-        ["mypy", "src/repro/context", "src/repro/preferences", "src/repro/tree"],
+        [
+            "mypy",
+            "src/repro/context",
+            "src/repro/preferences",
+            "src/repro/tree",
+            "src/repro/faults",
+            "src/repro/resilience",
+            "src/repro/storage",
+        ],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,
