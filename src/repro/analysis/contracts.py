@@ -5,8 +5,9 @@ sync with the code that implements them:
 
 * **FAULT001/002 - fault-site drift.** :mod:`repro.faults` declares the
   injectable site inventory as a module-level ``SITES`` tuple; every
-  instrumented call site invokes ``registry.fire("...")`` or
-  ``registry.corrupt("...", value)`` with a literal from it. A
+  instrumented call site invokes ``registry.fire("...")``,
+  ``registry.corrupt("...", value)`` or - on the transport sites -
+  ``registry.transport("...")`` with a literal from it. A
   registered name with no call site is dead chaos coverage (FAULT001);
   a fired name that was never registered silently never fires
   (FAULT002). If the analyzed tree declares no ``SITES`` inventory the
@@ -118,7 +119,7 @@ def check_fault_sites(program: Program) -> list[Finding]:
             if (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
-                and node.func.attr in {"fire", "corrupt"}
+                and node.func.attr in {"fire", "corrupt", "transport"}
                 and node.args
                 and isinstance(node.args[0], ast.Constant)
                 and isinstance(node.args[0].value, str)

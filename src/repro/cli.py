@@ -10,6 +10,7 @@ Usage::
     python -m repro fig7 real           # Fig. 7 left (real profile accesses)
     python -m repro fig7 synthetic      # Fig. 7 center+right (synthetic)
     python -m repro chaos               # availability under injected faults
+    python -m repro chaos --sharded     # distributed chaos vs the hardened router
     python -m repro persistence         # kill/restart recovery + paging
     python -m repro analyze             # project-native static checks
 
@@ -175,6 +176,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--concurrent-batch", type=int, default=16)
     chaos.add_argument("--max-workers", type=int, default=4)
     chaos.add_argument("--seed", type=int, default=23)
+    chaos.add_argument(
+        "--sharded",
+        action="store_true",
+        help="run the distributed chaos schedule against the sharded "
+        "tier (network faults + kills + drains vs the hardened router)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for --sharded (ignored otherwise)",
+    )
     chaos.add_argument(
         "--no-baseline",
         action="store_true",
@@ -506,6 +519,8 @@ def _run_chaos(args: argparse.Namespace) -> str:
 
     from repro.eval.chaos import run_chaos
 
+    if args.sharded:
+        return _run_chaos_sharded(args)
     report = run_chaos(
         num_users=args.users,
         num_rows=args.rows,
@@ -563,6 +578,71 @@ def _run_chaos(args: argparse.Namespace) -> str:
             f"Chaos run - {workload['rounds']} rounds, seed "
             f"{workload['seed']}, {workload['num_users']} users, "
             f"{workload['num_rows']} rows"
+        ),
+    )
+
+
+def _run_chaos_sharded(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.eval.chaos_sharded import run_chaos_sharded
+
+    report = run_chaos_sharded(
+        num_users=args.users,
+        num_rows=args.rows,
+        num_workers=args.workers,
+        queries_per_round=args.queries_per_round,
+        edits_per_round=args.edits_per_round,
+        seed=args.seed,
+        with_baseline=not args.no_baseline,
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        return json.dumps(report, indent=2)
+    hardened = report["hardened"]
+    rows: list[list[object]] = [
+        ["requests (queries + edits)", hardened["requests"]],
+        ["availability", f"{hardened['availability']:.2%}"],
+        ["identical rankings", "yes" if hardened["identical_output"] else "NO"],
+        ["lost replies", hardened["lost_replies"]],
+        ["double-served replies", hardened["duplicate_replies"]],
+        ["dedup-served replies", hardened["dedup_replies"]],
+        [
+            "edits via (forward/wal/resync)",
+            " / ".join(
+                str(hardened["applied_via"].get(key, 0))
+                for key in ("forward", "wal", "resync")
+            ),
+        ],
+    ]
+    for key in (
+        "conn_failures",
+        "reconnects",
+        "hedged_requests",
+        "worker_deaths",
+        "rebalances",
+        "drains",
+    ):
+        rows.append([key.replace("_", " "), hardened["router"][key]])
+    baseline = report.get("baseline")
+    if baseline is not None:
+        rows += [
+            ["baseline availability", f"{baseline['availability']:.2%}"],
+            [
+                "availability delta",
+                f"{report['availability_delta']:+.2%}",
+            ],
+        ]
+    workload = report["workload"]
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"Sharded chaos - {len(workload['rounds'])} rounds, "
+            f"{workload['num_workers']} workers, seed {workload['seed']}"
         ),
     )
 

@@ -7,6 +7,7 @@ from repro.eval.accesses import (
     measure_accesses,
 )
 from repro.eval.chaos import chaos_schedule, run_chaos, run_chaos_overhead
+from repro.eval.chaos_sharded import chaos_sharded_schedule, run_chaos_sharded
 from repro.eval.persistence import (
     kill_restart_schedule,
     run_kill_restart,
@@ -49,6 +50,7 @@ __all__ = [
     "UsabilityStudy",
     "UserStudyRow",
     "chaos_schedule",
+    "chaos_sharded_schedule",
     "classify_states",
     "fig5_real_profile",
     "fig6_size_sweep",
@@ -64,6 +66,7 @@ __all__ = [
     "rank_access_sweep",
     "run_chaos",
     "run_chaos_overhead",
+    "run_chaos_sharded",
     "run_kill_restart",
     "run_obs_overhead",
     "run_paging_bench",

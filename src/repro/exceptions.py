@@ -27,6 +27,7 @@ __all__ = [
     "ShardError",
     "ProtocolError",
     "WorkerDied",
+    "WorkerUnreachable",
     "ServiceUnavailable",
     "RequestTimeout",
     "CachePoisonedError",
@@ -116,6 +117,21 @@ class ProtocolError(ShardError):
 class WorkerDied(ShardError):
     """A worker process stopped answering (crashed, was killed, or its
     connection broke mid-exchange).
+
+    Attributes:
+        worker: The worker's name, if known.
+    """
+
+    def __init__(self, message: str, *, worker: str | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+
+
+class WorkerUnreachable(ShardError):
+    """A worker *process* is alive but its connection cannot be used or
+    re-established (partition, repeated resets). Deliberately **not** a
+    :class:`WorkerDied`: the worker must not be declared dead and its
+    shard must not move - the link is expected to heal.
 
     Attributes:
         worker: The worker's name, if known.

@@ -11,6 +11,8 @@ disabled (one attribute check per hook) - see
 
 from repro.faults.registry import (
     SITES,
+    TRANSPORT_KINDS,
+    TRANSPORT_SITES,
     CorruptedValue,
     FaultRegistry,
     FaultSpec,
@@ -21,6 +23,8 @@ from repro.faults.registry import (
 
 __all__ = [
     "SITES",
+    "TRANSPORT_KINDS",
+    "TRANSPORT_SITES",
     "CorruptedValue",
     "FaultRegistry",
     "FaultSpec",

@@ -5,7 +5,7 @@ Chaos testing a concurrent serving system needs failures that are
 sites no matter how threads interleave, so a failing run can be
 replayed. This module provides a process-wide :class:`FaultRegistry`
 with **named injection sites** planted through the stack (see
-:data:`SITES`); each site supports three fault kinds:
+:data:`SITES`); each site supports these fault kinds:
 
 * ``error`` - raise :class:`InjectedFault` (tagged with the site, so
   the resilience layer can classify it to a component);
@@ -13,6 +13,19 @@ with **named injection sites** planted through the stack (see
 * ``corrupt`` - wrap a value in :class:`CorruptedValue`, simulating a
   poisoned cache entry or mangled payload that downstream integrity
   checks must catch.
+
+The transport sites (``conn.*``/``net.partition``, consulted by the
+sharding wire layer's ``FaultyConnection``) additionally support four
+network-shaped kinds, returned by :meth:`FaultRegistry.transport` for
+the wrapper to enact byte-for-byte:
+
+* ``drop`` - the frame is lost in flight;
+* ``duplicate`` - the frame is delivered twice;
+* ``truncate`` - the stream ends mid-frame (partial write + EOF);
+* ``reset`` - the connection is torn down outright.
+
+``corrupt`` on a transport site flips a body byte so the peer's CRC
+check - not the injector - detects the damage.
 
 Like :mod:`repro.obs`, the registry is a **strict no-op while
 disabled**: every hook starts with one attribute check
@@ -53,6 +66,8 @@ from repro.obs.metrics import get_registry
 
 __all__ = [
     "SITES",
+    "TRANSPORT_KINDS",
+    "TRANSPORT_SITES",
     "CorruptedValue",
     "FaultRegistry",
     "FaultSpec",
@@ -76,9 +91,29 @@ SITES = (
     "storage.snapshot",
     "worker.spawn",
     "worker.kill",
+    "conn.send",
+    "conn.recv",
+    "conn.connect",
+    "net.partition",
 )
 
-_KINDS = ("error", "latency", "corrupt")
+#: Sites on the router<->worker wire path; the only sites where the
+#: network-shaped kinds below may be scheduled.
+TRANSPORT_SITES = frozenset(
+    {"conn.send", "conn.recv", "conn.connect", "net.partition"}
+)
+
+#: Kinds only :meth:`FaultRegistry.transport` can enact (they describe
+#: what happens to a frame, so a value-or-control hook has no way to
+#: express them).
+TRANSPORT_KINDS = frozenset({"drop", "duplicate", "truncate", "reset"})
+
+_KINDS = ("error", "latency", "corrupt", "drop", "duplicate", "truncate", "reset")
+
+#: Kinds each hook can enact (see :meth:`FaultRegistry._draw`).
+_FIRE_KINDS = frozenset({"error", "latency"})
+_CORRUPT_KINDS = frozenset({"error", "latency", "corrupt"})
+_TRANSPORT_DRAW_KINDS = frozenset({"error", "latency", "corrupt"}) | TRANSPORT_KINDS
 
 
 class InjectedFault(ReproError):
@@ -118,7 +153,8 @@ class FaultSpec:
 
     Attributes:
         site: Injection-site name (one of :data:`SITES`).
-        kind: ``"error"``, ``"latency"`` or ``"corrupt"``.
+        kind: ``"error"``, ``"latency"``, ``"corrupt"``, or - on the
+            transport sites only - one of :data:`TRANSPORT_KINDS`.
         probability: Chance each hook execution fires, in [0, 1].
         delay: Seconds to sleep when a ``latency`` fault fires.
         max_fires: Stop firing after this many hits (``None`` = never).
@@ -141,6 +177,11 @@ class FaultSpec:
         if self.kind not in _KINDS:
             raise ReproError(
                 f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.kind in TRANSPORT_KINDS and self.site not in TRANSPORT_SITES:
+            raise ReproError(
+                f"fault kind {self.kind!r} only applies to transport "
+                f"sites {sorted(TRANSPORT_SITES)}, not {self.site!r}"
             )
         if not 0.0 <= self.probability <= 1.0:
             raise ReproError(
@@ -196,12 +237,13 @@ class FaultRegistry:
     # ------------------------------------------------------------------
     # Hooks (called by the planted sites)
     # ------------------------------------------------------------------
-    def _draw(self, site: str, include_corrupt: bool) -> FaultSpec | None:
+    def _draw(self, site: str, eligible: frozenset[str]) -> FaultSpec | None:
         """Pick the spec (if any) firing for this hook execution.
 
-        ``fire`` passes ``include_corrupt=False``: it has no value to
-        corrupt, so corrupt specs are ineligible there and must not be
-        drawn (or counted as fired) at all.
+        Each hook passes the kinds it can enact: ``fire`` has no value
+        to corrupt and no frame to mangle, ``corrupt`` has a value but
+        no frame, ``transport`` can enact everything. Ineligible specs
+        are never drawn (or counted as fired) at all.
         """
         with self._lock:
             specs = self._specs.get(site)
@@ -209,7 +251,7 @@ class FaultRegistry:
                 return None
             rng = self._rngs[site]
             for spec in specs:
-                if not include_corrupt and spec.kind == "corrupt":
+                if spec.kind not in eligible:
                     continue
                 if spec.max_fires is not None and spec.fires >= spec.max_fires:
                     continue
@@ -231,7 +273,7 @@ class FaultRegistry:
         Raises:
             InjectedFault: When an ``error`` fault fires.
         """
-        spec = self._draw(site, include_corrupt=False)
+        spec = self._draw(site, _FIRE_KINDS)
         if spec is None:
             return
         self._record(site, spec.kind)
@@ -250,7 +292,7 @@ class FaultRegistry:
         hook point per site), so a site that returns values needs only
         this one call.
         """
-        spec = self._draw(site, include_corrupt=True)
+        spec = self._draw(site, _CORRUPT_KINDS)
         if spec is None:
             return value
         self._record(site, spec.kind)
@@ -261,6 +303,30 @@ class FaultRegistry:
         if spec.kind == "error":
             raise InjectedFault(site)
         return CorruptedValue(value, site)
+
+    def transport(self, site: str) -> str | None:
+        """Draw a transport fault for a wire-path site.
+
+        ``error`` raises and ``latency`` sleeps inline, exactly as at
+        the in-process sites; the frame-shaped kinds (``corrupt``,
+        ``drop``, ``duplicate``, ``truncate``, ``reset``) are returned
+        as the kind name for the calling connection wrapper to enact on
+        the actual bytes. ``None`` means no fault fired.
+
+        Raises:
+            InjectedFault: When an ``error`` fault fires.
+        """
+        spec = self._draw(site, _TRANSPORT_DRAW_KINDS)
+        if spec is None:
+            return None
+        self._record(site, spec.kind)
+        if spec.kind == "latency":
+            with allow_blocking():
+                time.sleep(spec.delay)
+            return None
+        if spec.kind == "error":
+            raise InjectedFault(site)
+        return spec.kind
 
     # ------------------------------------------------------------------
     # Accounting

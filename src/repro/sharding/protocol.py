@@ -26,7 +26,18 @@ Every request payload carries:
   turns at-least-once delivery into exactly-once application.
 
 Replies carry ``ok`` (bool) plus op-specific fields; a failed
-operation carries ``error`` with the worker-side message.
+operation carries ``error`` with the worker-side message. A request
+may additionally carry ``deadline_ms``: the router's remaining request
+budget, enforced worker-side through ``deadline_scope``.
+
+**Chaos.** :class:`FaultyConnection` wraps a connected socket and
+consults the transport fault sites (``conn.send``, ``conn.recv``,
+``net.partition``) of :mod:`repro.faults` before moving each frame, so
+a seeded plan can corrupt, drop, duplicate, truncate or reset traffic
+on either end of the wire deterministically; :func:`faulty_connect`
+does the same for ``conn.connect`` when (re-)establishing a
+connection. While the registry is disabled the wrapper is a strict
+passthrough (one attribute check per frame).
 """
 
 from __future__ import annotations
@@ -36,13 +47,16 @@ import socket
 from collections.abc import Mapping
 
 from repro.exceptions import ProtocolError
+from repro.faults.registry import FaultRegistry, InjectedFault, get_fault_registry
 from repro.storage.records import canonical_payload, record_crc
 
 __all__ = [
     "MAX_FRAME_BYTES",
     "REQUEST_OPS",
+    "FaultyConnection",
     "decode_frame",
     "encode_frame",
+    "faulty_connect",
     "recv_frame",
     "send_frame",
 ]
@@ -134,6 +148,24 @@ def send_frame(sock: socket.socket, payload: Mapping) -> None:
     sock.sendall(encode_frame(payload))
 
 
+def _recv_body(sock: socket.socket) -> bytes | None:
+    """Read one frame's raw body bytes; ``None`` on a clean EOF.
+
+    Raises:
+        ProtocolError: On a mid-frame EOF or an implausible prefix.
+    """
+    first = sock.recv(1)
+    if not first:
+        return None
+    prefix = first + _recv_exact(sock, _PREFIX_BYTES - 1)
+    length = int.from_bytes(prefix, "big")
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"implausible frame length {length} (desynchronised stream?)"
+        )
+    return _recv_exact(sock, length)
+
+
 def recv_frame(sock: socket.socket) -> dict | None:
     """Read one frame from ``sock``; ``None`` on a clean EOF.
 
@@ -145,13 +177,156 @@ def recv_frame(sock: socket.socket) -> dict | None:
         ProtocolError: On a mid-frame EOF, an oversized or garbage
             length prefix, or a body that fails :func:`decode_frame`.
     """
-    first = sock.recv(1)
-    if not first:
+    body = _recv_body(sock)
+    if body is None:
         return None
-    prefix = first + _recv_exact(sock, _PREFIX_BYTES - 1)
-    length = int.from_bytes(prefix, "big")
-    if length == 0 or length > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"implausible frame length {length} (desynchronised stream?)"
-        )
-    return decode_frame(_recv_exact(sock, length))
+    return decode_frame(body)
+
+
+def _flip_byte(body: bytes) -> bytes:
+    """Deterministically damage one body byte (a CRC check catches it)."""
+    damaged = bytearray(body)
+    damaged[len(damaged) // 2] ^= 0xFF
+    return bytes(damaged)
+
+
+class FaultyConnection:
+    """A connected socket with the transport fault sites planted.
+
+    Wraps one end of a router<->worker connection; every frame movement
+    first consults ``net.partition`` (both directions - a partitioned
+    link carries nothing) and then the directional site (``conn.send``
+    or ``conn.recv``). The fault kinds map onto real byte-level
+    behaviour:
+
+    * ``corrupt`` - a body byte is flipped; the *peer's* CRC check (or
+      our own :func:`decode_frame`) detects it, never the injector;
+    * ``drop`` - on send the frame is silently discarded, on receive
+      the arrived frame is consumed and a ``TimeoutError`` surfaces
+      (to the caller a dropped reply and a hung peer are the same);
+    * ``duplicate`` - on send the frame goes out twice, on receive the
+      arrived frame is redelivered on the next read;
+    * ``truncate`` - on send a partial frame is written and the write
+      side shut down (the peer sees a mid-frame EOF); on receive the
+      frame is consumed and the mid-frame-EOF ``ProtocolError`` raised
+      locally;
+    * ``reset`` - ``ConnectionResetError``, the torn-down connection;
+    * ``error`` (:class:`InjectedFault`) is translated to
+      ``ConnectionResetError`` too - on a wire path an injected error
+      *is* a connection failure - and ``latency`` sleeps inline.
+
+    Disabled-registry cost is one attribute check per frame; the
+    wrapper then delegates straight to :func:`send_frame` /
+    :func:`recv_frame`.
+    """
+
+    def __init__(
+        self, sock: socket.socket, registry: FaultRegistry | None = None
+    ) -> None:
+        self.sock = sock
+        self._registry = registry if registry is not None else get_fault_registry()
+        self._redeliver: list[dict] = []
+
+    # -- socket passthroughs ------------------------------------------
+    def settimeout(self, timeout: float | None) -> None:
+        self.sock.settimeout(timeout)
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def close(self) -> None:
+        self.sock.close()
+
+    # -- frame movement -----------------------------------------------
+    def send_frame(self, payload: Mapping) -> None:
+        """Send one frame, subject to ``net.partition``/``conn.send``."""
+        if not self._registry.enabled:
+            send_frame(self.sock, payload)
+            return
+        try:
+            partitioned = self._registry.transport("net.partition")
+            kind = None if partitioned else self._registry.transport("conn.send")
+        except InjectedFault as fault:
+            # On a wire path an injected error *is* a connection failure.
+            raise ConnectionResetError(str(fault)) from fault
+        if partitioned:
+            raise ConnectionResetError("injected network partition")
+        if kind is None:
+            send_frame(self.sock, payload)
+            return
+        if kind == "drop":
+            return
+        frame = encode_frame(payload)
+        if kind == "duplicate":
+            self.sock.sendall(frame + frame)
+        elif kind == "corrupt":
+            self.sock.sendall(
+                frame[:_PREFIX_BYTES] + _flip_byte(frame[_PREFIX_BYTES:])
+            )
+        elif kind == "truncate":
+            self.sock.sendall(frame[: max(_PREFIX_BYTES + 1, len(frame) // 2)])
+            try:
+                self.sock.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+            raise ConnectionResetError("injected truncate on send")
+        else:  # reset
+            raise ConnectionResetError("injected connection reset on send")
+
+    def recv_frame(self) -> dict | None:
+        """Receive one frame, subject to ``net.partition``/``conn.recv``."""
+        if not self._registry.enabled:
+            return recv_frame(self.sock)
+        if self._redeliver:
+            return self._redeliver.pop(0)
+        try:
+            partitioned = self._registry.transport("net.partition")
+            kind = None if partitioned else self._registry.transport("conn.recv")
+        except InjectedFault as fault:
+            raise ConnectionResetError(str(fault)) from fault
+        if partitioned:
+            raise ConnectionResetError("injected network partition")
+        if kind is None:
+            return recv_frame(self.sock)
+        if kind == "reset":
+            raise ConnectionResetError("injected connection reset on receive")
+        body = _recv_body(self.sock)
+        if body is None:
+            return None
+        if kind == "truncate":
+            raise ProtocolError(
+                "connection closed mid-frame (injected truncate on receive)"
+            )
+        if kind == "drop":
+            raise TimeoutError("injected frame drop on receive")
+        if kind == "corrupt":
+            return decode_frame(_flip_byte(body))
+        frame = decode_frame(body)
+        if kind == "duplicate":
+            self._redeliver.append(frame)
+        return frame
+
+
+def faulty_connect(
+    address: tuple[str, int],
+    timeout: float | None = None,
+    registry: FaultRegistry | None = None,
+) -> FaultyConnection:
+    """Connect to ``address`` through the ``conn.connect`` fault site.
+
+    Any transport kind fired at ``conn.connect`` (and any injected
+    error) surfaces as ``ConnectionRefusedError`` - exactly what a real
+    refused/blackholed connect attempt raises - so callers exercise
+    their reconnect backoff without a real flaky network.
+    """
+    active = registry if registry is not None else get_fault_registry()
+    if active.enabled:
+        try:
+            kind = active.transport("conn.connect")
+        except InjectedFault as fault:
+            raise ConnectionRefusedError(str(fault)) from fault
+        if kind is not None:
+            raise ConnectionRefusedError(f"injected connect failure ({kind})")
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    return FaultyConnection(sock, registry)

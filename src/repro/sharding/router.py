@@ -28,11 +28,37 @@ survivors are resynced from the WAL, and the dead shard's in-flight
 requests are retried - carrying their original request ids, which the
 workers deduplicate - on their new owners.
 
-**Chaos.** Two fault sites integrate with
-:mod:`repro.faults`: ``worker.spawn`` fires in the spawn path, and
-``worker.kill`` fires in the dispatch path - when it fires, the router
-*really* kills the target worker process, so a seeded fault plan
-deterministically exercises the crash/rebalance machinery end to end.
+**Network hardening.** With ``hardened=True`` (the default) the router
+distinguishes a *connection* failure from a *process* death by asking
+the OS whether the worker process is still alive. A dead process takes
+the crash path above; a live-but-unreachable worker (partition, reset,
+poisoned stream) instead charges its breaker one failure, has its
+connection re-established with exponential backoff and is retried -
+**no ring change, no data movement**. Enough consecutive connection
+failures open the breaker, which parks the worker without declaring it
+dead; when the link heals the next successful exchange closes the
+breaker again. While a worker is unreachable its queries are *hedged*
+to another live worker (any worker can serve any user once resynced
+from the WAL, so the hedge target is resynced first when stale);
+hedging also triggers when a worker exceeds its adaptive latency
+deadline (an EWMA of its observed batch latencies). Edits that cannot
+be forwarded during a partition are already durable (WAL-first), so
+they complete as ``applied_via: "wal"`` and the owner is resynced when
+its connection heals. Every request carries a ``rid`` and every reply
+echoes it, so duplicated or stale frames on a connection are simply
+discarded rather than mis-matched to the wrong request.
+:meth:`drain_worker` is the planned-maintenance twin of
+:meth:`kill_worker`: stop routing to the worker, flush the WAL, resync
+the survivors, then shut the process down cleanly.
+
+**Chaos.** The fault sites of :mod:`repro.faults` integrate at two
+levels: ``worker.spawn``/``worker.kill`` fire in the spawn and
+dispatch paths (a fired kill *really* kills the target process), and
+the transport sites (``conn.send``, ``conn.recv``, ``conn.connect``,
+``net.partition``) fire inside the
+:class:`~repro.sharding.protocol.FaultyConnection` wrapper every frame
+travels through, so a seeded plan deterministically exercises the
+crash, partition and recovery machinery end to end.
 
 **Lock order.** The router's dispatch lock (level 5, ``router``) is
 held across a fan-out; each socket write/read briefly takes that
@@ -51,12 +77,17 @@ from dataclasses import asdict
 
 from repro.concurrency.locks import LEVEL_CONN, LEVEL_ROUTER, Mutex
 from repro.context.state import ContextState
-from repro.exceptions import ProtocolError, ShardError, WorkerDied
+from repro.exceptions import (
+    ProtocolError,
+    ShardError,
+    WorkerDied,
+    WorkerUnreachable,
+)
 from repro.faults.registry import InjectedFault, get_fault_registry
 from repro.obs.metrics import get_registry
-from repro.resilience import CircuitBreaker
+from repro.resilience import CircuitBreaker, current_deadline
 from repro.sharding.hashring import ConsistentHashRing
-from repro.sharding.protocol import recv_frame, send_frame
+from repro.sharding.protocol import FaultyConnection, faulty_connect
 from repro.sharding.worker import WorkerSpec, worker_main
 from repro.storage.jsonl import JsonlProfileStore
 from repro.storage.records import validate_record
@@ -68,6 +99,18 @@ __all__ = ["ShardRouter"]
 #: top-k cutoff.
 Request = tuple[str, ContextState, int | None]
 
+#: Stale/duplicated frames tolerated on a connection while looking for
+#: the reply that echoes the expected rid.
+_MAX_STALE_FRAMES = 8
+
+
+def _settimeout_quietly(conn: FaultyConnection, timeout: float | None) -> None:
+    """Restore a socket timeout; a torn-down socket no longer cares."""
+    try:
+        conn.settimeout(timeout)
+    except OSError:
+        pass
+
 
 class _WorkerHandle:
     """The router's view of one worker process."""
@@ -77,16 +120,28 @@ class _WorkerHandle:
         spec: WorkerSpec,
         process: multiprocessing.process.BaseProcess,
         port: int,
-        sock: socket.socket,
+        conn: FaultyConnection,
         breaker: CircuitBreaker,
+        synced_lsn: int = 0,
     ) -> None:
         self.spec = spec
         self.name = spec.name
         self.process = process
         self.port = port
-        self.sock = sock
+        self.conn = conn
         self.breaker = breaker
         self.alive = True
+        # True when the worker is known to have missed a durable edit
+        # (e.g. WAL-applied during a partition) or a resync failed; the
+        # next successful reconnect or dispatch resyncs it first.
+        self.stale = False
+        # WAL position this worker last cold-started/resynced at; a
+        # hedge target behind the WAL head is resynced before use.
+        self.synced_lsn = synced_lsn
+        # EWMA of observed batch latencies (ms); None until measured.
+        self.ewma_ms: float | None = None
+        # Last health-probe round trip (ms); None until probed.
+        self.probe_ms: float | None = None
         # Guards the socket (one frame in flight per worker at a time).
         self.conn_lock = Mutex(level=LEVEL_CONN, name=f"shard.conn:{spec.name}")
 
@@ -111,6 +166,28 @@ class ShardRouter:
         max_retries: Re-dispatch rounds for requests stranded by a
             worker death before :meth:`query_many` gives up.
         spawn_timeout: Seconds to wait for a worker's ready handshake.
+        hardened: Distinguish connection failures from process deaths,
+            reconnect with backoff, hedge slow/unreachable workers and
+            report undeliverable queries per-request. ``False`` is the
+            pre-hardening baseline: every wire failure is treated as a
+            crash and exhausted retries raise.
+        reconnect_attempts / reconnect_backoff: Connection
+            re-establishment tries per failure and the base (doubling)
+            delay between them, seconds.
+        retry_backoff: Base (doubling) delay between re-dispatch
+            rounds, seconds.
+        hedge_timeout / hedge_factor: A worker whose batch reply takes
+            longer than ``max(hedge_timeout, hedge_factor * ewma)`` is
+            abandoned for this round and its requests are hedged to
+            another worker; ``hedge_timeout=None`` disables hedging.
+        health_timeout: Per-probe socket timeout for
+            :meth:`check_health` (a hung worker costs one timeout, not
+            the whole sweep).
+        request_deadline_ms: Attached as ``deadline_ms`` to every
+            forwarded query/edit (workers enforce it through their
+            ``deadline_scope``); an ambient router-side deadline takes
+            precedence when tighter. ``None`` propagates only ambient
+            deadlines.
 
     Example:
         >>> with ShardRouter(4, wal_root=tmp_path) as router:
@@ -135,6 +212,15 @@ class ShardRouter:
         recovery_time: float = 0.5,
         max_retries: int = 2,
         spawn_timeout: float = 60.0,
+        hardened: bool = True,
+        reconnect_attempts: int = 3,
+        reconnect_backoff: float = 0.05,
+        retry_backoff: float = 0.02,
+        hedge_timeout: float | None = 2.0,
+        hedge_factor: float = 8.0,
+        health_timeout: float = 1.0,
+        request_deadline_ms: float | None = None,
+        dedup_capacity: int = 4096,
     ) -> None:
         if num_workers < 1:
             raise ShardError(f"num_workers must be >= 1, got {num_workers}")
@@ -151,6 +237,7 @@ class ShardRouter:
             "io_wait_ms": io_wait_ms,
             "worker_threads": worker_threads,
             "wal_root": wal_root,
+            "dedup_capacity": dedup_capacity,
         }
         self._failure_threshold = failure_threshold
         self._recovery_time = recovery_time
@@ -162,10 +249,22 @@ class ShardRouter:
         self._store: JsonlProfileStore | None = (
             None if wal_root is None else JsonlProfileStore(wal_root)
         )
+        self._hardened = hardened
+        self._reconnect_attempts = max(1, reconnect_attempts)
+        self._reconnect_backoff = max(0.0, reconnect_backoff)
+        self._retry_backoff = max(0.0, retry_backoff)
+        self._hedge_timeout = hedge_timeout
+        self._hedge_factor = hedge_factor
+        self._health_timeout = health_timeout
+        self._request_deadline_ms = request_deadline_ms
         self._rid_counter = 0
         self.worker_deaths = 0
         self.rebalances = 0
         self.retried_requests = 0
+        self.hedged_requests = 0
+        self.conn_failures = 0
+        self.reconnects = 0
+        self.drains = 0
         # Held across a whole fan-out: groups the batch, serialises
         # ring mutations and rebalances against dispatch.
         self._dispatch = Mutex(level=LEVEL_ROUTER, name="shard.router")
@@ -198,7 +297,7 @@ class ShardRouter:
                     self._exchange(handle, {"op": "shutdown"})
                 except (WorkerDied, ProtocolError, OSError):
                     pass
-                handle.sock.close()
+                handle.conn.close()
                 handle.alive = False
             for handle in self._workers.values():
                 handle.process.join(timeout=5.0)
@@ -240,12 +339,13 @@ class ShardRouter:
             spec,
             process,
             handshake["port"],
-            sock,
+            FaultyConnection(sock),
             CircuitBreaker(
                 f"worker:{name}",
                 failure_threshold=self._failure_threshold,
                 recovery_time=self._recovery_time,
             ),
+            synced_lsn=0 if self._store is None else self._store.last_lsn(),
         )
         self._workers[name] = handle
         self._ring.add_node(name)
@@ -281,58 +381,118 @@ class ShardRouter:
         self._rid_counter += 1
         return f"r{self._rid_counter}"
 
-    def _exchange(self, handle: _WorkerHandle, payload: Mapping) -> dict:
+    def _deadline_ms(self) -> int | None:
+        """The request budget to put on the wire, if any (ms)."""
+        deadline = current_deadline()
+        ambient = None if deadline is None else deadline.remaining() * 1000.0
+        configured = self._request_deadline_ms
+        if ambient is None and configured is None:
+            return None
+        budget = min(
+            value for value in (ambient, configured) if value is not None
+        )
+        return max(1, int(budget))
+
+    def _exchange(
+        self,
+        handle: _WorkerHandle,
+        payload: Mapping,
+        timeout: float | None = None,
+    ) -> dict:
         """One request/reply round trip on a worker's connection.
+
+        The request is stamped with a ``rid`` and replies are read
+        until one echoes it, so stale or duplicated frames left on the
+        stream by earlier faults are discarded, never mis-matched.
 
         Raises:
             WorkerDied: On any socket or protocol failure (the
-                connection is poisoned; the worker is treated as
-                crashed).
+                connection is poisoned; the caller classifies whether
+                the worker itself died).
         """
+        payload = dict(payload)
+        payload.setdefault("rid", self._next_rid())
+        rid = payload["rid"]
         with handle.conn_lock:
             try:
-                send_frame(handle.sock, payload)
-                reply = recv_frame(handle.sock)
+                try:
+                    handle.conn.settimeout(timeout)
+                    handle.conn.send_frame(payload)
+                    for _ in range(_MAX_STALE_FRAMES):
+                        reply = handle.conn.recv_frame()
+                        if reply is None:
+                            raise WorkerDied(
+                                f"worker {handle.name!r} closed its connection",
+                                worker=handle.name,
+                            )
+                        if reply.get("rid") == rid:
+                            return reply
+                    raise ProtocolError(
+                        f"no reply matching rid {rid!r} within "
+                        f"{_MAX_STALE_FRAMES} frames (desynchronised stream)"
+                    )
+                finally:
+                    if timeout is not None:
+                        _settimeout_quietly(handle.conn, None)
             except (ProtocolError, OSError) as error:
                 raise WorkerDied(
                     f"worker {handle.name!r} failed mid-exchange: {error}",
                     worker=handle.name,
                 ) from error
-        if reply is None:
-            raise WorkerDied(
-                f"worker {handle.name!r} closed its connection",
-                worker=handle.name,
-            )
-        return reply
 
     def _send_batch(self, handle: _WorkerHandle, payload: Mapping) -> None:
         """Send-only half of a fan-out (replies collected separately)."""
         self._maybe_chaos_kill(handle)
         with handle.conn_lock:
             try:
-                send_frame(handle.sock, payload)
+                handle.conn.send_frame(payload)
             except (ProtocolError, OSError) as error:
                 raise WorkerDied(
                     f"worker {handle.name!r} failed on send: {error}",
                     worker=handle.name,
                 ) from error
 
-    def _recv_batch(self, handle: _WorkerHandle) -> dict:
-        """Receive-only half of a fan-out."""
+    def _recv_batch(
+        self,
+        handle: _WorkerHandle,
+        rid: str,
+        timeout: float | None = None,
+    ) -> dict:
+        """Receive-only half of a fan-out; waits for the ``rid`` reply.
+
+        Raises:
+            TimeoutError: The worker exceeded its hedge deadline (or an
+                injected drop ate the reply); the connection is *not*
+                consumed further - the caller resets it.
+            WorkerDied: On any other socket or protocol failure.
+        """
         with handle.conn_lock:
             try:
-                reply = recv_frame(handle.sock)
+                try:
+                    handle.conn.settimeout(timeout)
+                    for _ in range(_MAX_STALE_FRAMES):
+                        reply = handle.conn.recv_frame()
+                        if reply is None:
+                            raise WorkerDied(
+                                f"worker {handle.name!r} closed its connection",
+                                worker=handle.name,
+                            )
+                        if reply.get("rid") == rid:
+                            return reply
+                    raise ProtocolError(
+                        f"no reply matching rid {rid!r} within "
+                        f"{_MAX_STALE_FRAMES} frames (desynchronised stream)"
+                    )
+                finally:
+                    if timeout is not None:
+                        _settimeout_quietly(handle.conn, None)
+            except TimeoutError:
+                raise
             except (ProtocolError, OSError) as error:
                 raise WorkerDied(
                     f"worker {handle.name!r} failed on receive: {error}",
                     worker=handle.name,
                 ) from error
-        if reply is None:
-            raise WorkerDied(
-                f"worker {handle.name!r} closed its connection",
-                worker=handle.name,
-            )
-        return reply
 
     def _maybe_chaos_kill(self, handle: _WorkerHandle) -> None:
         """``worker.kill`` fault site: really kill the target process."""
@@ -346,6 +506,124 @@ class ShardRouter:
             ) from fault
 
     # ------------------------------------------------------------------
+    # Connection failure handling (hardened path)
+    # ------------------------------------------------------------------
+    def _failure_is_connection(self, handle: _WorkerHandle) -> bool:
+        """True when a wire failure left the worker *process* alive.
+
+        The pre-hardening baseline never asks: every failure is a
+        crash-equivalent there.
+        """
+        return self._hardened and handle.alive and handle.process.is_alive()
+
+    def _reconnect_locked(self, handle: _WorkerHandle) -> bool:
+        """Re-establish a worker's connection with exponential backoff.
+
+        Returns ``True`` once connected (the handle's connection is
+        replaced); ``False`` when every attempt failed. A successful
+        reconnect resyncs a stale worker so edits it missed while
+        unreachable (already WAL-durable) become visible before any
+        query reaches it.
+        """
+        handle.conn.close()
+        for attempt in range(self._reconnect_attempts):
+            if attempt and self._reconnect_backoff:
+                time.sleep(self._reconnect_backoff * (2 ** (attempt - 1)))
+            try:
+                conn = faulty_connect(
+                    ("127.0.0.1", handle.port), timeout=self._spawn_timeout
+                )
+            except OSError:
+                continue
+            with handle.conn_lock:
+                handle.conn = conn
+            self.reconnects += 1
+            get_registry().inc(
+                "router.reconnects", labels={"worker": handle.name}
+            )
+            if handle.stale and not self._resync_one_locked(handle):
+                handle.conn.close()
+                continue
+            return True
+        return False
+
+    def _conn_failure_locked(self, handle: _WorkerHandle) -> bool:
+        """Charge and repair a connection (not process) failure.
+
+        One breaker failure per incident - repeated incidents open the
+        breaker, which parks the worker *without* removing it from the
+        ring (no data movement; the link is expected to heal). Returns
+        whether the connection was re-established.
+        """
+        handle.breaker.record_failure()
+        self.conn_failures += 1
+        get_registry().inc(
+            "router.conn_failures", labels={"worker": handle.name}
+        )
+        return self._reconnect_locked(handle)
+
+    def _resync_one_locked(self, handle: _WorkerHandle) -> bool:
+        """Resync one live worker from the WAL; track its freshness."""
+        if self._store is None:
+            handle.stale = False
+            return True
+        self._store.flush()
+        try:
+            self._exchange(handle, {"op": "resync"})
+        except WorkerDied:
+            handle.stale = True
+            return False
+        handle.synced_lsn = self._store.last_lsn()
+        handle.stale = False
+        handle.breaker.record_success()
+        return True
+
+    def _ensure_synced_locked(self, handle: _WorkerHandle) -> bool:
+        """Bring a hedge target up to the WAL head before it serves.
+
+        Any worker can serve any user *provided* it has replayed every
+        durable edit; a target already at the head costs nothing.
+        """
+        if self._store is None:
+            return True
+        if not handle.stale and handle.synced_lsn >= self._store.last_lsn():
+            return True
+        return self._resync_one_locked(handle)
+
+    def _exchange_hardened(self, handle: _WorkerHandle, payload: Mapping) -> dict:
+        """:meth:`_exchange` plus reconnect-and-retry on link failures.
+
+        Raises:
+            WorkerDied: The worker process is gone (crash path).
+            WorkerUnreachable: The process is alive but the link could
+                not be repaired (partition still open) - the caller
+                must NOT treat this as a death.
+        """
+        payload = dict(payload)
+        payload.setdefault("rid", self._next_rid())
+        for _ in range(self._reconnect_attempts + 1):
+            try:
+                reply = self._exchange(handle, payload)
+            except WorkerDied:
+                if not self._failure_is_connection(handle):
+                    raise
+                if not self._conn_failure_locked(handle):
+                    break
+                continue
+            handle.breaker.record_success()
+            return reply
+        if handle.alive and not handle.process.is_alive():
+            raise WorkerDied(
+                f"worker {handle.name!r} died while its link was repaired",
+                worker=handle.name,
+            )
+        raise WorkerUnreachable(
+            f"worker {handle.name!r} is alive but unreachable "
+            f"(link not repaired after {self._reconnect_attempts} attempts)",
+            worker=handle.name,
+        )
+
+    # ------------------------------------------------------------------
     # Failure handling / rebalancing
     # ------------------------------------------------------------------
     def _kill_locked(self, name: str) -> None:
@@ -354,7 +632,7 @@ class ShardRouter:
         if handle.alive:
             handle.process.terminate()
             handle.process.join(timeout=5.0)
-            handle.sock.close()
+            handle.conn.close()
             handle.alive = False
 
     def kill_worker(self, name: str) -> None:
@@ -402,10 +680,23 @@ class ShardRouter:
             while True:
                 failed: list[str] = []
                 for name in self._ring.nodes:
+                    handle = self._workers[name]
                     try:
-                        self._exchange(self._workers[name], {"op": "resync"})
+                        if self._hardened:
+                            self._exchange_hardened(handle, {"op": "resync"})
+                        else:
+                            self._exchange(handle, {"op": "resync"})
+                    except WorkerUnreachable:
+                        # Alive behind a partition: keep it on the ring
+                        # but flag it stale, so the reconnect that heals
+                        # the link resyncs it before it serves again.
+                        handle.stale = True
+                        continue
                     except WorkerDied:
                         failed.append(name)
+                        continue
+                    handle.synced_lsn = self._store.last_lsn()
+                    handle.stale = False
                 if not failed:
                     break
                 for name in failed:
@@ -437,16 +728,77 @@ class ShardRouter:
                 self._store.flush()
                 for other in self._ring.nodes:
                     if other != name:
-                        self._exchange(self._workers[other], {"op": "resync"})
+                        self._resync_one_locked(self._workers[other])
             self.rebalances += 1
             get_registry().inc("router.rebalances")
+
+    def drain_worker(self, name: str) -> dict:
+        """Gracefully remove ``name``: hand its shard off, then stop it.
+
+        The planned-maintenance twin of :meth:`kill_worker`: new work
+        stops routing to the worker (ring removal under the dispatch
+        lock, so no batch is in flight), the WAL is flushed and every
+        survivor resynced - the drained shard's users are current on
+        their new owners before the worker is asked to shut down with
+        a clean ``shutdown`` frame. No breaker trip, no
+        ``worker_deaths``; :meth:`respawn_worker` can bring the worker
+        back later.
+
+        Returns a drain report (survivors, resynced count, WAL lsn).
+        """
+        with self._dispatch:
+            handle = self._workers.get(name)
+            if handle is None:
+                raise ShardError(f"unknown worker {name!r}")
+            if not handle.alive:
+                raise ShardError(f"cannot drain dead worker {name!r}")
+            if name in self._ring:
+                if len(self._ring) == 1:
+                    raise ShardError(
+                        f"cannot drain {name!r}: it is the last worker"
+                    )
+                self._ring.remove_node(name)
+            resynced = []
+            if self._store is not None:
+                self._store.flush()
+                for other in self._ring.nodes:
+                    if self._resync_one_locked(self._workers[other]):
+                        resynced.append(other)
+            else:
+                resynced = list(self._ring.nodes)
+            try:
+                self._exchange(handle, {"op": "shutdown"})
+            except WorkerDied:
+                pass  # already going away; the terminate below reaps it
+            handle.conn.close()
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            handle.alive = False
+            self.drains += 1
+            get_registry().inc("router.drains", labels={"worker": name})
+            return {
+                "drained": name,
+                "survivors": list(self._ring.nodes),
+                "resynced": resynced,
+                "wal_last_lsn": (
+                    None if self._store is None else self._store.last_lsn()
+                ),
+            }
 
     def check_health(self) -> dict[str, dict]:
         """Ping every worker through its breaker's admission gate.
 
-        A dead or unresponsive worker records a breaker failure and is
-        rebalanced away; a healthy ping records a success (closing a
-        half-open breaker). Returns per-worker health rows.
+        Each probe runs under a bounded socket timeout
+        (``health_timeout``), so one hung-but-alive worker costs a
+        single timeout instead of stalling the whole sweep; its probe
+        is charged to the breaker as a connection failure and the link
+        is re-established, but the worker is *not* declared dead. A
+        dead worker is rebalanced away; a healthy ping records a
+        breaker success (closing a half-open breaker) and its round
+        trip is reported as ``probe_ms`` (also surfaced by
+        :meth:`stats`).
         """
         with self._dispatch:
             report: dict[str, dict] = {}
@@ -456,20 +808,34 @@ class ShardRouter:
                     "alive": handle.alive,
                     "breaker": handle.breaker.state,
                     "on_ring": name in self._ring,
+                    "probe_ms": None,
                 }
                 if not handle.alive and name in self._ring:
                     # Known-dead locally but never rebalanced (e.g. a
                     # hard kill with no dispatch since): rebalance now.
                     dead.append(name)
                 elif handle.alive and handle.breaker.allow():
+                    probe_started = time.perf_counter()
                     try:
-                        reply = self._exchange(handle, {"op": "ping"})
+                        reply = self._exchange(
+                            handle, {"op": "ping"},
+                            timeout=self._health_timeout,
+                        )
                     except WorkerDied:
-                        dead.append(name)
-                        row["alive"] = False
+                        if self._failure_is_connection(handle):
+                            self._conn_failure_locked(handle)
+                            row["unreachable"] = True
+                        else:
+                            dead.append(name)
+                            row["alive"] = False
+                        handle.probe_ms = None
                     else:
                         handle.breaker.record_success()
+                        handle.probe_ms = (
+                            time.perf_counter() - probe_started
+                        ) * 1000.0
                         row["users"] = reply.get("users")
+                        row["probe_ms"] = handle.probe_ms
                     row["breaker"] = handle.breaker.state
                 report[name] = row
             if dead:
@@ -510,14 +876,36 @@ class ShardRouter:
             if self._store is not None:
                 self._store.append(record)
             rid = self._next_rid()
+            payload: dict = {"op": "edit", "rid": rid, "record": record}
+            deadline_ms = self._deadline_ms()
+            if deadline_ms is not None:
+                payload["deadline_ms"] = deadline_ms
             for attempt in range(self._max_retries + 1):
+                if attempt and self._hardened and self._retry_backoff:
+                    time.sleep(self._retry_backoff * (2 ** (attempt - 1)))
                 owner = self._ring.node_for(record["user"])
                 handle = self._workers[owner]
                 try:
                     self._maybe_chaos_kill(handle)
-                    reply = self._exchange(
-                        handle, {"op": "edit", "rid": rid, "record": record}
-                    )
+                    if self._hardened:
+                        reply = self._exchange_hardened(handle, payload)
+                    else:
+                        reply = self._exchange(handle, payload)
+                except WorkerUnreachable:
+                    # The owner is alive behind a partition. The record
+                    # is already durable (WAL-first); flag the owner so
+                    # the reconnect that heals the link resyncs it, and
+                    # report the WAL as the application vehicle.
+                    handle.stale = True
+                    if self._store is not None:
+                        return {"rid": rid, "ok": True, "applied_via": "wal"}
+                    if attempt >= self._max_retries:
+                        raise ShardError(
+                            f"edit {rid} undeliverable: worker {owner!r} "
+                            "unreachable and no WAL to fall back on"
+                        )
+                    self.retried_requests += 1
+                    continue
                 except WorkerDied as death:
                     self._rebalance_locked([owner])
                     if self._store is not None:
@@ -571,16 +959,67 @@ class ShardRouter:
                 if round_index:
                     self.retried_requests += len(pending)
                     registry.inc("router.retries", value=len(pending))
+                    if self._hardened and self._retry_backoff:
+                        time.sleep(
+                            self._retry_backoff * (2 ** (round_index - 1))
+                        )
                 self._dispatch_round_locked(pending, results, registry)
             if pending:
-                raise ShardError(
-                    f"{len(pending)} requests undeliverable after "
-                    f"{self._max_retries + 1} dispatch rounds"
-                )
+                if not self._hardened:
+                    raise ShardError(
+                        f"{len(pending)} requests undeliverable after "
+                        f"{self._max_retries + 1} dispatch rounds"
+                    )
+                # Hardened routers degrade per-request instead of
+                # failing the batch: callers get a typed failure row
+                # and the availability accounting stays per-request.
+                for rid in list(pending):
+                    results[rid] = {
+                        "rid": rid,
+                        "ok": False,
+                        "duplicate": False,
+                        "error": (
+                            "undeliverable after "
+                            f"{self._max_retries + 1} dispatch rounds"
+                        ),
+                    }
+                    del pending[rid]
         registry.observe(
             "router.batch.seconds", time.perf_counter() - started
         )
         return [results[rid] for rid in order]
+
+    def _route_target_locked(self, user_id: str) -> str:
+        """The worker a request should go to *this round*.
+
+        The ring owner, unless hardening knows it is unusable right now
+        (dead handle awaiting rebalance, or a breaker that does not
+        admit traffic); then the first usable worker in ring order
+        serves as the hedge target.
+        """
+        owner = self._ring.node_for(user_id)
+        if not self._hardened:
+            return owner
+        handle = self._workers[owner]
+        if handle.alive and handle.breaker.allow():
+            return owner
+        for name in self._ring.nodes:
+            if name == owner:
+                continue
+            other = self._workers[name]
+            if other.alive and other.breaker.allow():
+                return name
+        return owner
+
+    def _hedge_deadline(self, handle: _WorkerHandle) -> float | None:
+        """Adaptive per-worker reply deadline for one batch, seconds."""
+        if not self._hardened or self._hedge_timeout is None:
+            return None
+        if handle.ewma_ms is None:
+            return self._hedge_timeout
+        return max(
+            self._hedge_timeout, self._hedge_factor * handle.ewma_ms / 1000.0
+        )
 
     def _dispatch_round_locked(
         self,
@@ -588,61 +1027,130 @@ class ShardRouter:
         results: dict[str, dict],
         registry,
     ) -> None:
-        """One send-all / receive-all round over the current ring."""
+        """One send-all / receive-all round over the current ring.
+
+        Hardened extras: requests for an unusable owner are hedged to
+        another worker (resynced from the WAL first when stale), a
+        worker that misses its adaptive reply deadline is abandoned for
+        the round (its connection is reset so no stale reply can
+        desynchronise later rounds), and connection failures repair the
+        link instead of declaring a death.
+        """
+        known_dead = [
+            name for name in self._ring.nodes if not self._workers[name].alive
+        ]
+        if known_dead:
+            # A crashed worker still on the ring (kill_worker, or a
+            # death discovered between rounds) is rebalanced before
+            # routing - hedging is for *unreachable* workers, it must
+            # never hide a real death from the ring.
+            self._rebalance_locked(known_dead)
         groups: dict[str, list[list]] = {}
         for rid, (user_id, values, top_k) in pending.items():
-            owner = self._ring.node_for(user_id)
-            groups.setdefault(owner, []).append([rid, user_id, values, top_k])
-        sent: list[str] = []
+            target = self._route_target_locked(user_id)
+            if target != self._ring.node_for(user_id):
+                self.hedged_requests += 1
+                registry.inc("router.hedged", labels={"worker": target})
+            groups.setdefault(target, []).append([rid, user_id, values, top_k])
+        deadline_ms = self._deadline_ms()
+        sent: list[tuple[str, str]] = []
         dead: list[str] = []
-        for owner, batch in groups.items():
+        for target, batch in groups.items():
+            handle = self._workers[target]
+            hedged_into = any(
+                self._ring.node_for(entry[1]) != target for entry in batch
+            )
+            if (
+                self._hardened
+                and (hedged_into or handle.stale)
+                and not self._ensure_synced_locked(handle)
+            ):
+                if self._failure_is_connection(handle):
+                    # Repair the link now (reconnect + resync ride the
+                    # same path), else a closed connection would fail
+                    # the resync forever and strand the batch.
+                    self._conn_failure_locked(handle)
+                else:
+                    dead.append(target)
+                continue  # requests stay pending for the next round
+            payload: dict = {
+                "op": "query_batch",
+                "rid": self._next_rid(),
+                "requests": batch,
+            }
+            if deadline_ms is not None:
+                payload["deadline_ms"] = deadline_ms
             try:
-                self._send_batch(
-                    self._workers[owner],
-                    {"op": "query_batch", "requests": batch},
-                )
+                self._send_batch(handle, payload)
             except WorkerDied:
-                dead.append(owner)
+                if self._failure_is_connection(handle):
+                    self._conn_failure_locked(handle)
+                else:
+                    dead.append(target)
             else:
-                sent.append(owner)
-        for owner in sent:
-            handle = self._workers[owner]
+                sent.append((target, payload["rid"]))
+        for target, batch_rid in sent:
+            handle = self._workers[target]
             shard_started = time.perf_counter()
             try:
-                reply = self._recv_batch(handle)
+                reply = self._recv_batch(
+                    handle, batch_rid, timeout=self._hedge_deadline(handle)
+                )
+            except TimeoutError:
+                # Missed its reply deadline (slow, partitioned or the
+                # reply was dropped): abandon the batch for this round
+                # and reset the link so the late reply cannot poison a
+                # later exchange. The rid-dedup LRU on the workers
+                # keeps the re-dispatch exactly-once.
+                self._conn_failure_locked(handle)
+                registry.inc("router.hedge_timeouts", labels={"worker": target})
+                continue
             except WorkerDied:
-                dead.append(owner)
+                if self._failure_is_connection(handle):
+                    self._conn_failure_locked(handle)
+                else:
+                    dead.append(target)
                 continue
             handle.breaker.record_success()
             elapsed = time.perf_counter() - shard_started
+            ewma = 0.0 if handle.ewma_ms is None else 0.8 * handle.ewma_ms
+            handle.ewma_ms = ewma + (
+                0.2 if handle.ewma_ms is not None else 1.0
+            ) * (elapsed * 1000.0)
             registry.observe(
-                "router.worker.seconds", elapsed, labels={"worker": owner}
+                "router.worker.seconds", elapsed, labels={"worker": target}
             )
             for row in reply.get("results", ()):
                 rid = row.get("rid")
                 if rid in pending:
-                    row["worker"] = owner
+                    row["worker"] = target
                     results[rid] = row
                     del pending[rid]
             registry.inc(
                 "router.requests",
                 value=len(reply.get("results", ())),
-                labels={"worker": owner},
+                labels={"worker": target},
             )
         if dead:
             self._rebalance_locked(dead)
 
     def stats(self) -> dict[str, object]:
-        """Router counters plus per-worker ``stats`` rows."""
+        """Router counters plus per-worker ``stats`` rows.
+
+        Each worker row carries ``probe_latency_ms``: the last
+        :meth:`check_health` ping round-trip for that worker (``None``
+        until a probe has succeeded).
+        """
         with self._dispatch:
             workers = {}
             for name in self._ring.nodes:
+                handle = self._workers[name]
                 try:
-                    workers[name] = self._exchange(
-                        self._workers[name], {"op": "stats"}
-                    )
-                except WorkerDied:
-                    workers[name] = {"ok": False, "error": "unreachable"}
+                    row = self._exchange(handle, {"op": "stats"})
+                except (WorkerDied, WorkerUnreachable):
+                    row = {"ok": False, "error": "unreachable"}
+                row["probe_latency_ms"] = handle.probe_ms
+                workers[name] = row
             return {
                 "workers": workers,
                 "ring": {
@@ -652,6 +1160,10 @@ class ShardRouter:
                 "worker_deaths": self.worker_deaths,
                 "rebalances": self.rebalances,
                 "retried_requests": self.retried_requests,
+                "hedged_requests": self.hedged_requests,
+                "conn_failures": self.conn_failures,
+                "reconnects": self.reconnects,
+                "drains": self.drains,
                 "wal_last_lsn": (
                     None if self._store is None else self._store.last_lsn()
                 ),

@@ -46,12 +46,17 @@ from repro.concurrency.executor import ConcurrentQueryExecutor
 from repro.context.environment import ContextEnvironment
 from repro.context.state import ContextState
 from repro.db.poi import generate_poi_relation
-from repro.exceptions import ProtocolError, ReproError, StorageError
+from repro.exceptions import (
+    ProtocolError,
+    ReproError,
+    RequestTimeout,
+    StorageError,
+)
 from repro.io.serialize import preference_from_dict, profile_to_dict
 from repro.query.executor import QueryResult
-from repro.resilience import ResiliencePolicies
+from repro.resilience import Deadline, ResiliencePolicies, deadline_scope
 from repro.service.personalization import PersonalizationService
-from repro.sharding.protocol import recv_frame, send_frame
+from repro.sharding.protocol import FaultyConnection
 from repro.storage.jsonl import JsonlProfileStore
 from repro.storage.recovery import recover_state
 from repro.workloads.users import Persona, default_profile, study_environment
@@ -196,13 +201,29 @@ class _WorkerRuntime:
         self.queries_served = 0
         self.edits_applied = 0
         self.resyncs = 0
+        self.timed_out = 0
         self._io_wait = max(0.0, spec.io_wait_ms) / 1000.0
+        self._deadline: Deadline | None = None
 
     # ------------------------------------------------------------------
     # Request handlers (one per protocol op)
     # ------------------------------------------------------------------
     def handle(self, request: dict) -> tuple[dict, bool]:
-        """Serve one request; returns ``(reply, keep_running)``."""
+        """Serve one request; returns ``(reply, keep_running)``.
+
+        A ``deadline_ms`` on the request becomes this request's worker-
+        side deadline: queries check it before starting and run under a
+        ``deadline_scope``, so a router budget propagates into the
+        shard's own degradation ladder. A ``Deadline`` is read-only
+        after construction, so sharing one across the batch's pool
+        threads is safe.
+        """
+        deadline_ms = request.get("deadline_ms")
+        self._deadline = (
+            Deadline.after(deadline_ms / 1000.0)
+            if isinstance(deadline_ms, (int, float)) and deadline_ms > 0
+            else None
+        )
         op = request.get("op")
         if op == "ping":
             return self._ping(), True
@@ -281,11 +302,25 @@ class _WorkerRuntime:
     def _query_one(
         self, rid: str, user_id: str, values: list, top_k: int | None
     ) -> dict:
+        deadline = self._deadline
         if self._io_wait:
             time.sleep(self._io_wait)
         try:
+            if deadline is not None:
+                deadline.check("shard.query")
             state = ContextState(self.service.environment, values)
-            result = self.service.query_at(user_id, state, top_k=top_k)
+            with deadline_scope(deadline):
+                result = self.service.query_at(user_id, state, top_k=top_k)
+        except RequestTimeout as error:
+            # Typed before the broad handler: an exhausted router budget
+            # is a distinct, reportable outcome, not a generic failure.
+            self.timed_out += 1
+            return {
+                "rid": rid,
+                "ok": False,
+                "timed_out": True,
+                "error": str(error),
+            }
         except ReproError as error:
             return {"rid": rid, "ok": False, "error": str(error)}
         return {
@@ -355,6 +390,7 @@ class _WorkerRuntime:
             "queries_served": self.queries_served,
             "edits_applied": self.edits_applied,
             "resyncs": self.resyncs,
+            "timed_out": self.timed_out,
             "dedup_hits": self.dedup.hits,
             "dedup_entries": len(self.dedup),
             "paging": self.service.paging_statistics(),
@@ -364,15 +400,26 @@ class _WorkerRuntime:
 def _serve_connection(conn: socket.socket, runtime: _WorkerRuntime) -> bool:
     """Serve frames on one router connection until EOF or shutdown.
 
+    The socket is wrapped in a :class:`FaultyConnection`, so a fault
+    plan activated inside the worker process exercises the worker end
+    of the wire too; with the registry disabled (the normal case) the
+    wrapper is a strict passthrough. Every reply echoes the request's
+    ``rid`` - the router discards frames whose rid does not match the
+    exchange in flight, which is how duplicated or stale frames are
+    shed without desynchronising the stream.
+
     Returns ``True`` to keep accepting (router went away cleanly),
     ``False`` after a ``shutdown`` op.
     """
+    link = FaultyConnection(conn)
     while True:
-        request = recv_frame(conn)
+        request = link.recv_frame()
         if request is None:
             return True
         reply, keep_running = runtime.handle(request)
-        send_frame(conn, reply)
+        if "rid" in request:
+            reply["rid"] = request["rid"]
+        link.send_frame(reply)
         if not keep_running:
             return False
 

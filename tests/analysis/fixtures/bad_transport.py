@@ -1,0 +1,27 @@
+"""Fixture: fault-site drift through ``transport()`` call sites.
+
+The transport hook counts as a call site exactly like ``fire()`` /
+``corrupt()``: a transport site that is registered but never drawn is
+FAULT001, and a ``transport("...")`` literal outside the inventory is
+FAULT002. Fed to the analyzer under a pretend ``repro.*`` module name
+by ``tests/analysis/test_contracts.py``; never imported by shipped
+code.
+"""
+
+# "conn.recv" is registered but never drawn: FAULT001, reported at
+# this declaration.
+SITES = (
+    "conn.send",
+    "conn.recv",
+)
+
+
+class Registry:
+    def transport(self, site: str) -> str | None:
+        raise NotImplementedError(site)
+
+
+def wire_path(registry: Registry) -> None:
+    registry.transport("conn.send")
+    # Never registered above: FAULT002 at this call.
+    registry.transport("net.partition")

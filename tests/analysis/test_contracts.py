@@ -50,6 +50,23 @@ class TestFaultSiteDrift:
         program = _program("bad_lockorder.py", "repro.service.fixture")
         assert check_fault_sites(program) == []
 
+    def test_transport_draw_counts_as_a_call_site(self):
+        findings = check_fault_sites(
+            _program("bad_transport.py", "repro.transport.fixture")
+        )
+        fault001 = [f for f in findings if f.rule == "FAULT001"]
+        assert len(fault001) == 1
+        assert "conn.recv" in fault001[0].message
+        assert not any("conn.send" in f.message for f in findings)
+
+    def test_unregistered_transport_site_is_fault002(self):
+        findings = check_fault_sites(
+            _program("bad_transport.py", "repro.transport.fixture")
+        )
+        fault002 = [f for f in findings if f.rule == "FAULT002"]
+        assert len(fault002) == 1
+        assert "net.partition" in fault002[0].message
+
     def test_shipped_inventory_matches_the_call_sites(self):
         program = Program(collect_modules(SRC_ROOT))
         assert check_fault_sites(program) == []

@@ -187,6 +187,7 @@ class TestCli:
                             "bad_layering",
                             "bad_lockorder",
                             "bad_schema",
+                            "bad_transport",
                             "bad_upgrade",
                         )
                         for rule in (

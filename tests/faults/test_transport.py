@@ -1,0 +1,86 @@
+"""The transport fault sites: kinds, eligibility, determinism."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import (
+    TRANSPORT_KINDS,
+    TRANSPORT_SITES,
+    FaultRegistry,
+    FaultSpec,
+    InjectedFault,
+)
+
+
+def fresh_registry(specs, seed=0):
+    registry = FaultRegistry()
+    registry.install(specs, seed=seed)
+    return registry
+
+
+class TestTransportSpecValidation:
+    def test_transport_kinds_accepted_at_transport_sites(self):
+        for site in TRANSPORT_SITES:
+            for kind in TRANSPORT_KINDS:
+                FaultSpec(site=site, kind=kind)
+
+    def test_transport_kind_rejected_at_non_transport_site(self):
+        for kind in TRANSPORT_KINDS:
+            with pytest.raises(ReproError, match="transport"):
+                FaultSpec(site="cache.get", kind=kind)
+
+    def test_classic_kinds_accepted_at_transport_sites(self):
+        for site in TRANSPORT_SITES:
+            FaultSpec(site=site, kind="error")
+            FaultSpec(site=site, kind="latency")
+
+
+class TestTransportHook:
+    def test_disabled_registry_returns_none(self):
+        registry = FaultRegistry()
+        for site in TRANSPORT_SITES:
+            assert registry.transport(site) is None
+        assert registry.total_fired() == 0
+
+    def test_transport_kind_is_returned_to_the_caller(self):
+        for kind in sorted(TRANSPORT_KINDS):
+            registry = fresh_registry(
+                [FaultSpec(site="conn.send", kind=kind, max_fires=1)]
+            )
+            assert registry.transport("conn.send") == kind
+            # Exhausted after max_fires.
+            assert registry.transport("conn.send") is None
+
+    def test_injected_error_raises_at_transport_site(self):
+        registry = fresh_registry(
+            [FaultSpec(site="conn.recv", kind="error", max_fires=1)]
+        )
+        with pytest.raises(InjectedFault):
+            registry.transport("conn.recv")
+
+    def test_sites_draw_independently(self):
+        registry = fresh_registry(
+            [
+                FaultSpec(site="conn.send", kind="drop", max_fires=1),
+                FaultSpec(site="net.partition", kind="reset", max_fires=1),
+            ]
+        )
+        assert registry.transport("conn.send") == "drop"
+        assert registry.transport("net.partition") == "reset"
+        assert registry.transport("conn.send") is None
+        assert registry.transport("net.partition") is None
+
+    def test_draws_are_deterministic_per_seed(self):
+        def draws(seed):
+            registry = fresh_registry(
+                [
+                    FaultSpec(
+                        site="conn.send", kind="duplicate", probability=0.5
+                    )
+                ],
+                seed=seed,
+            )
+            return [registry.transport("conn.send") for _ in range(32)]
+
+        assert draws(3) == draws(3)
+        assert draws(3) != draws(4)

@@ -1,0 +1,155 @@
+"""Property-based wire-codec tests: adversarial bytes never crash.
+
+The router<->worker framing promise is typed failure, not undefined
+behaviour: any byte stream a peer (or a chaos fault) can produce must
+either decode to the exact payload that was encoded, or raise
+:class:`~repro.exceptions.ProtocolError` - never another exception,
+never a hang on a bounded stream, and never a silent pass through the
+CRC with altered bytes.
+"""
+
+import socket
+
+import pytest
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.sharding.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+_SCALARS = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.text(max_size=20)
+)
+
+_PAYLOADS = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    _SCALARS
+    | st.lists(_SCALARS, max_size=4)
+    | st.dictionaries(st.text(min_size=1, max_size=8), _SCALARS, max_size=3),
+    max_size=6,
+)
+
+
+class TestRoundTrip:
+    @given(payload=_PAYLOADS)
+    @settings(max_examples=80, deadline=None)
+    def test_encode_decode_is_identity(self, payload):
+        frame = encode_frame(payload)
+        assert decode_frame(frame[4:]) == payload
+
+    @given(payload=_PAYLOADS)
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_socket_round_trip(self, payload):
+        left, right = socket.socketpair()
+        try:
+            left.settimeout(2.0)
+            right.settimeout(2.0)
+            send_frame(left, payload)
+            assert recv_frame(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+
+class TestAdversarialBytes:
+    @given(body=st.binary(max_size=256))
+    @settings(max_examples=120, deadline=None)
+    @example(body=b"")
+    @example(body=b"{}")
+    @example(body=b'{"crc": 0, "data": {}}')
+    @example(body=b'{"crc": "no", "data": {}}')
+    @example(body=b'{"crc": 0, "data": []}')
+    @example(body=b"\xff\xfe\x00")
+    def test_decode_raises_typed_or_returns_dict(self, body):
+        try:
+            decoded = decode_frame(body)
+        except ProtocolError:
+            return
+        # The only non-error outcome: a genuine envelope whose CRC
+        # verified; it must be the inner payload dict.
+        assert isinstance(decoded, dict)
+
+    @given(payload=_PAYLOADS, position=st.integers(min_value=0), flip=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=120, deadline=None)
+    def test_any_single_byte_damage_is_detected_or_harmless(
+        self, payload, position, flip
+    ):
+        """Flipping any body byte must never yield a *different* payload.
+
+        Either the CRC (or the JSON parser) catches the damage as a
+        ``ProtocolError``, or - when the flip lands on bytes that do
+        not change the canonical decoding (impossible for this codec,
+        but the property allows it) - the original payload comes back.
+        """
+        body = bytearray(encode_frame(payload)[4:])
+        damaged = bytearray(body)
+        damaged[position % len(damaged)] ^= flip
+        if bytes(damaged) == bytes(body):
+            return
+        try:
+            decoded = decode_frame(bytes(damaged))
+        except ProtocolError:
+            return
+        assert decoded == payload, (
+            "single-byte damage produced a different payload that "
+            "passed the checksum"
+        )
+
+    @given(prefix=st.binary(min_size=4, max_size=4), tail=st.binary(max_size=64))
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_garbage_stream_never_hangs_or_crashes(self, prefix, tail):
+        """A bounded adversarial stream yields EOF-None or ProtocolError.
+
+        The length prefix is attacker-controlled; implausible lengths
+        must be rejected before any allocation, and a stream shorter
+        than its declared length must surface the mid-frame EOF, not
+        block forever (the peer closes the write side here, so a
+        correct reader always terminates).
+        """
+        left, right = socket.socketpair()
+        try:
+            left.settimeout(2.0)
+            right.settimeout(2.0)
+            left.sendall(prefix + tail)
+            left.shutdown(socket.SHUT_WR)
+            try:
+                result = recv_frame(right)
+            except ProtocolError:
+                return
+            assert result is None or isinstance(result, dict)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_length_prefix_is_rejected_not_allocated(self):
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(2.0)
+            left.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            left.shutdown(socket.SHUT_WR)
+            with pytest.raises(ProtocolError, match="implausible"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_payload_is_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})

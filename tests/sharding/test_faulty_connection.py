@@ -1,0 +1,201 @@
+"""FaultyConnection: each transport kind maps to real byte behaviour.
+
+Driven over a local socketpair so both ends are observable: the peer
+must see exactly what a real flaky network would have delivered -
+detectable corruption, a missing frame, a doubled frame, a mid-frame
+EOF, or a reset - and a disabled registry must be a strict passthrough.
+"""
+
+import socket
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.faults import FaultRegistry, FaultSpec
+from repro.sharding.protocol import (
+    FaultyConnection,
+    faulty_connect,
+    recv_frame,
+    send_frame,
+)
+
+PAYLOAD = {"op": "ping", "rid": "r1"}
+
+
+def planted(specs, seed=0):
+    registry = FaultRegistry()
+    registry.install(specs, seed=seed)
+    return registry
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    left.settimeout(2.0)
+    right.settimeout(2.0)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestPassthrough:
+    def test_disabled_registry_moves_frames_verbatim(self, pair):
+        left, right = pair
+        conn = FaultyConnection(left, FaultRegistry())
+        conn.send_frame(PAYLOAD)
+        assert recv_frame(right) == PAYLOAD
+        send_frame(right, {"ok": True})
+        assert conn.recv_frame() == {"ok": True}
+
+
+class TestSendFaults:
+    def test_drop_on_send_loses_exactly_one_frame(self, pair):
+        left, right = pair
+        conn = FaultyConnection(
+            left,
+            planted([FaultSpec(site="conn.send", kind="drop", max_fires=1)]),
+        )
+        conn.send_frame({"rid": "lost"})
+        conn.send_frame({"rid": "kept"})
+        left.shutdown(socket.SHUT_WR)
+        assert recv_frame(right) == {"rid": "kept"}
+        assert recv_frame(right) is None
+
+    def test_duplicate_on_send_delivers_twice(self, pair):
+        left, right = pair
+        conn = FaultyConnection(
+            left,
+            planted(
+                [FaultSpec(site="conn.send", kind="duplicate", max_fires=1)]
+            ),
+        )
+        conn.send_frame(PAYLOAD)
+        assert recv_frame(right) == PAYLOAD
+        assert recv_frame(right) == PAYLOAD
+
+    def test_corrupt_on_send_is_caught_by_the_peer_crc(self, pair):
+        left, right = pair
+        conn = FaultyConnection(
+            left,
+            planted(
+                [FaultSpec(site="conn.send", kind="corrupt", max_fires=1)]
+            ),
+        )
+        conn.send_frame(PAYLOAD)
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_truncate_on_send_raises_and_peer_sees_midframe_eof(self, pair):
+        left, right = pair
+        conn = FaultyConnection(
+            left,
+            planted(
+                [FaultSpec(site="conn.send", kind="truncate", max_fires=1)]
+            ),
+        )
+        with pytest.raises(ConnectionResetError):
+            conn.send_frame(PAYLOAD)
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_reset_on_send_raises_connection_reset(self, pair):
+        left, _ = pair
+        conn = FaultyConnection(
+            left,
+            planted([FaultSpec(site="conn.send", kind="reset", max_fires=1)]),
+        )
+        with pytest.raises(ConnectionResetError):
+            conn.send_frame(PAYLOAD)
+        conn.send_frame(PAYLOAD)  # exhausted: the next send is clean
+
+
+class TestRecvFaults:
+    def test_drop_on_recv_consumes_the_frame_and_times_out(self, pair):
+        left, right = pair
+        conn = FaultyConnection(
+            right,
+            planted([FaultSpec(site="conn.recv", kind="drop", max_fires=1)]),
+        )
+        send_frame(left, {"rid": "swallowed"})
+        send_frame(left, {"rid": "arrives"})
+        with pytest.raises(TimeoutError):
+            conn.recv_frame()
+        assert conn.recv_frame() == {"rid": "arrives"}
+
+    def test_duplicate_on_recv_redelivers_on_next_read(self, pair):
+        left, right = pair
+        conn = FaultyConnection(
+            right,
+            planted(
+                [FaultSpec(site="conn.recv", kind="duplicate", max_fires=1)]
+            ),
+        )
+        send_frame(left, PAYLOAD)
+        assert conn.recv_frame() == PAYLOAD
+        assert conn.recv_frame() == PAYLOAD
+
+    def test_corrupt_on_recv_raises_locally(self, pair):
+        left, right = pair
+        conn = FaultyConnection(
+            right,
+            planted(
+                [FaultSpec(site="conn.recv", kind="corrupt", max_fires=1)]
+            ),
+        )
+        send_frame(left, PAYLOAD)
+        with pytest.raises(ProtocolError):
+            conn.recv_frame()
+
+
+class TestPartition:
+    def test_partition_blocks_both_directions_then_heals(self, pair):
+        left, right = pair
+        registry = planted(
+            [FaultSpec(site="net.partition", kind="reset", max_fires=2)]
+        )
+        conn = FaultyConnection(left, registry)
+        with pytest.raises(ConnectionResetError):
+            conn.send_frame(PAYLOAD)
+        with pytest.raises(ConnectionResetError):
+            conn.recv_frame()
+        # max_fires exhausted: the link heals.
+        conn.send_frame(PAYLOAD)
+        assert recv_frame(right) == PAYLOAD
+
+    def test_injected_error_is_a_connection_failure(self, pair):
+        left, _ = pair
+        conn = FaultyConnection(
+            left,
+            planted([FaultSpec(site="conn.send", kind="error", max_fires=1)]),
+        )
+        with pytest.raises(ConnectionResetError):
+            conn.send_frame(PAYLOAD)
+
+
+class TestFaultyConnect:
+    def test_connect_fault_surfaces_as_refused(self):
+        registry = planted(
+            [FaultSpec(site="conn.connect", kind="reset", max_fires=1)]
+        )
+        with pytest.raises(ConnectionRefusedError):
+            faulty_connect(("127.0.0.1", 1), registry=registry)
+
+    def test_clean_connect_wraps_the_socket(self):
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        try:
+            conn = faulty_connect(
+                ("127.0.0.1", server.getsockname()[1]),
+                timeout=2.0,
+                registry=FaultRegistry(),
+            )
+            accepted, _ = server.accept()
+            try:
+                conn.send_frame(PAYLOAD)
+                assert recv_frame(accepted) == PAYLOAD
+            finally:
+                accepted.close()
+                conn.close()
+        finally:
+            server.close()

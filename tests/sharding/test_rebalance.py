@@ -49,7 +49,10 @@ class TestWorkerDeath:
         stats = router.stats()
         assert stats["worker_deaths"] == 1
         assert stats["rebalances"] == 1
-        assert stats["retried_requests"] >= 1
+        # The hardened router declares the known death *before* the
+        # first dispatch round, so the whole batch is served in one
+        # round and no retry is burned on discovering the crash.
+        assert stats["retried_requests"] == 0
 
     def test_no_request_is_double_served(self, router, states):
         requests = full_batch(states)

@@ -38,6 +38,13 @@ class TestParser:
         assert args.rounds == 5 and args.queries_per_round == 40
         assert args.seed == 23
         assert not args.no_baseline and not args.json
+        # Distributed chaos is opt-in.
+        assert not args.sharded and args.workers == 2
+
+    def test_chaos_sharded_flag(self):
+        args = build_parser().parse_args(["chaos", "--sharded",
+                                          "--workers", "3"])
+        assert args.sharded and args.workers == 3
 
     def test_persistence_defaults(self):
         args = build_parser().parse_args(["persistence"])
@@ -144,6 +151,30 @@ class TestCommands:
                      "--json", "--output", str(target)]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["resilient"]["requests"] > 0
+        assert payload.get("baseline") is None
+        assert json.loads(target.read_text()) == payload
+
+    def test_chaos_sharded_table(self, capsys):
+        assert main(["chaos", "--sharded", "--users", "4", "--rows", "120",
+                     "--queries-per-round", "4", "--edits-per-round", "1",
+                     "--workers", "2", "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "Sharded chaos" in out
+        assert "availability" in out
+        assert "identical rankings" in out
+        assert "edits via (forward/wal/resync)" in out
+
+    def test_chaos_sharded_json_and_output(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "chaos_sharded.json"
+        assert main(["chaos", "--sharded", "--users", "4", "--rows", "120",
+                     "--queries-per-round", "4", "--edits-per-round", "1",
+                     "--workers", "2", "--no-baseline",
+                     "--json", "--output", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hardened"]["requests"] > 0
+        assert payload["hardened"]["lost_replies"] == 0
         assert payload.get("baseline") is None
         assert json.loads(target.read_text()) == payload
 
